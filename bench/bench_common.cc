@@ -1,0 +1,101 @@
+#include "bench_common.hh"
+
+namespace anic::bench {
+
+NginxResult
+runNginx(const NginxParams &p)
+{
+    app::MacroWorld::Config cfg;
+    cfg.serverCores = p.serverCores;
+    cfg.generatorCores = p.generatorCores;
+    cfg.link = p.link;
+    cfg.serverTcp.sndBufSize = p.serverSndBuf;
+    cfg.generatorTcp.rcvBufSize = p.clientRcvBuf;
+    // HTTP clients only ever send small requests, but the send ring
+    // allocates its full capacity on first use — at 128K connections
+    // the 1 MB default would be ~128 GB.
+    cfg.generatorTcp.sndBufSize = 64 << 10;
+    cfg.remoteStorage = p.c1;
+    if (p.c1) {
+        cfg.storage.pageCacheBytes = 0; // C1: every request misses
+        cfg.storage.offloadEnabled = p.storage.offload;
+        cfg.storage.offload.crcRx = p.storage.offload;
+        cfg.storage.offload.copyRx = p.storage.offload;
+        cfg.storage.tlsTransport = p.storage.tls;
+        cfg.storage.tlsCfg.rxOffload = p.storage.tlsOffload;
+    }
+
+    app::MacroWorld w(cfg);
+    std::vector<uint32_t> ids = w.makeFiles(p.fileCount, p.fileSize);
+    if (!p.c1)
+        w.storage->prewarm();
+
+    app::HttpServerConfig scfg;
+    app::HttpClientConfig ccfg;
+    switch (p.variant) {
+      case HttpVariant::Http:
+        break;
+      case HttpVariant::Https:
+        scfg.tlsEnabled = true;
+        ccfg.tlsEnabled = true;
+        break;
+      case HttpVariant::Offload:
+        scfg.tlsEnabled = true;
+        scfg.tlsCfg.txOffload = true;
+        scfg.tlsCfg.rxOffload = true;
+        ccfg.tlsEnabled = true;
+        break;
+      case HttpVariant::OffloadZc:
+        scfg.tlsEnabled = true;
+        scfg.tlsCfg.txOffload = true;
+        scfg.tlsCfg.rxOffload = true;
+        scfg.tlsCfg.zerocopySendfile = true;
+        ccfg.tlsEnabled = true;
+        break;
+    }
+    ccfg.connections = p.connections;
+    ccfg.fileIds = ids;
+    ccfg.verifyContent = false; // benches measure, tests verify
+
+    app::HttpServer server(w.server, 443, *w.storage, scfg);
+    app::HttpClient client(w.generator, app::MacroWorld::kGenIp,
+                           app::MacroWorld::kSrvIp, 443, w.files, ccfg);
+    client.start();
+
+    // Ramp + warm-up: wait for (nearly) all connections before
+    // opening the measurement window.
+    sim::Tick ramp = static_cast<sim::Tick>(p.connections) *
+                     ccfg.staggerPerConn;
+    w.sim.runFor(p.warmup + ramp);
+    for (int tries = 0;
+         client.connected() < p.connections * 95 / 100 && tries < 40;
+         tries++) {
+        w.sim.runFor(5 * sim::kMillisecond);
+    }
+    sim::Tick window = measureWindow(p.window);
+    std::vector<sim::Tick> busy = w.server.busySnapshot();
+    nic::NicStats nic0 = w.server.nicDev().stats();
+    client.measureStart();
+    w.sim.runFor(window);
+    client.measureStop();
+    nic::NicStats nic1 = w.server.nicDev().stats();
+
+    NginxResult r;
+    r.gbps = client.bodyMeter().gbps();
+    r.busyCores = w.server.busyCores(busy, window);
+    r.requestsPerSec = static_cast<double>(client.windowResponses()) /
+                       sim::ticksToSeconds(window);
+    r.latencyUs = client.stats().latencyUs.empty()
+                      ? 0.0
+                      : client.stats().latencyUs.mean();
+    uint64_t pkts = (nic1.pktsTx - nic0.pktsTx) + (nic1.pktsRx - nic0.pktsRx);
+    r.ctxMissPerPkt = pkts > 0 ? static_cast<double>(nic1.ctxCacheMisses -
+                                                     nic0.ctxCacheMisses) /
+                                     static_cast<double>(pkts)
+                               : 0.0;
+    r.corruptions = client.stats().corruptions;
+    r.errors = server.stats().errors;
+    return r;
+}
+
+} // namespace anic::bench

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared benchmark harness: world construction, the nginx scenario
+ * (used by Figures 12-14, 19 and Table 4), measurement windows, and
+ * table formatting. Each bench binary prints the rows/series of the
+ * paper artifact it reproduces.
+ *
+ * Set ANIC_QUICK=1 to shrink measurement windows (CI smoke runs).
+ */
+
+#ifndef ANIC_BENCH_BENCH_COMMON_HH
+#define ANIC_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "app/http.hh"
+#include "app/iperf.hh"
+#include "app/kv.hh"
+#include "app/macro_world.hh"
+
+namespace anic::bench {
+
+inline bool
+quickMode()
+{
+    return std::getenv("ANIC_QUICK") != nullptr;
+}
+
+inline sim::Tick
+measureWindow(sim::Tick full)
+{
+    return quickMode() ? full / 4 : full;
+}
+
+inline void
+printHeader(const char *title)
+{
+    std::printf("\n================================================================\n");
+    std::printf("%s\n", title);
+    std::printf("================================================================\n");
+}
+
+/** nginx transport/offload variants (Figure 13 legend). */
+enum class HttpVariant
+{
+    Http,      ///< no encryption (upper bound)
+    Https,     ///< kTLS software crypto (baseline)
+    Offload,   ///< TLS NIC offload, sendfile still copies
+    OffloadZc, ///< TLS NIC offload + zero-copy sendfile
+};
+
+inline const char *
+variantName(HttpVariant v)
+{
+    switch (v) {
+      case HttpVariant::Http:
+        return "http";
+      case HttpVariant::Https:
+        return "https";
+      case HttpVariant::Offload:
+        return "offload";
+      case HttpVariant::OffloadZc:
+        return "offload+zc";
+    }
+    return "?";
+}
+
+/** Storage-path offload selection for C1 scenarios. */
+struct StorageVariant
+{
+    bool offload = false;    ///< NVMe-TCP CRC + copy offload
+    bool tls = false;        ///< NVMe-TLS transport
+    bool tlsOffload = false; ///< offload the storage TLS too
+};
+
+struct NginxParams
+{
+    int serverCores = 1;
+    int generatorCores = 12;
+    int connections = 1024;
+    uint64_t fileSize = 256 << 10;
+    int fileCount = 64;
+    bool c1 = false; ///< remote storage (drive-bound) vs page cache
+    HttpVariant variant = HttpVariant::Https;
+    StorageVariant storage;
+    sim::Tick warmup = 15 * sim::kMillisecond;
+    sim::Tick window = 30 * sim::kMillisecond;
+    size_t serverSndBuf = 1 << 20;
+    size_t clientRcvBuf = 1 << 20;
+    net::Link::Config link;
+};
+
+struct NginxResult
+{
+    double gbps = 0;          ///< response body goodput
+    double busyCores = 0;     ///< average busy server cores
+    double requestsPerSec = 0;
+    double latencyUs = 0;     ///< mean request latency
+    double ctxMissPerPkt = 0; ///< server NIC context misses / packet
+    uint64_t corruptions = 0;
+    uint64_t errors = 0;
+};
+
+/** Runs one nginx data point (the Figure 12-14 engine). */
+NginxResult runNginx(const NginxParams &p);
+
+} // namespace anic::bench
+
+#endif // ANIC_BENCH_BENCH_COMMON_HH

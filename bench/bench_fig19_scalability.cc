@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 19: scalability with connection count far beyond the NIC's
+ * flow-context cache (4 MiB / 208 B ~ 20K flows): nginx in C2 with 8
+ * server cores, 256 KiB files, 128..128K persistent connections,
+ * https / offload / offload+zc / http. Paper: no performance cliff —
+ * packet batching means only the first packet of a batch pays the
+ * context-fetch cost; offload+zc stays within 10% of http and
+ * 53-94% over https.
+ *
+ * Note: to keep 128K simulated connections within laptop memory the
+ * per-connection socket buffers are smaller than the defaults (the
+ * paper's server has 128 GB of RAM).
+ */
+
+#include "bench_common.hh"
+
+using namespace anic;
+using namespace anic::bench;
+
+int
+main()
+{
+    printHeader("Figure 19: connection scalability vs NIC context cache "
+                "(20K flows)");
+    const HttpVariant variants[] = {HttpVariant::Https, HttpVariant::Offload,
+                                    HttpVariant::OffloadZc,
+                                    HttpVariant::Http};
+    std::printf("%-8s", "conns");
+    for (HttpVariant v : variants)
+        std::printf(" %11s", variantName(v));
+    std::printf(" %9s %10s %12s\n", "zc/https", "busy(zc)", "ctx miss/pkt");
+
+    bool quick = quickMode();
+    std::vector<int> counts = quick
+                                  ? std::vector<int>{128, 2048, 16384}
+                                  : std::vector<int>{128, 512, 2048, 8192,
+                                                     32768, 131072};
+    for (int conns : counts) {
+        double gbps[4] = {0, 0, 0, 0};
+        double busy_zc = 0;
+        double miss_rate = 0;
+        for (int i = 0; i < 4; i++) {
+            NginxParams p;
+            p.serverCores = 8;
+            p.generatorCores = 16;
+            p.connections = conns;
+            p.fileSize = 256 << 10;
+            p.fileCount = 32;
+            p.c1 = false;
+            p.variant = variants[i];
+            // Small per-connection buffers so 128K connections fit in
+            // memory; aggregate throughput is unaffected.
+            p.serverSndBuf = 64 << 10;
+            p.clientRcvBuf = 64 << 10;
+            p.warmup = 15 * sim::kMillisecond;
+            p.window = 20 * sim::kMillisecond;
+            NginxResult r = runNginx(p);
+            gbps[i] = r.gbps;
+            if (variants[i] == HttpVariant::OffloadZc) {
+                busy_zc = r.busyCores;
+                miss_rate = r.ctxMissPerPkt;
+            }
+        }
+        std::printf("%-8d", conns);
+        for (double g : gbps)
+            std::printf(" %11.2f", g);
+        std::printf(" %8.0f%% %10.2f %12.4f\n",
+                    100.0 * (gbps[2] / gbps[0] - 1.0), busy_zc, miss_rate);
+        std::fflush(stdout); // rows are expensive; don't lose them
+    }
+    std::printf("\npaper: offload+zc within 10%% of http at every count; "
+                "53-94%% over https; no cliff past 20K flows\n");
+    return 0;
+}

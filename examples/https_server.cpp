@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example: an nginx-style https file server under a wrk-style load,
+ * comparing the TLS offload variants side by side (the paper's
+ * headline use case, §6.3).
+ *
+ *   $ ./https_server [connections] [file_kib]
+ *
+ * Serves 64 files from the page cache over 100 Gbps to the given
+ * number of keep-alive connections, once per variant, and prints the
+ * goodput and server CPU for each.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "app/http.hh"
+#include "app/macro_world.hh"
+
+using namespace anic;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    bool tls;
+    bool offload;
+    bool zc;
+};
+
+void
+run(const Variant &v, int connections, uint64_t fileKib)
+{
+    app::MacroWorld::Config cfg;
+    cfg.serverCores = 4;
+    cfg.generatorCores = 12;
+    cfg.remoteStorage = false;
+    app::MacroWorld w(cfg);
+    std::vector<uint32_t> ids = w.makeFiles(64, fileKib << 10);
+    w.storage->prewarm();
+
+    app::HttpServerConfig scfg;
+    scfg.tlsEnabled = v.tls;
+    scfg.tlsCfg.txOffload = v.offload;
+    scfg.tlsCfg.rxOffload = v.offload;
+    scfg.tlsCfg.zerocopySendfile = v.zc;
+    app::HttpServer server(w.server, 443, *w.storage, scfg);
+
+    app::HttpClientConfig ccfg;
+    ccfg.connections = connections;
+    ccfg.fileIds = ids;
+    ccfg.tlsEnabled = v.tls;
+    ccfg.verifyContent = false;
+    app::HttpClient client(w.generator, app::MacroWorld::kGenIp,
+                           app::MacroWorld::kSrvIp, 443, w.files, ccfg);
+    client.start();
+
+    w.sim.runFor(15 * sim::kMillisecond);
+    std::vector<sim::Tick> busy = w.server.busySnapshot();
+    client.measureStart();
+    sim::Tick window = 25 * sim::kMillisecond;
+    w.sim.runFor(window);
+    client.measureStop();
+
+    std::printf("%-12s %10.2f Gbps %10.0f req/s %8.2f busy cores\n", v.name,
+                client.bodyMeter().gbps(),
+                static_cast<double>(client.windowResponses()) /
+                    sim::ticksToSeconds(window),
+                w.server.busyCores(busy, window));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int connections = argc > 1 ? std::atoi(argv[1]) : 256;
+    uint64_t file_kib = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+
+    std::printf("https file server: %d connections, %llu KiB files, "
+                "4 server cores, 100 Gbps\n\n",
+                connections, (unsigned long long)file_kib);
+    for (Variant v : {Variant{"http", false, false, false},
+                      Variant{"https", true, false, false},
+                      Variant{"offload", true, true, false},
+                      Variant{"offload+zc", true, true, true}}) {
+        run(v, connections, file_kib);
+    }
+    return 0;
+}

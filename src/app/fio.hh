@@ -1,0 +1,103 @@
+/**
+ * @file
+ * fio-like workload generator: keeps a fixed number of random-read
+ * (or write) requests in flight against an NVMe-TCP queue. Drives the
+ * Figure 2 / Figure 10 microbenchmarks (cycles per request vs I/O
+ * depth and request size).
+ */
+
+#ifndef ANIC_APP_FIO_HH
+#define ANIC_APP_FIO_HH
+
+#include "nvmetcp/host_queue.hh"
+#include "sim/stats.hh"
+#include "util/rand.hh"
+
+namespace anic::app {
+
+struct FioConfig
+{
+    uint32_t blockSize = 262144;
+    int ioDepth = 1;
+    uint64_t areaBytes = 64ull << 30; ///< random-address span
+    uint64_t seed = 0xf10;
+    bool writes = false;
+    bool verify = false;
+};
+
+class FioJob
+{
+  public:
+    FioJob(sim::Simulator &sim, nvmetcp::NvmeHostQueue &queue, FioConfig cfg)
+        : sim_(sim), queue_(queue), cfg_(cfg), rng_(cfg.seed)
+    {
+    }
+
+    void
+    start()
+    {
+        for (int i = 0; i < cfg_.ioDepth; i++)
+            issue();
+    }
+
+    void measureStart() { windowCompletions_ = 0; windowStart_ = sim_.now(); }
+
+    uint64_t completions() const { return completions_; }
+    uint64_t windowCompletions() const { return windowCompletions_; }
+    uint64_t failures() const { return failures_; }
+    sim::Tick windowStart() const { return windowStart_; }
+    const sim::SampleStat &latencyUs() const { return latencyUs_; }
+
+  private:
+    void
+    issue()
+    {
+        uint64_t blocks = cfg_.areaBytes / cfg_.blockSize;
+        uint64_t slba = rng_.below(blocks) * cfg_.blockSize;
+        sim::Tick begin = sim_.now();
+        if (cfg_.writes) {
+            queue_.write(slba, cfg_.blockSize, cfg_.seed ^ slba,
+                         [this, begin](bool ok) { complete(ok, begin); });
+        } else {
+            queue_.read(slba, cfg_.blockSize,
+                        [this, begin, slba](bool ok,
+                                            host::BlockBufferPtr buf) {
+                            if (ok && cfg_.verify &&
+                                !checkDeterministic(buf->data, driveSeed_,
+                                                    slba)) {
+                                ok = false;
+                            }
+                            complete(ok, begin);
+                        });
+        }
+    }
+
+    void
+    complete(bool ok, sim::Tick begin)
+    {
+        if (!ok)
+            failures_++;
+        completions_++;
+        windowCompletions_++;
+        latencyUs_.add(sim::ticksToSeconds(sim_.now() - begin) * 1e6);
+        issue();
+    }
+
+    sim::Simulator &sim_;
+    nvmetcp::NvmeHostQueue &queue_;
+    FioConfig cfg_;
+    Rng rng_;
+    uint64_t completions_ = 0;
+    uint64_t windowCompletions_ = 0;
+    uint64_t failures_ = 0;
+    sim::Tick windowStart_ = 0;
+    sim::SampleStat latencyUs_;
+
+  public:
+    /** Drive content seed for verification (set by the harness). */
+    uint64_t driveSeed_ = 0xd15c;
+};
+
+} // namespace anic::app
+
+#endif // ANIC_APP_FIO_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * HTTP substrate: an nginx-like static-file server and a wrk-like
+ * keep-alive client, over plain TCP or TLS (software or offloaded) —
+ * the macrobenchmark pair behind Figures 12-14 and 19.
+ *
+ * The protocol is minimal HTTP/1.1: "GET /<fileId> HTTP/1.1" and a
+ * "200 OK" response with Content-Length; bodies are served with
+ * sendfile semantics from the page cache / remote NVMe-TCP device.
+ */
+
+#ifndef ANIC_APP_HTTP_HH
+#define ANIC_APP_HTTP_HH
+
+#include "app/storage_service.hh"
+#include "sim/stats.hh"
+#include "util/rand.hh"
+
+namespace anic::app {
+
+struct HttpServerConfig
+{
+    bool tlsEnabled = false;
+    tls::TlsConfig tlsCfg;
+    uint64_t tlsSecret = 0x5ec;
+};
+
+struct HttpServerStats
+{
+    uint64_t requests = 0;
+    uint64_t bytesSent = 0;
+    uint64_t errors = 0;
+};
+
+class HttpServer
+{
+  public:
+    HttpServer(core::Node &node, uint16_t port, StorageService &storage,
+               HttpServerConfig cfg);
+
+    const HttpServerStats &stats() const { return stats_; }
+
+  private:
+    struct Conn
+    {
+        HttpServer *srv = nullptr;
+        tcp::TcpConnection *raw = nullptr;
+        std::unique_ptr<tls::TlsSocket> tlsSock;
+        tcp::StreamSocket *sock = nullptr;
+
+        std::string reqBuf;
+        Bytes hdr;
+        size_t hdrSent = 0;
+        const host::File *file = nullptr;
+        uint64_t bodySent = 0;
+        bool responding = false;
+
+        void onReadable();
+        void maybeStartRequest();
+        void pump();
+    };
+
+    void accept(tcp::TcpConnection &c);
+
+    core::Node &node_;
+    StorageService &storage_;
+    HttpServerConfig cfg_;
+    HttpServerStats stats_;
+    std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+struct HttpClientConfig
+{
+    int connections = 16;
+    bool tlsEnabled = false;
+    tls::TlsConfig tlsCfg; ///< client side (usually software crypto)
+    uint64_t tlsSecret = 0x5ec;
+    std::vector<uint32_t> fileIds; ///< request targets (uniform random)
+    uint64_t seed = 99;
+    bool verifyContent = true;
+    int requestsPerConn = -1; ///< -1 = unlimited (run by time window)
+    /** Connection-establishment ramp: opening tens of thousands of
+     *  connections in one instant overflows SYN queues everywhere
+     *  (real load generators ramp too). */
+    sim::Tick staggerPerConn = 500 * sim::kNanosecond;
+};
+
+struct HttpClientStats
+{
+    uint64_t responses = 0;
+    uint64_t bodyBytes = 0;
+    uint64_t corruptions = 0;
+    sim::SampleStat latencyUs; ///< per-request latency (measured window)
+};
+
+class HttpClient
+{
+  public:
+    HttpClient(core::Node &node, net::IpAddr localIp, net::IpAddr serverIp,
+               uint16_t port, const host::FileStore &files,
+               HttpClientConfig cfg);
+
+    /** Opens the connections and starts the request loops. */
+    void start();
+
+    /** Measurement window control (excludes warm-up). */
+    void measureStart();
+    void measureStop();
+
+    const HttpClientStats &stats() const { return stats_; }
+    const sim::IntervalMeter &bodyMeter() const { return meter_; }
+    uint64_t windowResponses() const { return windowResponses_; }
+    int connected() const { return connected_; }
+
+  private:
+    struct Conn;
+    void openConnection(Conn &conn);
+
+    struct Conn
+    {
+        HttpClient *cli = nullptr;
+        tcp::TcpConnection *raw = nullptr;
+        std::unique_ptr<tls::TlsSocket> tlsSock;
+        tcp::StreamSocket *sock = nullptr;
+
+        std::string hdrBuf;
+        bool awaitingHeader = true;
+        uint64_t bodyRemaining = 0;
+        uint64_t bodyOffset = 0;
+        const host::File *file = nullptr;
+        sim::Tick requestStart = 0;
+        int requestsLeft = -1;
+
+        void sendRequest();
+        void onReadable();
+    };
+
+    core::Node &node_;
+    net::IpAddr localIp_;
+    net::IpAddr serverIp_;
+    uint16_t port_;
+    const host::FileStore &files_;
+    HttpClientConfig cfg_;
+    Rng rng_;
+    std::vector<std::unique_ptr<Conn>> conns_;
+    int connected_ = 0;
+
+    HttpClientStats stats_;
+    sim::IntervalMeter meter_;
+    bool measuring_ = false;
+    uint64_t windowResponses_ = 0;
+};
+
+} // namespace anic::app
+
+#endif // ANIC_APP_HTTP_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Full evaluation-testbed wiring (used by benches, examples, tests): a server
+ * (DUT) and a workload generator connected back-to-back; the NVMe
+ * drive lives on the generator and is exported to the server over
+ * NVMe-TCP across the same link (§6: "the server utilizes an Optane
+ * ... SSD that resides remotely, on the generator").
+ */
+
+#ifndef ANIC_APP_MACRO_WORLD_HH
+#define ANIC_APP_MACRO_WORLD_HH
+
+#include <memory>
+
+#include "app/http.hh"
+#include "app/kv.hh"
+#include "nvmetcp/target.hh"
+#include "util/panic.hh"
+
+namespace anic::app {
+
+struct MacroWorld
+{
+    static constexpr net::IpAddr kGenIp = net::makeIp(10, 0, 0, 1);
+    static constexpr net::IpAddr kSrvIp = net::makeIp(10, 0, 0, 2);
+    static constexpr uint16_t kNvmePort = 4420;
+
+    struct Config
+    {
+        int serverCores = 1;
+        int generatorCores = 8;
+        net::Link::Config link;
+        host::NvmeDrive::Config drive;
+        app::StorageService::Config storage;
+        bool remoteStorage = true; ///< C1: serve through NVMe-TCP
+        host::CycleModel model;
+        nic::Nic::Config nicCfg;
+        tcp::TcpConnection::Config serverTcp;
+        tcp::TcpConnection::Config generatorTcp;
+    };
+
+    explicit MacroWorld(Config cfg)
+        : link(sim, cfg.link),
+          generator(sim, genCfg(cfg)),
+          server(sim, srvCfg(cfg)),
+          drive(sim, cfg.drive),
+          files(cfg.drive.contentSeed)
+    {
+        generator.attachPort(link, 0, kGenIp);
+        server.attachPort(link, 1, kSrvIp);
+
+        storage = std::make_unique<app::StorageService>(server, files,
+                                                        cfg.storage);
+        if (cfg.remoteStorage) {
+            // NVMe-TCP target on the generator, one session per
+            // accepted queue connection.
+            nvmetcp::WireConfig wire = cfg.storage.wire;
+            uint64_t tlsSecret = cfg.storage.tlsSecret;
+            bool tlsTransport = cfg.storage.tlsTransport;
+            generator.stack().listen(
+                kNvmePort, generator.tcpConfig(),
+                [this, wire, tlsTransport, tlsSecret](tcp::TcpConnection &c) {
+                    if (tlsTransport) {
+                        targetTls.push_back(std::make_unique<tls::TlsSocket>(
+                            c, tls::SessionKeys::derive(tlsSecret, false),
+                            tls::TlsConfig{}));
+                        targets.push_back(
+                            std::make_unique<nvmetcp::NvmeTarget>(
+                                *targetTls.back(), drive, wire));
+                    } else {
+                        targets.push_back(
+                            std::make_unique<nvmetcp::NvmeTarget>(c, drive,
+                                                                  wire));
+                    }
+                });
+            storage->connectRemote(kSrvIp, kGenIp, kNvmePort);
+            sim.runUntil(sim.now() + 20 * sim::kMillisecond);
+            ANIC_ASSERT(storage->ready(), "NVMe queues failed to connect");
+        }
+    }
+
+    static core::Node::Config
+    genCfg(const Config &c)
+    {
+        core::Node::Config n;
+        n.cores = c.generatorCores;
+        n.model = c.model;
+        n.nicCfg = c.nicCfg;
+        n.tcpCfg = c.generatorTcp;
+        n.stackSeed = 101;
+        return n;
+    }
+
+    static core::Node::Config
+    srvCfg(const Config &c)
+    {
+        core::Node::Config n;
+        n.cores = c.serverCores;
+        n.model = c.model;
+        n.nicCfg = c.nicCfg;
+        n.tcpCfg = c.serverTcp;
+        n.stackSeed = 202;
+        return n;
+    }
+
+    /** Creates files of @p size bytes; returns their ids. */
+    std::vector<uint32_t>
+    makeFiles(int count, uint64_t size)
+    {
+        std::vector<uint32_t> ids;
+        for (int i = 0; i < count; i++)
+            ids.push_back(files.create(size).id);
+        return ids;
+    }
+
+    sim::Simulator sim;
+    net::Link link;
+    core::Node generator;
+    core::Node server;
+    host::NvmeDrive drive;
+    host::FileStore files;
+    std::unique_ptr<app::StorageService> storage;
+    std::vector<std::unique_ptr<nvmetcp::NvmeTarget>> targets;
+    std::vector<std::unique_ptr<tls::TlsSocket>> targetTls;
+};
+
+} // namespace anic::testing
+
+#endif // ANIC_APP_MACRO_WORLD_HH

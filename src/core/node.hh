@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Node: one simulated host — cores, TCP stack, and one offload-aware
+ * NIC per attached link port. This is the top-level wiring benches,
+ * examples and integration tests instantiate.
+ */
+
+#ifndef ANIC_CORE_NODE_HH
+#define ANIC_CORE_NODE_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/offload_device.hh"
+#include "host/storage.hh"
+
+namespace anic::core {
+
+class Node
+{
+  public:
+    struct Config
+    {
+        int cores = 1;
+        host::CycleModel model;
+        nic::Nic::Config nicCfg;
+        uint64_t stackSeed = 0x1234;
+        tcp::TcpConnection::Config tcpCfg;
+    };
+
+    Node(sim::Simulator &sim, Config cfg);
+
+    /** Creates a NIC + driver on @p linkPort of @p link, bound to @p ip. */
+    OffloadDevice &attachPort(net::Link &link, int linkPort, net::IpAddr ip);
+
+    sim::Simulator &sim() { return sim_; }
+    tcp::TcpStack &stack() { return *stack_; }
+    host::Core &core(int i) { return *cores_.at(i); }
+    int coreCount() const { return static_cast<int>(cores_.size()); }
+    const host::CycleModel &model() const { return cfg_.model; }
+    const tcp::TcpConnection::Config &tcpConfig() const { return cfg_.tcpCfg; }
+    OffloadDevice &device(int i = 0) { return *ports_.at(i).dev; }
+    nic::Nic &nicDev(int i = 0) { return *ports_.at(i).nic; }
+    size_t portCount() const { return ports_.size(); }
+
+    /** Snapshot of per-core busy ticks (for windowed utilization). */
+    std::vector<sim::Tick> busySnapshot() const;
+
+    /** Average number of busy cores over a window since @p snap. */
+    double busyCores(const std::vector<sim::Tick> &snap,
+                     sim::Tick window) const;
+
+    /** Total busy cycles across cores since @p snap. */
+    double busyCyclesSince(const std::vector<double> &snap) const;
+    std::vector<double> cycleSnapshot() const;
+
+  private:
+    struct Port
+    {
+        std::unique_ptr<nic::Nic> nic;
+        std::unique_ptr<OffloadDevice> dev;
+    };
+
+    sim::Simulator &sim_;
+    Config cfg_;
+    std::vector<std::unique_ptr<host::Core>> cores_;
+    std::unique_ptr<tcp::TcpStack> stack_;
+    std::vector<Port> ports_;
+};
+
+} // namespace anic::core
+
+#endif // ANIC_CORE_NODE_HH

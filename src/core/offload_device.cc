@@ -1,0 +1,203 @@
+#include "core/offload_device.hh"
+
+#include "util/panic.hh"
+
+namespace anic::core {
+
+/** Driver-side record of one l5o offload instance. */
+class OffloadDevice::OffloadImpl : public L5Offload
+{
+  public:
+    OffloadImpl(OffloadDevice &dev, uint64_t id) : dev_(dev), id_(id) {}
+
+    void
+    resyncRxResp(uint32_t tcpsn, bool ok, uint64_t msgIdx) override
+    {
+        if (rxCtx_ == 0 || pendingReqId_ == 0)
+            return;
+        // A response is only valid for the speculation that is still
+        // outstanding: the NIC may have abandoned the one this answer
+        // refers to and speculated anew (stale answers would confirm
+        // the wrong message index).
+        if (tcpsn != pendingSeq_)
+            return;
+        uint64_t req = pendingReqId_;
+        pendingReqId_ = 0;
+        dev_.nic_.rxResyncResponse(rxCtx_, req, ok, msgIdx);
+    }
+
+    void destroy() override { dev_.destroyOffload(id_); }
+
+    nic::L5Engine *
+    rxEngine() override
+    {
+        return rxCtx_ ? dev_.nic_.rxEngine(rxCtx_) : nullptr;
+    }
+
+    nic::L5Engine *
+    txEngine() override
+    {
+        return txCtx_ ? dev_.nic_.txEngine(txCtx_) : nullptr;
+    }
+
+    uint64_t txCtxId() const override { return txCtx_; }
+
+    const nic::FsmStats *
+    rxFsmStats() const override
+    {
+        return rxCtx_ ? dev_.nic_.rxFsmStats(rxCtx_) : nullptr;
+    }
+
+    OffloadDevice &dev_;
+    uint64_t id_;
+    uint64_t rxCtx_ = 0;
+    uint64_t txCtx_ = 0;
+    uint64_t pendingReqId_ = 0;
+    uint32_t pendingSeq_ = 0;
+    L5pCallbacks *callbacks_ = nullptr;
+    host::Core *core_ = nullptr;
+};
+
+OffloadDevice::OffloadDevice(sim::Simulator &sim, nic::Nic &nic,
+                             net::IpAddr ip)
+    : sim_(sim), nic_(nic), ip_(ip)
+{
+    nic_.setOnReceive(
+        [this](net::PacketPtr pkt) { onNicReceive(std::move(pkt)); });
+    nic_.setOnResyncRequest(
+        [this](uint64_t ctxId, uint64_t reqId, uint32_t seq) {
+            onNicResyncRequest(ctxId, reqId, seq);
+        });
+}
+
+OffloadDevice::~OffloadDevice() = default;
+
+void
+OffloadDevice::attachStack(tcp::TcpStack *stack)
+{
+    stack_ = stack;
+}
+
+bool
+OffloadDevice::transmit(net::PacketPtr pkt)
+{
+    if (host::Core *cur = host::Core::current())
+        cur->charge(cur->model().driverTxPerPacket);
+
+    if (pkt->txCtx != 0 && pkt->payloadSize() > 0) {
+        const net::TcpHeader th = pkt->tcp();
+        // The driver shadows the NIC context in software; the NIC's
+        // own state only advances when ring entries drain.
+        auto sit = txShadow_.find(pkt->txCtx);
+        ANIC_ASSERT(sit != txShadow_.end(), "unknown tx offload ctx");
+        uint32_t expected = sit->second;
+        if (th.seq != expected) {
+            // §4.2 context recovery: ask the L5P for the enclosing
+            // message's state, hand it to the NIC via a special
+            // descriptor, then post the packet as usual.
+            auto tit = byTxCtx_.find(pkt->txCtx);
+            auto it = tit == byTxCtx_.end() ? offloads_.end()
+                                            : offloads_.find(tit->second);
+            if (it == offloads_.end()) {
+                txRecoveryFailures_++;
+            } else {
+                OffloadImpl &off = *it->second;
+                std::optional<L5pCallbacks::TxMsgState> st =
+                    off.callbacks_->getTxMsgState(th.seq);
+                ANIC_ASSERT(st.has_value(),
+                            "L5P lost tx message state for unacked seq %u",
+                            th.seq);
+                if (host::Core *cur = host::Core::current())
+                    cur->charge(cur->model().resyncUpcallCost);
+                nic_.postTxResync(pkt->txCtx, th.seq, st->msgIdx,
+                                  st->rebuild);
+            }
+        }
+        sit->second = th.seq + static_cast<uint32_t>(pkt->payloadSize());
+    }
+    return nic_.transmit(std::move(pkt));
+}
+
+void
+OffloadDevice::setOnTxSpace(std::function<void()> cb)
+{
+    nic_.setOnTxSpace(std::move(cb));
+}
+
+void
+OffloadDevice::onNicReceive(net::PacketPtr pkt)
+{
+    if (stack_ == nullptr)
+        return;
+    host::Core &core = stack_->steer(pkt->flow().reversed());
+    core.post([this, pkt = std::move(pkt), &core] {
+        core.charge(core.model().driverRxPerPacket);
+        stack_->input(pkt);
+    });
+}
+
+void
+OffloadDevice::onNicResyncRequest(uint64_t ctxId, uint64_t reqId,
+                                  uint32_t tcpSeq)
+{
+    auto it = byRxCtx_.find(ctxId);
+    if (it == byRxCtx_.end())
+        return;
+    OffloadImpl *off = it->second;
+    off->pendingReqId_ = reqId;
+    off->pendingSeq_ = tcpSeq;
+    host::Core *core = off->core_;
+    ANIC_ASSERT(core != nullptr);
+    core->post([off, tcpSeq, core] {
+        core->charge(core->model().resyncUpcallCost);
+        off->callbacks_->resyncRxReq(tcpSeq);
+    });
+}
+
+L5Offload *
+OffloadDevice::l5oCreate(L5oParams params)
+{
+    ANIC_ASSERT(params.callbacks != nullptr && params.core != nullptr);
+    uint64_t id = nextOffloadId_++;
+    auto off = std::make_unique<OffloadImpl>(*this, id);
+    off->callbacks_ = params.callbacks;
+    off->core_ = params.core;
+
+    if (params.rxEngine) {
+        off->rxCtx_ = nic_.createRxContext(params.rxFlow,
+                                           std::move(params.rxEngine),
+                                           params.rxTcpsn, params.rxMsgIdx);
+        byRxCtx_[off->rxCtx_] = off.get();
+    }
+    if (params.txEngine) {
+        off->txCtx_ = nic_.createTxContext(std::move(params.txEngine),
+                                           params.txTcpsn, params.txMsgIdx);
+        byTxCtx_[off->txCtx_] = id;
+        txShadow_[off->txCtx_] = params.txTcpsn;
+    }
+
+    L5Offload *handle = off.get();
+    offloads_.emplace(id, std::move(off));
+    return handle;
+}
+
+void
+OffloadDevice::destroyOffload(uint64_t id)
+{
+    auto it = offloads_.find(id);
+    if (it == offloads_.end())
+        return;
+    OffloadImpl &off = *it->second;
+    if (off.rxCtx_ != 0) {
+        nic_.destroyRxContext(off.rxCtx_);
+        byRxCtx_.erase(off.rxCtx_);
+    }
+    if (off.txCtx_ != 0) {
+        nic_.destroyTxContext(off.txCtx_);
+        byTxCtx_.erase(off.txCtx_);
+        txShadow_.erase(off.txCtx_);
+    }
+    offloads_.erase(it);
+}
+
+} // namespace anic::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The offload-aware NIC driver: implements the TCP stack's NetDevice
+ * on top of the NIC model and carries the autonomous-offload driver
+ * logic from §4.2/§4.3 — shadow context sequence checks, transmit
+ * context recovery via l5o_get_tx_msgstate, receive delivery with
+ * offload metadata, and routing of resync requests/responses.
+ */
+
+#ifndef ANIC_CORE_OFFLOAD_DEVICE_HH
+#define ANIC_CORE_OFFLOAD_DEVICE_HH
+
+#include <unordered_map>
+
+#include "core/l5o.hh"
+#include "nic/nic.hh"
+#include "tcp/net_device.hh"
+#include "tcp/tcp_stack.hh"
+
+namespace anic::core {
+
+/** Parameters for l5o_create. */
+struct L5oParams
+{
+    /** Flow key of *arriving* packets (src = remote peer); required
+     *  when rxEngine is set. */
+    net::FlowKey rxFlow;
+
+    /** Engines (either may be null for one-directional offloads). */
+    std::unique_ptr<nic::L5Engine> rxEngine;
+    std::unique_ptr<nic::L5Engine> txEngine;
+
+    uint32_t rxTcpsn = 0; ///< seq of the next incoming message start
+    uint64_t rxMsgIdx = 0;
+    uint32_t txTcpsn = 0; ///< seq of the next outgoing message start
+    uint64_t txMsgIdx = 0;
+
+    /** L5P upcall sink (must outlive the offload). */
+    L5pCallbacks *callbacks = nullptr;
+
+    /** Core the L5P runs this connection on (for upcall posting). */
+    host::Core *core = nullptr;
+};
+
+/** One NIC port's driver instance. */
+class OffloadDevice : public tcp::NetDevice
+{
+  public:
+    OffloadDevice(sim::Simulator &sim, nic::Nic &nic, net::IpAddr ip);
+    ~OffloadDevice() override; // out-of-line: OffloadImpl is incomplete here
+
+    /** Binds the TCP stack receive path. */
+    void attachStack(tcp::TcpStack *stack);
+
+    // -------------------------------------------------- NetDevice
+    bool transmit(net::PacketPtr pkt) override;
+    void setOnTxSpace(std::function<void()> cb) override;
+    net::IpAddr ipAddr() const override { return ip_; }
+
+    // ------------------------------------------------------- l5o
+    /** l5o_create: installs NIC contexts and returns the handle. */
+    L5Offload *l5oCreate(L5oParams params);
+
+    nic::Nic &nic() { return nic_; }
+
+    /** Driver-level drop counter (tx resync impossible). */
+    uint64_t txRecoveryFailures() const { return txRecoveryFailures_; }
+
+  private:
+    class OffloadImpl;
+    friend class OffloadImpl;
+
+    void onNicReceive(net::PacketPtr pkt);
+    void onNicResyncRequest(uint64_t ctxId, uint64_t reqId, uint32_t tcpSeq);
+    void destroyOffload(uint64_t id);
+
+    sim::Simulator &sim_;
+    nic::Nic &nic_;
+    net::IpAddr ip_;
+    tcp::TcpStack *stack_ = nullptr;
+
+    // Offloads by tx ctx id (packet tags) and by rx ctx id (upcalls).
+    std::unordered_map<uint64_t, std::unique_ptr<OffloadImpl>> offloads_;
+    std::unordered_map<uint64_t, OffloadImpl *> byRxCtx_;
+    std::unordered_map<uint64_t, uint64_t> byTxCtx_; // tx ctx -> offload id
+    std::unordered_map<uint64_t, uint32_t> txShadow_; // tx ctx -> expected seq
+    uint64_t nextOffloadId_ = 1;
+    uint64_t txRecoveryFailures_ = 0;
+};
+
+} // namespace anic::core
+
+#endif // ANIC_CORE_OFFLOAD_DEVICE_HH

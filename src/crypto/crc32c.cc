@@ -1,0 +1,78 @@
+#include "crypto/crc32c.hh"
+
+#include <array>
+
+namespace anic::crypto {
+
+namespace {
+
+constexpr uint32_t kPolyReflected = 0x82f63b78u;
+
+struct Tables
+{
+    // Slicing-by-8: table[k][b] advances the CRC by 8 bytes at a time.
+    uint32_t t[8][256];
+
+    Tables()
+    {
+        for (uint32_t i = 0; i < 256; i++) {
+            uint32_t crc = i;
+            for (int bit = 0; bit < 8; bit++)
+                crc = (crc >> 1) ^ ((crc & 1) ? kPolyReflected : 0);
+            t[0][i] = crc;
+        }
+        for (uint32_t i = 0; i < 256; i++) {
+            uint32_t crc = t[0][i];
+            for (int k = 1; k < 8; k++) {
+                crc = t[0][crc & 0xff] ^ (crc >> 8);
+                t[k][i] = crc;
+            }
+        }
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables tbl;
+    return tbl;
+}
+
+} // namespace
+
+void
+Crc32c::update(ByteView data)
+{
+    const Tables &tbl = tables();
+    uint32_t crc = state_;
+    const uint8_t *p = data.data();
+    size_t n = data.size();
+
+    while (n >= 8) {
+        uint32_t lo;
+        uint32_t hi;
+        std::memcpy(&lo, p, 4);
+        std::memcpy(&hi, p + 4, 4);
+        lo ^= crc;
+        crc = tbl.t[7][lo & 0xff] ^ tbl.t[6][(lo >> 8) & 0xff] ^
+              tbl.t[5][(lo >> 16) & 0xff] ^ tbl.t[4][lo >> 24] ^
+              tbl.t[3][hi & 0xff] ^ tbl.t[2][(hi >> 8) & 0xff] ^
+              tbl.t[1][(hi >> 16) & 0xff] ^ tbl.t[0][hi >> 24];
+        p += 8;
+        n -= 8;
+    }
+    while (n--) {
+        crc = tbl.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
+    }
+    state_ = crc;
+}
+
+uint32_t
+Crc32c::compute(ByteView data)
+{
+    Crc32c c;
+    c.update(data);
+    return c.value();
+}
+
+} // namespace anic::crypto

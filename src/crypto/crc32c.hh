@@ -1,0 +1,44 @@
+/**
+ * @file
+ * CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) as
+ * used by NVMe-TCP header/data digests (RFC 3385 iSCSI polynomial).
+ */
+
+#ifndef ANIC_CRYPTO_CRC32C_HH
+#define ANIC_CRYPTO_CRC32C_HH
+
+#include <cstdint>
+
+#include "util/bytes.hh"
+
+namespace anic::crypto {
+
+/**
+ * Incremental CRC32C. The running value is kept in "raw" form (without
+ * the final bit-inversion) so computation can be split across packets,
+ * exactly like the NIC does when a capsule spans TCP segments.
+ */
+class Crc32c
+{
+  public:
+    Crc32c() = default;
+
+    /** Feeds more bytes into the running CRC. */
+    void update(ByteView data);
+
+    /** Finalized CRC value (applies the output inversion). */
+    uint32_t value() const { return ~state_; }
+
+    /** Resets to the initial state. */
+    void reset() { state_ = 0xffffffffu; }
+
+    /** One-shot convenience. */
+    static uint32_t compute(ByteView data);
+
+  private:
+    uint32_t state_ = 0xffffffffu;
+};
+
+} // namespace anic::crypto
+
+#endif // ANIC_CRYPTO_CRC32C_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * AES-128-GCM (NIST SP 800-38D) with a streaming interface.
+ *
+ * Streaming matters here: both kTLS software fallback and the NIC
+ * offload engine process a TLS record packet-by-packet, updating the
+ * GCM state incrementally and only producing/validating the tag when
+ * the final record bytes arrive.
+ */
+
+#ifndef ANIC_CRYPTO_GCM_HH
+#define ANIC_CRYPTO_GCM_HH
+
+#include <cstdint>
+
+#include "crypto/aes.hh"
+#include "util/bytes.hh"
+
+namespace anic::crypto {
+
+/**
+ * GHASH over GF(2^128) with 4-bit tables (mbedTLS-style). Exposed
+ * separately so tests can cross-check the table implementation against
+ * the bitwise reference.
+ */
+class Ghash
+{
+  public:
+    Ghash() = default;
+
+    /** Initializes the tables from the hash subkey H (16 bytes). */
+    void setH(const uint8_t h[16]);
+
+    /** Absorbs exactly one 16-byte block. */
+    void absorbBlock(const uint8_t block[16]);
+
+    /** Absorbs data, zero-padding the final partial block. */
+    void absorbPadded(ByteView data);
+
+    /** Current GHASH accumulator (16 bytes). */
+    void digest(uint8_t out[16]) const { std::memcpy(out, y_, 16); }
+
+    void reset() { std::memset(y_, 0, 16); }
+
+    /** Bitwise reference multiply: out = x * y in GF(2^128). */
+    static void gf128MulBitwise(const uint8_t x[16], const uint8_t y[16],
+                                uint8_t out[16]);
+
+  private:
+    void mulH(uint8_t x[16]) const;
+
+    uint64_t hl_[16] = {0};
+    uint64_t hh_[16] = {0};
+    uint8_t y_[16] = {0};
+};
+
+/**
+ * Streaming AES-128-GCM encrypt/decrypt context for 96-bit IVs.
+ *
+ * Usage: setKey() once per key; then per message start() -> any number
+ * of update() calls -> finishTag()/checkTag(). A context can also be
+ * "fast-forwarded" only in the sense the paper requires: processing
+ * always starts at a message boundary, never mid-message.
+ */
+class AesGcm
+{
+  public:
+    static constexpr size_t kTagSize = 16;
+    static constexpr size_t kIvSize = 12;
+
+    AesGcm() = default;
+    explicit AesGcm(ByteView key) { setKey(key); }
+
+    void setKey(ByteView key);
+
+    /** Starts a message with a 96-bit IV and associated data. */
+    void start(ByteView iv, ByteView aad);
+
+    /** Encrypts @p in into @p out (sizes equal); any chunking. */
+    void encryptUpdate(ByteView in, ByteSpan out);
+
+    /** Decrypts @p in into @p out (sizes equal); any chunking. */
+    void decryptUpdate(ByteView in, ByteSpan out);
+
+    /** Finalizes and writes the 16-byte tag. */
+    void finishTag(ByteSpan tag);
+
+    /** Finalizes and constant-time-compares against @p tag. */
+    bool checkTag(ByteView tag);
+
+    /**
+     * One-shot helpers (allocate the output buffer).
+     * sealed = ciphertext || tag; open() returns false on tag failure.
+     */
+    Bytes seal(ByteView iv, ByteView aad, ByteView plaintext);
+    bool open(ByteView iv, ByteView aad, ByteView sealed, Bytes &plaintext);
+
+  private:
+    void ctrBlock(uint8_t out[16]);
+    void cryptUpdate(ByteView in, ByteSpan out, bool encrypt);
+
+    Aes128 aes_;
+    Ghash ghash_;
+    uint8_t j0_[16];       // pre-counter block (for the tag)
+    uint8_t ctr_[16];      // running counter block
+    uint8_t ks_[16];       // current keystream block
+    size_t ksUsed_ = 16;   // consumed bytes of ks_
+    uint8_t ghashCarry_[16]; // partial ciphertext block awaiting ghash
+    size_t carryLen_ = 0;
+    uint64_t aadLen_ = 0;
+    uint64_t dataLen_ = 0;
+    bool keySet_ = false;
+};
+
+/**
+ * Raw AES-CTR transform using GCM's keystream layout (96-bit IV,
+ * counter block starts at 2) beginning at an arbitrary byte offset of
+ * the message. Used by software fallback to re-encrypt NIC-decrypted
+ * packet ranges so a partially-offloaded record can be authenticated
+ * (paper §5.2 "Partial offload"), and by placement-style engines that
+ * resume mid-message.
+ */
+void aesGcmCtrAtOffset(const Aes128 &aes, ByteView iv, uint64_t byteOff,
+                       ByteSpan data);
+
+} // namespace anic::crypto
+
+#endif // ANIC_CRYPTO_GCM_HH

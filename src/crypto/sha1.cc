@@ -1,0 +1,163 @@
+#include "crypto/sha1.hh"
+
+#include "util/panic.hh"
+
+namespace anic::crypto {
+
+namespace {
+
+inline uint32_t
+rotl32(uint32_t x, int n)
+{
+    return (x << n) | (x >> (32 - n));
+}
+
+} // namespace
+
+void
+Sha1::reset()
+{
+    h_[0] = 0x67452301u;
+    h_[1] = 0xefcdab89u;
+    h_[2] = 0x98badcfeu;
+    h_[3] = 0x10325476u;
+    h_[4] = 0xc3d2e1f0u;
+    totalLen_ = 0;
+    bufLen_ = 0;
+}
+
+void
+Sha1::processBlock(const uint8_t *block)
+{
+    uint32_t w[80];
+    for (int i = 0; i < 16; i++)
+        w[i] = getBe32(block + 4 * i);
+    for (int i = 16; i < 80; i++)
+        w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    uint32_t a = h_[0];
+    uint32_t b = h_[1];
+    uint32_t c = h_[2];
+    uint32_t d = h_[3];
+    uint32_t e = h_[4];
+
+    for (int i = 0; i < 80; i++) {
+        uint32_t f;
+        uint32_t k;
+        if (i < 20) {
+            f = (b & c) | ((~b) & d);
+            k = 0x5a827999u;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ed9eba1u;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8f1bbcdcu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xca62c1d6u;
+        }
+        uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = rotl32(b, 30);
+        b = a;
+        a = tmp;
+    }
+
+    h_[0] += a;
+    h_[1] += b;
+    h_[2] += c;
+    h_[3] += d;
+    h_[4] += e;
+}
+
+void
+Sha1::update(ByteView data)
+{
+    totalLen_ += data.size();
+    size_t off = 0;
+    if (bufLen_ > 0) {
+        size_t take = std::min(kBlockSize - bufLen_, data.size());
+        std::memcpy(buf_ + bufLen_, data.data(), take);
+        bufLen_ += take;
+        off += take;
+        if (bufLen_ == kBlockSize) {
+            processBlock(buf_);
+            bufLen_ = 0;
+        }
+    }
+    while (off + kBlockSize <= data.size()) {
+        processBlock(data.data() + off);
+        off += kBlockSize;
+    }
+    if (off < data.size()) {
+        std::memcpy(buf_, data.data() + off, data.size() - off);
+        bufLen_ = data.size() - off;
+    }
+}
+
+void
+Sha1::final(ByteSpan out)
+{
+    ANIC_ASSERT(out.size() >= kDigestSize);
+    uint64_t bit_len = totalLen_ * 8;
+
+    uint8_t pad[kBlockSize * 2] = {0x80};
+    size_t pad_len = (bufLen_ < 56) ? (56 - bufLen_) : (120 - bufLen_);
+    update(ByteView(pad, pad_len));
+    uint8_t len_be[8];
+    putBe64(len_be, bit_len);
+    // update() counted the padding in totalLen_, which is fine: the
+    // length word was captured before padding.
+    update(ByteView(len_be, 8));
+    ANIC_ASSERT(bufLen_ == 0);
+
+    for (int i = 0; i < 5; i++)
+        putBe32(out.data() + 4 * i, h_[i]);
+    reset();
+}
+
+std::array<uint8_t, Sha1::kDigestSize>
+Sha1::compute(ByteView data)
+{
+    Sha1 s;
+    s.update(data);
+    std::array<uint8_t, kDigestSize> out;
+    s.final(out);
+    return out;
+}
+
+std::array<uint8_t, Sha1::kDigestSize>
+hmacSha1(ByteView key, ByteView msg)
+{
+    uint8_t k[Sha1::kBlockSize] = {0};
+    if (key.size() > Sha1::kBlockSize) {
+        auto kh = Sha1::compute(key);
+        std::memcpy(k, kh.data(), kh.size());
+    } else {
+        std::memcpy(k, key.data(), key.size());
+    }
+
+    uint8_t ipad[Sha1::kBlockSize];
+    uint8_t opad[Sha1::kBlockSize];
+    for (size_t i = 0; i < Sha1::kBlockSize; i++) {
+        ipad[i] = k[i] ^ 0x36;
+        opad[i] = k[i] ^ 0x5c;
+    }
+
+    Sha1 inner;
+    inner.update(ByteView(ipad, sizeof(ipad)));
+    inner.update(msg);
+    std::array<uint8_t, Sha1::kDigestSize> inner_digest;
+    inner.final(inner_digest);
+
+    Sha1 outer;
+    outer.update(ByteView(opad, sizeof(opad)));
+    outer.update(inner_digest);
+    std::array<uint8_t, Sha1::kDigestSize> out;
+    outer.final(out);
+    return out;
+}
+
+} // namespace anic::crypto

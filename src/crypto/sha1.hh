@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SHA-1 (RFC 3174) and HMAC-SHA1 (RFC 2104). Used by the Table 1
+ * reproduction (AES-128-CBC-HMAC-SHA1 cipher suite) and available to
+ * L5Ps that authenticate with HMAC.
+ */
+
+#ifndef ANIC_CRYPTO_SHA1_HH
+#define ANIC_CRYPTO_SHA1_HH
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hh"
+
+namespace anic::crypto {
+
+/** Incremental SHA-1. */
+class Sha1
+{
+  public:
+    static constexpr size_t kDigestSize = 20;
+    static constexpr size_t kBlockSize = 64;
+
+    Sha1() { reset(); }
+
+    void reset();
+    void update(ByteView data);
+
+    /** Finalizes into @p out (20 bytes); the object is then reusable. */
+    void final(ByteSpan out);
+
+    static std::array<uint8_t, kDigestSize> compute(ByteView data);
+
+  private:
+    void processBlock(const uint8_t *block);
+
+    uint32_t h_[5];
+    uint64_t totalLen_ = 0;
+    uint8_t buf_[kBlockSize];
+    size_t bufLen_ = 0;
+};
+
+/** One-shot HMAC-SHA1. */
+std::array<uint8_t, Sha1::kDigestSize> hmacSha1(ByteView key, ByteView msg);
+
+} // namespace anic::crypto
+
+#endif // ANIC_CRYPTO_SHA1_HH

@@ -1,0 +1,116 @@
+#include "host/storage.hh"
+
+#include "util/panic.hh"
+
+namespace anic::host {
+
+sim::Tick
+NvmeDrive::serviceTime(size_t len, double gbps) const
+{
+    // Bandwidth model: bytes / (GB/s) in picoseconds.
+    return static_cast<sim::Tick>(static_cast<double>(len) / gbps *
+                                  1e-9 * static_cast<double>(sim::kSecond));
+}
+
+void
+NvmeDrive::read(uint64_t offset, size_t len, std::function<void(Bytes)> done)
+{
+    bytesRead_ += len;
+    sim::Tick start = std::max(sim_.now(), channelFreeAt_);
+    sim::Tick finish = start + serviceTime(len, cfg_.readGBps);
+    channelFreeAt_ = finish;
+    uint64_t seed = cfg_.contentSeed;
+    sim_.scheduleAt(finish + cfg_.accessLatency,
+                    [offset, len, seed, done = std::move(done)] {
+                        Bytes data(len);
+                        fillDeterministic(data, seed, offset);
+                        done(std::move(data));
+                    });
+}
+
+void
+NvmeDrive::write(uint64_t offset, size_t len, std::function<void()> done)
+{
+    (void)offset;
+    bytesWritten_ += len;
+    sim::Tick start = std::max(sim_.now(), channelFreeAt_);
+    sim::Tick finish = start + serviceTime(len, cfg_.writeGBps);
+    channelFreeAt_ = finish;
+    sim_.scheduleAt(finish + cfg_.accessLatency,
+                    [done = std::move(done)] { done(); });
+}
+
+File
+FileStore::create(uint64_t size)
+{
+    File f;
+    f.id = static_cast<uint32_t>(files_.size());
+    f.size = size;
+    f.lba = nextLba_;
+    f.seed = driveSeed_; // contiguous extent: content == drive content
+    // Align extents to 4 KiB like a real filesystem would.
+    nextLba_ += (size + PageCache::kPageSize - 1) & ~(PageCache::kPageSize - 1);
+    files_.push_back(f);
+    return f;
+}
+
+const File &
+FileStore::get(uint32_t id) const
+{
+    ANIC_ASSERT(id < files_.size(), "bad file id %u", id);
+    return files_[id];
+}
+
+bool
+PageCache::contains(uint32_t fileId, uint64_t offset, uint64_t len) const
+{
+    if (len == 0)
+        return true;
+    uint64_t first = offset / kPageSize;
+    uint64_t last = (offset + len - 1) / kPageSize;
+    for (uint64_t p = first; p <= last; p++) {
+        if (map_.find(key(fileId, p)) == map_.end())
+            return false;
+    }
+    return true;
+}
+
+void
+PageCache::insert(uint32_t fileId, uint64_t offset, uint64_t len)
+{
+    if (len == 0 || capacityPages_ == 0)
+        return;
+    uint64_t first = offset / kPageSize;
+    uint64_t last = (offset + len - 1) / kPageSize;
+    for (uint64_t p = first; p <= last; p++) {
+        Key k = key(fileId, p);
+        auto it = map_.find(k);
+        if (it != map_.end()) {
+            lru_.splice(lru_.begin(), lru_, it->second);
+            continue;
+        }
+        while (map_.size() >= capacityPages_) {
+            Key victim = lru_.back();
+            lru_.pop_back();
+            map_.erase(victim);
+        }
+        lru_.push_front(k);
+        map_[k] = lru_.begin();
+    }
+}
+
+void
+PageCache::touch(uint32_t fileId, uint64_t offset, uint64_t len)
+{
+    if (len == 0)
+        return;
+    uint64_t first = offset / kPageSize;
+    uint64_t last = (offset + len - 1) / kPageSize;
+    for (uint64_t p = first; p <= last; p++) {
+        auto it = map_.find(key(fileId, p));
+        if (it != map_.end())
+            lru_.splice(lru_.begin(), lru_, it->second);
+    }
+}
+
+} // namespace anic::host

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Storage substrate: the NVMe drive model, block-layer buffers, the
+ * page cache, and a simple extent-based file store.
+ *
+ * The drive stands in for the paper's Optane DC P4800X (resides on
+ * the workload-generator machine and is exported over NVMe-TCP):
+ * fixed access latency plus a bandwidth cap of 2.67 GB/s for reads,
+ * which is the bound that the C1 experiments saturate.
+ */
+
+#ifndef ANIC_HOST_STORAGE_HH
+#define ANIC_HOST_STORAGE_HH
+
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/simulator.hh"
+#include "util/bytes.hh"
+
+namespace anic::host {
+
+/**
+ * Destination memory for block I/O. The NIC's NVMe-TCP copy offload
+ * DMA-writes directly into these buffers; the software path memcpys
+ * into them from packet payloads.
+ */
+struct BlockBuffer
+{
+    explicit BlockBuffer(size_t n) : data(n, 0) {}
+    Bytes data;
+};
+
+using BlockBufferPtr = std::shared_ptr<BlockBuffer>;
+
+/**
+ * NVMe SSD model. Content is synthetic: a read of byte range
+ * [off, off+len) returns fillDeterministic(contentSeed, off), so any
+ * consumer can verify payload integrity end-to-end without storing
+ * terabytes.
+ */
+class NvmeDrive
+{
+  public:
+    struct Config
+    {
+        double readGBps = 2.67;
+        double writeGBps = 2.2;
+        sim::Tick accessLatency = 10 * sim::kMicrosecond;
+        uint64_t contentSeed = 0xd15c;
+    };
+
+    NvmeDrive(sim::Simulator &sim, Config cfg) : sim_(sim), cfg_(cfg) {}
+
+    /** Reads @p len bytes at @p offset; completion carries the data. */
+    void read(uint64_t offset, size_t len, std::function<void(Bytes)> done);
+
+    /** Writes (content discarded; timing only). */
+    void write(uint64_t offset, size_t len, std::function<void()> done);
+
+    uint64_t bytesRead() const { return bytesRead_; }
+    uint64_t bytesWritten() const { return bytesWritten_; }
+    const Config &config() const { return cfg_; }
+
+  private:
+    sim::Tick serviceTime(size_t len, double gbps) const;
+
+    sim::Simulator &sim_;
+    Config cfg_;
+    sim::Tick channelFreeAt_ = 0;
+    uint64_t bytesRead_ = 0;
+    uint64_t bytesWritten_ = 0;
+};
+
+/** A file in the synthetic file store. */
+struct File
+{
+    uint32_t id = 0;
+    uint64_t size = 0;
+    uint64_t lba = 0;  ///< byte offset of the file's extent on the drive
+    uint64_t seed = 0; ///< content seed (drive seed ^ per-file salt)
+};
+
+/**
+ * Extent-based file store: maps file ids to contiguous drive ranges.
+ * Stands in for the ext4 filesystem in the nginx experiments; files
+ * are laid out contiguously and read-ahead is configured to the file
+ * size (as in the paper), so each request maps to whole-extent reads.
+ */
+class FileStore
+{
+  public:
+    explicit FileStore(uint64_t driveSeed) : driveSeed_(driveSeed) {}
+
+    /** Creates a file of @p size bytes; returns a copy of its
+     *  descriptor (the store may reallocate on later creates). */
+    File create(uint64_t size);
+
+    const File &get(uint32_t id) const;
+    size_t count() const { return files_.size(); }
+
+  private:
+    uint64_t driveSeed_;
+    uint64_t nextLba_ = 0;
+    std::vector<File> files_;
+};
+
+/**
+ * LRU page cache (4 KiB pages). Configured per experiment: C1 runs
+ * with a tiny capacity (every request misses and goes to the remote
+ * drive), C2 is pre-warmed with every file resident.
+ */
+class PageCache
+{
+  public:
+    static constexpr size_t kPageSize = 4096;
+
+    explicit PageCache(size_t capacityBytes)
+        : capacityPages_(capacityBytes / kPageSize)
+    {
+    }
+
+    /** True if the whole byte range of @p fileId is resident. */
+    bool contains(uint32_t fileId, uint64_t offset, uint64_t len) const;
+
+    /** Inserts the byte range, evicting LRU pages as needed. */
+    void insert(uint32_t fileId, uint64_t offset, uint64_t len);
+
+    /** Marks the range most-recently-used (a hit). */
+    void touch(uint32_t fileId, uint64_t offset, uint64_t len);
+
+    size_t residentPages() const { return map_.size(); }
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+    /** Records a lookup outcome (for hit-rate stats). */
+    void
+    recordLookup(bool hit)
+    {
+        if (hit)
+            hits_++;
+        else
+            misses_++;
+    }
+
+  private:
+    using Key = uint64_t; // fileId << 40 | pageIdx
+
+    static Key
+    key(uint32_t fileId, uint64_t pageIdx)
+    {
+        return (static_cast<uint64_t>(fileId) << 40) | pageIdx;
+    }
+
+    size_t capacityPages_;
+    std::list<Key> lru_; // front = most recent
+    std::unordered_map<Key, std::list<Key>::iterator> map_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace anic::host
+
+#endif // ANIC_HOST_STORAGE_HH

@@ -1,0 +1,82 @@
+#include "net/headers.hh"
+
+#include "util/panic.hh"
+
+namespace anic::net {
+
+std::string
+ipToString(IpAddr ip)
+{
+    return strprintf("%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                     (ip >> 8) & 0xff, ip & 0xff);
+}
+
+void
+Ipv4Header::encode(uint8_t *out) const
+{
+    std::memset(out, 0, kSize);
+    out[0] = 0x45; // version 4, IHL 5
+    putBe16(out + 2, totalLen);
+    out[8] = ttl;
+    out[9] = protocol;
+    putBe32(out + 12, src);
+    putBe32(out + 16, dst);
+    // Header checksum over the 20 bytes with checksum field zero.
+    uint16_t csum = internetChecksum(ByteView(out, kSize));
+    putBe16(out + 10, csum);
+}
+
+Ipv4Header
+Ipv4Header::decode(const uint8_t *in)
+{
+    Ipv4Header h;
+    h.totalLen = getBe16(in + 2);
+    h.ttl = in[8];
+    h.protocol = in[9];
+    h.src = getBe32(in + 12);
+    h.dst = getBe32(in + 16);
+    return h;
+}
+
+void
+TcpHeader::encode(uint8_t *out) const
+{
+    std::memset(out, 0, kSize);
+    putBe16(out, srcPort);
+    putBe16(out + 2, dstPort);
+    putBe32(out + 4, seq);
+    putBe32(out + 8, ack);
+    out[12] = 5 << 4; // data offset: 5 words
+    out[13] = flags;
+    putBe16(out + 14, static_cast<uint16_t>(
+                          std::min<uint32_t>(window >> kWindowShift, 0xffff)));
+}
+
+TcpHeader
+TcpHeader::decode(const uint8_t *in)
+{
+    TcpHeader h;
+    h.srcPort = getBe16(in);
+    h.dstPort = getBe16(in + 2);
+    h.seq = getBe32(in + 4);
+    h.ack = getBe32(in + 8);
+    h.flags = in[13];
+    h.window = static_cast<uint32_t>(getBe16(in + 14)) << kWindowShift;
+    return h;
+}
+
+uint16_t
+internetChecksum(ByteView data)
+{
+    uint32_t sum = 0;
+    size_t i = 0;
+    for (; i + 1 < data.size(); i += 2)
+        sum += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+    if (i < data.size())
+        sum += static_cast<uint32_t>(data[i]) << 8;
+    while (sum >> 16)
+        sum = (sum & 0xffff) + (sum >> 16);
+    return static_cast<uint16_t>(~sum);
+}
+
+} // namespace anic::net

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Wire-format header codecs for the simulated network.
+ *
+ * Headers are encoded into real packet bytes because the NIC model
+ * parses them exactly like hardware does (flow lookup, sequence
+ * tracking, payload scanning). IPv4 and TCP use their standard 20-byte
+ * layouts without options; the one liberty taken is that the TCP
+ * window field carries an implicit scale factor (as if wscale had been
+ * negotiated), which is documented at kWindowShift.
+ */
+
+#ifndef ANIC_NET_HEADERS_HH
+#define ANIC_NET_HEADERS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bytes.hh"
+
+namespace anic::net {
+
+/** IPv4 address (host order in the API, big-endian on the wire). */
+using IpAddr = uint32_t;
+
+/** Makes an address from dotted-quad components. */
+constexpr IpAddr
+makeIp(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+{
+    return (static_cast<uint32_t>(a) << 24) | (static_cast<uint32_t>(b) << 16) |
+           (static_cast<uint32_t>(c) << 8) | d;
+}
+
+std::string ipToString(IpAddr ip);
+
+/** 20-byte IPv4 header, no options. */
+struct Ipv4Header
+{
+    static constexpr size_t kSize = 20;
+    static constexpr uint8_t kProtoTcp = 6;
+
+    IpAddr src = 0;
+    IpAddr dst = 0;
+    uint16_t totalLen = 0; // header + payload
+    uint8_t protocol = kProtoTcp;
+    uint8_t ttl = 64;
+
+    void encode(uint8_t *out) const;
+    static Ipv4Header decode(const uint8_t *in);
+};
+
+/** TCP flag bits (subset used by the simulator). */
+enum TcpFlags : uint8_t
+{
+    kTcpFin = 0x01,
+    kTcpSyn = 0x02,
+    kTcpRst = 0x04,
+    kTcpPsh = 0x08,
+    kTcpAck = 0x10,
+};
+
+/** 20-byte TCP header, no options. */
+struct TcpHeader
+{
+    static constexpr size_t kSize = 20;
+
+    /**
+     * Implicit window scale: the 16-bit window field is shifted left
+     * by this amount, as if RFC 7323 window scaling with shift 10 had
+     * been negotiated during the handshake. Gives a 64 MiB max window.
+     */
+    static constexpr int kWindowShift = 10;
+
+    uint16_t srcPort = 0;
+    uint16_t dstPort = 0;
+    uint32_t seq = 0;
+    uint32_t ack = 0;
+    uint8_t flags = 0;
+    uint32_t window = 0; // unscaled byte count; encoded >> kWindowShift
+
+    void encode(uint8_t *out) const;
+    static TcpHeader decode(const uint8_t *in);
+};
+
+/** Identifies one direction of a TCP flow. */
+struct FlowKey
+{
+    IpAddr srcIp = 0;
+    IpAddr dstIp = 0;
+    uint16_t srcPort = 0;
+    uint16_t dstPort = 0;
+
+    bool
+    operator==(const FlowKey &o) const
+    {
+        return srcIp == o.srcIp && dstIp == o.dstIp &&
+               srcPort == o.srcPort && dstPort == o.dstPort;
+    }
+
+    /** The same flow as seen from the other endpoint. */
+    FlowKey
+    reversed() const
+    {
+        return FlowKey{dstIp, srcIp, dstPort, srcPort};
+    }
+};
+
+struct FlowKeyHash
+{
+    size_t
+    operator()(const FlowKey &k) const
+    {
+        uint64_t x = (static_cast<uint64_t>(k.srcIp) << 32) | k.dstIp;
+        uint64_t y = (static_cast<uint64_t>(k.srcPort) << 16) | k.dstPort;
+        x ^= y + 0x9e3779b97f4a7c15ull + (x << 6) + (x >> 2);
+        x *= 0xff51afd7ed558ccdull;
+        x ^= x >> 33;
+        return static_cast<size_t>(x);
+    }
+};
+
+/** RFC 1071 internet checksum over @p data (for header validation). */
+uint16_t internetChecksum(ByteView data);
+
+} // namespace anic::net
+
+#endif // ANIC_NET_HEADERS_HH

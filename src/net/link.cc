@@ -1,0 +1,50 @@
+#include "net/link.hh"
+
+namespace anic::net {
+
+void
+Link::transmit(int fromPort, PacketPtr pkt)
+{
+    ANIC_ASSERT(fromPort == 0 || fromPort == 1);
+    int dir = fromPort;      // direction index == sending port
+    int to = 1 - fromPort;
+    const Impairments &imp = cfg_.dir[dir];
+    LinkStats &st = stats_[dir];
+    st.sent++;
+
+    if (imp.lossRate > 0 && rng_.chance(imp.lossRate)) {
+        st.dropped++;
+        return;
+    }
+
+    sim::Tick delay = cfg_.propDelay;
+    if (imp.reorderRate > 0 && rng_.chance(imp.reorderRate)) {
+        st.reordered++;
+        delay += imp.reorderExtraDelay;
+    }
+
+    deliver(to, pkt, delay);
+
+    if (imp.duplicateRate > 0 && rng_.chance(imp.duplicateRate)) {
+        st.duplicated++;
+        // The duplicate arrives slightly later, carrying its own copy
+        // of the bytes so downstream mutation (NIC decrypt-in-place)
+        // cannot alias.
+        auto dup = std::make_shared<Packet>(*pkt);
+        dup->rx = RxOffloadMeta{};
+        deliver(to, std::move(dup), delay + sim::kMicrosecond);
+    }
+}
+
+void
+Link::deliver(int toPort, PacketPtr pkt, sim::Tick delay)
+{
+    stats_[1 - toPort].delivered++;
+    sim_.schedule(delay, [this, toPort, pkt = std::move(pkt)]() mutable {
+        ANIC_ASSERT(handler_[toPort] != nullptr, "link port %d unattached",
+                    toPort);
+        handler_[toPort](std::move(pkt));
+    });
+}
+
+} // namespace anic::net

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Point-to-point link with netem-style impairments: loss, reordering
+ * (extra delay for selected packets), and duplication. Serialization
+ * (line rate) is modeled by the NICs; the link adds propagation delay
+ * and impairments only.
+ */
+
+#ifndef ANIC_NET_LINK_HH
+#define ANIC_NET_LINK_HH
+
+#include <functional>
+
+#include "net/packet.hh"
+#include "sim/simulator.hh"
+#include "util/rand.hh"
+
+namespace anic::net {
+
+/** One direction's impairment knobs. */
+struct Impairments
+{
+    double lossRate = 0.0;      ///< probability a packet is dropped
+    double reorderRate = 0.0;   ///< probability a packet is delayed extra
+    double duplicateRate = 0.0; ///< probability a packet is duplicated
+    sim::Tick reorderExtraDelay = 20 * sim::kMicrosecond;
+};
+
+/** Per-direction delivery counters. */
+struct LinkStats
+{
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t reordered = 0;
+    uint64_t duplicated = 0;
+};
+
+/**
+ * Back-to-back cable between two NIC ports. Port 0 and port 1 attach
+ * receive handlers; transmit(from, pkt) delivers to the other side.
+ */
+class Link
+{
+  public:
+    struct Config
+    {
+        sim::Tick propDelay = 2 * sim::kMicrosecond;
+        Impairments dir[2]; // [0]: port0->port1, [1]: port1->port0
+        uint64_t seed = 1;
+    };
+
+    using Handler = std::function<void(PacketPtr)>;
+
+    Link(sim::Simulator &sim, Config cfg)
+        : sim_(sim), cfg_(cfg), rng_(cfg.seed)
+    {
+    }
+
+    /** Attaches the receive handler for @p port (0 or 1). */
+    void
+    attach(int port, Handler h)
+    {
+        ANIC_ASSERT(port == 0 || port == 1);
+        handler_[port] = std::move(h);
+    }
+
+    /** Sends @p pkt from @p fromPort toward the opposite port. */
+    void transmit(int fromPort, PacketPtr pkt);
+
+    const LinkStats &stats(int dir) const { return stats_[dir]; }
+
+    /** Replaces impairments at runtime (benches sweep loss rates). */
+    void setImpairments(int dir, const Impairments &imp) { cfg_.dir[dir] = imp; }
+
+  private:
+    void deliver(int toPort, PacketPtr pkt, sim::Tick delay);
+
+    sim::Simulator &sim_;
+    Config cfg_;
+    Rng rng_;
+    Handler handler_[2];
+    LinkStats stats_[2];
+};
+
+} // namespace anic::net
+
+#endif // ANIC_NET_LINK_HH

@@ -1,0 +1,22 @@
+#include "net/packet.hh"
+
+namespace anic::net {
+
+Packet
+Packet::make(const Ipv4Header &ip, const TcpHeader &tcp, ByteView payload)
+{
+    Packet p;
+    p.bytes.resize(Ipv4Header::kSize + TcpHeader::kSize + payload.size());
+
+    Ipv4Header iph = ip;
+    iph.totalLen = static_cast<uint16_t>(p.bytes.size());
+    iph.encode(p.bytes.data());
+    tcp.encode(p.bytes.data() + Ipv4Header::kSize);
+    if (!payload.empty()) {
+        std::memcpy(p.bytes.data() + Ipv4Header::kSize + TcpHeader::kSize,
+                    payload.data(), payload.size());
+    }
+    return p;
+}
+
+} // namespace anic::net

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The simulated packet: real wire bytes plus the receive-descriptor
+ * metadata a NIC attaches on its way up the stack (the moral
+ * equivalent of Linux SKB fields like `decrypted`).
+ */
+
+#ifndef ANIC_NET_PACKET_HH
+#define ANIC_NET_PACKET_HH
+
+#include <memory>
+#include <vector>
+
+#include "net/headers.hh"
+#include "util/bytes.hh"
+
+namespace anic::net {
+
+/**
+ * Byte range of a packet's TCP payload that the NIC already DMA-wrote
+ * to its final destination (NVMe-TCP copy offload). Offsets are
+ * relative to the start of the TCP payload.
+ */
+struct PlacedRange
+{
+    uint32_t payloadOff = 0;
+    uint32_t len = 0;
+};
+
+/**
+ * Offload results the NIC driver surfaces to the stack with each
+ * received packet. The stack must not merge packets whose flags
+ * differ (mirrors the paper's "takes care not to coalesce packets
+ * with different offload results").
+ */
+struct RxOffloadMeta
+{
+    /** TLS: every record byte in this packet was decrypted by the NIC
+     *  and every record tag that completed inside it verified. */
+    bool decrypted = false;
+
+    /** NVMe-TCP: every capsule CRC that completed in this packet
+     *  verified. Only meaningful when crcChecked. */
+    bool crcOk = false;
+    bool crcChecked = false;
+
+    /** NVMe-TCP: payload ranges already placed into block buffers. */
+    std::vector<PlacedRange> placed;
+
+    bool any() const { return decrypted || crcChecked || !placed.empty(); }
+};
+
+/** A packet on the simulated wire: IPv4 + TCP + payload bytes. */
+class Packet
+{
+  public:
+    /** Per-frame wire overhead: preamble+SFD (8) + Ethernet header
+     *  (14) + FCS (4) + min IPG (12). */
+    static constexpr size_t kWireOverhead = 38;
+
+    Packet() = default;
+
+    /** Builds a packet from headers + payload (encodes real bytes). */
+    static Packet make(const Ipv4Header &ip, const TcpHeader &tcp,
+                       ByteView payload);
+
+    Bytes bytes;
+    RxOffloadMeta rx;
+
+    /**
+     * Transmit-side l5o context tag (0 = none). "This ID is passed
+     * down from the L5P, which obtained it on context creation" —
+     * saves the driver/NIC a lookup by packet fields.
+     */
+    uint64_t txCtx = 0;
+
+    /** Decoded views -------------------------------------------------- */
+
+    Ipv4Header ip() const { return Ipv4Header::decode(bytes.data()); }
+
+    TcpHeader
+    tcp() const
+    {
+        return TcpHeader::decode(bytes.data() + Ipv4Header::kSize);
+    }
+
+    FlowKey
+    flow() const
+    {
+        Ipv4Header iph = ip();
+        TcpHeader tcph = tcp();
+        return FlowKey{iph.src, iph.dst, tcph.srcPort, tcph.dstPort};
+    }
+
+    size_t
+    payloadSize() const
+    {
+        return bytes.size() - Ipv4Header::kSize - TcpHeader::kSize;
+    }
+
+    ByteView
+    payload() const
+    {
+        return ByteView(bytes).subspan(Ipv4Header::kSize + TcpHeader::kSize);
+    }
+
+    ByteSpan
+    payloadMut()
+    {
+        return ByteSpan(bytes).subspan(Ipv4Header::kSize + TcpHeader::kSize);
+    }
+
+    /** Frame size on the wire, including Ethernet-level overhead. */
+    size_t wireSize() const { return bytes.size() + kWireOverhead; }
+};
+
+using PacketPtr = std::shared_ptr<Packet>;
+
+} // namespace anic::net
+
+#endif // ANIC_NET_PACKET_HH

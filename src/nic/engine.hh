@@ -1,0 +1,136 @@
+/**
+ * @file
+ * NIC-side L5P engine interface.
+ *
+ * The autonomous-offload NIC separates *framing + resynchronization*
+ * (generic across L5Ps, implemented once in StreamFsm) from the
+ * *offloaded computation* (per-L5P, implemented by an L5Engine).
+ *
+ * An engine instance is the per-flow hardware state for one protocol
+ * layer and one direction: it holds the static state from l5o_create
+ * (keys, maps) and the dynamic state the paper requires to be
+ * constant-size (cipher position, running CRC).
+ */
+
+#ifndef ANIC_NIC_ENGINE_HH
+#define ANIC_NIC_ENGINE_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.hh"
+#include "util/bytes.hh"
+
+namespace anic::nic {
+
+/**
+ * Accumulates the offload results for the packet currently moving
+ * through the rx pipeline; the NIC copies them into the packet's
+ * receive descriptor (net::RxOffloadMeta).
+ */
+struct PacketResult
+{
+    /** TLS: bytes decrypted in this packet. */
+    bool sawCryptoBytes = false;
+    /** TLS: a record tag completed in this packet and failed. */
+    bool tagFailed = false;
+    /** NVMe: the CRC engine processed bytes in this packet. */
+    bool sawCrcBytes = false;
+    /** NVMe: a capsule CRC completed here without full coverage. */
+    bool crcIncomplete = false;
+    /** NVMe: a capsule CRC completed here and mismatched. */
+    bool crcFailed = false;
+    /** NVMe: payload ranges DMA-written to their destination
+     *  (offsets relative to the TCP payload of the packet). */
+    std::vector<net::PlacedRange> placed;
+
+    /** Offset within the packet's TCP payload corresponding to byte 0
+     *  of the span handed to StreamFsm::segment (outer layer: 0; inner
+     *  layers: set by the enclosing engine before feeding). */
+    uint32_t payloadBase = 0;
+
+    /** Offset within the packet's TCP payload of the bytes currently
+     *  passed to onMsgData. Maintained by StreamFsm so engines can
+     *  record placement ranges against the packet. */
+    uint32_t spanPktOff = 0;
+};
+
+/** Framing information parsed from an L5P message header. */
+struct MsgInfo
+{
+    /** Total size of the message on the wire (header + payload +
+     *  trailer), in stream bytes at this engine's layer. */
+    uint64_t wireLen = 0;
+};
+
+/**
+ * Per-flow, per-layer engine. All stream offsets are relative to the
+ * layer's own logical byte stream (TCP payload for the outer layer,
+ * TLS plaintext for an inner layer).
+ */
+class L5Engine
+{
+  public:
+    virtual ~L5Engine() = default;
+
+    /** Fixed header size used for magic-pattern speculation. */
+    virtual size_t headerSize() const = 0;
+
+    /**
+     * Validates the magic pattern at @p hdr (headerSize() bytes) and
+     * extracts framing. Returns nullopt if the pattern does not match
+     * (used both for in-stream framing and speculative search).
+     */
+    virtual std::optional<MsgInfo> parseHeader(ByteView hdr) const = 0;
+
+    /**
+     * True if the engine can resume processing mid-message (e.g.
+     * NVMe-TCP placement); false if it must wait for the next message
+     * boundary (e.g. TLS record crypto).
+     */
+    virtual bool resumeMidMessage() const = 0;
+
+    // ------------------------------------------------- data path
+    /**
+     * A new message starts. @p msgIdx counts messages from offload
+     * creation (the "number of previous messages" the dynamic state
+     * may depend on); @p hdr is the complete header.
+     */
+    virtual void onMsgStart(uint64_t msgIdx, ByteView hdr) = 0;
+
+    /**
+     * In-sequence message bytes (header bytes included, starting at
+     * message offset @p off). @p dryRun requests framing-only
+     * processing with no transform and no placement (used for the
+     * packet in which offload resumes mid-way, which must go up the
+     * stack unmodified). May modify bytes in place when !dryRun.
+     */
+    virtual void onMsgData(uint64_t off, ByteSpan data, bool dryRun,
+                           PacketResult &res) = 0;
+
+    /**
+     * The message completed (all bytes seen since the engine's last
+     * start/resume point). @p covered is false when processing
+     * resumed mid-message, i.e. verification state is incomplete.
+     */
+    virtual void onMsgEnd(bool covered, PacketResult &res) = 0;
+
+    /**
+     * Processing resumes mid-message after out-of-sequence traffic:
+     * the header was observed (possibly in a bypassed packet) and
+     * subsequent packets will be fed from @p off onward. Only called
+     * when resumeMidMessage() is true.
+     */
+    virtual void onMsgResume(uint64_t msgIdx, ByteView hdr, uint64_t off) = 0;
+
+    /** The current message was disrupted; discard transform state. */
+    virtual void onMsgAbort() = 0;
+
+    /** The context was re-armed via a driver descriptor (tx resync /
+     *  l5o re-create); engines hosting inner layers reset them here. */
+    virtual void onRearm() {}
+};
+
+} // namespace anic::nic
+
+#endif // ANIC_NIC_ENGINE_HH

@@ -1,0 +1,377 @@
+#include "nic/nic.hh"
+
+#include "util/panic.hh"
+
+namespace anic::nic {
+
+// ------------------------------------------------------------ FlowContext
+
+FlowContext::FlowContext(
+    uint64_t id, std::unique_ptr<L5Engine> engine,
+    std::function<void(uint64_t reqId, uint32_t tcpSeq)> resyncReq)
+    : id_(id),
+      engine_(std::move(engine)),
+      resyncReq_(std::move(resyncReq)),
+      fsm_(*engine_, [this](uint64_t reqId, uint64_t pos) {
+          if (resyncReq_)
+              resyncReq_(reqId, seqOf(pos));
+      })
+{
+}
+
+void
+FlowContext::arm(uint32_t tcpsn, uint64_t msgIdx)
+{
+    baseSeq_ = tcpsn;
+    basePos_ = tcpsn; // start the 64-bit space at the sequence value
+    fsm_.reset(basePos_, msgIdx);
+    engine_->onRearm();
+}
+
+uint64_t
+FlowContext::posOf(uint32_t seq) const
+{
+    return basePos_ + static_cast<int64_t>(static_cast<int32_t>(seq - baseSeq_));
+}
+
+uint32_t
+FlowContext::seqOf(uint64_t pos) const
+{
+    return baseSeq_ + static_cast<uint32_t>(pos - basePos_);
+}
+
+void
+FlowContext::advanceTo(uint32_t seq)
+{
+    basePos_ = posOf(seq);
+    baseSeq_ = seq;
+}
+
+// -------------------------------------------------------------------- Nic
+
+Nic::Nic(sim::Simulator &sim, net::Link &link, int port, Config cfg)
+    : sim_(sim), link_(link), port_(port), cfg_(cfg)
+{
+    link_.attach(port, [this](net::PacketPtr pkt) { onWire(std::move(pkt)); });
+}
+
+// ------------------------------------------------------------- transmit
+
+bool
+Nic::transmit(net::PacketPtr pkt)
+{
+    if (txq_.size() >= cfg_.txRingSize)
+        return false;
+    pcie_.txDataBytes += pkt->bytes.size();
+    pcie_.descriptorBytes += cfg_.descriptorBytes;
+    txq_.push_back(TxEntry{std::move(pkt), nullptr});
+    pumpTx();
+    return true;
+}
+
+void
+Nic::postTxResync(uint64_t ctxId, uint32_t tcpsn, uint64_t msgIdx,
+                  ByteView rebuild)
+{
+    auto cmd = std::make_unique<TxResyncCmd>();
+    cmd->ctxId = ctxId;
+    cmd->tcpsn = tcpsn;
+    cmd->msgIdx = msgIdx;
+    cmd->rebuild.assign(rebuild.begin(), rebuild.end());
+    pcie_.descriptorBytes += cfg_.descriptorBytes;
+    // Special descriptors ride the same ring as data so ordering with
+    // surrounding packets is preserved.
+    txq_.push_back(TxEntry{nullptr, std::move(cmd)});
+    pumpTx();
+}
+
+void
+Nic::pumpTx()
+{
+    if (txPumping_ || txq_.empty())
+        return;
+    txPumping_ = true;
+    sim::Tick start = std::max(sim_.now() + cfg_.txLatency, lineFreeAt_);
+    sim_.scheduleAt(start, [this] { drainOne(); });
+}
+
+void
+Nic::drainOne()
+{
+    txPumping_ = false;
+    // Apply any special descriptors that precede the next packet.
+    while (!txq_.empty() && txq_.front().resync != nullptr) {
+        applyTxResync(*txq_.front().resync);
+        txq_.pop_front();
+    }
+    if (txq_.empty())
+        return;
+    net::PacketPtr pkt = std::move(txq_.front().pkt);
+    txq_.pop_front();
+
+    if (pkt->txCtx != 0)
+        processTxOffload(*pkt);
+
+    double ps_per_byte = 8000.0 / cfg_.gbps;
+    sim::Tick ser = static_cast<sim::Tick>(
+        static_cast<double>(pkt->wireSize()) * ps_per_byte);
+    lineFreeAt_ = std::max(sim_.now(), lineFreeAt_) + ser;
+
+    stats_.pktsTx++;
+    stats_.bytesTx += pkt->bytes.size();
+    // The last bit leaves when serialization completes.
+    sim_.scheduleAt(lineFreeAt_, [this, pkt = std::move(pkt)]() mutable {
+        link_.transmit(port_, std::move(pkt));
+    });
+
+    bool had_backlog = txq_.size() + 1 >= cfg_.txRingSize;
+    if (had_backlog && onTxSpace_)
+        onTxSpace_();
+    if (!txq_.empty()) {
+        txPumping_ = true;
+        sim_.scheduleAt(lineFreeAt_, [this] { drainOne(); });
+    }
+}
+
+void
+Nic::processTxOffload(net::Packet &pkt)
+{
+    auto it = txById_.find(pkt.txCtx);
+    if (it == txById_.end())
+        return; // context destroyed; send as-is
+    TxCtx &tc = it->second;
+    touchContext(pkt.txCtx);
+
+    const net::TcpHeader th = pkt.tcp();
+    size_t payload = pkt.payloadSize();
+    if (payload == 0)
+        return; // pure ack/control
+
+    // The driver guarantees in-sequence posting (it issues txResync
+    // for out-of-sequence packets first).
+    ANIC_ASSERT(th.seq == tc.expectedSeq,
+                "tx descriptor out of sequence: seq=%u expected=%u", th.seq,
+                tc.expectedSeq);
+
+    PacketResult res;
+    bool processed =
+        tc.ctx->fsm().segment(tc.ctx->posOf(th.seq), pkt.payloadMut(), res);
+    if (processed)
+        stats_.txOffloadedPkts++;
+    tc.expectedSeq = th.seq + static_cast<uint32_t>(payload);
+    tc.ctx->advanceTo(tc.expectedSeq);
+}
+
+// -------------------------------------------------------------- receive
+
+void
+Nic::onWire(net::PacketPtr pkt)
+{
+    stats_.pktsRx++;
+    stats_.bytesRx += pkt->bytes.size();
+    pcie_.rxDataBytes += pkt->bytes.size();
+    pcie_.descriptorBytes += cfg_.descriptorBytes;
+
+    sim::Tick extra = 0;
+    auto it = rxByFlow_.find(pkt->flow());
+    if (it != rxByFlow_.end() && pkt->payloadSize() > 0) {
+        extra = touchContext(it->second->id());
+        processRxOffload(*pkt);
+    }
+
+    sim_.schedule(cfg_.rxLatency + extra, [this, pkt = std::move(pkt)] {
+        if (onReceive_)
+            onReceive_(pkt);
+    });
+}
+
+void
+Nic::processRxOffload(net::Packet &pkt)
+{
+    FlowContext &ctx = *rxByFlow_.find(pkt.flow())->second;
+    const net::TcpHeader th = pkt.tcp();
+
+    PacketResult res;
+    bool processed = ctx.fsm().segment(ctx.posOf(th.seq), pkt.payloadMut(), res);
+
+    net::RxOffloadMeta meta;
+    meta.decrypted = processed && !res.tagFailed;
+    if (res.sawCrcBytes || processed) {
+        meta.crcChecked = processed && !res.crcIncomplete;
+        meta.crcOk = meta.crcChecked && !res.crcFailed;
+    }
+    meta.placed = std::move(res.placed);
+    pkt.rx = meta;
+
+    if (processed) {
+        stats_.rxOffloadedPkts++;
+        ctx.advanceTo(th.seq + static_cast<uint32_t>(pkt.payloadSize()));
+    }
+}
+
+// -------------------------------------------------------- context cache
+
+sim::Tick
+Nic::touchContext(uint64_t ctxId)
+{
+    auto it = cacheMap_.find(ctxId);
+    if (it != cacheMap_.end()) {
+        cacheLru_.splice(cacheLru_.begin(), cacheLru_, it->second);
+        stats_.ctxCacheHits++;
+        return 0;
+    }
+    stats_.ctxCacheMisses++;
+    pcie_.ctxFetchBytes += cfg_.ctxBytes;
+    while (cacheMap_.size() >= cfg_.ctxCacheCapacity) {
+        uint64_t victim = cacheLru_.back();
+        cacheLru_.pop_back();
+        cacheMap_.erase(victim);
+        stats_.ctxCacheEvictions++;
+        pcie_.ctxWritebackBytes += cfg_.ctxBytes;
+    }
+    cacheLru_.push_front(ctxId);
+    cacheMap_[ctxId] = cacheLru_.begin();
+    return cfg_.ctxFetchLatency;
+}
+
+// ------------------------------------------------------ context mgmt
+
+uint64_t
+Nic::createRxContext(const net::FlowKey &flow,
+                     std::unique_ptr<L5Engine> engine, uint32_t tcpsn,
+                     uint64_t msgIdx)
+{
+    uint64_t id = nextCtxId_++;
+    auto ctx = std::make_unique<FlowContext>(
+        id, std::move(engine), [this, id](uint64_t reqId, uint32_t seq) {
+            if (onResyncRequest_) {
+                pcie_.descriptorBytes += cfg_.descriptorBytes;
+                onResyncRequest_(id, reqId, seq);
+            }
+        });
+    ctx->arm(tcpsn, msgIdx);
+    FlowContext *raw = ctx.get();
+    ANIC_ASSERT(rxByFlow_.find(flow) == rxByFlow_.end(),
+                "rx context already exists for flow");
+    rxByFlow_.emplace(flow, std::move(ctx));
+    rxById_.emplace(id, raw);
+    pcie_.descriptorBytes += cfg_.ctxBytes; // initial state download
+    touchContext(id);
+    return id;
+}
+
+uint64_t
+Nic::createTxContext(std::unique_ptr<L5Engine> engine, uint32_t tcpsn,
+                     uint64_t msgIdx)
+{
+    uint64_t id = nextCtxId_++;
+    TxCtx tc;
+    tc.ctx = std::make_unique<FlowContext>(id, std::move(engine), nullptr);
+    tc.ctx->arm(tcpsn, msgIdx);
+    tc.expectedSeq = tcpsn;
+    txById_.emplace(id, std::move(tc));
+    pcie_.descriptorBytes += cfg_.ctxBytes;
+    touchContext(id);
+    return id;
+}
+
+void
+Nic::destroyRxContext(uint64_t id)
+{
+    auto it = rxById_.find(id);
+    if (it == rxById_.end())
+        return;
+    for (auto fit = rxByFlow_.begin(); fit != rxByFlow_.end(); ++fit) {
+        if (fit->second.get() == it->second) {
+            rxByFlow_.erase(fit);
+            break;
+        }
+    }
+    rxById_.erase(it);
+    auto cit = cacheMap_.find(id);
+    if (cit != cacheMap_.end()) {
+        cacheLru_.erase(cit->second);
+        cacheMap_.erase(cit);
+    }
+}
+
+void
+Nic::destroyTxContext(uint64_t id)
+{
+    txById_.erase(id);
+    auto cit = cacheMap_.find(id);
+    if (cit != cacheMap_.end()) {
+        cacheLru_.erase(cit->second);
+        cacheMap_.erase(cit);
+    }
+}
+
+void
+Nic::rxResyncResponse(uint64_t ctxId, uint64_t reqId, bool ok, uint64_t msgIdx)
+{
+    auto it = rxById_.find(ctxId);
+    if (it == rxById_.end())
+        return;
+    pcie_.descriptorBytes += cfg_.descriptorBytes;
+    it->second->fsm().confirm(reqId, ok, msgIdx);
+}
+
+void
+Nic::applyTxResync(const TxResyncCmd &cmd)
+{
+    auto it = txById_.find(cmd.ctxId);
+    if (it == txById_.end())
+        return; // context destroyed while the command was in flight
+    TxCtx &tc = it->second;
+    stats_.txResyncs++;
+    touchContext(cmd.ctxId);
+
+    // The NIC re-reads the message bytes preceding the retransmitted
+    // packet from host memory to rebuild the engine state (the PCIe
+    // overhead Figure 16b measures).
+    pcie_.ctxRecoveryBytes += cmd.rebuild.size();
+
+    uint32_t msg_start =
+        cmd.tcpsn - static_cast<uint32_t>(cmd.rebuild.size());
+    tc.ctx->arm(msg_start, cmd.msgIdx);
+    if (!cmd.rebuild.empty()) {
+        // Feed a scratch copy through the engine: same transforms as
+        // the original pass, output discarded.
+        Bytes scratch(cmd.rebuild);
+        PacketResult res;
+        tc.ctx->fsm().segment(tc.ctx->posOf(msg_start), scratch, res);
+    }
+    tc.expectedSeq = cmd.tcpsn;
+    tc.ctx->advanceTo(cmd.tcpsn);
+}
+
+L5Engine *
+Nic::rxEngine(uint64_t ctxId)
+{
+    auto it = rxById_.find(ctxId);
+    return it == rxById_.end() ? nullptr : &it->second->engine();
+}
+
+L5Engine *
+Nic::txEngine(uint64_t ctxId)
+{
+    auto it = txById_.find(ctxId);
+    return it == txById_.end() ? nullptr : &it->second.ctx->engine();
+}
+
+uint32_t
+Nic::txExpectedSeq(uint64_t ctxId) const
+{
+    auto it = txById_.find(ctxId);
+    ANIC_ASSERT(it != txById_.end());
+    return it->second.expectedSeq;
+}
+
+const FsmStats *
+Nic::rxFsmStats(uint64_t ctxId) const
+{
+    auto it = rxById_.find(ctxId);
+    return it == rxById_.end() ? nullptr : &it->second->fsm().stats();
+}
+
+} // namespace anic::nic

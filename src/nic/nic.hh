@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The NIC device model.
+ *
+ * Models the data-path properties the paper's evaluation depends on:
+ *  - line-rate serialization (100 Gbps ConnectX6-Dx class),
+ *  - a bounded transmit ring with BQL-style backpressure,
+ *  - per-flow offload contexts living in a finite on-NIC cache
+ *    (~4 MiB / 208 B per flow => ~20K flows) with LRU eviction and
+ *    PCIe fetch/writeback costs on miss (Figure 19),
+ *  - PCIe bandwidth accounting, including the context-recovery reads
+ *    for transmit-side resynchronization (Figure 16b),
+ *  - the receive-side autonomous offload pipeline (StreamFsm +
+ *    engines) and the transmit-side in-sequence offload processing
+ *    with driver-initiated recovery.
+ *
+ * Everything above layer 2 stays in software: the NIC never sees TCP
+ * state beyond the per-context expected sequence number.
+ */
+
+#ifndef ANIC_NIC_NIC_HH
+#define ANIC_NIC_NIC_HH
+
+#include <deque>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "net/link.hh"
+#include "nic/stream_fsm.hh"
+#include "sim/simulator.hh"
+
+namespace anic::nic {
+
+/** PCIe byte counters by category (drives Figure 16b). */
+struct PcieStats
+{
+    uint64_t rxDataBytes = 0;      ///< packet DMA writes to host
+    uint64_t txDataBytes = 0;      ///< packet DMA reads from host
+    uint64_t descriptorBytes = 0;  ///< descriptor traffic
+    uint64_t ctxFetchBytes = 0;    ///< context cache misses
+    uint64_t ctxWritebackBytes = 0;///< context evictions
+    uint64_t ctxRecoveryBytes = 0; ///< tx resync re-reads of message data
+
+    uint64_t
+    total() const
+    {
+        return rxDataBytes + txDataBytes + descriptorBytes + ctxFetchBytes +
+               ctxWritebackBytes + ctxRecoveryBytes;
+    }
+};
+
+/** NIC-level counters. */
+struct NicStats
+{
+    uint64_t pktsTx = 0;
+    uint64_t pktsRx = 0;
+    uint64_t bytesTx = 0;
+    uint64_t bytesRx = 0;
+    uint64_t ctxCacheHits = 0;
+    uint64_t ctxCacheMisses = 0;
+    uint64_t ctxCacheEvictions = 0;
+    uint64_t rxOffloadedPkts = 0;
+    uint64_t txOffloadedPkts = 0;
+    uint64_t txResyncs = 0;
+};
+
+/**
+ * One direction's offload context: the paper's per-flow HW state
+ * (expected tcp sequence, message position/index, L5P state inside
+ * the engine).
+ */
+class FlowContext
+{
+  public:
+    FlowContext(uint64_t id, std::unique_ptr<L5Engine> engine,
+                std::function<void(uint64_t reqId, uint32_t tcpSeq)> resyncReq);
+
+    uint64_t id() const { return id_; }
+    L5Engine &engine() { return *engine_; }
+    StreamFsm &fsm() { return fsm_; }
+
+    /** Arms the context at TCP sequence @p tcpsn, message @p msgIdx. */
+    void arm(uint32_t tcpsn, uint64_t msgIdx);
+
+    /** Maps a TCP sequence number onto the 64-bit stream position. */
+    uint64_t posOf(uint32_t seq) const;
+
+    /** Translates a stream position back to a TCP sequence number. */
+    uint32_t seqOf(uint64_t pos) const;
+
+    /** Re-anchors the mapping as the stream advances. */
+    void advanceTo(uint32_t seq);
+
+  private:
+    uint64_t id_;
+    std::unique_ptr<L5Engine> engine_;
+    std::function<void(uint64_t, uint32_t)> resyncReq_;
+    StreamFsm fsm_;
+    uint32_t baseSeq_ = 0;
+    uint64_t basePos_ = 0;
+};
+
+/**
+ * The NIC. Attaches to one link port; the driver (src/core) sits on
+ * top and implements tcp::NetDevice with it.
+ */
+class Nic
+{
+  public:
+    struct Config
+    {
+        double gbps = 100.0;
+        size_t txRingSize = 4096;
+        sim::Tick rxLatency = 1500 * sim::kNanosecond;
+        sim::Tick txLatency = 1000 * sim::kNanosecond;
+
+        /** Flow-context cache: 4 MiB at 208 B/flow ~ 20K flows. */
+        size_t ctxCacheCapacity = 20000;
+        size_t ctxBytes = 208;
+        sim::Tick ctxFetchLatency = 600 * sim::kNanosecond;
+
+        /** PCIe gen3 x16 usable bandwidth (~126 Gbps). */
+        double pcieGbps = 126.0;
+
+        size_t descriptorBytes = 32;
+    };
+
+    Nic(sim::Simulator &sim, net::Link &link, int port, Config cfg);
+
+    // ------------------------------------------------ driver: data
+    /** Queues a packet; false if the tx ring is full. */
+    bool transmit(net::PacketPtr pkt);
+
+    void setOnTxSpace(std::function<void()> cb) { onTxSpace_ = std::move(cb); }
+
+    /** Driver receive entry (already includes NIC rx processing). */
+    void setOnReceive(std::function<void(net::PacketPtr)> cb) { onReceive_ = std::move(cb); }
+
+    // ------------------------------------------- driver: contexts
+    /**
+     * Installs a receive-side offload context for @p flow (the flow
+     * key as seen on arriving packets: src = remote peer). Returns
+     * the context id used in descriptors and upcalls.
+     */
+    uint64_t createRxContext(const net::FlowKey &flow,
+                             std::unique_ptr<L5Engine> engine,
+                             uint32_t tcpsn, uint64_t msgIdx);
+
+    /** Installs a transmit-side context, keyed by l5o context id that
+     *  the stack tags outgoing packets with. */
+    uint64_t createTxContext(std::unique_ptr<L5Engine> engine, uint32_t tcpsn,
+                             uint64_t msgIdx);
+
+    void destroyRxContext(uint64_t id);
+    void destroyTxContext(uint64_t id);
+
+    /** HW->SW: the NIC asks software to confirm a speculated header
+     *  (l5o_resync_rx_req path). */
+    void setOnResyncRequest(
+        std::function<void(uint64_t ctxId, uint64_t reqId, uint32_t tcpSeq)> cb)
+    {
+        onResyncRequest_ = std::move(cb);
+    }
+
+    /** SW->HW: l5o_resync_rx_resp. @p msgIdx is the message index at
+     *  the confirmed sequence number. */
+    void rxResyncResponse(uint64_t ctxId, uint64_t reqId, bool ok,
+                          uint64_t msgIdx);
+
+    /**
+     * SW->HW: transmit context recovery. Placed into the flow's send
+     * ring as a special descriptor so it is processed in order with
+     * the data descriptors around it ("offload-related commands are
+     * passed to the NIC via special descriptors, which are placed
+     * into the flow's usual send ring to ensure ordering"). The NIC
+     * DMA-reads @p rebuild (the message bytes from the message start
+     * up to @p tcpsn) to reconstruct the engine state, then expects
+     * the next data descriptor at @p tcpsn.
+     */
+    void postTxResync(uint64_t ctxId, uint32_t tcpsn, uint64_t msgIdx,
+                      ByteView rebuild);
+
+    /** Engine access for protocol-specific driver commands
+     *  (l5o_add_rr_state: NVMe CID -> buffer map updates). */
+    L5Engine *rxEngine(uint64_t ctxId);
+    L5Engine *txEngine(uint64_t ctxId);
+
+    /** Expected transmit sequence of a tx context (driver shadow). */
+    uint32_t txExpectedSeq(uint64_t ctxId) const;
+
+    // ------------------------------------------------------ stats
+    const NicStats &stats() const { return stats_; }
+    const PcieStats &pcie() const { return pcie_; }
+    const Config &config() const { return cfg_; }
+    const FsmStats *rxFsmStats(uint64_t ctxId) const;
+
+    /** PCIe utilization over [since, now] given byte delta. */
+    double
+    pcieUtilization(uint64_t bytesDelta, sim::Tick window) const
+    {
+        if (window == 0)
+            return 0.0;
+        double gbps = static_cast<double>(bytesDelta) * 8.0 /
+                      sim::ticksToSeconds(window) / 1e9;
+        return gbps / cfg_.pcieGbps;
+    }
+
+  private:
+    struct TxCtx
+    {
+        std::unique_ptr<FlowContext> ctx;
+        uint32_t expectedSeq = 0;
+    };
+
+    struct TxResyncCmd
+    {
+        uint64_t ctxId = 0;
+        uint32_t tcpsn = 0;
+        uint64_t msgIdx = 0;
+        Bytes rebuild;
+    };
+
+    struct TxEntry
+    {
+        net::PacketPtr pkt;                  // data descriptor, or
+        std::unique_ptr<TxResyncCmd> resync; // special descriptor
+    };
+
+    void applyTxResync(const TxResyncCmd &cmd);
+    void pumpTx();
+    void drainOne();
+    void onWire(net::PacketPtr pkt);
+    sim::Tick touchContext(uint64_t ctxId);
+    void processTxOffload(net::Packet &pkt);
+    void processRxOffload(net::Packet &pkt);
+
+    sim::Simulator &sim_;
+    net::Link &link_;
+    int port_;
+    Config cfg_;
+
+    std::deque<TxEntry> txq_;
+    bool txPumping_ = false;
+    sim::Tick lineFreeAt_ = 0;
+
+    std::function<void()> onTxSpace_;
+    std::function<void(net::PacketPtr)> onReceive_;
+    std::function<void(uint64_t, uint64_t, uint32_t)> onResyncRequest_;
+
+    uint64_t nextCtxId_ = 1;
+    std::unordered_map<net::FlowKey, std::unique_ptr<FlowContext>,
+                       net::FlowKeyHash>
+        rxByFlow_;
+    std::unordered_map<uint64_t, FlowContext *> rxById_;
+    std::unordered_map<uint64_t, TxCtx> txById_;
+
+    // LRU context cache (ids of both rx and tx contexts).
+    std::list<uint64_t> cacheLru_;
+    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> cacheMap_;
+
+    NicStats stats_;
+    PcieStats pcie_;
+};
+
+} // namespace anic::nic
+
+#endif // ANIC_NIC_NIC_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The autonomous-offload stream state machine (paper §4.3, Figure 7).
+ *
+ * One StreamFsm instance tracks one L5P layer of one flow direction
+ * inside the NIC. It is generic over the protocol via L5Engine and is
+ * reused both for the outer layer (messages framed directly in the
+ * TCP byte stream) and, in the NVMe-TLS composition, for the inner
+ * layer (messages framed in the TLS plaintext stream).
+ *
+ * States:
+ *  - Offloading: the context can process the next in-sequence byte.
+ *    A sub-mode ("skip") performs framing-only processing while
+ *    waiting to re-enable transforms at a packet-aligned message
+ *    boundary, which keeps offload decisions packet-granular (a
+ *    packet is either fully processed or fully bypassed, mirroring
+ *    the single decrypted/crc_ok descriptor bit).
+ *  - Searching: scans payload for the protocol's magic pattern;
+ *    a plausible header triggers a resync request to software.
+ *  - Tracking: follows the speculated message chain via header
+ *    length fields, verifying each subsequent magic pattern, until
+ *    software confirms or refutes the speculation.
+ *
+ * Positions are 64-bit logical stream offsets maintained by the
+ * caller (the NIC maps TCP sequence numbers onto them; inner layers
+ * count plaintext bytes).
+ */
+
+#ifndef ANIC_NIC_STREAM_FSM_HH
+#define ANIC_NIC_STREAM_FSM_HH
+
+#include <functional>
+
+#include "nic/engine.hh"
+
+namespace anic::nic {
+
+enum class FsmState
+{
+    Offloading,
+    Searching,
+    Tracking,
+};
+
+/** Observable FSM statistics (drive Figures 16-18 classification). */
+struct FsmStats
+{
+    uint64_t msgsCompleted = 0;   ///< messages whose end was processed
+    uint64_t msgsCovered = 0;     ///< ... with full coverage (verified)
+    uint64_t msgsAborted = 0;     ///< messages disrupted mid-processing
+    uint64_t resyncRequests = 0;  ///< speculations sent to software
+    uint64_t resyncConfirmed = 0; ///< speculations software confirmed
+    uint64_t resyncRefuted = 0;   ///< speculations software refuted
+    uint64_t trackFailures = 0;   ///< magic mismatch while tracking
+    uint64_t desyncs = 0;         ///< in-sequence framing desync (bad)
+    uint64_t gapEvents = 0;       ///< out-of-sequence spans observed
+    uint64_t bypassedSpans = 0;   ///< spans passed through unprocessed
+    uint64_t midMsgResumes = 0;   ///< mid-message (placement) resumes
+};
+
+class StreamFsm
+{
+  public:
+    /**
+     * @param engine    protocol engine (owned by the flow context)
+     * @param requestResync  upcall: ask software to confirm a header
+     *                       speculation at a stream position; the id
+     *                       must be echoed in confirm().
+     */
+    StreamFsm(L5Engine &engine,
+              std::function<void(uint64_t reqId, uint64_t pos)> requestResync);
+
+    /** Arms the FSM: the next message starts at @p pos with index
+     *  @p msgIdx (from l5o_create / context recovery). */
+    void reset(uint64_t pos, uint64_t msgIdx);
+
+    /**
+     * Feeds one span of this layer's stream (one packet's worth of
+     * bytes at this layer) at logical position @p pos. Bytes may be
+     * transformed in place; results accumulate into @p res.
+     *
+     * @return true iff every byte of the span was consumed with
+     * transforms active — the condition for setting the packet's
+     * single offloaded descriptor bit.
+     */
+    bool segment(uint64_t pos, ByteSpan data, PacketResult &res);
+
+    /** The caller lost track of stream positions (inner layer only):
+     *  drop to Searching and accept the next segment position as a
+     *  fresh continuity base. */
+    void positionLost();
+
+    /** Software's answer to a resync request. @p msgIdx is the index
+     *  of the message starting at the speculated position (valid when
+     *  @p ok). */
+    void confirm(uint64_t reqId, bool ok, uint64_t msgIdx);
+
+    FsmState state() const { return state_; }
+    const FsmStats &stats() const { return stats_; }
+
+    /** True while transforms are live (Offloading, not skip mode). */
+    bool transformsActive() const
+    {
+        return state_ == FsmState::Offloading && !skipMode_;
+    }
+
+  private:
+    bool processSpan(uint64_t pos, ByteSpan data, PacketResult &res,
+                     bool allowResume = true);
+    void feedScan(uint64_t pos, ByteView data, PacketResult &res);
+    void handleGap(uint64_t pos, ByteSpan data, PacketResult &res);
+    void enterSearch(uint64_t contPos);
+    void scanSpan(uint64_t pos, ByteView data, PacketResult &res);
+    void trackSpan(uint64_t pos, ByteView data, PacketResult &res);
+    void adoptTrackedPosition();
+
+    L5Engine &engine_;
+    std::function<void(uint64_t, uint64_t)> requestResync_;
+
+    FsmState state_ = FsmState::Searching;
+    FsmStats stats_;
+
+    // ---- Offloading sub-state
+    uint64_t expected_ = 0; ///< next processable stream position
+    uint64_t msgStart_ = 0; ///< current message start position
+    uint64_t msgIdx_ = 0;   ///< index of the current message
+    Bytes hdrBuf_;          ///< header bytes (partial or complete)
+    bool hdrComplete_ = false;
+    uint64_t msgLen_ = 0;   ///< wire length (valid when hdrComplete_)
+    uint64_t inMsgOff_ = 0; ///< consumed bytes of the current message
+    bool covered_ = false;  ///< message seen from its start, gap-free
+    bool skipMode_ = false; ///< framing-only (transforms disabled)
+    bool msgActive_ = false; ///< engine holds transform state
+
+    // ---- Searching sub-state
+    bool contValid_ = false;
+    uint64_t searchCont_ = 0;
+    Bytes searchCarry_;
+
+    // ---- Tracking sub-state
+    uint64_t trackCont_ = 0;
+    uint64_t nextHdrPos_ = 0;
+    Bytes trackHdrBuf_;
+    uint64_t trackMsgCount_ = 0;
+    uint64_t trackCurStart_ = 0; ///< start of the tracked msg preceding nextHdrPos_
+    uint64_t trackCurLen_ = 0;
+    Bytes trackCurHdr_;
+    uint64_t pendingReqId_ = 0;
+    uint64_t nextReqId_ = 1;
+    bool confirmedOk_ = false;
+    uint64_t confirmedMsgIdx_ = 0;
+    bool haveConfirm_ = false;
+};
+
+} // namespace anic::nic
+
+#endif // ANIC_NIC_STREAM_FSM_HH

@@ -1,0 +1,438 @@
+#include "nvmetcp/host_queue.hh"
+
+#include "util/panic.hh"
+
+namespace anic::nvmetcp {
+
+NvmeHostQueue::NvmeHostQueue(tcp::StreamSocket &sock, WireConfig wc,
+                             NvmeOffloadConfig ocfg)
+    : sock_(sock), wc_(wc), ocfg_(ocfg), assembler_(wc)
+{
+    sock_.setOnReadable([this] { onReadable(); });
+    sock_.setOnWritable([this] { flushSendQueue(); });
+}
+
+NvmeHostQueue::~NvmeHostQueue()
+{
+    if (l5o_ != nullptr)
+        l5o_->destroy();
+}
+
+void
+NvmeHostQueue::enableOffload(core::OffloadDevice &dev,
+                             tcp::TcpConnection &conn)
+{
+    ANIC_ASSERT(l5o_ == nullptr && tlsSock_ == nullptr);
+    conn_ = &conn;
+    if (!ocfg_.crcRx && !ocfg_.copyRx && !ocfg_.crcTx)
+        return;
+
+    core::L5oParams params;
+    params.callbacks = this;
+    params.core = &conn.core();
+    if (ocfg_.crcRx || ocfg_.copyRx) {
+        auto eng = std::make_unique<NvmeRxEngine>(wc_);
+        rxEngine_ = eng.get();
+        params.rxFlow = conn.localFlow().reversed();
+        params.rxEngine = std::move(eng);
+        params.rxTcpsn = conn.rcvNxt();
+        params.rxMsgIdx = 0;
+    }
+    if (ocfg_.crcTx) {
+        params.txEngine = std::make_unique<NvmeTxEngine>(wc_);
+        params.txTcpsn = conn.sndNextByteSeq();
+        params.txMsgIdx = 0;
+        conn.setOnAcked([this](uint32_t una) { txMap_.trimAcked(una); });
+    }
+    l5o_ = dev.l5oCreate(std::move(params));
+    if (ocfg_.crcTx)
+        conn.setTxOffloadCtx(l5o_->txCtxId());
+}
+
+void
+NvmeHostQueue::enableOffloadOverTls(tls::TlsSocket &tlsSock)
+{
+    ANIC_ASSERT(l5o_ == nullptr && tlsSock_ == nullptr);
+    tlsSock_ = &tlsSock;
+    if (!ocfg_.crcRx && !ocfg_.copyRx)
+        return;
+    ANIC_ASSERT(!ocfg_.crcTx,
+                "tx CRC offload over TLS is not composed (see DESIGN.md)");
+
+    core::L5Offload *tls_l5o = tlsSock.offload();
+    ANIC_ASSERT(tls_l5o != nullptr && tls_l5o->rxEngine() != nullptr,
+                "TLS rx offload must be enabled before composing NVMe");
+    tlsRxEngine_ = dynamic_cast<tls::TlsRxEngine *>(tls_l5o->rxEngine());
+    ANIC_ASSERT(tlsRxEngine_ != nullptr);
+
+    auto eng = std::make_unique<NvmeRxEngine>(wc_);
+    rxEngine_ = eng.get();
+    host::Core *core = &sock_.core();
+    tlsRxEngine_->installInner(
+        std::move(eng),
+        [this, core](uint64_t reqId, uint64_t recIdx, uint32_t recOff) {
+            core->post([this, core, reqId, recIdx, recOff] {
+                core->charge(core->model().resyncUpcallCost);
+                stats_.resyncRequests++;
+                resyncPending_ = true;
+                resyncReqId_ = reqId;
+                resyncPlainValid_ = false;
+                innerAnchorPending_ = true;
+                innerAnchorRecIdx_ = recIdx;
+                innerAnchorRecOff_ = recOff;
+                // Already behind us?
+                if (tlsSock_->nextRxRecordSeq() > recIdx) {
+                    innerAnchorPending_ = false;
+                    resyncPending_ = false;
+                    tlsRxEngine_->innerResyncResponse(reqId, false, 0);
+                }
+            });
+        },
+        /*plaintextPos=*/0, /*innerMsgIdx=*/0);
+
+    tlsSock.setRecordObserver([this](uint64_t recIdx, uint64_t plainOff) {
+        handleInnerAnchor(recIdx, plainOff);
+    });
+}
+
+void
+NvmeHostQueue::handleInnerAnchor(uint64_t recIdx, uint64_t plainOff)
+{
+    if (!innerAnchorPending_)
+        return;
+    if (recIdx == innerAnchorRecIdx_) {
+        innerAnchorPending_ = false;
+        resyncPlainOff_ = plainOff + innerAnchorRecOff_;
+        resyncPlainValid_ = true;
+        checkPendingResync();
+    } else if (recIdx > innerAnchorRecIdx_) {
+        innerAnchorPending_ = false;
+        resyncPending_ = false;
+        tlsRxEngine_->innerResyncResponse(resyncReqId_, false, 0);
+    }
+}
+
+const nic::FsmStats *
+NvmeHostQueue::rxFsmStats() const
+{
+    if (tlsRxEngine_ != nullptr)
+        return tlsRxEngine_->innerFsmStats();
+    return l5o_ != nullptr ? l5o_->rxFsmStats() : nullptr;
+}
+
+uint16_t
+NvmeHostQueue::allocCid()
+{
+    for (;;) {
+        uint16_t cid = nextCid_++;
+        if (nextCid_ == 0)
+            nextCid_ = 1;
+        if (requests_.find(cid) == requests_.end())
+            return cid;
+    }
+}
+
+void
+NvmeHostQueue::enqueuePdu(Bytes pdu, bool trackForResync)
+{
+    SendEntry e;
+    e.bytes = std::move(pdu);
+    e.track = trackForResync;
+    sendq_.push_back(std::move(e));
+    flushSendQueue();
+}
+
+void
+NvmeHostQueue::flushSendQueue()
+{
+    while (!sendq_.empty()) {
+        SendEntry &e = sendq_.front();
+        if (e.track && !e.added) {
+            // Register the message where its first byte will actually
+            // land in the stream (now, not at enqueue time).
+            ANIC_ASSERT(conn_ != nullptr);
+            txMap_.add(conn_->sndNextByteSeq(),
+                       static_cast<uint32_t>(e.bytes.size()), txMsgIdx_++,
+                       e.bytes);
+            e.added = true;
+        } else if (!e.track && !e.added && conn_ != nullptr &&
+                   l5o_ != nullptr && l5o_->txCtxId() != 0) {
+            // All stream messages must be tracked when a tx context
+            // exists, so framing recovery can cross any message.
+            txMap_.add(conn_->sndNextByteSeq(),
+                       static_cast<uint32_t>(e.bytes.size()), txMsgIdx_++,
+                       e.bytes);
+            e.added = true;
+        }
+        ByteView rest = ByteView(e.bytes).subspan(sendqOff_);
+        size_t acc = sock_.send(rest);
+        sendqOff_ += acc;
+        if (sendqOff_ < e.bytes.size())
+            return; // transport full; resume on writable
+        sendq_.pop_front();
+        sendqOff_ = 0;
+    }
+}
+
+void
+NvmeHostQueue::read(uint64_t slba, uint32_t len, ReadDone done)
+{
+    host::Core &core = sock_.core();
+    core.charge(core.model().nvmeRequestCost / 2);
+
+    uint16_t cid = allocCid();
+    Request req;
+    req.opcode = kOpRead;
+    req.slba = slba;
+    req.len = len;
+    req.buffer = std::make_shared<host::BlockBuffer>(len);
+    req.readDone = std::move(done);
+    outstandingBytes_ += len;
+
+    if (ocfg_.copyRx && rxEngine_ != nullptr) {
+        // l5o_add_rr_state: tell the NIC where responses belong.
+        rxEngine_->addRrState(cid, req.buffer);
+    }
+    requests_.emplace(cid, std::move(req));
+
+    CmdCapsule cmd;
+    cmd.cid = cid;
+    cmd.opcode = kOpRead;
+    cmd.slba = slba;
+    cmd.length = len;
+    enqueuePdu(buildCmdCapsule(wc_, cmd), ocfg_.crcTx);
+}
+
+void
+NvmeHostQueue::write(uint64_t slba, uint32_t len, uint64_t contentSeed,
+                     WriteDone done)
+{
+    host::Core &core = sock_.core();
+    const host::CycleModel &m = core.model();
+    core.charge(m.nvmeRequestCost / 2);
+
+    uint16_t cid = allocCid();
+    Request req;
+    req.opcode = kOpWrite;
+    req.slba = slba;
+    req.len = len;
+    req.writeDone = std::move(done);
+    outstandingBytes_ += len;
+    requests_.emplace(cid, std::move(req));
+
+    CmdCapsule cmd;
+    cmd.cid = cid;
+    cmd.opcode = kOpWrite;
+    cmd.slba = slba;
+    cmd.length = len;
+    enqueuePdu(buildCmdCapsule(wc_, cmd), ocfg_.crcTx);
+
+    uint32_t off = 0;
+    while (off < len) {
+        uint32_t n = static_cast<uint32_t>(
+            std::min<size_t>(wc_.maxDataPerPdu, len - off));
+        Bytes data(n);
+        fillDeterministic(data, contentSeed, slba + off);
+        DataPduHdr dh;
+        dh.cid = cid;
+        dh.dataOffset = off;
+        dh.dataLen = n;
+        // Copy user data into the PDU; compute the digest in software
+        // unless the NIC fills it.
+        core.charge(m.copyLlcPerByte * n +
+                    (wc_.dataDigest && !ocfg_.crcTx ? m.crcPerByte * n : 0) +
+                    m.nvmePduCost);
+        enqueuePdu(buildDataPdu(wc_, kPduH2CData, dh, data,
+                                /*fillDdgst=*/!ocfg_.crcTx),
+                   ocfg_.crcTx);
+        off += n;
+    }
+}
+
+void
+NvmeHostQueue::onReadable()
+{
+    while (sock_.readable()) {
+        tcp::RxSegment seg = sock_.pop();
+        assembler_.ingest(std::move(seg),
+                          [this](RxPdu &&pdu) { onPdu(std::move(pdu)); });
+        ANIC_ASSERT(!assembler_.error(), "NVMe-TCP stream desync");
+    }
+    checkPendingResync();
+}
+
+void
+NvmeHostQueue::onPdu(RxPdu &&pdu)
+{
+    host::Core &core = sock_.core();
+    const host::CycleModel &m = core.model();
+    core.charge(m.nvmePduCost);
+
+    if (pdu.ch.type == kPduC2HData) {
+        stats_.dataPdusRx++;
+        DataPduHdr dh = parseDataPduHdr(pdu.bytes);
+        auto it = requests_.find(dh.cid);
+        if (it == requests_.end())
+            return; // stale / unknown capsule
+        Request &req = it->second;
+
+        size_t pdo = pdu.ch.pdo;
+        ByteView data = ByteView(pdu.bytes).subspan(pdo, dh.dataLen);
+
+        // ---- copy (placement offload skips NIC-placed ranges)
+        std::vector<net::PlacedRange> placed;
+        for (const PduSlice &s : pdu.slices) {
+            for (const net::PlacedRange &r : s.placed)
+                placed.push_back(r); // already PDU-relative
+        }
+        std::sort(placed.begin(), placed.end(),
+                  [](const net::PlacedRange &a, const net::PlacedRange &b) {
+                      return a.payloadOff < b.payloadOff;
+                  });
+        uint64_t cursor = pdo;
+        uint64_t data_end = pdo + dh.dataLen;
+        double copied = 0;
+        uint64_t placed_bytes = 0;
+        auto copyRange = [&](uint64_t from, uint64_t to) {
+            if (from >= to)
+                return;
+            uint64_t dst = dh.dataOffset + (from - pdo);
+            if (dst + (to - from) <= req.buffer->data.size()) {
+                std::memcpy(req.buffer->data.data() + dst,
+                            pdu.bytes.data() + from, to - from);
+            }
+            copied += static_cast<double>(to - from);
+        };
+        for (const net::PlacedRange &r : placed) {
+            uint64_t ps = std::max<uint64_t>(r.payloadOff, pdo);
+            uint64_t pe = std::min<uint64_t>(r.payloadOff + r.len, data_end);
+            if (ps >= pe)
+                continue;
+            copyRange(cursor, ps);
+            placed_bytes += pe - ps;
+            cursor = std::max(cursor, pe);
+        }
+        copyRange(cursor, data_end);
+        if (req.opcode != kOpRead)
+            copied = 0; // writes have no inbound payload
+        core.charge(m.copyPerByte(outstandingBytes_) * copied);
+        stats_.bytesCopied += static_cast<uint64_t>(copied);
+        stats_.bytesPlaced += placed_bytes;
+
+        // ---- data digest
+        if (wc_.dataDigest && dh.dataLen > 0) {
+            bool skip = ocfg_.crcRx && pdu.crcFullyOffloaded();
+            if (skip) {
+                stats_.crcSkipped++;
+            } else {
+                stats_.crcSoftware++;
+                core.charge(m.crcPerByte * dh.dataLen);
+                uint32_t wire = static_cast<uint32_t>(
+                    getLe32(pdu.bytes.data() + data_end));
+                if (crypto::Crc32c::compute(data) != wire) {
+                    req.failed = true;
+                    stats_.crcFailures++;
+                }
+            }
+        }
+        req.received += dh.dataLen;
+        return;
+    }
+
+    if (pdu.ch.type == kPduCapsuleResp) {
+        RespCapsule resp = parseRespCapsule(pdu.bytes);
+        completeRequest(resp.cid, resp.status == 0);
+        return;
+    }
+    // Hosts don't expect other PDU types.
+}
+
+void
+NvmeHostQueue::completeRequest(uint16_t cid, bool ok)
+{
+    auto it = requests_.find(cid);
+    if (it == requests_.end())
+        return;
+    Request req = std::move(it->second);
+    requests_.erase(it);
+
+    host::Core &core = sock_.core();
+    core.charge(core.model().nvmeRequestCost / 2);
+    outstandingBytes_ -= req.len;
+
+    if (ocfg_.copyRx && rxEngine_ != nullptr)
+        rxEngine_->delRrState(cid); // l5o_del_rr_state
+
+    bool success = ok && !req.failed &&
+                   (req.opcode != kOpRead || req.received == req.len);
+    if (!success)
+        stats_.failures++;
+    if (req.opcode == kOpRead) {
+        stats_.readsCompleted++;
+        if (req.readDone)
+            req.readDone(success, std::move(req.buffer));
+    } else {
+        stats_.writesCompleted++;
+        if (req.writeDone)
+            req.writeDone(success);
+    }
+}
+
+// ------------------------------------------------------------- resync
+
+void
+NvmeHostQueue::checkPendingResync()
+{
+    if (!resyncPending_ || !resyncPlainValid_)
+        return;
+    uint64_t cur = assembler_.midPdu() ? assembler_.curPduStartOff()
+                                       : assembler_.streamConsumed();
+    bool ok;
+    if (cur == resyncPlainOff_) {
+        ok = true;
+    } else if (cur > resyncPlainOff_) {
+        ok = false;
+    } else {
+        return; // not there yet
+    }
+    resyncPending_ = false;
+    resyncPlainValid_ = false;
+    if (ok)
+        stats_.resyncConfirmed++;
+    if (tlsRxEngine_ != nullptr) {
+        tlsRxEngine_->innerResyncResponse(resyncReqId_, ok, 0);
+    } else if (l5o_ != nullptr) {
+        l5o_->resyncRxResp(resyncSeq_, ok, 0);
+    }
+}
+
+std::optional<core::L5pCallbacks::TxMsgState>
+NvmeHostQueue::getTxMsgState(uint32_t tcpsn)
+{
+    const core::TxMsgTracker::Entry *e = txMap_.find(tcpsn);
+    if (e == nullptr)
+        return std::nullopt;
+    TxMsgState st;
+    st.msgStartSeq = e->startSeq;
+    st.msgIdx = e->msgIdx;
+    uint32_t n = tcpsn - e->startSeq;
+    st.rebuild.assign(e->bytes.begin(), e->bytes.begin() + n);
+    return st;
+}
+
+void
+NvmeHostQueue::resyncRxReq(uint32_t tcpsn)
+{
+    ANIC_ASSERT(conn_ != nullptr);
+    stats_.resyncRequests++;
+    resyncPending_ = true;
+    // Translate the sequence number into our stream-offset space.
+    uint64_t consumed = assembler_.streamConsumed();
+    int64_t delta = static_cast<int32_t>(
+        tcpsn - conn_->seqOfRcvStreamOff(consumed));
+    resyncPlainOff_ = consumed + delta;
+    resyncPlainValid_ = true;
+    checkPendingResync();
+}
+
+} // namespace anic::nvmetcp

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * NVMe-TCP host (initiator) queue: maps read/write block requests to
+ * capsules over a StreamSocket, with the paper's offloads:
+ *
+ *  - rx CRC offload: skip software data-digest verification when the
+ *    NIC checked every chunk of a capsule;
+ *  - rx copy offload: skip copying payload ranges the NIC already
+ *    placed into the destination block buffer (zero-copy receive);
+ *  - tx CRC offload: send data PDUs with dummy digests for the NIC
+ *    to fill, keeping per-capsule state for retransmit recovery;
+ *  - resync: answers the NIC's PDU-header speculations, both for the
+ *    plain-TCP transport (sequence-number anchors) and for the
+ *    NVMe-TLS composition (record/offset anchors via the TLS layer).
+ *
+ * The transport is any StreamSocket: a TcpConnection (plain NVMe-TCP)
+ * or a TlsSocket (NVMe-TLS, §5.3).
+ */
+
+#ifndef ANIC_NVMETCP_HOST_QUEUE_HH
+#define ANIC_NVMETCP_HOST_QUEUE_HH
+
+#include <unordered_map>
+
+#include "core/offload_device.hh"
+#include "core/tx_msg_tracker.hh"
+#include "host/storage.hh"
+#include "nvmetcp/nvme_engine.hh"
+#include "nvmetcp/pdu.hh"
+#include "tls/ktls.hh"
+
+namespace anic::nvmetcp {
+
+/** Which offloads this queue requests from the NIC. */
+struct NvmeOffloadConfig
+{
+    bool crcRx = false;
+    bool copyRx = false;
+    bool crcTx = false;
+};
+
+struct NvmeHostStats
+{
+    uint64_t readsCompleted = 0;
+    uint64_t writesCompleted = 0;
+    uint64_t failures = 0;
+    uint64_t dataPdusRx = 0;
+    uint64_t crcSkipped = 0;  ///< capsules fully verified by the NIC
+    uint64_t crcSoftware = 0; ///< capsules verified in software
+    uint64_t crcFailures = 0;
+    uint64_t bytesPlaced = 0; ///< payload the NIC DMA'd to buffers
+    uint64_t bytesCopied = 0; ///< payload copied by software
+    uint64_t resyncRequests = 0;
+    uint64_t resyncConfirmed = 0;
+};
+
+class NvmeHostQueue : private core::L5pCallbacks
+{
+  public:
+    NvmeHostQueue(tcp::StreamSocket &sock, WireConfig wc,
+                  NvmeOffloadConfig ocfg);
+    ~NvmeHostQueue() override;
+
+    /**
+     * Installs NIC offload contexts when the transport is a plain
+     * TcpConnection (l5o_create on the flow).
+     */
+    void enableOffload(core::OffloadDevice &dev, tcp::TcpConnection &conn);
+
+    /**
+     * NVMe-TLS composition: installs the NVMe engines *inside* the
+     * TLS socket's NIC engines ("NIC HW parsing starts from Ethernet,
+     * and proceeds to parse TLS then NVMe-TCP").
+     */
+    void enableOffloadOverTls(tls::TlsSocket &tlsSock);
+
+    using ReadDone = std::function<void(bool ok, host::BlockBufferPtr)>;
+    using WriteDone = std::function<void(bool ok)>;
+
+    /** Reads @p len bytes at byte address @p slba. */
+    void read(uint64_t slba, uint32_t len, ReadDone done);
+
+    /** Writes @p len deterministic bytes (seed/slba-addressed). */
+    void write(uint64_t slba, uint32_t len, uint64_t contentSeed,
+               WriteDone done);
+
+    const NvmeHostStats &stats() const { return stats_; }
+    size_t outstanding() const { return requests_.size(); }
+    uint64_t outstandingBytes() const { return outstandingBytes_; }
+
+    /** FSM stats of the rx offload (outer or inner), if any. */
+    const nic::FsmStats *rxFsmStats() const;
+
+  private:
+    struct Request
+    {
+        uint8_t opcode = 0;
+        uint64_t slba = 0;
+        uint32_t len = 0;
+        host::BlockBufferPtr buffer;
+        ReadDone readDone;
+        WriteDone writeDone;
+        uint32_t received = 0;
+        bool failed = false;
+    };
+
+    uint16_t allocCid();
+    void enqueuePdu(Bytes pdu, bool trackForResync);
+    void flushSendQueue();
+    void onReadable();
+    void onPdu(RxPdu &&pdu);
+    void completeRequest(uint16_t cid, bool ok);
+    void checkPendingResync();
+    void handleInnerAnchor(uint64_t recIdx, uint64_t plainOff);
+
+    // L5pCallbacks (plain-TCP transport).
+    std::optional<TxMsgState> getTxMsgState(uint32_t tcpsn) override;
+    void resyncRxReq(uint32_t tcpsn) override;
+
+    tcp::StreamSocket &sock_;
+    WireConfig wc_;
+    NvmeOffloadConfig ocfg_;
+
+    // Offload plumbing (exactly one of these is active).
+    core::L5Offload *l5o_ = nullptr;            // plain TCP transport
+    tcp::TcpConnection *conn_ = nullptr;        // for seq translation
+    tls::TlsSocket *tlsSock_ = nullptr;         // TLS transport
+    tls::TlsRxEngine *tlsRxEngine_ = nullptr;   // hosts our inner engine
+    NvmeRxEngine *rxEngine_ = nullptr;          // whoever owns it
+
+    std::unordered_map<uint16_t, Request> requests_;
+    uint16_t nextCid_ = 1;
+    uint64_t outstandingBytes_ = 0;
+
+    struct SendEntry
+    {
+        Bytes bytes;
+        bool track = false; ///< register in txMap_ when it enters TCP
+        bool added = false;
+    };
+    std::deque<SendEntry> sendq_;
+    size_t sendqOff_ = 0;
+
+    PduAssembler assembler_;
+    core::TxMsgTracker txMap_;
+    uint64_t txMsgIdx_ = 0;
+
+    // Pending resync speculation (one outstanding).
+    bool resyncPending_ = false;
+    uint64_t resyncReqId_ = 0;   // inner (TLS) path only
+    uint32_t resyncSeq_ = 0;     // plain path: TCP seq
+    uint64_t resyncPlainOff_ = 0;
+    bool resyncPlainValid_ = false;
+    bool innerAnchorPending_ = false;
+    uint64_t innerAnchorRecIdx_ = 0;
+    uint32_t innerAnchorRecOff_ = 0;
+
+    NvmeHostStats stats_;
+};
+
+} // namespace anic::nvmetcp
+
+#endif // ANIC_NVMETCP_HOST_QUEUE_HH

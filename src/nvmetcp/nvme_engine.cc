@@ -1,0 +1,219 @@
+#include "nvmetcp/nvme_engine.hh"
+
+#include "util/panic.hh"
+
+namespace anic::nvmetcp {
+
+// ------------------------------------------------------------- receive
+
+void
+NvmeRxEngine::beginPdu(ByteView hdr)
+{
+    std::optional<CommonHdr> ch = parseCommonHdr(hdr, 2 << 20);
+    ANIC_ASSERT(ch.has_value(), "beginPdu on invalid header");
+    ch_ = *ch;
+    isDataPdu_ = ch_.type == kPduC2HData || ch_.type == kPduH2CData;
+    subHdr_.clear();
+    subHdrHave_ = 0;
+    subHdrValid_ = false;
+    subHdrDead_ = false;
+    placeTarget_ = nullptr;
+    crc_.reset();
+    ddgstHave_ = 0;
+}
+
+void
+NvmeRxEngine::parseSubHdr()
+{
+    // subHdr_ holds bytes [8, hlen); synthesize a full header view.
+    Bytes full(kCommonHdrSize + subHdr_.size());
+    full[0] = ch_.type;
+    full[2] = ch_.hlen;
+    std::memcpy(full.data() + kCommonHdrSize, subHdr_.data(), subHdr_.size());
+    if (isDataPdu_) {
+        dataHdr_ = parseDataPduHdr(full);
+        auto it = rrState_.find(dataHdr_.cid);
+        placeTarget_ = it != rrState_.end() ? it->second : nullptr;
+    }
+    subHdrValid_ = true;
+}
+
+void
+NvmeRxEngine::onMsgStart(uint64_t msgIdx, ByteView hdr)
+{
+    beginPdu(hdr);
+    curMsgIdx_ = msgIdx;
+    haveMsgIdx_ = true;
+    crcValid_ = true;
+}
+
+void
+NvmeRxEngine::onMsgResume(uint64_t msgIdx, ByteView hdr, uint64_t off)
+{
+    // Either resuming the same capsule after a gap (sub-header known,
+    // placement continues) or adopting a different capsule mid-way.
+    // Identity must come from the message index — every large data
+    // PDU has an identical header shape, so shape comparison would
+    // silently attach the previous capsule's buffer.
+    bool same_pdu = haveMsgIdx_ && msgIdx == curMsgIdx_ && subHdrValid_;
+    if (!same_pdu) {
+        beginPdu(hdr);
+        // Sub-header bytes before the resume point will never be
+        // seen; without the CID, placement is impossible.
+        if (off > kCommonHdrSize)
+            subHdrDead_ = true;
+        curMsgIdx_ = msgIdx;
+        haveMsgIdx_ = true;
+    }
+    crcValid_ = false;
+}
+
+void
+NvmeRxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
+                        nic::PacketResult &res)
+{
+    if (dryRun)
+        return;
+    const size_t pdo = ch_.pdo;
+    const uint64_t data_end = pdo + ch_.dataLen();
+
+    size_t i = 0;
+    while (i < data.size()) {
+        uint64_t pos = off + i;
+        if (pos < ch_.hlen) {
+            // Sub-header byte range [8, hlen).
+            size_t n = static_cast<size_t>(
+                std::min<uint64_t>(ch_.hlen - pos, data.size() - i));
+            size_t idx = static_cast<size_t>(pos - kCommonHdrSize);
+            if (subHdr_.size() < ch_.hlen - kCommonHdrSize)
+                subHdr_.resize(ch_.hlen - kCommonHdrSize);
+            std::memcpy(subHdr_.data() + idx, data.data() + i, n);
+            subHdrHave_ += n;
+            if (subHdrHave_ >= ch_.hlen - kCommonHdrSize && !subHdrValid_ &&
+                !subHdrDead_) {
+                parseSubHdr();
+            }
+            i += n;
+        } else if (pos < pdo) {
+            // Header digest: opaque to the engine.
+            size_t n = static_cast<size_t>(
+                std::min<uint64_t>(pdo - pos, data.size() - i));
+            i += n;
+        } else if (pos < data_end) {
+            size_t n = static_cast<size_t>(
+                std::min<uint64_t>(data_end - pos, data.size() - i));
+            ByteView chunk(data.data() + i, n);
+            if (isDataPdu_ && wc_.dataDigest) {
+                crc_.update(chunk);
+                res.sawCrcBytes = true;
+            }
+            if (placeTarget_ && subHdrValid_) {
+                // DMA-write straight into the block buffer (Figure 9).
+                uint64_t dst = dataHdr_.dataOffset + (pos - pdo);
+                if (dst + n <= placeTarget_->data.size()) {
+                    std::memcpy(placeTarget_->data.data() + dst,
+                                chunk.data(), n);
+                    res.placed.push_back(net::PlacedRange{
+                        res.spanPktOff + static_cast<uint32_t>(i),
+                        static_cast<uint32_t>(n)});
+                    bytesPlaced_ += n;
+                }
+            }
+            i += n;
+        } else {
+            // Data digest trailer.
+            size_t tail_off = static_cast<size_t>(pos - data_end);
+            size_t n = std::min(kDigestSize - tail_off, data.size() - i);
+            std::memcpy(ddgstBuf_ + tail_off, data.data() + i, n);
+            ddgstHave_ = tail_off + n;
+            res.sawCrcBytes = true;
+            i += n;
+        }
+    }
+}
+
+void
+NvmeRxEngine::onMsgEnd(bool covered, nic::PacketResult &res)
+{
+    if (!isDataPdu_ || !wc_.dataDigest || ch_.dataLen() == 0)
+        return;
+    if (!covered || !crcValid_ || ddgstHave_ < kDigestSize) {
+        // Incomplete coverage: report unchecked so software verifies.
+        res.crcIncomplete = true;
+        return;
+    }
+    uint32_t wire = static_cast<uint32_t>(getLe32(ddgstBuf_));
+    if (crc_.value() != wire)
+        res.crcFailed = true;
+}
+
+void
+NvmeRxEngine::onMsgAbort()
+{
+    crcValid_ = false;
+}
+
+// ------------------------------------------------------------ transmit
+
+void
+NvmeTxEngine::onMsgStart(uint64_t msgIdx, ByteView hdr)
+{
+    (void)msgIdx;
+    std::optional<CommonHdr> ch = parseCommonHdr(hdr, 2 << 20);
+    ANIC_ASSERT(ch.has_value());
+    ch_ = *ch;
+    isDataPdu_ = ch_.type == kPduC2HData || ch_.type == kPduH2CData;
+    crc_.reset();
+    ddgstReady_ = false;
+}
+
+void
+NvmeTxEngine::onMsgResume(uint64_t, ByteView, uint64_t)
+{
+    panic("NVMe tx contexts are recovered via driver resync");
+}
+
+void
+NvmeTxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
+                        nic::PacketResult &res)
+{
+    (void)res;
+    if (dryRun || !isDataPdu_ || !wc_.dataDigest)
+        return;
+    const size_t pdo = ch_.pdo;
+    const uint64_t data_end = pdo + ch_.dataLen();
+
+    size_t i = 0;
+    while (i < data.size()) {
+        uint64_t pos = off + i;
+        if (pos < pdo) {
+            size_t n = static_cast<size_t>(
+                std::min<uint64_t>(pdo - pos, data.size() - i));
+            i += n;
+        } else if (pos < data_end) {
+            size_t n = static_cast<size_t>(
+                std::min<uint64_t>(data_end - pos, data.size() - i));
+            crc_.update(ByteView(data.data() + i, n));
+            i += n;
+        } else {
+            // Replace the dummy digest with the computed CRC.
+            if (!ddgstReady_) {
+                putLe32(ddgst_, crc_.value());
+                ddgstReady_ = true;
+            }
+            size_t tail_off = static_cast<size_t>(pos - data_end);
+            size_t n = std::min(kDigestSize - tail_off, data.size() - i);
+            std::memcpy(data.data() + i, ddgst_ + tail_off, n);
+            i += n;
+        }
+    }
+}
+
+void
+NvmeTxEngine::onMsgEnd(bool covered, nic::PacketResult &res)
+{
+    (void)covered;
+    (void)res;
+}
+
+} // namespace anic::nvmetcp

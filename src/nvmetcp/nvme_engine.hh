@@ -1,0 +1,131 @@
+/**
+ * @file
+ * NIC-side NVMe-TCP engines (the paper's §5.1 offloads).
+ *
+ * NvmeRxEngine (host receive side):
+ *  - CRC32C data-digest verification of C2HData PDUs, reported via
+ *    the per-packet crc_ok descriptor bit;
+ *  - zero-copy placement: a CID -> block-buffer map (l5o_add_rr_state)
+ *    lets the NIC DMA capsule payload directly into the block layer
+ *    (Figure 9), recorded as placed ranges in the descriptor.
+ *  Placement resumes mid-message after out-of-sequence traffic when
+ *  the capsule's sub-header (CID) has been seen; CRC verification for
+ *  such capsules is reported as unchecked so software falls back.
+ *
+ * NvmeTxEngine: fills the data digest of outgoing data PDUs from the
+ * running CRC as packets stream out (the host prepares capsules with
+ * dummy CRC fields). Header digests stay in software — they cover at
+ * most 32 bytes and are not worth offloading.
+ */
+
+#ifndef ANIC_NVMETCP_NVME_ENGINE_HH
+#define ANIC_NVMETCP_NVME_ENGINE_HH
+
+#include <unordered_map>
+
+#include "host/storage.hh"
+#include "nic/stream_fsm.hh"
+#include "nvmetcp/pdu.hh"
+
+namespace anic::nvmetcp {
+
+/** Common framing for both directions. */
+class NvmeEngineBase : public nic::L5Engine
+{
+  public:
+    explicit NvmeEngineBase(const WireConfig &wc) : wc_(wc) {}
+
+    size_t headerSize() const override { return kCommonHdrSize; }
+
+    std::optional<nic::MsgInfo>
+    parseHeader(ByteView hdr) const override
+    {
+        std::optional<CommonHdr> ch = parseCommonHdr(hdr, 2 << 20);
+        if (!ch)
+            return std::nullopt;
+        return nic::MsgInfo{ch->plen};
+    }
+
+  protected:
+    WireConfig wc_;
+    CommonHdr ch_;
+};
+
+/** Host-side receive engine: DDGST verify + placement. */
+class NvmeRxEngine : public NvmeEngineBase
+{
+  public:
+    explicit NvmeRxEngine(const WireConfig &wc) : NvmeEngineBase(wc) {}
+
+    /** l5o_add_rr_state: maps a pending command's CID to its block
+     *  buffer so responses can be placed directly. */
+    void
+    addRrState(uint16_t cid, host::BlockBufferPtr buf)
+    {
+        rrState_[cid] = std::move(buf);
+    }
+
+    /** l5o_del_rr_state. */
+    void delRrState(uint16_t cid) { rrState_.erase(cid); }
+
+    size_t rrStateSize() const { return rrState_.size(); }
+
+    bool resumeMidMessage() const override { return true; }
+
+    void onMsgStart(uint64_t msgIdx, ByteView hdr) override;
+    void onMsgData(uint64_t off, ByteSpan data, bool dryRun,
+                   nic::PacketResult &res) override;
+    void onMsgEnd(bool covered, nic::PacketResult &res) override;
+    void onMsgResume(uint64_t msgIdx, ByteView hdr, uint64_t off) override;
+    void onMsgAbort() override;
+
+    uint64_t bytesPlaced() const { return bytesPlaced_; }
+
+  private:
+    void beginPdu(ByteView hdr);
+    void parseSubHdr();
+
+    std::unordered_map<uint16_t, host::BlockBufferPtr> rrState_;
+
+    // Per-PDU dynamic state (constant size, as §3.2 requires).
+    Bytes subHdr_;       ///< header bytes [8, hlen)
+    size_t subHdrHave_ = 0;
+    bool subHdrValid_ = false;
+    bool subHdrDead_ = false; ///< early sub-header bytes lost to a gap
+    DataPduHdr dataHdr_;
+    host::BlockBufferPtr placeTarget_; ///< shared: survives del_rr_state
+    uint64_t curMsgIdx_ = 0;
+    bool haveMsgIdx_ = false;
+    crypto::Crc32c crc_;
+    bool crcValid_ = false; ///< running CRC covers the data from byte 0
+    uint8_t ddgstBuf_[kDigestSize];
+    size_t ddgstHave_ = 0;
+    bool isDataPdu_ = false;
+    uint64_t bytesPlaced_ = 0;
+};
+
+/** Transmit engine: fills DDGST on outgoing data PDUs. */
+class NvmeTxEngine : public NvmeEngineBase
+{
+  public:
+    explicit NvmeTxEngine(const WireConfig &wc) : NvmeEngineBase(wc) {}
+
+    bool resumeMidMessage() const override { return false; }
+
+    void onMsgStart(uint64_t msgIdx, ByteView hdr) override;
+    void onMsgData(uint64_t off, ByteSpan data, bool dryRun,
+                   nic::PacketResult &res) override;
+    void onMsgEnd(bool covered, nic::PacketResult &res) override;
+    void onMsgResume(uint64_t, ByteView, uint64_t) override;
+    void onMsgAbort() override {}
+
+  private:
+    crypto::Crc32c crc_;
+    bool isDataPdu_ = false;
+    uint8_t ddgst_[kDigestSize];
+    bool ddgstReady_ = false;
+};
+
+} // namespace anic::nvmetcp
+
+#endif // ANIC_NVMETCP_NVME_ENGINE_HH

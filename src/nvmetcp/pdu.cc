@@ -1,0 +1,241 @@
+#include "nvmetcp/pdu.hh"
+
+#include "util/panic.hh"
+
+namespace anic::nvmetcp {
+
+uint8_t
+hlenForType(uint8_t type)
+{
+    switch (type) {
+      case kPduCapsuleCmd:
+        return kCmdHdrSize;
+      case kPduCapsuleResp:
+        return kRespHdrSize;
+      case kPduH2CData:
+      case kPduC2HData:
+        return kDataHdrSize;
+      default:
+        return 0;
+    }
+}
+
+std::optional<CommonHdr>
+parseCommonHdr(ByteView h, size_t maxPdu)
+{
+    if (h.size() < kCommonHdrSize)
+        return std::nullopt;
+    CommonHdr ch;
+    ch.type = h[0];
+    ch.flags = h[1];
+    ch.hlen = h[2];
+    ch.pdo = h[3];
+    ch.plen = static_cast<uint32_t>(getLe32(h.data() + 4));
+
+    uint8_t expect_hlen = hlenForType(ch.type);
+    if (expect_hlen == 0 || ch.hlen != expect_hlen)
+        return std::nullopt;
+    if (ch.flags & ~(kFlagHdgst | kFlagDdgst))
+        return std::nullopt;
+    uint8_t expect_pdo = ch.hlen + (ch.hasHdgst() ? kDigestSize : 0);
+    if (ch.pdo != expect_pdo)
+        return std::nullopt;
+    uint32_t min_len = ch.pdo + (ch.hasDdgst() ? kDigestSize : 0);
+    // Capsules without data carry no DDGST even when negotiated.
+    if (ch.type == kPduCapsuleResp || ch.type == kPduCapsuleCmd)
+        min_len = ch.pdo;
+    if (ch.plen < min_len || ch.plen > maxPdu)
+        return std::nullopt;
+    return ch;
+}
+
+namespace {
+
+Bytes
+makeHeader(const WireConfig &wc, uint8_t type, uint8_t hlen, bool withData,
+           uint32_t dataLen)
+{
+    uint8_t flags = 0;
+    if (wc.headerDigest)
+        flags |= kFlagHdgst;
+    if (wc.dataDigest && withData)
+        flags |= kFlagDdgst;
+    uint8_t pdo = hlen + (wc.headerDigest ? kDigestSize : 0);
+    uint32_t plen = pdo + dataLen +
+                    ((wc.dataDigest && withData) ? kDigestSize : 0);
+    if (!withData)
+        plen = pdo;
+
+    Bytes out(plen);
+    out[0] = type;
+    out[1] = flags;
+    out[2] = hlen;
+    out[3] = pdo;
+    putLe32(out.data() + 4, plen);
+    return out;
+}
+
+void
+fillHdgst(const WireConfig &wc, Bytes &pdu, uint8_t hlen)
+{
+    if (!wc.headerDigest)
+        return;
+    uint32_t crc = crypto::Crc32c::compute(ByteView(pdu.data(), hlen));
+    putLe32(pdu.data() + hlen, crc);
+}
+
+} // namespace
+
+Bytes
+buildCmdCapsule(const WireConfig &wc, const CmdCapsule &cmd)
+{
+    Bytes pdu = makeHeader(wc, kPduCapsuleCmd, kCmdHdrSize, false, 0);
+    putLe16(pdu.data() + 8, cmd.cid);
+    pdu[10] = cmd.opcode;
+    putLe(pdu.data() + 12, cmd.slba, 8);
+    putLe32(pdu.data() + 20, cmd.length);
+    fillHdgst(wc, pdu, kCmdHdrSize);
+    return pdu;
+}
+
+Bytes
+buildRespCapsule(const WireConfig &wc, const RespCapsule &resp)
+{
+    Bytes pdu = makeHeader(wc, kPduCapsuleResp, kRespHdrSize, false, 0);
+    putLe16(pdu.data() + 8, resp.cid);
+    putLe16(pdu.data() + 10, resp.status);
+    fillHdgst(wc, pdu, kRespHdrSize);
+    return pdu;
+}
+
+Bytes
+buildDataPdu(const WireConfig &wc, uint8_t type, const DataPduHdr &hdr,
+             ByteView data, bool fillDdgst)
+{
+    ANIC_ASSERT(type == kPduC2HData || type == kPduH2CData);
+    ANIC_ASSERT(data.size() <= wc.maxDataPerPdu);
+    Bytes pdu = makeHeader(wc, type, kDataHdrSize, true,
+                           static_cast<uint32_t>(data.size()));
+    putLe16(pdu.data() + 8, hdr.cid);
+    putLe32(pdu.data() + 12, hdr.dataOffset);
+    putLe32(pdu.data() + 16, static_cast<uint32_t>(data.size()));
+    fillHdgst(wc, pdu, kDataHdrSize);
+
+    size_t pdo = kDataHdrSize + wc.digestLen();
+    std::memcpy(pdu.data() + pdo, data.data(), data.size());
+    if (wc.dataDigest && fillDdgst) {
+        uint32_t crc = crypto::Crc32c::compute(data);
+        putLe32(pdu.data() + pdo + data.size(), crc);
+    }
+    return pdu;
+}
+
+CmdCapsule
+parseCmdCapsule(ByteView pdu)
+{
+    CmdCapsule c;
+    c.cid = getLe16(pdu.data() + 8);
+    c.opcode = pdu[10];
+    c.slba = getLe(pdu.data() + 12, 8);
+    c.length = static_cast<uint32_t>(getLe32(pdu.data() + 20));
+    return c;
+}
+
+RespCapsule
+parseRespCapsule(ByteView pdu)
+{
+    RespCapsule r;
+    r.cid = getLe16(pdu.data() + 8);
+    r.status = getLe16(pdu.data() + 10);
+    return r;
+}
+
+DataPduHdr
+parseDataPduHdr(ByteView pdu)
+{
+    DataPduHdr d;
+    d.cid = getLe16(pdu.data() + 8);
+    d.dataOffset = static_cast<uint32_t>(getLe32(pdu.data() + 12));
+    d.dataLen = static_cast<uint32_t>(getLe32(pdu.data() + 16));
+    return d;
+}
+
+uint64_t
+RxPdu::placedDataBytes() const
+{
+    uint64_t total = 0;
+    for (const PduSlice &s : slices) {
+        for (const net::PlacedRange &r : s.placed)
+            total += r.len;
+    }
+    return total;
+}
+
+void
+PduAssembler::ingest(const tcp::RxSegment &seg,
+                     std::function<void(RxPdu &&)> sink)
+{
+    size_t off = 0;
+    const size_t n = seg.data.size();
+    while (off < n && !error_) {
+        if (!hdrComplete_) {
+            if (hdr8_.empty() && have_ == 0)
+                pduStartOff_ = seg.streamOff + off;
+            size_t need = kCommonHdrSize - hdr8_.size();
+            size_t take = std::min(need, n - off);
+            hdr8_.insert(hdr8_.end(), seg.data.begin() + off,
+                         seg.data.begin() + off + take);
+            off += take;
+            have_ += take;
+            consumed_ = seg.streamOff + off;
+            if (hdr8_.size() < kCommonHdrSize)
+                break;
+            std::optional<CommonHdr> ch = parseCommonHdr(hdr8_, maxPdu_);
+            if (!ch) {
+                error_ = true;
+                return;
+            }
+            cur_.ch = *ch;
+            cur_.bytes.resize(ch->plen);
+            std::memcpy(cur_.bytes.data(), hdr8_.data(), kCommonHdrSize);
+            cur_.slices.clear();
+            hdrComplete_ = true;
+            continue;
+        }
+
+        size_t want = cur_.ch.plen - have_;
+        size_t take = std::min(want, n - off);
+        std::memcpy(cur_.bytes.data() + have_, seg.data.data() + off, take);
+
+        PduSlice slice;
+        slice.pduOff = have_;
+        slice.len = take;
+        slice.crcChecked = seg.meta.crcChecked;
+        slice.crcOk = seg.meta.crcOk;
+        for (const net::PlacedRange &r : seg.meta.placed) {
+            // Convert segment-relative placement to PDU-relative.
+            uint64_t s = std::max<uint64_t>(r.payloadOff, off);
+            uint64_t e = std::min<uint64_t>(r.payloadOff + r.len, off + take);
+            if (s < e) {
+                slice.placed.push_back(net::PlacedRange{
+                    static_cast<uint32_t>(have_ + (s - off)),
+                    static_cast<uint32_t>(e - s)});
+            }
+        }
+        cur_.slices.push_back(std::move(slice));
+
+        have_ += take;
+        off += take;
+        consumed_ = seg.streamOff + off;
+        if (have_ == cur_.ch.plen) {
+            RxPdu done = std::move(cur_);
+            cur_ = RxPdu{};
+            hdr8_.clear();
+            hdrComplete_ = false;
+            have_ = 0;
+            sink(std::move(done));
+        }
+    }
+}
+
+} // namespace anic::nvmetcp

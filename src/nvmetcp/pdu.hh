@@ -1,0 +1,231 @@
+/**
+ * @file
+ * NVMe/TCP PDU wire format (NVMe-oF TCP transport binding, simplified
+ * but faithful where the paper's offload depends on it).
+ *
+ * Every PDU starts with the 8-byte common header:
+ *   [0]    type      (CapsuleCmd 0x04, CapsuleResp 0x05,
+ *                     H2CData 0x06, C2HData 0x07)
+ *   [1]    flags     (bit0 HDGST present, bit1 DDGST present)
+ *   [2]    hlen      (PDU header length, type-specific constant)
+ *   [3]    pdo       (data offset = hlen + optional 4-byte HDGST)
+ *   [4..7] plen      (total PDU length incl. digests, little-endian)
+ *
+ * These are exactly the paper's §5.1 magic-pattern fields: "PDU type:
+ * one of only eight valid values; header length: well known constant
+ * for each PDU type; header digest; data digest".
+ *
+ * Type-specific headers (after the common 8 bytes, little-endian):
+ *   CapsuleCmd  (hlen 32): cid u16, opcode u8, rsvd u8, slba u64,
+ *                          length u32, rsvd[8]
+ *   CapsuleResp (hlen 24): cid u16, status u16, rsvd[12]
+ *   C2H/H2CData (hlen 24): cid u16, rsvd u16, dataOffset u32,
+ *                          dataLen u32, rsvd[4]
+ *
+ * Digests are CRC32C: HDGST over [0, hlen), DDGST over the data.
+ */
+
+#ifndef ANIC_NVMETCP_PDU_HH
+#define ANIC_NVMETCP_PDU_HH
+
+#include <functional>
+#include <optional>
+
+#include "crypto/crc32c.hh"
+#include "tcp/socket.hh"
+#include "util/bytes.hh"
+
+namespace anic::nvmetcp {
+
+enum PduType : uint8_t
+{
+    kPduCapsuleCmd = 0x04,
+    kPduCapsuleResp = 0x05,
+    kPduH2CData = 0x06,
+    kPduC2HData = 0x07,
+};
+
+enum PduFlags : uint8_t
+{
+    kFlagHdgst = 0x01,
+    kFlagDdgst = 0x02,
+};
+
+enum NvmeOpcode : uint8_t
+{
+    kOpRead = 0x02,
+    kOpWrite = 0x01,
+};
+
+constexpr size_t kCommonHdrSize = 8;
+constexpr size_t kCmdHdrSize = 32;
+constexpr size_t kRespHdrSize = 24;
+constexpr size_t kDataHdrSize = 24;
+constexpr size_t kDigestSize = 4;
+
+/** Wire-format options negotiated at queue setup (ICReq/ICResp). */
+struct WireConfig
+{
+    bool headerDigest = true;
+    bool dataDigest = true;
+    size_t maxDataPerPdu = 256 << 10;
+
+    size_t digestLen() const { return headerDigest ? kDigestSize : 0; }
+    size_t ddgstLen() const { return dataDigest ? kDigestSize : 0; }
+};
+
+/** Decoded common header. */
+struct CommonHdr
+{
+    uint8_t type = 0;
+    uint8_t flags = 0;
+    uint8_t hlen = 0;
+    uint8_t pdo = 0;
+    uint32_t plen = 0;
+
+    bool hasHdgst() const { return flags & kFlagHdgst; }
+    bool hasDdgst() const { return flags & kFlagDdgst; }
+
+    /** Data region [pdo, pdo + dataLen). */
+    uint32_t
+    dataLen() const
+    {
+        uint32_t tail = hasDdgst() ? kDigestSize : 0;
+        return plen - pdo - tail;
+    }
+};
+
+/** Expected hlen for a PDU type (0 = unknown type). */
+uint8_t hlenForType(uint8_t type);
+
+/**
+ * Parses + validates a common header: known type, matching hlen,
+ * consistent pdo and plen bounds. This is the offload's speculative
+ * magic-pattern check.
+ */
+std::optional<CommonHdr> parseCommonHdr(ByteView h, size_t maxPdu = 2 << 20);
+
+/** Fields of a command capsule. */
+struct CmdCapsule
+{
+    uint16_t cid = 0;
+    uint8_t opcode = 0;
+    uint64_t slba = 0;  ///< byte address on the drive (simplified LBA)
+    uint32_t length = 0;
+};
+
+/** Fields of a response capsule. */
+struct RespCapsule
+{
+    uint16_t cid = 0;
+    uint16_t status = 0; ///< 0 = success
+};
+
+/** Fields of a data PDU (C2H or H2C). */
+struct DataPduHdr
+{
+    uint16_t cid = 0;
+    uint32_t dataOffset = 0;
+    uint32_t dataLen = 0;
+};
+
+// -------------------------------------------------------------- builders
+
+/** Builds a command capsule (no data). */
+Bytes buildCmdCapsule(const WireConfig &wc, const CmdCapsule &cmd);
+
+/** Builds a response capsule. */
+Bytes buildRespCapsule(const WireConfig &wc, const RespCapsule &resp);
+
+/**
+ * Builds a data PDU. When @p fillDdgst is false the digest field (if
+ * configured) is left zero for the NIC tx offload to fill.
+ */
+Bytes buildDataPdu(const WireConfig &wc, uint8_t type, const DataPduHdr &hdr,
+                   ByteView data, bool fillDdgst);
+
+// --------------------------------------------------------------- parsing
+
+CmdCapsule parseCmdCapsule(ByteView pdu);
+RespCapsule parseRespCapsule(ByteView pdu);
+DataPduHdr parseDataPduHdr(ByteView pdu);
+
+/** Offload flags of one contiguous chunk of an assembled PDU. */
+struct PduSlice
+{
+    size_t pduOff = 0;
+    size_t len = 0;
+    bool crcChecked = false;
+    bool crcOk = false;
+    /** Placed ranges, PDU-relative. */
+    std::vector<net::PlacedRange> placed;
+};
+
+/** A fully reassembled PDU with per-packet offload results. */
+struct RxPdu
+{
+    CommonHdr ch;
+    Bytes bytes; ///< full wire bytes [0, plen)
+    std::vector<PduSlice> slices;
+
+    /** True iff the NIC checked (and passed) the data digest on every
+     *  chunk — the "crc_ok bits of all SKBs" condition. */
+    bool
+    crcFullyOffloaded() const
+    {
+        if (slices.empty())
+            return false;
+        for (const PduSlice &s : slices) {
+            if (!s.crcChecked || !s.crcOk)
+                return false;
+        }
+        return true;
+    }
+
+    /** Total bytes of the data region already placed by the NIC. */
+    uint64_t placedDataBytes() const;
+};
+
+/**
+ * Incremental PDU reassembler: feed in-order stream segments, get
+ * complete PDUs. Mirrors what the in-kernel nvme-tcp receive path
+ * does, including tracking which chunks the NIC already handled.
+ */
+class PduAssembler
+{
+  public:
+    explicit PduAssembler(const WireConfig &wc, size_t maxPdu = 2 << 20)
+        : wc_(wc), maxPdu_(maxPdu)
+    {
+    }
+
+    /** Feeds a segment; invokes @p sink for each completed PDU. */
+    void ingest(const tcp::RxSegment &seg,
+                std::function<void(RxPdu &&)> sink);
+
+    bool error() const { return error_; }
+
+    /** Stream offset where the next (or current) PDU starts. */
+    uint64_t curPduStartOff() const { return pduStartOff_; }
+
+    /** Stream offset of the next unconsumed byte. */
+    uint64_t streamConsumed() const { return consumed_; }
+
+    /** True if mid-PDU (header or body partially collected). */
+    bool midPdu() const { return have_ > 0; }
+
+  private:
+    WireConfig wc_;
+    size_t maxPdu_;
+    RxPdu cur_;
+    Bytes hdr8_;
+    bool hdrComplete_ = false;
+    size_t have_ = 0;
+    uint64_t pduStartOff_ = 0;
+    uint64_t consumed_ = 0;
+    bool error_ = false;
+};
+
+} // namespace anic::nvmetcp
+
+#endif // ANIC_NVMETCP_PDU_HH

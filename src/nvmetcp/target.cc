@@ -1,0 +1,157 @@
+#include "nvmetcp/target.hh"
+
+#include "host/core.hh"
+#include "util/panic.hh"
+
+namespace anic::nvmetcp {
+
+NvmeTarget::NvmeTarget(tcp::StreamSocket &sock, host::NvmeDrive &drive,
+                       WireConfig wc)
+    : sock_(sock), drive_(drive), wc_(wc), assembler_(wc)
+{
+    sock_.setOnReadable([this] { onReadable(); });
+    sock_.setOnWritable([this] { flush(); });
+}
+
+void
+NvmeTarget::onReadable()
+{
+    while (sock_.readable()) {
+        tcp::RxSegment seg = sock_.pop();
+        assembler_.ingest(std::move(seg),
+                          [this](RxPdu &&pdu) { onPdu(std::move(pdu)); });
+        ANIC_ASSERT(!assembler_.error(), "target stream desync");
+    }
+}
+
+void
+NvmeTarget::onPdu(RxPdu &&pdu)
+{
+    host::Core &core = sock_.core();
+    const host::CycleModel &m = core.model();
+    core.charge(m.nvmePduCost);
+
+    switch (pdu.ch.type) {
+      case kPduCapsuleCmd: {
+        CmdCapsule cmd = parseCmdCapsule(pdu.bytes);
+        if (cmd.opcode == kOpRead) {
+            serveRead(cmd);
+        } else {
+            PendingWrite w;
+            w.len = cmd.length;
+            w.slba = cmd.slba;
+            writes_[cmd.cid] = w;
+            if (cmd.length == 0)
+                finishWrite(cmd.cid);
+        }
+        return;
+      }
+      case kPduH2CData: {
+        DataPduHdr dh = parseDataPduHdr(pdu.bytes);
+        auto it = writes_.find(dh.cid);
+        if (it == writes_.end())
+            return;
+        PendingWrite &w = it->second;
+        // Verify the data digest in software (the generator machine
+        // is not the device under test).
+        if (wc_.dataDigest && dh.dataLen > 0) {
+            ByteView data =
+                ByteView(pdu.bytes).subspan(pdu.ch.pdo, dh.dataLen);
+            core.charge(m.crcPerByte * dh.dataLen);
+            uint32_t wire = static_cast<uint32_t>(
+                getLe32(pdu.bytes.data() + pdu.ch.pdo + dh.dataLen));
+            if (crypto::Crc32c::compute(data) != wire) {
+                w.crcOk = false;
+                stats_.crcFailures++;
+            }
+        }
+        core.charge(m.copyPerByte(w.len) * dh.dataLen);
+        w.received += dh.dataLen;
+        if (w.received >= w.len)
+            finishWrite(dh.cid);
+        return;
+      }
+      default:
+        return; // targets ignore response-type PDUs
+    }
+}
+
+void
+NvmeTarget::serveRead(const CmdCapsule &cmd)
+{
+    host::Core &core = sock_.core();
+    core.charge(core.model().nvmeRequestCost / 2);
+
+    drive_.read(cmd.slba, cmd.length, [this, cmd, &core](Bytes data) {
+        core.post([this, cmd, data = std::move(data)] {
+            host::Core &c = sock_.core();
+            const host::CycleModel &m = c.model();
+            stats_.readsServed++;
+            stats_.bytesRead += data.size();
+
+            size_t off = 0;
+            while (off < data.size()) {
+                size_t n = std::min(wc_.maxDataPerPdu, data.size() - off);
+                DataPduHdr dh;
+                dh.cid = cmd.cid;
+                dh.dataOffset = static_cast<uint32_t>(off);
+                dh.dataLen = static_cast<uint32_t>(n);
+                // Drive buffer -> PDU copy plus software digest.
+                c.charge(m.copyPerByte(data.size()) * n +
+                         (wc_.dataDigest ? m.crcPerByte * n : 0) +
+                         m.nvmePduCost);
+                enqueue(buildDataPdu(wc_, kPduC2HData, dh,
+                                     ByteView(data).subspan(off, n),
+                                     /*fillDdgst=*/true));
+                off += n;
+            }
+            RespCapsule resp;
+            resp.cid = cmd.cid;
+            resp.status = 0;
+            enqueue(buildRespCapsule(wc_, resp));
+        });
+    });
+}
+
+void
+NvmeTarget::finishWrite(uint16_t cid)
+{
+    auto it = writes_.find(cid);
+    ANIC_ASSERT(it != writes_.end());
+    PendingWrite w = it->second;
+    writes_.erase(it);
+
+    drive_.write(w.slba, w.len, [this, cid, w] {
+        sock_.core().post([this, cid, w] {
+            stats_.writesServed++;
+            stats_.bytesWritten += w.len;
+            RespCapsule resp;
+            resp.cid = cid;
+            resp.status = w.crcOk ? 0 : 1;
+            enqueue(buildRespCapsule(wc_, resp));
+        });
+    });
+}
+
+void
+NvmeTarget::enqueue(Bytes pdu)
+{
+    sendq_.push_back(std::move(pdu));
+    flush();
+}
+
+void
+NvmeTarget::flush()
+{
+    while (!sendq_.empty()) {
+        ByteView rest = ByteView(sendq_.front()).subspan(sendqOff_);
+        size_t acc = sock_.send(rest);
+        sendqOff_ += acc;
+        if (sendqOff_ < sendq_.front().size())
+            return;
+        sendq_.pop_front();
+        sendqOff_ = 0;
+    }
+}
+
+} // namespace anic::nvmetcp

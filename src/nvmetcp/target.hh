@@ -1,0 +1,68 @@
+/**
+ * @file
+ * NVMe-TCP target (controller): serves capsules over a StreamSocket
+ * from an NvmeDrive. Lives on the workload-generator machine in the
+ * paper's setup ("the server utilizes an Optane ... NVMe SSD that
+ * resides remotely, on the generator").
+ */
+
+#ifndef ANIC_NVMETCP_TARGET_HH
+#define ANIC_NVMETCP_TARGET_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "host/storage.hh"
+#include "nvmetcp/pdu.hh"
+
+namespace anic::nvmetcp {
+
+struct NvmeTargetStats
+{
+    uint64_t readsServed = 0;
+    uint64_t writesServed = 0;
+    uint64_t bytesRead = 0;
+    uint64_t bytesWritten = 0;
+    uint64_t crcFailures = 0;
+};
+
+/** One connection's controller-side session. */
+class NvmeTarget
+{
+  public:
+    NvmeTarget(tcp::StreamSocket &sock, host::NvmeDrive &drive,
+               WireConfig wc);
+
+    const NvmeTargetStats &stats() const { return stats_; }
+
+  private:
+    void onReadable();
+    void onPdu(RxPdu &&pdu);
+    void serveRead(const CmdCapsule &cmd);
+    void finishWrite(uint16_t cid);
+    void enqueue(Bytes pdu);
+    void flush();
+
+    tcp::StreamSocket &sock_;
+    host::NvmeDrive &drive_;
+    WireConfig wc_;
+    PduAssembler assembler_;
+
+    struct PendingWrite
+    {
+        uint32_t len = 0;
+        uint32_t received = 0;
+        uint64_t slba = 0;
+        bool crcOk = true;
+    };
+    std::unordered_map<uint16_t, PendingWrite> writes_;
+
+    std::deque<Bytes> sendq_;
+    size_t sendqOff_ = 0;
+
+    NvmeTargetStats stats_;
+};
+
+} // namespace anic::nvmetcp
+
+#endif // ANIC_NVMETCP_TARGET_HH

@@ -1,0 +1,43 @@
+#include "sim/simulator.hh"
+
+namespace anic::sim {
+
+void
+Simulator::scheduleAt(Tick when, Callback cb)
+{
+    ANIC_ASSERT(when >= now_, "scheduling into the past: %llu < %llu",
+                static_cast<unsigned long long>(when),
+                static_cast<unsigned long long>(now_));
+    queue_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+void
+Simulator::run()
+{
+    while (!queue_.empty()) {
+        // priority_queue::top() returns const&; the callback must be
+        // moved out before pop, so copy the event (cheap: one
+        // std::function).
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        executed_++;
+        ev.cb();
+    }
+}
+
+void
+Simulator::runUntil(Tick until)
+{
+    while (!queue_.empty() && queue_.top().when <= until) {
+        Event ev = queue_.top();
+        queue_.pop();
+        now_ = ev.when;
+        executed_++;
+        ev.cb();
+    }
+    if (now_ < until)
+        now_ = until;
+}
+
+} // namespace anic::sim

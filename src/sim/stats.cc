@@ -1,0 +1,49 @@
+#include "sim/stats.hh"
+
+#include "util/panic.hh"
+
+namespace anic::sim {
+
+double
+SampleStat::min() const
+{
+    ANIC_ASSERT(!samples_.empty());
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleStat::max() const
+{
+    ANIC_ASSERT(!samples_.empty());
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+SampleStat::percentile(double p) const
+{
+    ANIC_ASSERT(!samples_.empty());
+    ANIC_ASSERT(p >= 0.0 && p <= 100.0);
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    if (p <= 0.0)
+        return sorted.front();
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    rank = std::min(std::max<size_t>(rank, 1), sorted.size());
+    return sorted[rank - 1];
+}
+
+double
+SampleStat::trimmedMean() const
+{
+    if (samples_.size() <= 2)
+        return mean();
+    double lo = min();
+    double hi = max();
+    double sum = 0.0;
+    for (double v : samples_)
+        sum += v;
+    return (sum - lo - hi) / static_cast<double>(samples_.size() - 2);
+}
+
+} // namespace anic::sim

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Interface between the TCP stack and a network device driver. The
+ * autonomous-offload driver (src/core) implements this on top of the
+ * NIC model; tests use simple loopback doubles.
+ */
+
+#ifndef ANIC_TCP_NET_DEVICE_HH
+#define ANIC_TCP_NET_DEVICE_HH
+
+#include <functional>
+
+#include "net/packet.hh"
+
+namespace anic::tcp {
+
+/** Driver-side transmit interface with backpressure. */
+class NetDevice
+{
+  public:
+    virtual ~NetDevice() = default;
+
+    /**
+     * Queues a packet for transmission. Returns false if the tx ring
+     * is full; the device will invoke the tx-space callback when the
+     * caller should retry (BQL-style backpressure).
+     */
+    virtual bool transmit(net::PacketPtr pkt) = 0;
+
+    /** Registers the callback fired when tx space frees up. */
+    virtual void setOnTxSpace(std::function<void()> cb) = 0;
+
+    /** The IP address bound to this device. */
+    virtual net::IpAddr ipAddr() const = 0;
+};
+
+} // namespace anic::tcp
+
+#endif // ANIC_TCP_NET_DEVICE_HH

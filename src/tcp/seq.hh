@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Wraparound-safe TCP sequence-number arithmetic (RFC 793 comparisons
+ * on modulo-2^32 values).
+ */
+
+#ifndef ANIC_TCP_SEQ_HH
+#define ANIC_TCP_SEQ_HH
+
+#include <cstdint>
+
+namespace anic::tcp {
+
+/** a < b in sequence space. */
+inline bool
+seqLt(uint32_t a, uint32_t b)
+{
+    return static_cast<int32_t>(a - b) < 0;
+}
+
+/** a <= b in sequence space. */
+inline bool
+seqLeq(uint32_t a, uint32_t b)
+{
+    return !seqLt(b, a);
+}
+
+/** a > b in sequence space. */
+inline bool
+seqGt(uint32_t a, uint32_t b)
+{
+    return seqLt(b, a);
+}
+
+/** a >= b in sequence space. */
+inline bool
+seqGeq(uint32_t a, uint32_t b)
+{
+    return !seqLt(a, b);
+}
+
+/** Bytes from a to b (b - a), valid when a <= b within half the ring. */
+inline uint32_t
+seqDiff(uint32_t b, uint32_t a)
+{
+    return b - a;
+}
+
+/** max in sequence space. */
+inline uint32_t
+seqMax(uint32_t a, uint32_t b)
+{
+    return seqLt(a, b) ? b : a;
+}
+
+/** min in sequence space. */
+inline uint32_t
+seqMin(uint32_t a, uint32_t b)
+{
+    return seqLt(a, b) ? a : b;
+}
+
+} // namespace anic::tcp
+
+#endif // ANIC_TCP_SEQ_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Stream socket abstraction shared by plain TCP and kTLS sockets, so
+ * L5Ps (NVMe-TCP) and applications can run over either — which is how
+ * the NVMe-TLS composition works.
+ *
+ * Unlike a POSIX byte-stream recv(), receive hands out *segments*
+ * that preserve per-packet NIC offload metadata; the paper's design
+ * depends on L5P software seeing which packets the NIC processed
+ * ("the L5P software reads L5P messages handed to it by TCP
+ * packet-by-packet").
+ */
+
+#ifndef ANIC_TCP_SOCKET_HH
+#define ANIC_TCP_SOCKET_HH
+
+#include <functional>
+
+#include "net/packet.hh"
+#include "util/bytes.hh"
+
+namespace anic::host {
+class Core;
+}
+
+namespace anic::tcp {
+
+/**
+ * One in-order chunk of received stream data, carrying the NIC
+ * offload results of the packet it arrived in. Segments with
+ * different offload results are never coalesced.
+ */
+struct RxSegment
+{
+    uint64_t streamOff = 0; ///< offset in the connection byte stream
+    Bytes data;
+    net::RxOffloadMeta meta;
+};
+
+/** Reliable byte stream with per-segment offload metadata. */
+class StreamSocket
+{
+  public:
+    virtual ~StreamSocket() = default;
+
+    /**
+     * Appends up to data.size() bytes to the send stream; returns how
+     * many were accepted (0 when the send buffer is full).
+     */
+    virtual size_t send(ByteView data) = 0;
+
+    /** Free space in the send buffer. */
+    virtual size_t sendSpace() const = 0;
+
+    /** Invoked when sendSpace() becomes nonzero again. */
+    virtual void setOnWritable(std::function<void()> cb) = 0;
+
+    /** True if an in-order segment is available. */
+    virtual bool readable() const = 0;
+
+    /** Pops the next in-order segment; readable() must be true. */
+    virtual RxSegment pop() = 0;
+
+    /** Invoked when data becomes readable. */
+    virtual void setOnReadable(std::function<void()> cb) = 0;
+
+    /** Invoked when the peer closed its direction (FIN). */
+    virtual void setOnPeerClosed(std::function<void()> cb) = 0;
+
+    /** Graceful close of the send direction. */
+    virtual void close() = 0;
+
+    /** The core this connection's processing is steered to. */
+    virtual host::Core &core() = 0;
+};
+
+} // namespace anic::tcp
+
+#endif // ANIC_TCP_SOCKET_HH

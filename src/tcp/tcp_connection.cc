@@ -1,0 +1,726 @@
+#include "tcp/tcp_connection.hh"
+
+#include "tcp/tcp_stack.hh"
+#include "util/panic.hh"
+
+namespace anic::tcp {
+
+using net::kTcpAck;
+using net::kTcpFin;
+using net::kTcpPsh;
+using net::kTcpSyn;
+
+// --------------------------------------------------------------- SendRing
+
+size_t
+SendRing::push(ByteView data)
+{
+    if (buf_.empty())
+        buf_.resize(capacity_); // lazy: idle connections stay small
+    size_t n = std::min(space(), data.size());
+    size_t tail = (head_ + size_) % buf_.size();
+    size_t first = std::min(n, buf_.size() - tail);
+    std::memcpy(buf_.data() + tail, data.data(), first);
+    if (n > first)
+        std::memcpy(buf_.data(), data.data() + first, n - first);
+    size_ += n;
+    return n;
+}
+
+void
+SendRing::copyOut(size_t relOff, ByteSpan out) const
+{
+    ANIC_ASSERT(relOff + out.size() <= size_, "copyOut beyond ring data");
+    if (out.empty())
+        return;
+    size_t pos = (head_ + relOff) % buf_.size();
+    size_t first = std::min(out.size(), buf_.size() - pos);
+    std::memcpy(out.data(), buf_.data() + pos, first);
+    if (out.size() > first)
+        std::memcpy(out.data() + first, buf_.data(), out.size() - first);
+}
+
+void
+SendRing::popFront(size_t n)
+{
+    ANIC_ASSERT(n <= size_);
+    if (n == 0)
+        return;
+    head_ = (head_ + n) % buf_.size();
+    size_ -= n;
+}
+
+// --------------------------------------------------------- helper: meta
+
+namespace {
+
+/** Adjusts placement metadata after trimming @p trim payload bytes
+ *  from the front and keeping @p keep bytes. */
+net::RxOffloadMeta
+trimMeta(const net::RxOffloadMeta &meta, size_t trim, size_t keep)
+{
+    net::RxOffloadMeta out = meta;
+    out.placed.clear();
+    for (const net::PlacedRange &r : meta.placed) {
+        uint64_t start = std::max<uint64_t>(r.payloadOff, trim);
+        uint64_t end = std::min<uint64_t>(r.payloadOff + r.len, trim + keep);
+        if (start < end) {
+            out.placed.push_back(net::PlacedRange{
+                static_cast<uint32_t>(start - trim),
+                static_cast<uint32_t>(end - start)});
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+// ----------------------------------------------------------- TcpConnection
+
+TcpConnection::TcpConnection(TcpStack &stack, host::Core &core,
+                             const Config &cfg, net::FlowKey local,
+                             uint32_t iss)
+    : stack_(stack),
+      core_(core),
+      cfg_(cfg),
+      local_(local),
+      sndRing_(cfg.sndBufSize),
+      iss_(iss),
+      sndUna_(iss),
+      sndNxt_(iss),
+      rto_(cfg.initialRto)
+{
+    lastAdvertisedWnd_ = static_cast<uint32_t>(cfg_.rcvBufSize);
+}
+
+uint32_t
+TcpConnection::sndLimit() const
+{
+    uint32_t wnd = std::min(cwnd_, peerWnd_);
+    // Zero-window deadlock avoidance: allow a 1-byte probe when
+    // nothing is in flight.
+    if (wnd == 0 && flightSize() == 0)
+        wnd = 1;
+    return wnd;
+}
+
+size_t
+TcpConnection::send(ByteView data)
+{
+    if (state_ != State::Established && state_ != State::CloseWait)
+        return 0;
+    ANIC_ASSERT(!finQueued_, "send() after close()");
+    size_t n = sndRing_.push(data);
+    bytesAccepted_ += n;
+    size_t threshold = std::max<size_t>(cfg_.mss, cfg_.sndBufSize / 3);
+    writableSignaled_ = sndRing_.space() >= threshold;
+    if (n > 0)
+        trySend();
+    return n;
+}
+
+RxSegment
+TcpConnection::pop()
+{
+    ANIC_ASSERT(!rxQueue_.empty(), "pop() on empty receive queue");
+    RxSegment seg = std::move(rxQueue_.front());
+    rxQueue_.pop_front();
+    rxQueuedBytes_ -= seg.data.size();
+
+    // Window update: if the advertised window grew substantially
+    // since we last told the peer, send an ACK so it can resume.
+    uint64_t queued = rxQueuedBytes_ + oooBytes_;
+    uint32_t wnd = queued >= cfg_.rcvBufSize
+                       ? 0
+                       : static_cast<uint32_t>(cfg_.rcvBufSize - queued);
+    if (state_ != State::Closed && wnd > lastAdvertisedWnd_ &&
+        wnd - lastAdvertisedWnd_ >= 2 * cfg_.mss &&
+        static_cast<uint64_t>(wnd - lastAdvertisedWnd_) >=
+            cfg_.rcvBufSize / 4) {
+        sendAck();
+    }
+    return seg;
+}
+
+void
+TcpConnection::close()
+{
+    if (finQueued_ || state_ == State::Closed)
+        return;
+    finQueued_ = true;
+    trySend();
+}
+
+void
+TcpConnection::startConnect()
+{
+    ANIC_ASSERT(state_ == State::Closed);
+    state_ = State::SynSent;
+    sendFlagsPacket(kTcpSyn, iss_, false);
+    sndNxt_ = iss_ + 1;
+    armRto();
+}
+
+void
+TcpConnection::startAccept(uint32_t irs)
+{
+    ANIC_ASSERT(state_ == State::Closed);
+    irs_ = irs;
+    rcvNxt_ = irs + 1;
+    state_ = State::SynRcvd;
+    sendFlagsPacket(kTcpSyn | kTcpAck, iss_, true);
+    sndNxt_ = iss_ + 1;
+    armRto();
+}
+
+void
+TcpConnection::enterEstablished()
+{
+    state_ = State::Established;
+    cwnd_ = cfg_.initialCwndSegs * cfg_.mss;
+    cancelRto();
+    if (onConnected_)
+        onConnected_();
+}
+
+void
+TcpConnection::onPacket(const net::PacketPtr &pkt)
+{
+    const net::TcpHeader h = pkt->tcp();
+    core_.charge(pkt->payloadSize() > 0 ? core_.model().tcpRxPerPacket
+                                        : core_.model().tcpAckRxPerPacket);
+
+    switch (state_) {
+      case State::Closed:
+        return;
+      case State::SynSent:
+        if ((h.flags & (kTcpSyn | kTcpAck)) == (kTcpSyn | kTcpAck) &&
+            h.ack == iss_ + 1) {
+            irs_ = h.seq;
+            rcvNxt_ = h.seq + 1;
+            sndUna_ = h.ack;
+            peerWnd_ = h.window;
+            enterEstablished();
+            sendAck();
+        }
+        return;
+      case State::SynRcvd:
+        if ((h.flags & kTcpSyn) && !(h.flags & kTcpAck)) {
+            // Duplicate SYN: our SYN-ACK was lost; resend.
+            sendFlagsPacket(kTcpSyn | kTcpAck, iss_, true);
+            return;
+        }
+        if ((h.flags & kTcpAck) && h.ack == iss_ + 1) {
+            sndUna_ = h.ack;
+            peerWnd_ = h.window;
+            enterEstablished();
+            // May carry data already; fall through to data handling.
+            if (pkt->payloadSize() > 0 || (h.flags & kTcpFin))
+                processData(pkt, h);
+        }
+        return;
+      default:
+        break;
+    }
+
+    if (h.flags & kTcpAck)
+        processAck(h);
+    if (pkt->payloadSize() > 0 || (h.flags & kTcpFin))
+        processData(pkt, h);
+}
+
+void
+TcpConnection::processAck(const net::TcpHeader &h)
+{
+    uint32_t ack = h.ack;
+    peerWnd_ = h.window;
+
+    if (seqGt(ack, sndNxt_))
+        return; // acks data we never sent
+
+    if (seqGt(ack, sndUna_)) {
+        uint32_t acked = seqDiff(ack, sndUna_);
+        stats_.acksRcvd++;
+
+        if (rttPending_ && seqGeq(ack, rttSeq_)) {
+            rttSample(stack_.sim().now() - rttSentAt_);
+            rttPending_ = false;
+        }
+
+        // The FIN, if sent and covered by this ack, consumed one
+        // sequence number that has no ring bytes behind it.
+        uint32_t dataAcked = acked;
+        bool finAcked = finSent_ && ack == sndNxt_;
+        if (finAcked && dataAcked > 0)
+            dataAcked--;
+        dataAcked = std::min<uint32_t>(dataAcked, sndRing_.size());
+        sndRing_.popFront(dataAcked);
+        sndUna_ = ack;
+        rtoBackoff_ = 0;
+        dupAcks_ = 0;
+
+        onNewlyAcked(acked);
+
+        if (inRecovery_) {
+            if (seqGeq(ack, recover_)) {
+                inRecovery_ = false;
+                cwnd_ = ssthresh_;
+            } else {
+                // NewReno partial ack: retransmit the next hole.
+                uint32_t len = std::min<uint32_t>(
+                    cfg_.mss, std::min<uint32_t>(flightSize(),
+                                                 sndRing_.size()));
+                if (len > 0) {
+                    sendSegment(sndUna_, len, true);
+                }
+            }
+        }
+
+        if (flightSize() == 0)
+            cancelRto();
+        else
+            armRto();
+
+        if (onAcked_)
+            onAcked_(sndUna_);
+
+        if (finAcked) {
+            if (state_ == State::FinWait1)
+                state_ = State::FinWait2;
+            else if (state_ == State::LastAck || state_ == State::Closing)
+                state_ = State::Closed;
+        }
+
+        // Low-water-mark wakeups (like tcp_poll's 1/3-free rule):
+        // waking the writer on every ack would make it dribble tiny
+        // sends with full per-call overhead.
+        size_t threshold = std::max<size_t>(cfg_.mss, cfg_.sndBufSize / 3);
+        bool above = sndRing_.space() >= threshold;
+        if (onWritable_ && above && !writableSignaled_) {
+            writableSignaled_ = true;
+            onWritable_();
+        }
+    } else if (ack == sndUna_ && flightSize() > 0 && h.flags == kTcpAck) {
+        // Potential duplicate ACK (no data, no SYN/FIN).
+        dupAcks_++;
+        stats_.dupAcksRcvd++;
+        if (dupAcks_ == 3 && !inRecovery_) {
+            enterFastRecovery();
+        } else if (inRecovery_) {
+            cwnd_ += cfg_.mss; // inflation during recovery
+        }
+    }
+
+    trySend();
+}
+
+void
+TcpConnection::onNewlyAcked(uint32_t acked)
+{
+    uint32_t maxCwnd = cfg_.maxCwndSegs * cfg_.mss;
+    if (cwnd_ < ssthresh_) {
+        cwnd_ += std::min(acked, cfg_.mss); // slow start
+    } else {
+        uint32_t inc = std::max<uint32_t>(
+            1, static_cast<uint32_t>(
+                   static_cast<uint64_t>(cfg_.mss) * cfg_.mss / cwnd_));
+        cwnd_ += inc; // congestion avoidance
+    }
+    cwnd_ = std::min(cwnd_, maxCwnd);
+}
+
+void
+TcpConnection::enterFastRecovery()
+{
+    ssthresh_ = std::max(flightSize() / 2, 2 * cfg_.mss);
+    inRecovery_ = true;
+    recover_ = sndNxt_;
+    stats_.fastRetransmits++;
+    uint32_t len = std::min<uint32_t>(
+        cfg_.mss, std::min<uint32_t>(flightSize(), sndRing_.size()));
+    if (len > 0)
+        sendSegment(sndUna_, len, true);
+    else if (finSent_)
+        sendFlagsPacket(kTcpFin | kTcpAck, sndNxt_ - 1, true);
+    cwnd_ = ssthresh_ + 3 * cfg_.mss;
+}
+
+void
+TcpConnection::rttSample(sim::Tick sample)
+{
+    if (srtt_ == 0) {
+        srtt_ = sample;
+        rttvar_ = sample / 2;
+    } else {
+        sim::Tick err = srtt_ > sample ? srtt_ - sample : sample - srtt_;
+        rttvar_ = (3 * rttvar_ + err) / 4;
+        srtt_ = (7 * srtt_ + sample) / 8;
+    }
+    sim::Tick rto = srtt_ + std::max<sim::Tick>(4 * rttvar_,
+                                                sim::kMillisecond / 4);
+    rto_ = std::clamp(rto, cfg_.minRto, cfg_.maxRto);
+}
+
+void
+TcpConnection::trySend()
+{
+    if (state_ != State::Established && state_ != State::CloseWait &&
+        state_ != State::FinWait1 && state_ != State::LastAck) {
+        return;
+    }
+    if (devBlocked_)
+        return;
+
+    for (;;) {
+        uint32_t limit = sndLimit();
+        uint32_t flight = flightSize();
+        uint32_t data_end = sndUna_ + static_cast<uint32_t>(sndRing_.size());
+        uint32_t unsent = seqGt(data_end, sndNxt_) ? seqDiff(data_end, sndNxt_)
+                                                   : 0;
+        // Retransmitted FIN occupies flight but is past ring data.
+        if (finSent_)
+            unsent = 0;
+        if (unsent == 0)
+            break;
+        if (flight >= limit)
+            break;
+        uint32_t len = std::min({unsent, cfg_.mss, limit - flight});
+        if (len == 0)
+            break;
+        if (!sendSegment(sndNxt_, len, false))
+            return; // device full; redriven via onDeviceWritable
+        sndNxt_ += len;
+        stats_.bytesSent += len;
+    }
+
+    // Send FIN once all data has been transmitted at least once.
+    if (finQueued_ && !finSent_ &&
+        sndNxt_ == sndUna_ + static_cast<uint32_t>(sndRing_.size())) {
+        sendFlagsPacket(kTcpFin | kTcpAck, sndNxt_, true);
+        sndNxt_ += 1;
+        finSent_ = true;
+        if (state_ == State::Established)
+            state_ = State::FinWait1;
+        else if (state_ == State::CloseWait)
+            state_ = State::LastAck;
+    }
+
+    if (flightSize() > 0 && !rtoArmed_)
+        armRto();
+}
+
+bool
+TcpConnection::sendSegment(uint32_t seq, uint32_t len, bool retransmission)
+{
+    Bytes payload(len);
+    sndRing_.copyOut(seqDiff(seq, sndUna_), payload);
+
+    net::Ipv4Header ip;
+    ip.src = local_.srcIp;
+    ip.dst = local_.dstIp;
+
+    net::TcpHeader th;
+    th.srcPort = local_.srcPort;
+    th.dstPort = local_.dstPort;
+    th.seq = seq;
+    th.ack = rcvNxt_;
+    th.flags = kTcpAck;
+    uint32_t data_end = sndUna_ + static_cast<uint32_t>(sndRing_.size());
+    if (seq + len == data_end)
+        th.flags |= kTcpPsh;
+    uint64_t queued = rxQueuedBytes_ + oooBytes_;
+    th.window = queued >= cfg_.rcvBufSize
+                    ? 0
+                    : static_cast<uint32_t>(cfg_.rcvBufSize - queued);
+
+    auto pkt = std::make_shared<net::Packet>(
+        net::Packet::make(ip, th, payload));
+    pkt->txCtx = txOffloadCtx_;
+
+    core_.charge(core_.model().tcpTxPerPacket);
+    if (!stack_.output(*this, pkt)) {
+        devBlocked_ = true;
+        return false;
+    }
+    stats_.dataPktsSent++;
+    if (retransmission) {
+        stats_.retransmits++;
+    } else if (!rttPending_) {
+        rttSeq_ = seq + len;
+        rttSentAt_ = stack_.sim().now();
+        rttPending_ = true;
+    }
+    // This segment carried an up-to-date ack.
+    unackedDataPkts_ = 0;
+    lastAdvertisedWnd_ = th.window;
+    return true;
+}
+
+void
+TcpConnection::sendFlagsPacket(uint8_t flags, uint32_t seq, bool withAck)
+{
+    net::Ipv4Header ip;
+    ip.src = local_.srcIp;
+    ip.dst = local_.dstIp;
+
+    net::TcpHeader th;
+    th.srcPort = local_.srcPort;
+    th.dstPort = local_.dstPort;
+    th.seq = seq;
+    th.ack = withAck ? rcvNxt_ : 0;
+    th.flags = flags | (withAck ? kTcpAck : 0);
+    uint64_t queued = rxQueuedBytes_ + oooBytes_;
+    th.window = queued >= cfg_.rcvBufSize
+                    ? 0
+                    : static_cast<uint32_t>(cfg_.rcvBufSize - queued);
+
+    auto pkt = std::make_shared<net::Packet>(
+        net::Packet::make(ip, th, ByteView{}));
+    pkt->txCtx = txOffloadCtx_;
+
+    core_.charge(core_.model().tcpTxPerPacket);
+    stack_.output(*this, pkt); // control packets ignore backpressure
+    if (withAck) {
+        stats_.acksSent++;
+        unackedDataPkts_ = 0;
+        lastAdvertisedWnd_ = th.window;
+    }
+}
+
+void
+TcpConnection::sendAck()
+{
+    sendFlagsPacket(kTcpAck, sndNxt_, true);
+}
+
+void
+TcpConnection::scheduleDelayedAck()
+{
+    if (delayedAckScheduled_)
+        return;
+    delayedAckScheduled_ = true;
+    uint64_t gen = ++delAckGeneration_;
+    stack_.sim().schedule(cfg_.delayedAckTimeout, [this, gen] {
+        core_.post([this, gen] {
+            if (gen != delAckGeneration_)
+                return;
+            delayedAckScheduled_ = false;
+            if (unackedDataPkts_ > 0)
+                sendAck();
+        });
+    });
+}
+
+void
+TcpConnection::armRto()
+{
+    // Lazy re-arm: every ack would otherwise schedule a fresh event,
+    // leaving millions of stale closures in the event queue at high
+    // ack rates. Instead keep at most one outstanding event per
+    // connection and push the deadline forward; the event re-posts
+    // itself if it fires early.
+    sim::Tick timeout = rto_ << std::min(rtoBackoff_, 6);
+    rtoDeadline_ = stack_.sim().now() + timeout;
+    if (rtoArmed_)
+        return;
+    rtoArmed_ = true;
+    uint64_t gen = ++rtoGeneration_;
+    stack_.sim().scheduleAt(rtoDeadline_, [this, gen] {
+        core_.post([this, gen] { onRtoFire(gen); });
+    });
+}
+
+void
+TcpConnection::cancelRto()
+{
+    rtoGeneration_++;
+    rtoArmed_ = false;
+}
+
+void
+TcpConnection::onRtoFire(uint64_t generation)
+{
+    if (generation != rtoGeneration_)
+        return;
+    rtoArmed_ = false;
+    if (stack_.sim().now() < rtoDeadline_) {
+        // The deadline moved (acks arrived): re-arm for the rest.
+        rtoArmed_ = true;
+        uint64_t gen = ++rtoGeneration_;
+        stack_.sim().scheduleAt(rtoDeadline_, [this, gen] {
+            core_.post([this, gen] { onRtoFire(gen); });
+        });
+        return;
+    }
+
+    if (state_ == State::SynSent) {
+        stats_.rtoFires++;
+        rtoBackoff_++;
+        sendFlagsPacket(kTcpSyn, iss_, false);
+        armRto();
+        return;
+    }
+    if (state_ == State::SynRcvd) {
+        stats_.rtoFires++;
+        rtoBackoff_++;
+        sendFlagsPacket(kTcpSyn | kTcpAck, iss_, true);
+        armRto();
+        return;
+    }
+    if (flightSize() == 0)
+        return;
+
+    stats_.rtoFires++;
+    ssthresh_ = std::max(flightSize() / 2, 2 * cfg_.mss);
+    cwnd_ = cfg_.mss;
+    inRecovery_ = false;
+    dupAcks_ = 0;
+    rttPending_ = false; // Karn: don't sample retransmitted segments
+    rtoBackoff_++;
+
+    uint32_t len = std::min<uint32_t>(
+        cfg_.mss, std::min<uint32_t>(flightSize(), sndRing_.size()));
+    if (len > 0)
+        sendSegment(sndUna_, len, true);
+    else if (finSent_)
+        sendFlagsPacket(kTcpFin | kTcpAck, sndNxt_ - 1, true);
+    armRto();
+}
+
+void
+TcpConnection::processData(const net::PacketPtr &pkt, const net::TcpHeader &h)
+{
+    ByteView payload = pkt->payload();
+    bool fin = (h.flags & kTcpFin) != 0;
+    if (!payload.empty())
+        stats_.dataPktsRcvd++;
+
+    int64_t delta = static_cast<int32_t>(h.seq - rcvNxt_);
+    int64_t end_delta = delta + static_cast<int64_t>(payload.size());
+
+    if (end_delta + (fin ? 1 : 0) <= 0) {
+        // Entirely in the past: duplicate. Ack immediately so the
+        // sender sees progress.
+        sendAck();
+        return;
+    }
+
+    if (delta > 0) {
+        // Out of order: buffer, duplicate-ack immediately.
+        stats_.oooPktsRcvd++;
+        uint64_t pos = rcvStreamOff_ + static_cast<uint64_t>(delta);
+        if (oooBytes_ + payload.size() <= cfg_.rcvBufSize) {
+            auto it = ooo_.find(pos);
+            if (it == ooo_.end() || it->second.data.size() < payload.size()) {
+                OooSegment seg;
+                seg.data.assign(payload.begin(), payload.end());
+                seg.meta = pkt->rx;
+                seg.fin = fin;
+                if (it != ooo_.end()) {
+                    oooBytes_ -= it->second.data.size();
+                    ooo_.erase(it);
+                }
+                oooBytes_ += seg.data.size();
+                ooo_.emplace(pos, std::move(seg));
+            }
+        }
+        sendAck();
+        return;
+    }
+
+    // In order (possibly with a stale-front overlap to trim).
+    size_t trim = static_cast<size_t>(-delta);
+    size_t keep = payload.size() - trim;
+    deliverSegment(h.seq + static_cast<uint32_t>(trim),
+                   payload.subspan(trim, keep),
+                   trimMeta(pkt->rx, trim, keep), fin);
+    drainOoo();
+
+    if (peerFinSeen_)
+        handleFin();
+
+    unackedDataPkts_++;
+    bool have_gap = !ooo_.empty();
+    if (unackedDataPkts_ >= 2 || fin || have_gap || peerFinSeen_)
+        sendAck();
+    else
+        scheduleDelayedAck();
+
+    if (onReadable_ && readable())
+        onReadable_();
+}
+
+void
+TcpConnection::deliverSegment(uint32_t seq, ByteView data,
+                              net::RxOffloadMeta meta, bool fin)
+{
+    ANIC_ASSERT(seq == rcvNxt_, "deliver must be in order");
+    if (!data.empty()) {
+        RxSegment seg;
+        seg.streamOff = rcvStreamOff_;
+        seg.data.assign(data.begin(), data.end());
+        seg.meta = std::move(meta);
+        rxQueuedBytes_ += seg.data.size();
+        rxQueue_.push_back(std::move(seg));
+        rcvStreamOff_ += data.size();
+        rcvNxt_ += static_cast<uint32_t>(data.size());
+        stats_.bytesDelivered += data.size();
+    }
+    if (fin) {
+        rcvNxt_ += 1;
+        peerFinSeen_ = true;
+    }
+}
+
+void
+TcpConnection::drainOoo()
+{
+    while (!ooo_.empty()) {
+        auto it = ooo_.begin();
+        uint64_t pos = it->first;
+        OooSegment &seg = it->second;
+        uint64_t end = pos + seg.data.size();
+        if (pos > rcvStreamOff_)
+            break; // still a gap
+        oooBytes_ -= seg.data.size();
+        if (end > rcvStreamOff_ || (seg.fin && end == rcvStreamOff_)) {
+            size_t trim = static_cast<size_t>(rcvStreamOff_ - pos);
+            size_t keep = seg.data.size() - trim;
+            deliverSegment(rcvNxt_, ByteView(seg.data).subspan(trim, keep),
+                           trimMeta(seg.meta, trim, keep), seg.fin);
+        }
+        ooo_.erase(it);
+    }
+}
+
+void
+TcpConnection::handleFin()
+{
+    switch (state_) {
+      case State::Established:
+        state_ = State::CloseWait;
+        break;
+      case State::FinWait1:
+        state_ = State::Closing;
+        break;
+      case State::FinWait2:
+        state_ = State::Closed; // TIME_WAIT elided in simulation
+        break;
+      default:
+        break;
+    }
+    peerFinSeen_ = false; // handled
+    if (onPeerClosed_)
+        onPeerClosed_();
+}
+
+void
+TcpConnection::onDeviceWritable()
+{
+    if (!devBlocked_)
+        return;
+    devBlocked_ = false;
+    trySend();
+}
+
+} // namespace anic::tcp

@@ -1,0 +1,154 @@
+#include "tcp/tcp_stack.hh"
+
+#include "util/panic.hh"
+
+namespace anic::tcp {
+
+TcpStack::TcpStack(sim::Simulator &sim, std::vector<host::Core *> cores,
+                   uint64_t seed)
+    : sim_(sim), cores_(std::move(cores)), rng_(seed)
+{
+    ANIC_ASSERT(!cores_.empty(), "stack needs at least one core");
+}
+
+void
+TcpStack::addDevice(NetDevice *dev)
+{
+    ANIC_ASSERT(dev != nullptr);
+    devices_.push_back(dev);
+    dev->setOnTxSpace([this, dev] { onDeviceTxSpace(dev); });
+}
+
+NetDevice *
+TcpStack::deviceFor(net::IpAddr localIp) const
+{
+    for (NetDevice *d : devices_) {
+        if (d->ipAddr() == localIp)
+            return d;
+    }
+    return nullptr;
+}
+
+host::Core &
+TcpStack::steer(const net::FlowKey &flow) const
+{
+    // ARFS-style steering: pin each flow to a core by hash.
+    size_t idx = net::FlowKeyHash{}(flow) % cores_.size();
+    return *cores_[idx];
+}
+
+void
+TcpStack::listen(uint16_t port, const TcpConnection::Config &cfg,
+                 AcceptFn onAccept)
+{
+    ANIC_ASSERT(listeners_.find(port) == listeners_.end(),
+                "port %u already listening", port);
+    listeners_.emplace(port, Listener{cfg, std::move(onAccept)});
+}
+
+TcpConnection &
+TcpStack::createConnection(const net::FlowKey &local,
+                           const TcpConnection::Config &cfg, host::Core *core)
+{
+    ANIC_ASSERT(conns_.find(local) == conns_.end(), "flow already exists");
+    host::Core &c = core != nullptr ? *core : steer(local);
+    uint32_t iss = static_cast<uint32_t>(rng_.next());
+    auto conn = std::make_unique<TcpConnection>(*this, c, cfg, local, iss);
+    TcpConnection &ref = *conn;
+    conns_.emplace(local, std::move(conn));
+    return ref;
+}
+
+TcpConnection &
+TcpStack::connect(net::IpAddr localIp, net::IpAddr dstIp, uint16_t dstPort,
+                  const TcpConnection::Config &cfg, host::Core *core)
+{
+    ANIC_ASSERT(deviceFor(localIp) != nullptr, "no device for local ip");
+    net::FlowKey local;
+    local.srcIp = localIp;
+    local.dstIp = dstIp;
+    local.dstPort = dstPort;
+    // Ephemeral port: advance until free (4-tuple uniqueness).
+    for (;;) {
+        local.srcPort = nextEphemeral_;
+        nextEphemeral_ = nextEphemeral_ == 0xffff
+                             ? 32768
+                             : static_cast<uint16_t>(nextEphemeral_ + 1);
+        if (conns_.find(local) == conns_.end())
+            break;
+    }
+    TcpConnection &conn = createConnection(local, cfg, core);
+    conn.core().post([&conn] { conn.startConnect(); });
+    return conn;
+}
+
+void
+TcpStack::input(const net::PacketPtr &pkt)
+{
+    const net::Ipv4Header ip = pkt->ip();
+    const net::TcpHeader th = pkt->tcp();
+
+    // Local view: src = us.
+    net::FlowKey key;
+    key.srcIp = ip.dst;
+    key.srcPort = th.dstPort;
+    key.dstIp = ip.src;
+    key.dstPort = th.srcPort;
+
+    auto it = conns_.find(key);
+    if (it != conns_.end()) {
+        it->second->onPacket(pkt);
+        return;
+    }
+
+    // New connection? Only a bare SYN to a listening port qualifies.
+    if ((th.flags & net::kTcpSyn) && !(th.flags & net::kTcpAck)) {
+        auto lit = listeners_.find(th.dstPort);
+        if (lit != listeners_.end() && deviceFor(ip.dst) != nullptr) {
+            TcpConnection &conn =
+                createConnection(key, lit->second.cfg, nullptr);
+            conn.peerWnd_ = th.window;
+            // Process the SYN first so sequence state (rcvNxt) is
+            // valid when the application installs offloads in the
+            // accept callback; no data can arrive in between.
+            conn.startAccept(th.seq);
+            lit->second.onAccept(conn);
+            return;
+        }
+    }
+    droppedInputs_++;
+}
+
+bool
+TcpStack::output(TcpConnection &conn, net::PacketPtr pkt)
+{
+    NetDevice *dev = deviceFor(conn.localFlow().srcIp);
+    ANIC_ASSERT(dev != nullptr, "connection bound to unknown device");
+    if (dev->transmit(std::move(pkt)))
+        return true;
+    blocked_[dev].push_back(&conn);
+    return false;
+}
+
+void
+TcpStack::onDeviceTxSpace(NetDevice *dev)
+{
+    auto it = blocked_.find(dev);
+    if (it == blocked_.end() || it->second.empty())
+        return;
+    std::vector<TcpConnection *> conns = std::move(it->second);
+    it->second.clear();
+    for (TcpConnection *c : conns) {
+        // Softirq-style priority: transmit redrives must not starve
+        // behind queued application work on a saturated core.
+        c->core().postUrgent([c] { c->onDeviceWritable(); });
+    }
+}
+
+void
+TcpStack::destroy(TcpConnection &conn)
+{
+    conns_.erase(conn.localFlow());
+}
+
+} // namespace anic::tcp

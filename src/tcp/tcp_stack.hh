@@ -1,0 +1,104 @@
+/**
+ * @file
+ * TCP stack: connection demultiplexing, listeners, port allocation,
+ * flow-to-core steering (models accelerated RFS), and routing of
+ * outgoing packets to the bound device.
+ */
+
+#ifndef ANIC_TCP_TCP_STACK_HH
+#define ANIC_TCP_TCP_STACK_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "host/core.hh"
+#include "net/packet.hh"
+#include "tcp/net_device.hh"
+#include "tcp/tcp_connection.hh"
+#include "util/rand.hh"
+
+namespace anic::tcp {
+
+/** Per-host TCP stack. */
+class TcpStack
+{
+  public:
+    using AcceptFn = std::function<void(TcpConnection &)>;
+
+    TcpStack(sim::Simulator &sim, std::vector<host::Core *> cores,
+             uint64_t seed = 0x7cb);
+
+    /** Binds a device/IP pair (a host may have several ports). */
+    void addDevice(NetDevice *dev);
+
+    /** Starts listening; incoming SYNs to @p port spawn connections. */
+    void listen(uint16_t port, const TcpConnection::Config &cfg,
+                AcceptFn onAccept);
+
+    /**
+     * Active open from @p localIp (must match a bound device) toward
+     * dst; the connection is pinned to @p core if given, else steered
+     * by flow hash.
+     */
+    TcpConnection &connect(net::IpAddr localIp, net::IpAddr dstIp,
+                           uint16_t dstPort, const TcpConnection::Config &cfg,
+                           host::Core *core = nullptr);
+
+    /**
+     * Demultiplexes one received packet to its connection (or
+     * listener). Must be called from a work item on steer(flow).
+     */
+    void input(const net::PacketPtr &pkt);
+
+    /** The core that packets of @p flow are steered to. */
+    host::Core &steer(const net::FlowKey &flow) const;
+
+    /** Routes an outgoing packet to the device owning its source IP. */
+    bool output(TcpConnection &conn, net::PacketPtr pkt);
+
+    sim::Simulator &sim() { return sim_; }
+    Rng &rng() { return rng_; }
+
+    /** Closes and forgets a connection (tests / teardown). */
+    void destroy(TcpConnection &conn);
+
+    size_t connectionCount() const { return conns_.size(); }
+
+    /** Host-wide dropped-input counter (no matching flow). */
+    uint64_t droppedInputs() const { return droppedInputs_; }
+
+  private:
+    struct Listener
+    {
+        TcpConnection::Config cfg;
+        AcceptFn onAccept;
+    };
+
+    NetDevice *deviceFor(net::IpAddr localIp) const;
+    void onDeviceTxSpace(NetDevice *dev);
+    TcpConnection &createConnection(const net::FlowKey &local,
+                                    const TcpConnection::Config &cfg,
+                                    host::Core *core);
+
+    sim::Simulator &sim_;
+    std::vector<host::Core *> cores_;
+    Rng rng_;
+
+    std::vector<NetDevice *> devices_;
+    std::unordered_map<net::FlowKey, std::unique_ptr<TcpConnection>,
+                       net::FlowKeyHash>
+        conns_;
+    std::unordered_map<uint16_t, Listener> listeners_;
+    uint16_t nextEphemeral_ = 32768;
+    uint64_t droppedInputs_ = 0;
+
+    // Connections waiting for tx-ring space, per device.
+    std::unordered_map<NetDevice *, std::vector<TcpConnection *>> blocked_;
+
+    friend class TcpConnection;
+};
+
+} // namespace anic::tcp
+
+#endif // ANIC_TCP_TCP_STACK_HH

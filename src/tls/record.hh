@@ -1,0 +1,133 @@
+/**
+ * @file
+ * TLS record-layer definitions (TLS 1.3-style, AES-128-GCM).
+ *
+ * Record layout on the wire:
+ *   [0]    content type (0x17 application data)
+ *   [1..2] legacy version 0x0303
+ *   [3..4] length of ciphertext || tag
+ *   [5..]  ciphertext (same size as plaintext; GCM is a stream mode)
+ *   [-16..] 16-byte ICV (GCM tag)
+ *
+ * Per-record nonce = static IV XOR 0^4||be64(record sequence); the
+ * AAD is the 5-byte record header — exactly the fields the paper's
+ * magic pattern uses: type (six valid values), constant version, and
+ * a bounded length.
+ */
+
+#ifndef ANIC_TLS_RECORD_HH
+#define ANIC_TLS_RECORD_HH
+
+#include <array>
+#include <optional>
+
+#include "crypto/gcm.hh"
+#include "util/bytes.hh"
+
+namespace anic::tls {
+
+constexpr size_t kHeaderSize = 5;
+constexpr size_t kTagSize = crypto::AesGcm::kTagSize;
+constexpr size_t kMaxPlaintext = 16384;
+constexpr size_t kMaxWire = kHeaderSize + kMaxPlaintext + kTagSize;
+constexpr uint8_t kTypeApplicationData = 0x17;
+constexpr uint16_t kVersionTls12 = 0x0303;
+
+/** Framing fields of a record header. */
+struct RecordHeader
+{
+    uint8_t type = kTypeApplicationData;
+    uint16_t version = kVersionTls12;
+    uint16_t length = 0; ///< ciphertext + tag
+
+    size_t wireLen() const { return kHeaderSize + length; }
+    size_t plaintextLen() const { return length - kTagSize; }
+
+    void
+    encode(uint8_t *out) const
+    {
+        out[0] = type;
+        putBe16(out + 1, version);
+        putBe16(out + 3, length);
+    }
+
+    /**
+     * Decodes and validates the magic pattern: known content type,
+     * post-handshake version, and a length within protocol bounds.
+     */
+    static std::optional<RecordHeader>
+    parse(ByteView h)
+    {
+        if (h.size() < kHeaderSize)
+            return std::nullopt;
+        RecordHeader r;
+        r.type = h[0];
+        r.version = getBe16(h.data() + 1);
+        r.length = getBe16(h.data() + 3);
+        // Valid content types: ccs(20) alert(21) handshake(22)
+        // appdata(23); we only speculate on appdata+alert here.
+        if (r.type != kTypeApplicationData && r.type != 21)
+            return std::nullopt;
+        if (r.version != kVersionTls12)
+            return std::nullopt;
+        if (r.length < kTagSize + 1 || r.length > kMaxPlaintext + kTagSize)
+            return std::nullopt;
+        return r;
+    }
+};
+
+/** Builds the per-record GCM nonce from the static IV and seq. */
+inline std::array<uint8_t, 12>
+recordNonce(ByteView staticIv, uint64_t recordSeq)
+{
+    std::array<uint8_t, 12> nonce;
+    std::memcpy(nonce.data(), staticIv.data(), 12);
+    uint8_t seq_be[8];
+    putBe64(seq_be, recordSeq);
+    for (int i = 0; i < 8; i++)
+        nonce[4 + i] ^= seq_be[i];
+    return nonce;
+}
+
+/** Symmetric session keys for one direction. */
+struct DirectionKeys
+{
+    Bytes key;      ///< 16-byte AES-128 key
+    Bytes staticIv; ///< 12-byte IV base
+};
+
+/** Both directions of a session, as each endpoint sees them. */
+struct SessionKeys
+{
+    DirectionKeys tx;
+    DirectionKeys rx;
+
+    /**
+     * Stands in for the TLS handshake (which the paper leaves in
+     * userspace OpenSSL, unmodified): both endpoints derive the same
+     * key material from a shared secret seed; the client's tx keys
+     * are the server's rx keys.
+     */
+    static SessionKeys
+    derive(uint64_t secret, bool isClient)
+    {
+        auto dir = [&](uint64_t salt) {
+            DirectionKeys d;
+            d.key.resize(16);
+            fillDeterministic(d.key, secret ^ salt, 0);
+            d.staticIv.resize(12);
+            fillDeterministic(d.staticIv, secret ^ salt, 1000);
+            return d;
+        };
+        SessionKeys k;
+        DirectionKeys c2s = dir(0x1111);
+        DirectionKeys s2c = dir(0x2222);
+        k.tx = isClient ? c2s : s2c;
+        k.rx = isClient ? s2c : c2s;
+        return k;
+    }
+};
+
+} // namespace anic::tls
+
+#endif // ANIC_TLS_RECORD_HH

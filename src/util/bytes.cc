@@ -1,0 +1,87 @@
+#include "util/bytes.hh"
+
+#include "util/panic.hh"
+
+namespace anic {
+
+std::string
+toHex(ByteView data)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (uint8_t b : data) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+namespace {
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+/**
+ * Mixes a 64-bit value (splitmix64 finalizer); used to derive one
+ * content word per 8-byte block of a deterministic object.
+ */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+uint8_t
+deterministicByte(uint64_t seed, uint64_t off)
+{
+    uint64_t word = mix64(seed ^ mix64(off / 8));
+    return static_cast<uint8_t>(word >> (8 * (off % 8)));
+}
+
+} // namespace
+
+Bytes
+fromHex(const std::string &hex)
+{
+    ANIC_ASSERT(hex.size() % 2 == 0, "odd-length hex string");
+    Bytes out(hex.size() / 2);
+    for (size_t i = 0; i < out.size(); i++) {
+        int hi = hexNibble(hex[2 * i]);
+        int lo = hexNibble(hex[2 * i + 1]);
+        ANIC_ASSERT(hi >= 0 && lo >= 0, "bad hex digit");
+        out[i] = static_cast<uint8_t>((hi << 4) | lo);
+    }
+    return out;
+}
+
+void
+fillDeterministic(ByteSpan out, uint64_t seed, uint64_t offset)
+{
+    for (size_t i = 0; i < out.size(); i++)
+        out[i] = deterministicByte(seed, offset + i);
+}
+
+bool
+checkDeterministic(ByteView data, uint64_t seed, uint64_t offset)
+{
+    for (size_t i = 0; i < data.size(); i++) {
+        if (data[i] != deterministicByte(seed, offset + i))
+            return false;
+    }
+    return true;
+}
+
+} // namespace anic

@@ -1,0 +1,40 @@
+#include "util/panic.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace anic {
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    }
+    va_end(ap2);
+    return out;
+}
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s:%d: %s\n", file, line, msg.c_str());
+    std::exit(1);
+}
+
+} // namespace anic

@@ -1,0 +1,75 @@
+#include "util/rand.hh"
+
+#include "util/panic.hh"
+
+namespace anic {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    ANIC_ASSERT(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+uint64_t
+Rng::range(uint64_t lo, uint64_t hi)
+{
+    ANIC_ASSERT(lo <= hi);
+    return lo + below(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+} // namespace anic

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**) used
+ * everywhere in the simulator so runs are exactly reproducible.
+ */
+
+#ifndef ANIC_UTIL_RAND_HH
+#define ANIC_UTIL_RAND_HH
+
+#include <cstdint>
+
+namespace anic {
+
+/**
+ * xoshiro256** generator. Small, fast, and good enough for workload
+ * generation and link impairment decisions; std::mt19937 is avoided so
+ * state is compact and seeding is trivially reproducible.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed) { reseed(seed); }
+
+    /** Re-initializes all 256 bits of state from a 64-bit seed. */
+    void reseed(uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    uint64_t range(uint64_t lo, uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace anic
+
+#endif // ANIC_UTIL_RAND_HH

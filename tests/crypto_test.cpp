@@ -1,0 +1,433 @@
+/**
+ * @file
+ * Known-answer and property tests for the crypto library: CRC32C,
+ * SHA-1, HMAC-SHA1, AES-128 (ECB/CBC), AES-128-GCM, GHASH.
+ */
+
+#include <gtest/gtest.h>
+
+#include "crypto/aes.hh"
+#include "crypto/crc32c.hh"
+#include "crypto/gcm.hh"
+#include "crypto/sha1.hh"
+#include "util/bytes.hh"
+#include "util/rand.hh"
+
+namespace anic::crypto {
+namespace {
+
+Bytes
+ascii(const std::string &s)
+{
+    return Bytes(s.begin(), s.end());
+}
+
+// ---------------------------------------------------------------- CRC32C
+
+TEST(Crc32c, CheckString)
+{
+    // Canonical CRC-32C check value for "123456789".
+    EXPECT_EQ(Crc32c::compute(ascii("123456789")), 0xe3069283u);
+}
+
+TEST(Crc32c, Rfc3720Vectors)
+{
+    // iSCSI CRC test patterns from RFC 3720 appendix B.4.
+    Bytes zeros(32, 0x00);
+    EXPECT_EQ(Crc32c::compute(zeros), 0x8a9136aau);
+
+    Bytes ones(32, 0xff);
+    EXPECT_EQ(Crc32c::compute(ones), 0x62a8ab43u);
+
+    Bytes incr(32);
+    for (int i = 0; i < 32; i++)
+        incr[i] = static_cast<uint8_t>(i);
+    EXPECT_EQ(Crc32c::compute(incr), 0x46dd794eu);
+}
+
+TEST(Crc32c, IncrementalEqualsOneShot)
+{
+    // The NIC computes the digest across arbitrary packet boundaries;
+    // any split must give the same CRC.
+    Bytes data(10000);
+    fillDeterministic(data, 99, 0);
+    uint32_t whole = Crc32c::compute(data);
+
+    Rng rng(7);
+    for (int trial = 0; trial < 20; trial++) {
+        Crc32c c;
+        size_t off = 0;
+        while (off < data.size()) {
+            size_t n = std::min<size_t>(rng.range(1, 1500),
+                                        data.size() - off);
+            c.update(ByteView(data).subspan(off, n));
+            off += n;
+        }
+        EXPECT_EQ(c.value(), whole);
+    }
+}
+
+TEST(Crc32c, ResetRestoresInitialState)
+{
+    Crc32c c;
+    c.update(ascii("garbage"));
+    c.reset();
+    c.update(ascii("123456789"));
+    EXPECT_EQ(c.value(), 0xe3069283u);
+}
+
+// ---------------------------------------------------------------- SHA-1
+
+TEST(Sha1, KnownAnswers)
+{
+    EXPECT_EQ(toHex(Sha1::compute(ascii("abc"))),
+              "a9993e364706816aba3e25717850c26c9cd0d89d");
+    EXPECT_EQ(toHex(Sha1::compute(ascii(""))),
+              "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    EXPECT_EQ(toHex(Sha1::compute(ascii(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+              "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, IncrementalEqualsOneShot)
+{
+    Bytes data(100000);
+    fillDeterministic(data, 3, 0);
+    auto whole = Sha1::compute(data);
+
+    Sha1 s;
+    size_t off = 0;
+    size_t step = 1;
+    while (off < data.size()) {
+        size_t n = std::min(step, data.size() - off);
+        s.update(ByteView(data).subspan(off, n));
+        off += n;
+        step = step * 3 + 1;
+    }
+    std::array<uint8_t, Sha1::kDigestSize> out;
+    s.final(out);
+    EXPECT_EQ(out, whole);
+}
+
+TEST(HmacSha1, Rfc2202Vectors)
+{
+    Bytes key1(20, 0x0b);
+    EXPECT_EQ(toHex(hmacSha1(key1, ascii("Hi There"))),
+              "b617318655057264e28bc0b6fb378c8ef146be00");
+
+    EXPECT_EQ(toHex(hmacSha1(ascii("Jefe"),
+                             ascii("what do ya want for nothing?"))),
+              "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+
+    Bytes key3(20, 0xaa);
+    Bytes data3(50, 0xdd);
+    EXPECT_EQ(toHex(hmacSha1(key3, data3)),
+              "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+// ---------------------------------------------------------------- AES
+
+TEST(Aes128, Fips197Vector)
+{
+    Aes128 aes(fromHex("000102030405060708090a0b0c0d0e0f"));
+    Bytes pt = fromHex("00112233445566778899aabbccddeeff");
+    uint8_t ct[16];
+    aes.encryptBlock(pt.data(), ct);
+    EXPECT_EQ(toHex(ByteView(ct, 16)), "69c4e0d86a7b0430d8cdb78070b4c55a");
+
+    uint8_t back[16];
+    aes.decryptBlock(ct, back);
+    EXPECT_EQ(toHex(ByteView(back, 16)), toHex(pt));
+}
+
+TEST(Aes128, ZeroKeyZeroBlock)
+{
+    Aes128 aes(Bytes(16, 0));
+    uint8_t ct[16];
+    uint8_t zero[16] = {0};
+    aes.encryptBlock(zero, ct);
+    EXPECT_EQ(toHex(ByteView(ct, 16)), "66e94bd4ef8a2c3b884cfa59ca342b2e");
+}
+
+TEST(Aes128, EncryptDecryptRoundTripRandom)
+{
+    Rng rng(1234);
+    for (int trial = 0; trial < 50; trial++) {
+        Bytes key(16);
+        Bytes pt(16);
+        fillDeterministic(key, trial, 0);
+        fillDeterministic(pt, trial, 100);
+        Aes128 aes(key);
+        uint8_t ct[16];
+        uint8_t back[16];
+        aes.encryptBlock(pt.data(), ct);
+        aes.decryptBlock(ct, back);
+        EXPECT_EQ(0, std::memcmp(back, pt.data(), 16));
+    }
+}
+
+TEST(AesCbc, Sp800_38aVectors)
+{
+    Bytes key = fromHex("2b7e151628aed2a6abf7158809cf4f3c");
+    Bytes iv = fromHex("000102030405060708090a0b0c0d0e0f");
+    Bytes pt = fromHex(
+        "6bc1bee22e409f96e93d7e117393172a"
+        "ae2d8a571e03ac9c9eb76fac45af8e51");
+    AesCbc cbc(key, iv);
+    Bytes ct(pt.size());
+    cbc.encrypt(pt, ct);
+    EXPECT_EQ(toHex(ct),
+              "7649abac8119b246cee98e9b12e9197d"
+              "5086cb9b507219ee95db113a917678b2");
+
+    AesCbc cbc2(key, iv);
+    Bytes back(ct.size());
+    cbc2.decrypt(ct, back);
+    EXPECT_EQ(back, pt);
+}
+
+// ---------------------------------------------------------------- GHASH
+
+TEST(Ghash, TableMatchesBitwiseReference)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 100; trial++) {
+        uint8_t h[16];
+        uint8_t x[16];
+        for (auto &b : h)
+            b = static_cast<uint8_t>(rng.next());
+        for (auto &b : x)
+            b = static_cast<uint8_t>(rng.next());
+
+        Ghash g;
+        g.setH(h);
+        g.absorbBlock(x);
+        uint8_t table_out[16];
+        g.digest(table_out);
+
+        // One absorbed block starting from Y=0 is exactly (x * H).
+        uint8_t ref_out[16];
+        Ghash::gf128MulBitwise(x, h, ref_out);
+        EXPECT_EQ(0, std::memcmp(table_out, ref_out, 16))
+            << "trial " << trial;
+    }
+}
+
+// ---------------------------------------------------------------- GCM
+
+struct GcmVector
+{
+    const char *key;
+    const char *iv;
+    const char *aad;
+    const char *pt;
+    const char *ct;
+    const char *tag;
+};
+
+// McGrew & Viega AES-128-GCM test cases 1-4.
+const GcmVector kGcmVectors[] = {
+    {"00000000000000000000000000000000", "000000000000000000000000", "", "",
+     "", "58e2fccefa7e3061367f1d57a4e7455a"},
+    {"00000000000000000000000000000000", "000000000000000000000000", "",
+     "00000000000000000000000000000000", "0388dace60b6a392f328c2b971b2fe78",
+     "ab6e47d42cec13bdf53a67b21257bddf"},
+    {"feffe9928665731c6d6a8f9467308308", "cafebabefacedbaddecaf888", "",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+     "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+     "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+     "4d5c2af327cd64a62cf35abd2ba6fab4"},
+    {"feffe9928665731c6d6a8f9467308308", "cafebabefacedbaddecaf888",
+     "feedfacedeadbeeffeedfacedeadbeefabaddad2",
+     "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72"
+     "1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+     "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e"
+     "21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+     "5bc94fbc3221a5db94fae95ae7121a47"},
+};
+
+class GcmKat : public ::testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(GcmKat, EncryptMatchesVector)
+{
+    const GcmVector &v = kGcmVectors[GetParam()];
+    AesGcm gcm(fromHex(v.key));
+    Bytes pt = fromHex(v.pt);
+    Bytes sealed = gcm.seal(fromHex(v.iv), fromHex(v.aad), pt);
+    ASSERT_EQ(sealed.size(), pt.size() + AesGcm::kTagSize);
+    EXPECT_EQ(toHex(ByteView(sealed.data(), pt.size())), v.ct);
+    EXPECT_EQ(toHex(ByteView(sealed.data() + pt.size(), 16)), v.tag);
+}
+
+TEST_P(GcmKat, DecryptMatchesVector)
+{
+    const GcmVector &v = kGcmVectors[GetParam()];
+    AesGcm gcm(fromHex(v.key));
+    Bytes sealed = fromHex(v.ct);
+    Bytes tag = fromHex(v.tag);
+    sealed.insert(sealed.end(), tag.begin(), tag.end());
+    Bytes pt;
+    EXPECT_TRUE(gcm.open(fromHex(v.iv), fromHex(v.aad), sealed, pt));
+    EXPECT_EQ(toHex(pt), v.pt);
+}
+
+TEST_P(GcmKat, TamperedTagFails)
+{
+    const GcmVector &v = kGcmVectors[GetParam()];
+    AesGcm gcm(fromHex(v.key));
+    Bytes sealed = fromHex(v.ct);
+    Bytes tag = fromHex(v.tag);
+    tag[0] ^= 1;
+    sealed.insert(sealed.end(), tag.begin(), tag.end());
+    Bytes pt;
+    EXPECT_FALSE(gcm.open(fromHex(v.iv), fromHex(v.aad), sealed, pt));
+}
+
+INSTANTIATE_TEST_SUITE_P(Vectors, GcmKat,
+                         ::testing::Range<size_t>(0, std::size(kGcmVectors)));
+
+TEST(AesGcm, StreamingMatchesOneShot)
+{
+    // The NIC processes a record across many packet-sized chunks; any
+    // chunking must yield identical ciphertext and tag.
+    Bytes key(16);
+    fillDeterministic(key, 1, 0);
+    Bytes iv(12);
+    fillDeterministic(iv, 2, 0);
+    Bytes aad = ascii("header");
+    Bytes pt(16384 + 7);
+    fillDeterministic(pt, 3, 0);
+
+    AesGcm one(key);
+    Bytes sealed = one.seal(iv, aad, pt);
+
+    Rng rng(5);
+    for (int trial = 0; trial < 10; trial++) {
+        AesGcm gcm(key);
+        gcm.start(iv, aad);
+        Bytes ct(pt.size());
+        size_t off = 0;
+        while (off < pt.size()) {
+            size_t n = std::min<size_t>(rng.range(1, 1460), pt.size() - off);
+            gcm.encryptUpdate(ByteView(pt).subspan(off, n),
+                              ByteSpan(ct).subspan(off, n));
+            off += n;
+        }
+        uint8_t tag[16];
+        gcm.finishTag(tag);
+        EXPECT_EQ(0, std::memcmp(ct.data(), sealed.data(), pt.size()));
+        EXPECT_EQ(0, std::memcmp(tag, sealed.data() + pt.size(), 16));
+    }
+}
+
+TEST(AesGcm, StreamingDecryptAnyChunking)
+{
+    Bytes key(16);
+    fillDeterministic(key, 10, 0);
+    Bytes iv(12);
+    fillDeterministic(iv, 11, 0);
+    Bytes pt(5000);
+    fillDeterministic(pt, 12, 0);
+
+    AesGcm enc(key);
+    Bytes sealed = enc.seal(iv, {}, pt);
+
+    AesGcm dec(key);
+    dec.start(iv, {});
+    Bytes out(pt.size());
+    size_t chunks[] = {1, 13, 100, 1460, 3000, 426};
+    size_t off = 0;
+    size_t i = 0;
+    while (off < pt.size()) {
+        size_t n = std::min(chunks[i % std::size(chunks)], pt.size() - off);
+        dec.decryptUpdate(ByteView(sealed).subspan(off, n),
+                          ByteSpan(out).subspan(off, n));
+        off += n;
+        i++;
+    }
+    EXPECT_TRUE(dec.checkTag(ByteView(sealed).subspan(pt.size(), 16)));
+    EXPECT_EQ(out, pt);
+}
+
+TEST(AesGcm, InPlaceStreamingDecrypt)
+{
+    // The NIC engine decrypts packet payloads in place; the GHASH
+    // must still run over the (overwritten) ciphertext.
+    Bytes key(16, 0x31);
+    Bytes iv(12, 0x32);
+    Bytes pt(4000);
+    fillDeterministic(pt, 8, 0);
+    AesGcm enc(key);
+    Bytes sealed = enc.seal(iv, {}, pt);
+
+    AesGcm dec(key);
+    dec.start(iv, {});
+    Bytes buf(sealed.begin(), sealed.end() - 16);
+    size_t off = 0;
+    size_t chunks[] = {1460, 16, 1, 900, 33, 4000};
+    size_t i = 0;
+    while (off < buf.size()) {
+        size_t n = std::min(chunks[i++ % std::size(chunks)],
+                            buf.size() - off);
+        ByteSpan c = ByteSpan(buf).subspan(off, n);
+        dec.decryptUpdate(c, c); // in place
+        off += n;
+    }
+    EXPECT_TRUE(dec.checkTag(ByteView(sealed).subspan(pt.size())));
+    EXPECT_EQ(buf, pt);
+}
+
+TEST(AesGcm, InPlaceStreamingEncrypt)
+{
+    Bytes key(16, 0x33);
+    Bytes iv(12, 0x34);
+    Bytes pt(2048);
+    fillDeterministic(pt, 9, 0);
+    AesGcm ref(key);
+    Bytes sealed = ref.seal(iv, {}, pt);
+
+    AesGcm enc(key);
+    enc.start(iv, {});
+    Bytes buf = pt;
+    size_t off = 0;
+    while (off < buf.size()) {
+        size_t n = std::min<size_t>(700, buf.size() - off);
+        ByteSpan c = ByteSpan(buf).subspan(off, n);
+        enc.encryptUpdate(c, c);
+        off += n;
+    }
+    uint8_t tag[16];
+    enc.finishTag(tag);
+    EXPECT_EQ(0, std::memcmp(buf.data(), sealed.data(), pt.size()));
+    EXPECT_EQ(0, std::memcmp(tag, sealed.data() + pt.size(), 16));
+}
+
+TEST(AesGcm, DistinctIvsGiveDistinctCiphertexts)
+{
+    Bytes key(16, 0x55);
+    Bytes pt(64, 0xaa);
+    AesGcm gcm(key);
+    Bytes iv1(12, 0x01);
+    Bytes iv2(12, 0x02);
+    Bytes c1 = gcm.seal(iv1, {}, pt);
+    Bytes c2 = gcm.seal(iv2, {}, pt);
+    EXPECT_NE(c1, c2);
+}
+
+TEST(AesGcm, TamperedAadFails)
+{
+    Bytes key(16, 0x11);
+    Bytes iv(12, 0x22);
+    Bytes pt(100, 0x33);
+    AesGcm gcm(key);
+    Bytes sealed = gcm.seal(iv, ascii("aad-1"), pt);
+    Bytes out;
+    EXPECT_FALSE(gcm.open(iv, ascii("aad-2"), sealed, out));
+    EXPECT_TRUE(gcm.open(iv, ascii("aad-1"), sealed, out));
+}
+
+} // namespace
+} // namespace anic::crypto

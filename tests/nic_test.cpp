@@ -1,0 +1,252 @@
+/**
+ * @file
+ * NIC device-model tests: line-rate serialization, tx-ring
+ * backpressure, context cache LRU + PCIe accounting, context
+ * lifecycle, and tx offload processing order with in-ring resync
+ * descriptors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nic/nic.hh"
+#include "tls/tls_engine.hh"
+
+namespace anic::nic {
+namespace {
+
+net::PacketPtr
+mkPkt(net::IpAddr src, net::IpAddr dst, uint32_t seq, size_t payloadLen,
+      uint64_t txCtx = 0)
+{
+    net::Ipv4Header ip;
+    ip.src = src;
+    ip.dst = dst;
+    net::TcpHeader tcp;
+    tcp.srcPort = 1;
+    tcp.dstPort = 2;
+    tcp.seq = seq;
+    Bytes payload(payloadLen, 0xab);
+    auto p = std::make_shared<net::Packet>(net::Packet::make(ip, tcp, payload));
+    p->txCtx = txCtx;
+    return p;
+}
+
+struct NicWorld
+{
+    sim::Simulator sim;
+    net::Link link;
+    Nic nicA;
+    std::vector<net::PacketPtr> atB;
+
+    explicit NicWorld(Nic::Config cfg = {})
+        : link(sim, {}), nicA(sim, link, 0, cfg)
+    {
+        link.attach(1, [this](net::PacketPtr p) { atB.push_back(p); });
+    }
+};
+
+TEST(NicDevice, SerializesAtLineRate)
+{
+    Nic::Config cfg;
+    cfg.gbps = 10.0; // slow so serialization dominates
+    cfg.txLatency = 0;
+    NicWorld w(cfg);
+
+    // Two 10000-byte packets: second leaves one serialization later.
+    w.nicA.transmit(mkPkt(1, 2, 0, 10000));
+    w.nicA.transmit(mkPkt(1, 2, 10000, 10000));
+    w.sim.run();
+    ASSERT_EQ(w.atB.size(), 2u);
+    EXPECT_EQ(w.nicA.stats().pktsTx, 2u);
+    // 10040 wire bytes at 10 Gbps ~ 8.03 us each; link prop 2 us.
+    double total_s = sim::ticksToSeconds(w.sim.now());
+    EXPECT_NEAR(total_s, 2 * 8.03e-6 + 2e-6, 1e-6);
+}
+
+TEST(NicDevice, TxRingBackpressure)
+{
+    Nic::Config cfg;
+    cfg.txRingSize = 4;
+    cfg.gbps = 1.0;
+    NicWorld w(cfg);
+    int space_events = 0;
+    w.nicA.setOnTxSpace([&] { space_events++; });
+
+    int accepted = 0;
+    for (int i = 0; i < 10; i++)
+        accepted += w.nicA.transmit(mkPkt(1, 2, i * 100, 100)) ? 1 : 0;
+    EXPECT_EQ(accepted, 4);
+    w.sim.run();
+    EXPECT_GT(space_events, 0);
+    EXPECT_EQ(w.atB.size(), 4u);
+}
+
+TEST(NicDevice, PcieAccountsTxAndRx)
+{
+    NicWorld w;
+    Nic nicB(w.sim, w.link, 1, {}); // replaces the raw handler
+    w.nicA.transmit(mkPkt(1, 2, 0, 1000));
+    w.sim.run();
+    EXPECT_EQ(w.nicA.pcie().txDataBytes, 1040u);
+    EXPECT_EQ(nicB.pcie().rxDataBytes, 1040u);
+    EXPECT_GT(w.nicA.pcie().descriptorBytes, 0u);
+}
+
+TEST(NicDevice, ContextCacheLruAndEviction)
+{
+    Nic::Config cfg;
+    cfg.ctxCacheCapacity = 2;
+    NicWorld w(cfg);
+
+    tls::DirectionKeys keys;
+    keys.key.assign(16, 1);
+    keys.staticIv.assign(12, 2);
+
+    uint64_t c1 = w.nicA.createTxContext(
+        std::make_unique<tls::TlsTxEngine>(keys), 0, 0);
+    uint64_t c2 = w.nicA.createTxContext(
+        std::make_unique<tls::TlsTxEngine>(keys), 0, 0);
+    uint64_t c3 = w.nicA.createTxContext(
+        std::make_unique<tls::TlsTxEngine>(keys), 0, 0);
+    (void)c1;
+    (void)c2;
+    (void)c3;
+    // Creation touches each context: c3 evicted c1.
+    const NicStats &st = w.nicA.stats();
+    EXPECT_EQ(st.ctxCacheMisses, 3u);
+    EXPECT_EQ(st.ctxCacheEvictions, 1u);
+    EXPECT_EQ(w.nicA.pcie().ctxFetchBytes, 3 * w.nicA.config().ctxBytes);
+    EXPECT_EQ(w.nicA.pcie().ctxWritebackBytes, w.nicA.config().ctxBytes);
+}
+
+TEST(NicDevice, TxOffloadEncryptsThroughRingInOrder)
+{
+    NicWorld w;
+    tls::DirectionKeys keys;
+    keys.key.assign(16, 0x42);
+    keys.staticIv.assign(12, 0x24);
+
+    uint64_t ctx = w.nicA.createTxContext(
+        std::make_unique<tls::TlsTxEngine>(keys), 1000, 0);
+
+    // Build one small record: header + plaintext + dummy tag.
+    constexpr size_t kPlain = 100;
+    tls::RecordHeader h;
+    h.length = kPlain + 16;
+    Bytes rec(h.wireLen(), 0);
+    h.encode(rec.data());
+    Bytes pt(kPlain);
+    fillDeterministic(pt, 3, 0);
+    std::memcpy(rec.data() + 5, pt.data(), kPlain);
+
+    // Ship it in two packets tagged with the context.
+    net::Ipv4Header ip;
+    ip.src = 1;
+    ip.dst = 2;
+    net::TcpHeader t1;
+    t1.seq = 1000;
+    auto p1 = std::make_shared<net::Packet>(
+        net::Packet::make(ip, t1, ByteView(rec).subspan(0, 60)));
+    p1->txCtx = ctx;
+    net::TcpHeader t2;
+    t2.seq = 1060;
+    auto p2 = std::make_shared<net::Packet>(
+        net::Packet::make(ip, t2, ByteView(rec).subspan(60)));
+    p2->txCtx = ctx;
+    w.nicA.transmit(p1);
+    w.nicA.transmit(p2);
+    w.sim.run();
+
+    ASSERT_EQ(w.atB.size(), 2u);
+    Bytes sealed;
+    for (const auto &p : w.atB) {
+        ByteView pl = p->payload();
+        sealed.insert(sealed.end(), pl.begin(), pl.end());
+    }
+    // The wire record must decrypt with the session keys.
+    crypto::AesGcm gcm(keys.key);
+    auto nonce = tls::recordNonce(keys.staticIv, 0);
+    Bytes out;
+    ASSERT_TRUE(gcm.open(nonce, ByteView(sealed).subspan(0, 5),
+                         ByteView(sealed).subspan(5), out));
+    EXPECT_EQ(out, pt);
+    EXPECT_EQ(w.nicA.stats().txOffloadedPkts, 2u);
+}
+
+TEST(NicDevice, TxResyncDescriptorRebuildsState)
+{
+    NicWorld w;
+    tls::DirectionKeys keys;
+    keys.key.assign(16, 0x42);
+    keys.staticIv.assign(12, 0x24);
+    uint64_t ctx = w.nicA.createTxContext(
+        std::make_unique<tls::TlsTxEngine>(keys), 1000, 0);
+
+    constexpr size_t kPlain = 200;
+    tls::RecordHeader h;
+    h.length = kPlain + 16;
+    Bytes rec(h.wireLen(), 0);
+    h.encode(rec.data());
+    Bytes pt(kPlain);
+    fillDeterministic(pt, 4, 0);
+    std::memcpy(rec.data() + 5, pt.data(), kPlain);
+
+    net::Ipv4Header ip;
+    ip.src = 1;
+    ip.dst = 2;
+
+    // First pass: full record in-sequence.
+    net::TcpHeader t1;
+    t1.seq = 1000;
+    auto p1 = std::make_shared<net::Packet>(
+        net::Packet::make(ip, t1, rec));
+    p1->txCtx = ctx;
+    w.nicA.transmit(p1);
+    w.sim.run();
+    Bytes first = Bytes(w.atB[0]->payload().begin(),
+                        w.atB[0]->payload().end());
+
+    // Retransmission of the record's tail: the driver posts a resync
+    // descriptor with the rebuild prefix, then the packet.
+    constexpr size_t kOff = 77;
+    w.nicA.postTxResync(ctx, 1000 + kOff, 0,
+                        ByteView(rec).subspan(0, kOff));
+    net::TcpHeader t2;
+    t2.seq = 1000 + kOff;
+    auto p2 = std::make_shared<net::Packet>(
+        net::Packet::make(ip, t2, ByteView(rec).subspan(kOff)));
+    p2->txCtx = ctx;
+    w.nicA.transmit(p2);
+    w.sim.run();
+
+    ASSERT_EQ(w.atB.size(), 2u);
+    ByteView retx = w.atB[1]->payload();
+    // Identical ciphertext for the overlapping range: receivers mix
+    // original and retransmitted bytes freely.
+    EXPECT_TRUE(std::equal(retx.begin(), retx.end(), first.begin() + kOff));
+    EXPECT_EQ(w.nicA.stats().txResyncs, 1u);
+    EXPECT_EQ(w.nicA.pcie().ctxRecoveryBytes, kOff);
+}
+
+TEST(NicDevice, DestroyedContextStopsOffloading)
+{
+    NicWorld w;
+    tls::DirectionKeys keys;
+    keys.key.assign(16, 1);
+    keys.staticIv.assign(12, 2);
+    uint64_t ctx = w.nicA.createTxContext(
+        std::make_unique<tls::TlsTxEngine>(keys), 0, 0);
+    w.nicA.destroyTxContext(ctx);
+    auto p = mkPkt(1, 2, 0, 50, ctx);
+    Bytes before(p->payload().begin(), p->payload().end());
+    w.nicA.transmit(p);
+    w.sim.run();
+    ASSERT_EQ(w.atB.size(), 1u);
+    // Payload passes through unmodified.
+    EXPECT_TRUE(std::equal(before.begin(), before.end(),
+                           w.atB[0]->payload().begin()));
+    EXPECT_EQ(w.nicA.stats().txOffloadedPkts, 0u);
+}
+
+} // namespace
+} // namespace anic::nic

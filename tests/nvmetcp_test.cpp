@@ -1,0 +1,474 @@
+/**
+ * @file
+ * NVMe-TCP tests: PDU codec, reassembly, end-to-end reads/writes over
+ * the simulated fabric, CRC and copy (zero-copy placement) offloads,
+ * loss resilience, and the NVMe-TLS composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvmetcp/host_queue.hh"
+#include "nvmetcp/target.hh"
+#include "support/offload_world.hh"
+
+namespace anic {
+namespace {
+
+using testing::OffloadWorld;
+using namespace nvmetcp;
+
+// ------------------------------------------------------------- codec
+
+TEST(NvmePdu, CommonHeaderValidation)
+{
+    WireConfig wc;
+    Bytes cmd = buildCmdCapsule(wc, CmdCapsule{7, kOpRead, 4096, 512});
+    auto ch = parseCommonHdr(cmd);
+    ASSERT_TRUE(ch.has_value());
+    EXPECT_EQ(ch->type, kPduCapsuleCmd);
+    EXPECT_EQ(ch->hlen, kCmdHdrSize);
+    EXPECT_TRUE(ch->hasHdgst());
+    EXPECT_EQ(ch->plen, cmd.size());
+
+    // Corrupt the type / hlen / pdo: magic must fail.
+    Bytes bad = cmd;
+    bad[0] = 0x55;
+    EXPECT_FALSE(parseCommonHdr(bad).has_value());
+    bad = cmd;
+    bad[2] = 10;
+    EXPECT_FALSE(parseCommonHdr(bad).has_value());
+    bad = cmd;
+    bad[3] = 99;
+    EXPECT_FALSE(parseCommonHdr(bad).has_value());
+    bad = cmd;
+    putLe32(bad.data() + 4, 3u << 21);
+    EXPECT_FALSE(parseCommonHdr(bad).has_value());
+}
+
+TEST(NvmePdu, CmdCapsuleRoundTrip)
+{
+    WireConfig wc;
+    CmdCapsule in{42, kOpWrite, 0x123456789aull, 65536};
+    Bytes pdu = buildCmdCapsule(wc, in);
+    CmdCapsule out = parseCmdCapsule(pdu);
+    EXPECT_EQ(out.cid, in.cid);
+    EXPECT_EQ(out.opcode, in.opcode);
+    EXPECT_EQ(out.slba, in.slba);
+    EXPECT_EQ(out.length, in.length);
+}
+
+TEST(NvmePdu, DataPduCarriesDigest)
+{
+    WireConfig wc;
+    Bytes data(1000);
+    fillDeterministic(data, 3, 0);
+    Bytes pdu = buildDataPdu(wc, kPduC2HData, DataPduHdr{5, 100, 0}, data,
+                             true);
+    auto ch = parseCommonHdr(pdu);
+    ASSERT_TRUE(ch.has_value());
+    EXPECT_EQ(ch->dataLen(), data.size());
+    uint32_t wire = getLe32(pdu.data() + ch->pdo + data.size());
+    EXPECT_EQ(wire, crypto::Crc32c::compute(data));
+
+    // Dummy-digest variant leaves zeros for the NIC.
+    Bytes pdu2 = buildDataPdu(wc, kPduC2HData, DataPduHdr{5, 100, 0}, data,
+                              false);
+    EXPECT_EQ(getLe32(pdu2.data() + ch->pdo + data.size()), 0u);
+}
+
+TEST(NvmePdu, AssemblerHandlesArbitrarySegmentation)
+{
+    WireConfig wc;
+    // Build a stream of mixed PDUs.
+    Bytes stream;
+    std::vector<size_t> lens;
+    Rng rng(5);
+    for (int i = 0; i < 20; i++) {
+        Bytes pdu;
+        if (i % 3 == 0) {
+            pdu = buildCmdCapsule(wc, CmdCapsule{static_cast<uint16_t>(i),
+                                                 kOpRead, 0, 4096});
+        } else {
+            Bytes data(rng.range(1, 5000));
+            fillDeterministic(data, i, 0);
+            pdu = buildDataPdu(wc, kPduC2HData,
+                               DataPduHdr{static_cast<uint16_t>(i), 0,
+                                          static_cast<uint32_t>(data.size())},
+                               data, true);
+        }
+        lens.push_back(pdu.size());
+        stream.insert(stream.end(), pdu.begin(), pdu.end());
+    }
+
+    PduAssembler as(wc);
+    std::vector<RxPdu> out;
+    uint64_t off = 0;
+    while (off < stream.size()) {
+        size_t n = std::min<size_t>(rng.range(1, 1460), stream.size() - off);
+        tcp::RxSegment seg;
+        seg.streamOff = off;
+        seg.data.assign(stream.begin() + off, stream.begin() + off + n);
+        as.ingest(seg, [&](RxPdu &&p) { out.push_back(std::move(p)); });
+        off += n;
+    }
+    ASSERT_FALSE(as.error());
+    ASSERT_EQ(out.size(), 20u);
+    for (int i = 0; i < 20; i++)
+        EXPECT_EQ(out[i].bytes.size(), lens[i]);
+}
+
+// ----------------------------------------------------- fabric fixture
+
+/**
+ * Host (initiator) on node B reads from the drive exported by node A:
+ * the paper's layout, where the SSD lives on the workload generator.
+ */
+struct NvmeFabric
+{
+    static constexpr uint16_t kPort = 4420;
+
+    OffloadWorld &w;
+    host::NvmeDrive drive;
+    WireConfig wc;
+    std::unique_ptr<NvmeTarget> target;
+    std::unique_ptr<NvmeHostQueue> hostq;
+    bool ready = false;
+
+    NvmeFabric(OffloadWorld &world, NvmeOffloadConfig ocfg,
+               host::NvmeDrive::Config dcfg = {})
+        : w(world), drive(world.sim, dcfg)
+    {
+        w.a.stack().listen(kPort, w.a.tcpConfig(),
+                           [this](tcp::TcpConnection &c) {
+                               target = std::make_unique<NvmeTarget>(
+                                   c, drive, wc);
+                           });
+        tcp::TcpConnection &c = w.b.stack().connect(
+            OffloadWorld::kIpB, OffloadWorld::kIpA, kPort, w.b.tcpConfig());
+        c.setOnConnected([this, &c, ocfg] {
+            hostq = std::make_unique<NvmeHostQueue>(c, wc, ocfg);
+            hostq->enableOffload(w.b.device(), c);
+            ready = true;
+        });
+        w.sim.runUntil(10 * sim::kMillisecond);
+        ANIC_ASSERT(ready, "fabric setup failed");
+    }
+};
+
+bool
+verifyRead(const host::NvmeDrive &drive, const host::BlockBufferPtr &buf,
+           uint64_t slba)
+{
+    return checkDeterministic(buf->data, drive.config().contentSeed, slba);
+}
+
+// -------------------------------------------------------------- tests
+
+TEST(NvmeFabric, SoftwareReadDeliversDriveContent)
+{
+    OffloadWorld w;
+    NvmeFabric f(w, {});
+    bool done = false;
+    bool ok = false;
+    host::BlockBufferPtr buf;
+    f.hostq->read(8192, 262144, [&](bool o, host::BlockBufferPtr b) {
+        done = true;
+        ok = o;
+        buf = std::move(b);
+    });
+    w.sim.runUntil(100 * sim::kMillisecond);
+    ASSERT_TRUE(done);
+    EXPECT_TRUE(ok);
+    EXPECT_TRUE(verifyRead(f.drive, buf, 8192));
+    EXPECT_EQ(f.hostq->stats().crcSoftware, 1u);
+    EXPECT_EQ(f.hostq->stats().crcSkipped, 0u);
+    EXPECT_EQ(f.hostq->stats().bytesPlaced, 0u);
+    EXPECT_EQ(f.hostq->stats().bytesCopied, 262144u);
+}
+
+TEST(NvmeFabric, CrcOffloadSkipsSoftwareDigest)
+{
+    OffloadWorld w;
+    NvmeOffloadConfig ocfg;
+    ocfg.crcRx = true;
+    NvmeFabric f(w, ocfg);
+    bool ok = false;
+    host::BlockBufferPtr buf;
+    f.hostq->read(0, 262144, [&](bool o, host::BlockBufferPtr b) {
+        ok = o;
+        buf = std::move(b);
+    });
+    w.sim.runUntil(100 * sim::kMillisecond);
+    ASSERT_TRUE(ok);
+    EXPECT_TRUE(verifyRead(f.drive, buf, 0));
+    EXPECT_EQ(f.hostq->stats().crcSkipped, 1u);
+    EXPECT_EQ(f.hostq->stats().crcSoftware, 0u);
+}
+
+TEST(NvmeFabric, CopyOffloadPlacesDirectly)
+{
+    OffloadWorld w;
+    NvmeOffloadConfig ocfg;
+    ocfg.crcRx = true;
+    ocfg.copyRx = true;
+    NvmeFabric f(w, ocfg);
+    bool ok = false;
+    host::BlockBufferPtr buf;
+    f.hostq->read(4096, 262144, [&](bool o, host::BlockBufferPtr b) {
+        ok = o;
+        buf = std::move(b);
+    });
+    w.sim.runUntil(100 * sim::kMillisecond);
+    ASSERT_TRUE(ok);
+    // Content must be correct even though software never copied it.
+    EXPECT_TRUE(verifyRead(f.drive, buf, 4096));
+    EXPECT_EQ(f.hostq->stats().bytesCopied, 0u);
+    EXPECT_EQ(f.hostq->stats().bytesPlaced, 262144u);
+    EXPECT_EQ(f.hostq->stats().crcSkipped, 1u);
+}
+
+TEST(NvmeFabric, ManyConcurrentReads)
+{
+    OffloadWorld w;
+    NvmeOffloadConfig ocfg;
+    ocfg.crcRx = true;
+    ocfg.copyRx = true;
+    NvmeFabric f(w, ocfg);
+    const int kReqs = 32;
+    int completed = 0;
+    int correct = 0;
+    for (int i = 0; i < kReqs; i++) {
+        uint64_t slba = 65536ull * i;
+        f.hostq->read(slba, 32768,
+                      [&, slba](bool o, host::BlockBufferPtr b) {
+                          completed++;
+                          if (o && verifyRead(f.drive, b, slba))
+                              correct++;
+                      });
+    }
+    w.sim.runUntil(300 * sim::kMillisecond);
+    EXPECT_EQ(completed, kReqs);
+    EXPECT_EQ(correct, kReqs);
+}
+
+TEST(NvmeFabric, LossyLinkFallsBackAndRecovers)
+{
+    net::Link::Config lc;
+    lc.dir[0].lossRate = 0.01; // target -> host data direction
+    lc.seed = 3;
+    OffloadWorld w(lc);
+    NvmeOffloadConfig ocfg;
+    ocfg.crcRx = true;
+    ocfg.copyRx = true;
+    NvmeFabric f(w, ocfg);
+
+    const int kReqs = 60;
+    int completed = 0;
+    int correct = 0;
+    std::function<void(int)> issue = [&](int i) {
+        uint64_t slba = 262144ull * i;
+        f.hostq->read(slba, 262144,
+                      [&, slba, i](bool o, host::BlockBufferPtr b) {
+                          completed++;
+                          if (o && verifyRead(f.drive, b, slba))
+                              correct++;
+                          if (i + 8 < kReqs)
+                              issue(i + 8);
+                      });
+    };
+    for (int i = 0; i < 8; i++)
+        issue(i);
+    w.sim.runUntil(3 * sim::kSecond);
+    EXPECT_EQ(completed, kReqs);
+    EXPECT_EQ(correct, kReqs);
+    // Some capsules fell back to software CRC, some were offloaded.
+    EXPECT_GT(f.hostq->stats().crcSoftware, 0u);
+    EXPECT_GT(f.hostq->stats().crcSkipped, 0u);
+    // Placement kept working across the losses (mid-capsule resume).
+    EXPECT_GT(f.hostq->stats().bytesPlaced, 0u);
+}
+
+TEST(NvmeFabric, WritesReachTheDrive)
+{
+    OffloadWorld w;
+    NvmeFabric f(w, {});
+    bool ok = false;
+    f.hostq->write(0, 131072, /*seed=*/9, [&](bool o) { ok = o; });
+    w.sim.runUntil(100 * sim::kMillisecond);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(f.target->stats().writesServed, 1u);
+    EXPECT_EQ(f.target->stats().bytesWritten, 131072u);
+    EXPECT_EQ(f.target->stats().crcFailures, 0u);
+    EXPECT_EQ(f.drive.bytesWritten(), 131072u);
+}
+
+TEST(NvmeFabric, TxCrcOffloadProducesValidDigests)
+{
+    OffloadWorld w;
+    NvmeOffloadConfig ocfg;
+    ocfg.crcTx = true;
+    NvmeFabric f(w, ocfg);
+    int oks = 0;
+    for (int i = 0; i < 4; i++) {
+        f.hostq->write(262144ull * i, 262144, 10 + i, [&](bool o) {
+            if (o)
+                oks++;
+        });
+    }
+    w.sim.runUntil(300 * sim::kMillisecond);
+    EXPECT_EQ(oks, 4);
+    // The target verified NIC-computed digests in software.
+    EXPECT_EQ(f.target->stats().crcFailures, 0u);
+    EXPECT_GT(w.b.nicDev().stats().txOffloadedPkts, 0u);
+}
+
+TEST(NvmeFabric, TxCrcOffloadSurvivesLoss)
+{
+    net::Link::Config lc;
+    lc.dir[1].lossRate = 0.02; // host -> target direction
+    lc.seed = 11;
+    OffloadWorld w(lc);
+    NvmeOffloadConfig ocfg;
+    ocfg.crcTx = true;
+    NvmeFabric f(w, ocfg);
+    int oks = 0;
+    for (int i = 0; i < 6; i++) {
+        f.hostq->write(262144ull * i, 262144, 20 + i, [&](bool o) {
+            if (o)
+                oks++;
+        });
+    }
+    w.sim.runUntil(3 * sim::kSecond);
+    EXPECT_EQ(oks, 6);
+    EXPECT_EQ(f.target->stats().crcFailures, 0u);
+    EXPECT_GT(w.b.nicDev().stats().txResyncs, 0u);
+}
+
+// ------------------------------------------------- NVMe-TLS composition
+
+struct NvmeTlsFabric
+{
+    static constexpr uint16_t kPort = 4420;
+    static constexpr uint64_t kSecret = 0xabcd;
+
+    OffloadWorld &w;
+    host::NvmeDrive drive;
+    WireConfig wc;
+    std::unique_ptr<tls::TlsSocket> targetTls;
+    std::unique_ptr<tls::TlsSocket> hostTls;
+    std::unique_ptr<NvmeTarget> target;
+    std::unique_ptr<NvmeHostQueue> hostq;
+    bool ready = false;
+
+    NvmeTlsFabric(OffloadWorld &world, NvmeOffloadConfig ocfg,
+                  bool tlsRxOffload)
+        : w(world), drive(world.sim, {})
+    {
+        w.a.stack().listen(kPort, w.a.tcpConfig(),
+                           [this](tcp::TcpConnection &c) {
+                               targetTls = std::make_unique<tls::TlsSocket>(
+                                   c, tls::SessionKeys::derive(kSecret, false),
+                                   tls::TlsConfig{});
+                               target = std::make_unique<NvmeTarget>(
+                                   *targetTls, drive, wc);
+                           });
+        tcp::TcpConnection &c = w.b.stack().connect(
+            OffloadWorld::kIpB, OffloadWorld::kIpA, kPort, w.b.tcpConfig());
+        c.setOnConnected([this, &c, ocfg, tlsRxOffload] {
+            tls::TlsConfig tcfg;
+            tcfg.rxOffload = tlsRxOffload;
+            hostTls = std::make_unique<tls::TlsSocket>(
+                c, tls::SessionKeys::derive(kSecret, true), tcfg);
+            hostTls->enableOffload(w.b.device());
+            hostq = std::make_unique<NvmeHostQueue>(*hostTls, wc, ocfg);
+            if (tlsRxOffload && (ocfg.crcRx || ocfg.copyRx))
+                hostq->enableOffloadOverTls(*hostTls);
+            ready = true;
+        });
+        w.sim.runUntil(10 * sim::kMillisecond);
+        ANIC_ASSERT(ready, "fabric setup failed");
+    }
+};
+
+TEST(NvmeTls, SoftwareTlsTransportWorks)
+{
+    OffloadWorld w;
+    NvmeTlsFabric f(w, {}, /*tlsRxOffload=*/false);
+    bool ok = false;
+    host::BlockBufferPtr buf;
+    f.hostq->read(8192, 262144, [&](bool o, host::BlockBufferPtr b) {
+        ok = o;
+        buf = std::move(b);
+    });
+    w.sim.runUntil(200 * sim::kMillisecond);
+    ASSERT_TRUE(ok);
+    EXPECT_TRUE(checkDeterministic(buf->data, f.drive.config().contentSeed,
+                                   8192));
+}
+
+TEST(NvmeTls, ComposedOffloadPlacesAndVerifies)
+{
+    OffloadWorld w;
+    NvmeOffloadConfig ocfg;
+    ocfg.crcRx = true;
+    ocfg.copyRx = true;
+    NvmeTlsFabric f(w, ocfg, /*tlsRxOffload=*/true);
+
+    const int kReqs = 8;
+    int correct = 0;
+    for (int i = 0; i < kReqs; i++) {
+        uint64_t slba = 262144ull * i;
+        f.hostq->read(slba, 262144,
+                      [&, slba](bool o, host::BlockBufferPtr b) {
+                          if (o && checkDeterministic(
+                                       b->data,
+                                       f.drive.config().contentSeed, slba))
+                              correct++;
+                      });
+    }
+    w.sim.runUntil(500 * sim::kMillisecond);
+    EXPECT_EQ(correct, kReqs);
+    // The inner (NVMe) engine placed payload and checked digests
+    // while the outer (TLS) engine decrypted.
+    EXPECT_GT(f.hostq->stats().bytesPlaced, 0u);
+    EXPECT_GT(f.hostq->stats().crcSkipped, 0u);
+    EXPECT_EQ(f.hostTls->stats().rxFullyOffloaded,
+              f.hostTls->stats().recordsRx);
+}
+
+TEST(NvmeTls, ComposedOffloadSurvivesLoss)
+{
+    net::Link::Config lc;
+    lc.dir[0].lossRate = 0.01;
+    lc.seed = 7;
+    OffloadWorld w(lc);
+    NvmeOffloadConfig ocfg;
+    ocfg.crcRx = true;
+    ocfg.copyRx = true;
+    NvmeTlsFabric f(w, ocfg, /*tlsRxOffload=*/true);
+
+    const int kReqs = 40;
+    int completed = 0;
+    int correct = 0;
+    std::function<void(int)> issue = [&](int i) {
+        uint64_t slba = 262144ull * i;
+        f.hostq->read(slba, 262144,
+                      [&, slba, i](bool o, host::BlockBufferPtr b) {
+                          completed++;
+                          if (o && checkDeterministic(
+                                       b->data,
+                                       f.drive.config().contentSeed, slba))
+                              correct++;
+                          if (i + 4 < kReqs)
+                              issue(i + 4);
+                      });
+    };
+    for (int i = 0; i < 4; i++)
+        issue(i);
+    w.sim.runUntil(5 * sim::kSecond);
+    EXPECT_EQ(completed, kReqs);
+    EXPECT_EQ(correct, kReqs);
+}
+
+} // namespace
+} // namespace anic

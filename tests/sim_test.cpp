@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the discrete-event simulator and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hh"
+#include "sim/stats.hh"
+
+namespace anic::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30, [&] { order.push_back(3); });
+    sim.schedule(10, [&] { order.push_back(1); });
+    sim.schedule(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30u);
+    EXPECT_EQ(sim.eventsExecuted(), 3u);
+}
+
+TEST(Simulator, SameTickFifoOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 10; i++)
+        sim.schedule(5, [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, EventsCanScheduleEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        fired++;
+        if (fired < 5)
+            sim.schedule(100, chain);
+    };
+    sim.schedule(100, chain);
+    sim.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(100, [&] { fired++; });
+    sim.schedule(300, [&] { fired++; });
+    sim.runUntil(200);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 200u);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunForIsRelative)
+{
+    Simulator sim;
+    sim.runFor(50);
+    EXPECT_EQ(sim.now(), 50u);
+    sim.runFor(50);
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(Simulator, ZeroDelayRunsAtCurrentTime)
+{
+    Simulator sim;
+    sim.runUntil(42);
+    bool ran = false;
+    sim.schedule(0, [&] {
+        ran = true;
+        EXPECT_EQ(sim.now(), 42u);
+    });
+    sim.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(TickConversions, RoundTrip)
+{
+    EXPECT_EQ(secondsToTicks(1.0), kSecond);
+    EXPECT_EQ(secondsToTicks(0.001), kMillisecond);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kSecond), 1.0);
+    EXPECT_EQ(kMicrosecond, 1000000u);
+}
+
+TEST(SampleStat, Moments)
+{
+    SampleStat s;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.count(), 5u);
+}
+
+TEST(SampleStat, Percentiles)
+{
+    SampleStat s;
+    for (int i = 1; i <= 100; i++)
+        s.add(i);
+    EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(99), 99.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+}
+
+TEST(SampleStat, TrimmedMeanDropsExtremes)
+{
+    SampleStat s;
+    for (double v : {10.0, 10.0, 10.0, 1000.0, 0.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.trimmedMean(), 10.0);
+}
+
+TEST(IntervalMeter, MeasuresOnlyWindow)
+{
+    IntervalMeter m;
+    m.add(100); // before start: ignored
+    m.start(kSecond);
+    m.add(1000);
+    m.add(250);
+    m.stop(2 * kSecond);
+    m.add(77); // after stop: ignored
+    EXPECT_EQ(m.total(), 1250u);
+    EXPECT_DOUBLE_EQ(m.perSecond(), 1250.0);
+    EXPECT_DOUBLE_EQ(m.gbps(), 1250.0 * 8 / 1e9);
+}
+
+} // namespace
+} // namespace anic::sim

@@ -1,0 +1,10 @@
+#ifndef ANIC_TESTS_SUPPORT_MACRO_WORLD_HH
+#define ANIC_TESTS_SUPPORT_MACRO_WORLD_HH
+
+#include "app/macro_world.hh"
+
+namespace anic::testing {
+using MacroWorld = app::MacroWorld;
+} // namespace anic::testing
+
+#endif // ANIC_TESTS_SUPPORT_MACRO_WORLD_HH

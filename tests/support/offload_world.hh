@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Two offload-capable hosts (core::Node) connected back-to-back —
+ * the standard fixture for integration tests and benches. Host A is
+ * the client / workload generator, host B the server / DUT.
+ */
+
+#ifndef ANIC_TESTS_SUPPORT_OFFLOAD_WORLD_HH
+#define ANIC_TESTS_SUPPORT_OFFLOAD_WORLD_HH
+
+#include "core/node.hh"
+#include "net/link.hh"
+
+namespace anic::testing {
+
+struct OffloadWorld
+{
+    static constexpr net::IpAddr kIpA = net::makeIp(10, 0, 0, 1);
+    static constexpr net::IpAddr kIpB = net::makeIp(10, 0, 0, 2);
+
+    explicit OffloadWorld(net::Link::Config linkCfg = {},
+                          core::Node::Config cfgA = {},
+                          core::Node::Config cfgB = {})
+        : link(sim, linkCfg), a(sim, withSeed(cfgA, 11)),
+          b(sim, withSeed(cfgB, 22))
+    {
+        a.attachPort(link, 0, kIpA);
+        b.attachPort(link, 1, kIpB);
+    }
+
+    static core::Node::Config
+    withSeed(core::Node::Config c, uint64_t seed)
+    {
+        c.stackSeed = seed;
+        return c;
+    }
+
+    sim::Simulator sim;
+    net::Link link;
+    core::Node a;
+    core::Node b;
+};
+
+} // namespace anic::testing
+
+#endif // ANIC_TESTS_SUPPORT_OFFLOAD_WORLD_HH
