@@ -19,6 +19,7 @@
 #include "app/iperf.hh"
 #include "app/kv.hh"
 #include "app/macro_world.hh"
+#include "bench_json.hh"
 
 namespace anic::bench {
 

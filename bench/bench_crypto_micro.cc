@@ -4,13 +4,25 @@
  * clock throughput of this library's software implementations). Not
  * a paper artifact; used to confirm the simulator's data path is fast
  * enough to push hundreds of megabytes through the benches.
+ *
+ * Every kernel variant compiled into the binary is registered (scalar
+ * always; hw when the CPU supports AES-NI/PCLMUL/SSE4.2), and a
+ * summary at the end reports hw-over-scalar speedups plus JSON
+ * records, so the dispatch layer's win is visible in one run.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_json.hh"
 #include "crypto/aes.hh"
+#include "crypto/cpu.hh"
 #include "crypto/crc32c.hh"
 #include "crypto/gcm.hh"
+#include "crypto/kernels.hh"
 #include "crypto/sha1.hh"
 #include "util/bytes.hh"
 
@@ -19,43 +31,62 @@ namespace {
 using namespace anic;
 using namespace anic::crypto;
 
+std::vector<CryptoImpl>
+impls()
+{
+    std::vector<CryptoImpl> v{CryptoImpl::Scalar};
+    if (hwCryptoSupported())
+        v.push_back(CryptoImpl::Hw);
+    return v;
+}
+
+uint32_t
+crcCompute(CryptoImpl impl, ByteView data)
+{
+    uint32_t s = 0xffffffffu;
+    if (impl == CryptoImpl::Hw)
+        s = detail::hwOpsIfSupported()->crc32cUpdate(s, data.data(),
+                                                     data.size());
+    else
+        s = detail::crc32cScalarUpdate(s, data.data(), data.size());
+    return ~s;
+}
+
 void
-BM_Crc32c(benchmark::State &state)
+BM_Crc32c(benchmark::State &state, CryptoImpl impl)
 {
     Bytes data(static_cast<size_t>(state.range(0)));
     fillDeterministic(data, 1, 0);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(Crc32c::compute(data));
+        benchmark::DoNotOptimize(crcCompute(impl, data));
     }
     state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                             state.range(0));
 }
-BENCHMARK(BM_Crc32c)->Arg(1460)->Arg(16384)->Arg(262144);
 
 void
-BM_AesGcmSeal(benchmark::State &state)
+BM_AesGcmSeal(benchmark::State &state, CryptoImpl impl)
 {
     Bytes key(16, 0x11);
     Bytes iv(12, 0x22);
     Bytes pt(static_cast<size_t>(state.range(0)));
     fillDeterministic(pt, 2, 0);
-    AesGcm gcm(key);
+    AesGcm gcm(key, impl);
     for (auto _ : state) {
         benchmark::DoNotOptimize(gcm.seal(iv, {}, pt));
     }
     state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                             state.range(0));
 }
-BENCHMARK(BM_AesGcmSeal)->Arg(1460)->Arg(16384);
 
 void
-BM_AesGcmStreamDecrypt(benchmark::State &state)
+BM_AesGcmStreamDecrypt(benchmark::State &state, CryptoImpl impl)
 {
     Bytes key(16, 0x11);
     Bytes iv(12, 0x22);
     Bytes pt(16384);
     fillDeterministic(pt, 3, 0);
-    AesGcm gcm(key);
+    AesGcm gcm(key, impl);
     Bytes sealed = gcm.seal(iv, {}, pt);
     Bytes out(pt.size());
     for (auto _ : state) {
@@ -74,22 +105,20 @@ BM_AesGcmStreamDecrypt(benchmark::State &state)
     state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                             static_cast<int64_t>(pt.size()));
 }
-BENCHMARK(BM_AesGcmStreamDecrypt);
 
 void
-BM_AesCtrAtOffset(benchmark::State &state)
+BM_AesCtrAtOffset(benchmark::State &state, CryptoImpl impl)
 {
     Bytes key(16, 0x11);
     Bytes iv(12, 0x22);
     Aes128 aes(key);
     Bytes data(16384);
     for (auto _ : state) {
-        aesGcmCtrAtOffset(aes, iv, 4096, data);
+        aesGcmCtrAtOffset(aes, iv, 4096, data, impl);
         benchmark::DoNotOptimize(data.data());
     }
     state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 16384);
 }
-BENCHMARK(BM_AesCtrAtOffset);
 
 void
 BM_Sha1(benchmark::State &state)
@@ -101,8 +130,125 @@ BM_Sha1(benchmark::State &state)
     }
     state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 16384);
 }
-BENCHMARK(BM_Sha1);
+
+void
+registerAll()
+{
+    for (CryptoImpl impl : impls()) {
+        const char *nm = cryptoImplName(impl);
+        char name[64];
+        std::snprintf(name, sizeof name, "BM_Crc32c/%s", nm);
+        benchmark::RegisterBenchmark(name, BM_Crc32c, impl)
+            ->Arg(1460)
+            ->Arg(16384)
+            ->Arg(262144);
+        std::snprintf(name, sizeof name, "BM_AesGcmSeal/%s", nm);
+        benchmark::RegisterBenchmark(name, BM_AesGcmSeal, impl)
+            ->Arg(1460)
+            ->Arg(16384);
+        std::snprintf(name, sizeof name, "BM_AesGcmStreamDecrypt/%s", nm);
+        benchmark::RegisterBenchmark(name, BM_AesGcmStreamDecrypt, impl);
+        std::snprintf(name, sizeof name, "BM_AesCtrAtOffset/%s", nm);
+        benchmark::RegisterBenchmark(name, BM_AesCtrAtOffset, impl);
+    }
+    benchmark::RegisterBenchmark("BM_Sha1", BM_Sha1);
+}
+
+// --------------------------------------------------------- summary
+
+/** Runs @p work repeatedly for ~0.25 s; returns bytes per second. */
+template <typename Fn>
+double
+throughput(size_t bytesPerCall, Fn work)
+{
+    using clock = std::chrono::steady_clock;
+    // Warm up (tables, branch predictors).
+    work();
+    uint64_t calls = 0;
+    auto t0 = clock::now();
+    double elapsed = 0;
+    do {
+        for (int i = 0; i < 8; i++)
+            work();
+        calls += 8;
+        elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (elapsed < 0.25);
+    return static_cast<double>(calls) *
+           static_cast<double>(bytesPerCall) / elapsed;
+}
+
+void
+speedupSummary()
+{
+    if (!hwCryptoSupported()) {
+        std::printf("\nhw kernels unavailable (%s); scalar only\n",
+                    hwCryptoCompiled() ? "CPU lacks AES-NI/PCLMUL/SSE4.2"
+                                       : "not compiled in");
+        return;
+    }
+
+    std::printf("\n-- hw vs scalar speedup --\n");
+
+    auto gcmSeal = [](CryptoImpl impl, size_t len) {
+        Bytes key(16, 0x11);
+        Bytes iv(12, 0x22);
+        Bytes pt(len);
+        fillDeterministic(pt, 2, 0);
+        AesGcm gcm(key, impl);
+        Bytes out(len + AesGcm::kTagSize);
+        return throughput(len, [&gcm, &iv, &pt, &out, len] {
+            gcm.start(iv, {});
+            gcm.encryptUpdate(pt, ByteSpan(out.data(), len));
+            gcm.finishTag(ByteSpan(out.data() + len, AesGcm::kTagSize));
+        });
+    };
+    auto crc = [](CryptoImpl impl, size_t len) {
+        Bytes data(len);
+        fillDeterministic(data, 1, 0);
+        return throughput(len, [impl, &data] {
+            benchmark::DoNotOptimize(crcCompute(impl, data));
+        });
+    };
+
+    struct Row
+    {
+        const char *name;
+        const char *tag;
+        size_t len;
+        bool gcm;
+    };
+    static const Row rows[] = {
+        {"aes-gcm seal 1460B", "gcm1460", 1460, true},
+        {"aes-gcm seal 16KiB", "gcm16k", 16384, true},
+        {"crc32c 1460B", "crc1460", 1460, false},
+        {"crc32c 256KiB", "crc256k", 262144, false},
+    };
+    for (const Row &r : rows) {
+        double scalar = r.gcm ? gcmSeal(CryptoImpl::Scalar, r.len)
+                              : crc(CryptoImpl::Scalar, r.len);
+        double hw =
+            r.gcm ? gcmSeal(CryptoImpl::Hw, r.len) : crc(CryptoImpl::Hw, r.len);
+        double speedup = scalar > 0 ? hw / scalar : 0;
+        std::printf("%-20s scalar %8.0f MB/s   hw %8.0f MB/s   %5.1fx\n",
+                    r.name, scalar / 1e6, hw / 1e6, speedup);
+        anic::bench::jsonRecord("crypto_micro",
+                                (std::string(r.tag) + "_speedup").c_str(),
+                                speedup);
+        anic::bench::jsonRecord("crypto_micro",
+                                (std::string(r.tag) + "_hw_mbps").c_str(),
+                                hw / 1e6);
+    }
+}
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    registerAll();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    speedupSummary();
+    return 0;
+}

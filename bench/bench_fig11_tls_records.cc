@@ -85,6 +85,15 @@ main()
         std::printf("%-12zu %16.0f %9.0f%% %16.0f %9.0f%%\n", kib,
                     tx.cyclesPerRecord, tx.cryptoPct, rx.cyclesPerRecord,
                     rx.cryptoPct);
+        std::string rec = std::to_string(kib);
+        jsonRecord("fig11", "tx_cycles_per_record", tx.cyclesPerRecord,
+                   {{"record_kib", rec}});
+        jsonRecord("fig11", "tx_crypto_pct", tx.cryptoPct,
+                   {{"record_kib", rec}});
+        jsonRecord("fig11", "rx_cycles_per_record", rx.cyclesPerRecord,
+                   {{"record_kib", rec}});
+        jsonRecord("fig11", "rx_crypto_pct", rx.cryptoPct,
+                   {{"record_kib", rec}});
     }
     std::printf("\npaper: crypto share grows with record size; tx <=74%%, "
                 "rx <=60%% at 16 KiB\n");

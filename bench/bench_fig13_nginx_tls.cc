@@ -53,6 +53,14 @@ main()
                 gbps[i] = r.gbps;
                 if (variants[i] == HttpVariant::OffloadZc)
                     busy_zc = r.busyCores;
+                jsonRecord("fig13", "gbps", r.gbps,
+                           {{"cores", std::to_string(p.serverCores)},
+                            {"file_kib", std::to_string(kib)},
+                            {"variant", variantName(variants[i])}});
+                jsonRecord("fig13", "busy_cores", r.busyCores,
+                           {{"cores", std::to_string(p.serverCores)},
+                            {"file_kib", std::to_string(kib)},
+                            {"variant", variantName(variants[i])}});
             }
             std::printf("%-10llu", static_cast<unsigned long long>(kib));
             for (double g : gbps)

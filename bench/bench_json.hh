@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Machine-readable benchmark records. Every bench prints its human
+ * table; calling jsonRecord() alongside emits one JSON line per data
+ * point so BENCH_*.json trajectories can be recorded by tooling:
+ *
+ *   {"bench":"fig13","metric":"gbps","value":42.1,
+ *    "crypto_impl":"hw","variant":"offload+zc","file_kib":"256"}
+ *
+ * Lines go to stdout; when ANIC_BENCH_JSON names a file they are
+ * appended there as well. The active crypto kernel is always included
+ * since it dominates wall-clock (not simulated) numbers.
+ */
+
+#ifndef ANIC_BENCH_BENCH_JSON_HH
+#define ANIC_BENCH_BENCH_JSON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "crypto/cpu.hh"
+
+namespace anic::bench {
+
+using JsonExtra = std::initializer_list<std::pair<const char *, std::string>>;
+
+inline void
+jsonRecord(const char *bench, const char *metric, double value,
+           JsonExtra extra = {})
+{
+    std::string line = "{\"bench\":\"";
+    line += bench;
+    line += "\",\"metric\":\"";
+    line += metric;
+    line += "\",\"value\":";
+    char num[64];
+    std::snprintf(num, sizeof num, "%.6g", value);
+    line += num;
+    line += ",\"crypto_impl\":\"";
+    line += crypto::activeCryptoImplName();
+    line += "\"";
+    for (const auto &[key, val] : extra) {
+        line += ",\"";
+        line += key;
+        line += "\":\"";
+        line += val;
+        line += "\"";
+    }
+    line += "}";
+
+    std::printf("%s\n", line.c_str());
+    if (const char *path = std::getenv("ANIC_BENCH_JSON")) {
+        if (std::FILE *f = std::fopen(path, "a")) {
+            std::fprintf(f, "%s\n", line.c_str());
+            std::fclose(f);
+        }
+    }
+}
+
+} // namespace anic::bench
+
+#endif // ANIC_BENCH_BENCH_JSON_HH

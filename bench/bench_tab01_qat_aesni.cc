@@ -47,12 +47,19 @@ main()
                 "bandwidth, MB/s, 16KiB blocks, 1 core @2.4GHz");
     double q1 = qat(1);
     double q128 = qat(128);
+    double cbc = aesni(accel::CipherCosts::kCbcHmacSha1PerByte);
+    double gcm = aesni(accel::CipherCosts::kGcmPerByte);
     std::printf("%-28s %10s %10s %10s\n", "cipher", "QAT 1", "QAT 128",
                 "AES-NI 1");
     std::printf("%-28s %10.0f %10.0f %10.0f\n", "AES-128-CBC-HMAC-SHA1", q1,
-                q128, aesni(accel::CipherCosts::kCbcHmacSha1PerByte));
-    std::printf("%-28s %10.0f %10.0f %10.0f\n", "AES-128-GCM", q1, q128,
-                aesni(accel::CipherCosts::kGcmPerByte));
+                q128, cbc);
+    std::printf("%-28s %10.0f %10.0f %10.0f\n", "AES-128-GCM", q1, q128, gcm);
+    for (const char *cipher : {"cbc-hmac-sha1", "gcm"}) {
+        jsonRecord("tab01", "qat1_mbps", q1, {{"cipher", cipher}});
+        jsonRecord("tab01", "qat128_mbps", q128, {{"cipher", cipher}});
+    }
+    jsonRecord("tab01", "aesni_mbps", cbc, {{"cipher", "cbc-hmac-sha1"}});
+    jsonRecord("tab01", "aesni_mbps", gcm, {{"cipher", "gcm"}});
     std::printf("\npaper: 249 / 3144 / 695 and 249 / 3109 / 3150\n");
     return 0;
 }

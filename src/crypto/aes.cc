@@ -120,6 +120,14 @@ Aes128::setKey(ByteView key)
 }
 
 void
+Aes128::exportRoundKeys(uint8_t rk[kRounds + 1][16]) const
+{
+    for (int r = 0; r <= kRounds; r++)
+        for (int w = 0; w < 4; w++)
+            putBe32(&rk[r][4 * w], ek_[4 * r + w]);
+}
+
+void
 Aes128::encryptBlock(const uint8_t in[16], uint8_t out[16]) const
 {
     const AesTables &t = tbl();

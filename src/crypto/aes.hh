@@ -36,6 +36,14 @@ class Aes128
     /** Decrypts one 16-byte block, in may alias out. */
     void decryptBlock(const uint8_t in[16], uint8_t out[16]) const;
 
+    /**
+     * Writes the expanded encryption round keys in wire order (the
+     * byte sequence XORed into the state), the layout the hardware
+     * kernels consume. Identical to what the AES-NI key schedule
+     * produces for the same key.
+     */
+    void exportRoundKeys(uint8_t rk[kRounds + 1][16]) const;
+
   private:
     uint32_t ek_[4 * (kRounds + 1)];
     uint32_t dk_[4 * (kRounds + 1)];

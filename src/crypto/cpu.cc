@@ -1,0 +1,143 @@
+#include "crypto/cpu.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "crypto/kernels.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#define ANIC_X86_HOST 1
+#endif
+
+namespace anic::crypto {
+
+namespace {
+
+CpuFeatures
+detectCpu()
+{
+    CpuFeatures f;
+#ifdef ANIC_X86_HOST
+    unsigned a = 0;
+    unsigned b = 0;
+    unsigned c = 0;
+    unsigned d = 0;
+    if (__get_cpuid(1, &a, &b, &c, &d)) {
+        f.sse42 = (c & bit_SSE4_2) != 0;
+        f.aesni = (c & bit_AES) != 0;
+        f.pclmul = (c & bit_PCLMUL) != 0;
+    }
+    if (__get_cpuid_count(7, 0, &a, &b, &c, &d))
+        f.avx2 = (b & bit_AVX2) != 0;
+#endif
+    return f;
+}
+
+#ifdef ANIC_HAVE_X86_CRYPTO
+const detail::HwOps kX86Ops = {
+    &detail::x86::crc32cUpdate,  &detail::x86::aesKeyExpand,
+    &detail::x86::aesEncryptBlock, &detail::x86::ghashInit,
+    &detail::x86::ghashBlocks,   &detail::x86::gcmCryptBlocks,
+    &detail::x86::ctrBlocks,
+};
+#endif
+
+/**
+ * Env override: "scalar" forces the reference kernels, "hw" insists on
+ * the accelerated ones (warns + falls back when unavailable), anything
+ * else (or unset) auto-selects.
+ */
+CryptoImpl
+resolveActive()
+{
+    const char *env = std::getenv("ANIC_CRYPTO_IMPL");
+    bool supported = hwCryptoSupported();
+    if (env != nullptr) {
+        if (std::strcmp(env, "scalar") == 0)
+            return CryptoImpl::Scalar;
+        if (std::strcmp(env, "hw") == 0) {
+            if (!supported) {
+                std::fprintf(stderr,
+                             "anic: ANIC_CRYPTO_IMPL=hw but hardware "
+                             "crypto kernels are unavailable (%s); "
+                             "using scalar\n",
+                             hwCryptoCompiled() ? "CPU lacks AES-NI/"
+                                                  "PCLMUL/SSE4.2"
+                                                : "not compiled in");
+                return CryptoImpl::Scalar;
+            }
+            return CryptoImpl::Hw;
+        }
+        if (std::strcmp(env, "auto") != 0)
+            std::fprintf(stderr,
+                         "anic: ignoring unknown ANIC_CRYPTO_IMPL=%s "
+                         "(want scalar|hw)\n",
+                         env);
+    }
+    return supported ? CryptoImpl::Hw : CryptoImpl::Scalar;
+}
+
+} // namespace
+
+const CpuFeatures &
+cpuFeatures()
+{
+    static const CpuFeatures f = detectCpu();
+    return f;
+}
+
+const char *
+cryptoImplName(CryptoImpl impl)
+{
+    return impl == CryptoImpl::Hw ? "hw" : "scalar";
+}
+
+bool
+hwCryptoCompiled()
+{
+#ifdef ANIC_HAVE_X86_CRYPTO
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+hwCryptoSupported()
+{
+    const CpuFeatures &f = cpuFeatures();
+    return hwCryptoCompiled() && f.aesni && f.pclmul && f.sse42;
+}
+
+CryptoImpl
+activeCryptoImpl()
+{
+    static const CryptoImpl impl = resolveActive();
+    return impl;
+}
+
+namespace detail {
+
+const HwOps *
+hwOpsIfSupported()
+{
+#ifdef ANIC_HAVE_X86_CRYPTO
+    if (hwCryptoSupported())
+        return &kX86Ops;
+#endif
+    return nullptr;
+}
+
+const HwOps *
+hwOps()
+{
+    static const HwOps *ops =
+        activeCryptoImpl() == CryptoImpl::Hw ? hwOpsIfSupported() : nullptr;
+    return ops;
+}
+
+} // namespace detail
+
+} // namespace anic::crypto

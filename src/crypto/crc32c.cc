@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "crypto/kernels.hh"
+
 namespace anic::crypto {
 
 namespace {
@@ -40,13 +42,12 @@ tables()
 
 } // namespace
 
-void
-Crc32c::update(ByteView data)
+namespace detail {
+
+uint32_t
+crc32cScalarUpdate(uint32_t crc, const uint8_t *p, size_t n)
 {
     const Tables &tbl = tables();
-    uint32_t crc = state_;
-    const uint8_t *p = data.data();
-    size_t n = data.size();
 
     while (n >= 8) {
         uint32_t lo;
@@ -64,7 +65,22 @@ Crc32c::update(ByteView data)
     while (n--) {
         crc = tbl.t[0][(crc ^ *p++) & 0xff] ^ (crc >> 8);
     }
-    state_ = crc;
+    return crc;
+}
+
+} // namespace detail
+
+void
+Crc32c::update(ByteView data)
+{
+    if (data.empty())
+        return;
+    // Kernel resolved once at startup (CPUID + ANIC_CRYPTO_IMPL).
+    static const auto *ops = detail::hwOps();
+    state_ = ops != nullptr
+                 ? ops->crc32cUpdate(state_, data.data(), data.size())
+                 : detail::crc32cScalarUpdate(state_, data.data(),
+                                              data.size());
 }
 
 uint32_t

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Hardware CRC32C using the SSE4.2 CRC32 instruction. A single
+ * dependent chain of CRC32Q retires one 8-byte step every ~3 cycles,
+ * so large buffers are split into three independent streams whose
+ * partial CRCs are recombined with precomputed zero-extension
+ * operators (the classic "shift by N zero bytes" GF(2) matrix trick,
+ * built once at startup by repeated matrix squaring). Three stream
+ * block sizes cover large buffers, mid-size PDUs, and packet-sized
+ * tails. Compiled with -msse4.2 for this file only; reached through
+ * the dispatch table in cpu.cc.
+ */
+
+#include <nmmintrin.h>
+
+#include <cstring>
+
+#include "crypto/kernels.hh"
+
+namespace anic::crypto::detail::x86 {
+
+namespace {
+
+constexpr uint32_t kPolyReflected = 0x82f63b78u;
+
+// Stream block sizes for the 3-way interleave. Each tier processes
+// 3*size bytes per pass; smaller tiers mop up what the bigger ones
+// leave so packet-sized inputs (~1.5 KiB) still interleave.
+constexpr size_t kLongBlock = 8192;
+constexpr size_t kShortBlock = 256;
+constexpr size_t kMiniBlock = 64;
+
+/** vec * mat over GF(2): mat rows are the images of each input bit. */
+inline uint32_t
+gf2MatrixTimes(const uint32_t mat[32], uint32_t vec)
+{
+    uint32_t sum = 0;
+    for (int i = 0; vec != 0; i++, vec >>= 1) {
+        if (vec & 1)
+            sum ^= mat[i];
+    }
+    return sum;
+}
+
+inline void
+gf2MatrixSquare(uint32_t square[32], const uint32_t mat[32])
+{
+    for (int i = 0; i < 32; i++)
+        square[i] = gf2MatrixTimes(mat, mat[i]);
+}
+
+/**
+ * Byte-indexed operator advancing a raw CRC over @p len zero bytes:
+ * crc' = t[0][crc&0xff] ^ t[1][..] ^ t[2][..] ^ t[3][crc>>24].
+ * Combining streams: crc(A||B) = shift(crc(A), len(B)) ^ crcFromZero(B).
+ */
+struct ZeroShift
+{
+    uint32_t t[4][256];
+
+    explicit ZeroShift(size_t len)
+    {
+        // Operator for one zero *bit* (the CRC register step), then
+        // square up to one byte, then to len bytes.
+        uint32_t odd[32];
+        uint32_t even[32];
+        odd[0] = kPolyReflected;
+        uint32_t row = 1;
+        for (int i = 1; i < 32; i++) {
+            odd[i] = row;
+            row <<= 1;
+        }
+        gf2MatrixSquare(even, odd); // 2 bits
+        gf2MatrixSquare(odd, even); // 4 bits
+
+        const uint32_t *op = nullptr;
+        do {
+            gf2MatrixSquare(even, odd); // 8, 32, 128, ... bits
+            len >>= 1;
+            op = even;
+            if (len == 0)
+                break;
+            gf2MatrixSquare(odd, even);
+            len >>= 1;
+            op = odd;
+        } while (len != 0);
+
+        for (uint32_t n = 0; n < 256; n++) {
+            t[0][n] = gf2MatrixTimes(op, n);
+            t[1][n] = gf2MatrixTimes(op, n << 8);
+            t[2][n] = gf2MatrixTimes(op, n << 16);
+            t[3][n] = gf2MatrixTimes(op, n << 24);
+        }
+    }
+
+    uint32_t shift(uint32_t crc) const
+    {
+        return t[0][crc & 0xff] ^ t[1][(crc >> 8) & 0xff] ^
+               t[2][(crc >> 16) & 0xff] ^ t[3][crc >> 24];
+    }
+};
+
+struct ShiftTables
+{
+    ZeroShift longShift{kLongBlock};
+    ZeroShift shortShift{kShortBlock};
+    ZeroShift miniShift{kMiniBlock};
+};
+
+const ShiftTables &
+shiftTables()
+{
+    static const ShiftTables t;
+    return t;
+}
+
+inline uint64_t
+load64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+/** One 3-way interleaved pass over 3*block bytes starting at @p p. */
+template <size_t Block>
+inline uint32_t
+crc3way(const ZeroShift &zs, uint32_t crc, const uint8_t *p)
+{
+    uint64_t c0 = crc;
+    uint64_t c1 = 0;
+    uint64_t c2 = 0;
+    for (size_t i = 0; i < Block; i += 8) {
+        c0 = _mm_crc32_u64(c0, load64(p + i));
+        c1 = _mm_crc32_u64(c1, load64(p + Block + i));
+        c2 = _mm_crc32_u64(c2, load64(p + 2 * Block + i));
+    }
+    crc = zs.shift(static_cast<uint32_t>(c0)) ^ static_cast<uint32_t>(c1);
+    crc = zs.shift(crc) ^ static_cast<uint32_t>(c2);
+    return crc;
+}
+
+} // namespace
+
+uint32_t
+crc32cUpdate(uint32_t crc, const uint8_t *p, size_t n)
+{
+    if (n == 0)
+        return crc;
+    const ShiftTables &ts = shiftTables();
+
+    // Align to 8 bytes so the wide loops load aligned-ish words.
+    while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+        crc = _mm_crc32_u8(crc, *p++);
+        n--;
+    }
+    while (n >= 3 * kLongBlock) {
+        crc = crc3way<kLongBlock>(ts.longShift, crc, p);
+        p += 3 * kLongBlock;
+        n -= 3 * kLongBlock;
+    }
+    while (n >= 3 * kShortBlock) {
+        crc = crc3way<kShortBlock>(ts.shortShift, crc, p);
+        p += 3 * kShortBlock;
+        n -= 3 * kShortBlock;
+    }
+    while (n >= 3 * kMiniBlock) {
+        crc = crc3way<kMiniBlock>(ts.miniShift, crc, p);
+        p += 3 * kMiniBlock;
+        n -= 3 * kMiniBlock;
+    }
+    uint64_t c = crc;
+    while (n >= 8) {
+        c = _mm_crc32_u64(c, load64(p));
+        p += 8;
+        n -= 8;
+    }
+    crc = static_cast<uint32_t>(c);
+    while (n > 0) {
+        crc = _mm_crc32_u8(crc, *p++);
+        n--;
+    }
+    return crc;
+}
+
+} // namespace anic::crypto::detail::x86

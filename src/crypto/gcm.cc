@@ -1,5 +1,6 @@
 #include "crypto/gcm.hh"
 
+#include "crypto/kernels.hh"
 #include "util/panic.hh"
 
 namespace anic::crypto {
@@ -13,11 +14,34 @@ const uint64_t kLast4[16] = {
     0xe100, 0xfd20, 0xd940, 0xc560, 0x9180, 0x8da0, 0xa9c0, 0xb5e0,
 };
 
+const detail::HwOps *
+opsForImpl(CryptoImpl impl)
+{
+    if (impl != CryptoImpl::Hw)
+        return nullptr;
+    const detail::HwOps *ops = detail::hwOpsIfSupported();
+    ANIC_ASSERT(ops != nullptr, "hw crypto kernels unavailable");
+    return ops;
+}
+
 } // namespace
 
 void
 Ghash::setH(const uint8_t h[16])
 {
+    setH(h, activeCryptoImpl());
+}
+
+void
+Ghash::setH(const uint8_t h[16], CryptoImpl impl)
+{
+    hw_ = opsForImpl(impl);
+    if (hw_ != nullptr) {
+        hw_->ghashInit(h, hpow_);
+        reset();
+        return;
+    }
+
     uint64_t vh = getBe64(h);
     uint64_t vl = getBe64(h + 8);
 
@@ -77,6 +101,10 @@ Ghash::mulH(uint8_t x[16]) const
 void
 Ghash::absorbBlock(const uint8_t block[16])
 {
+    if (hw_ != nullptr) {
+        hw_->ghashBlocks(hpow_, y_, block, 1);
+        return;
+    }
     for (int i = 0; i < 16; i++)
         y_[i] ^= block[i];
     mulH(y_);
@@ -86,9 +114,17 @@ void
 Ghash::absorbPadded(ByteView data)
 {
     size_t off = 0;
-    while (off + 16 <= data.size()) {
-        absorbBlock(data.data() + off);
-        off += 16;
+    if (hw_ != nullptr) {
+        size_t nblk = data.size() / 16;
+        if (nblk > 0) {
+            hw_->ghashBlocks(hpow_, y_, data.data(), nblk);
+            off = nblk * 16;
+        }
+    } else {
+        while (off + 16 <= data.size()) {
+            absorbBlock(data.data() + off);
+            off += 16;
+        }
     }
     if (off < data.size()) {
         uint8_t block[16] = {0};
@@ -127,11 +163,23 @@ Ghash::gf128MulBitwise(const uint8_t x[16], const uint8_t y[16],
 void
 AesGcm::setKey(ByteView key)
 {
+    setKey(key, activeCryptoImpl());
+}
+
+void
+AesGcm::setKey(ByteView key, CryptoImpl impl)
+{
     aes_.setKey(key);
+    hw_ = opsForImpl(impl);
     uint8_t zero[16] = {0};
     uint8_t h[16];
-    aes_.encryptBlock(zero, h);
-    ghash_.setH(h);
+    if (hw_ != nullptr) {
+        hw_->aesKeyExpand(key.data(), rk_);
+        hw_->aesEncryptBlock(rk_, zero, h);
+    } else {
+        aes_.encryptBlock(zero, h);
+    }
+    ghash_.setH(h, impl);
     keySet_ = true;
 }
 
@@ -154,11 +202,20 @@ AesGcm::start(ByteView iv, ByteView aad)
 }
 
 void
+AesGcm::encryptBlock(const uint8_t in[16], uint8_t out[16]) const
+{
+    if (hw_ != nullptr)
+        hw_->aesEncryptBlock(rk_, in, out);
+    else
+        aes_.encryptBlock(in, out);
+}
+
+void
 AesGcm::ctrBlock(uint8_t out[16])
 {
     uint32_t c = getBe32(ctr_ + 12) + 1;
     putBe32(ctr_ + 12, c);
-    aes_.encryptBlock(ctr_, out);
+    encryptBlock(ctr_, out);
 }
 
 void
@@ -197,33 +254,43 @@ AesGcm::cryptUpdate(ByteView in, ByteSpan out, bool encrypt)
             byte_path(std::min(n, i + (16 - mis)));
     }
 
-    // Block fast path: whole keystream blocks, word-wide XOR, direct
-    // GHASH absorption — this is what the simulator's throughput
-    // rides on.
-    while (i + 16 <= n && ksUsed_ == 16 && carryLen_ == 0) {
-        ctrBlock(ks_);
-        const uint8_t *src = in.data() + i;
-        uint8_t *dst = out.data() + i;
-        // GHASH always runs over the ciphertext. On decrypt the
-        // ciphertext must be captured before the XOR because callers
-        // routinely decrypt in place (dst aliases src).
-        uint8_t ct[16];
-        if (!encrypt)
-            std::memcpy(ct, src, 16);
-        uint64_t s0;
-        uint64_t s1;
-        uint64_t k0;
-        uint64_t k1;
-        std::memcpy(&s0, src, 8);
-        std::memcpy(&s1, src + 8, 8);
-        std::memcpy(&k0, ks_, 8);
-        std::memcpy(&k1, ks_ + 8, 8);
-        uint64_t o0 = s0 ^ k0;
-        uint64_t o1 = s1 ^ k1;
-        std::memcpy(dst, &o0, 8);
-        std::memcpy(dst + 8, &o1, 8);
-        ghash_.absorbBlock(encrypt ? dst : ct);
-        i += 16;
+    // Block fast path: whole keystream blocks, direct GHASH
+    // absorption — this is what the simulator's throughput rides on.
+    if (hw_ != nullptr) {
+        // Fused hardware kernel: 8-way AES-NI CTR + PCLMUL GHASH.
+        if (i + 16 <= n && ksUsed_ == 16 && carryLen_ == 0) {
+            size_t nblk = (n - i) / 16;
+            hw_->gcmCryptBlocks(rk_, ghash_.hpow_, ctr_, ghash_.y_,
+                                in.data() + i, out.data() + i, nblk,
+                                encrypt);
+            i += nblk * 16;
+        }
+    } else {
+        while (i + 16 <= n && ksUsed_ == 16 && carryLen_ == 0) {
+            ctrBlock(ks_);
+            const uint8_t *src = in.data() + i;
+            uint8_t *dst = out.data() + i;
+            // GHASH always runs over the ciphertext. On decrypt the
+            // ciphertext must be captured before the XOR because
+            // callers routinely decrypt in place (dst aliases src).
+            uint8_t ct[16];
+            if (!encrypt)
+                std::memcpy(ct, src, 16);
+            uint64_t s0;
+            uint64_t s1;
+            uint64_t k0;
+            uint64_t k1;
+            std::memcpy(&s0, src, 8);
+            std::memcpy(&s1, src + 8, 8);
+            std::memcpy(&k0, ks_, 8);
+            std::memcpy(&k1, ks_ + 8, 8);
+            uint64_t o0 = s0 ^ k0;
+            uint64_t o1 = s1 ^ k1;
+            std::memcpy(dst, &o0, 8);
+            std::memcpy(dst + 8, &o1, 8);
+            ghash_.absorbBlock(encrypt ? dst : ct);
+            i += 16;
+        }
     }
 
     byte_path(n);
@@ -260,7 +327,7 @@ AesGcm::finishTag(ByteSpan tag)
     uint8_t s[16];
     ghash_.digest(s);
     uint8_t ekj0[16];
-    aes_.encryptBlock(j0_, ekj0);
+    encryptBlock(j0_, ekj0);
     for (int i = 0; i < 16; i++)
         tag[i] = s[i] ^ ekj0[i];
 }
@@ -299,19 +366,51 @@ AesGcm::open(ByteView iv, ByteView aad, ByteView sealed, Bytes &plaintext)
     return checkTag(sealed.subspan(ptlen));
 }
 
+namespace {
+
 void
-aesGcmCtrAtOffset(const Aes128 &aes, ByteView iv, uint64_t byteOff,
-                  ByteSpan data)
+ctrAtOffsetImpl(const Aes128 &aes, ByteView iv, uint64_t byteOff,
+                ByteSpan data, const detail::HwOps *ops)
 {
     ANIC_ASSERT(iv.size() == AesGcm::kIvSize);
-    uint8_t ctr[16];
-    std::memcpy(ctr, iv.data(), 12);
     uint64_t block = byteOff / 16;
     size_t skip = static_cast<size_t>(byteOff % 16);
     // GCM encrypts data with counters 2, 3, ... (1 is the tag block).
     uint64_t counter = 2 + block;
-    uint8_t ks[16];
     size_t i = 0;
+
+    if (ops != nullptr) {
+        uint8_t rk[11][16];
+        aes.exportRoundKeys(rk);
+        uint8_t ctrb[16];
+        std::memcpy(ctrb, iv.data(), 12);
+        uint8_t ks[16];
+        // Partial head block up to the next block boundary.
+        if (skip != 0 && i < data.size()) {
+            putBe32(ctrb + 12, static_cast<uint32_t>(counter++));
+            ops->aesEncryptBlock(rk, ctrb, ks);
+            for (size_t k = skip; k < 16 && i < data.size(); k++)
+                data[i++] ^= ks[k];
+        }
+        size_t nblk = (data.size() - i) / 16;
+        if (nblk > 0) {
+            ops->ctrBlocks(rk, iv.data(), counter, data.data() + i,
+                           data.data() + i, nblk);
+            counter += nblk;
+            i += nblk * 16;
+        }
+        if (i < data.size()) {
+            putBe32(ctrb + 12, static_cast<uint32_t>(counter));
+            ops->aesEncryptBlock(rk, ctrb, ks);
+            for (size_t k = 0; i < data.size(); k++)
+                data[i++] ^= ks[k];
+        }
+        return;
+    }
+
+    uint8_t ctr[16];
+    std::memcpy(ctr, iv.data(), 12);
+    uint8_t ks[16];
     while (i < data.size()) {
         putBe32(ctr + 12, static_cast<uint32_t>(counter++));
         aes.encryptBlock(ctr, ks);
@@ -335,6 +434,22 @@ aesGcmCtrAtOffset(const Aes128 &aes, ByteView iv, uint64_t byteOff,
             data[i++] ^= ks[k];
         skip = 0;
     }
+}
+
+} // namespace
+
+void
+aesGcmCtrAtOffset(const Aes128 &aes, ByteView iv, uint64_t byteOff,
+                  ByteSpan data)
+{
+    ctrAtOffsetImpl(aes, iv, byteOff, data, detail::hwOps());
+}
+
+void
+aesGcmCtrAtOffset(const Aes128 &aes, ByteView iv, uint64_t byteOff,
+                  ByteSpan data, CryptoImpl impl)
+{
+    ctrAtOffsetImpl(aes, iv, byteOff, data, opsForImpl(impl));
 }
 
 } // namespace anic::crypto

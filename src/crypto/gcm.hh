@@ -6,6 +6,12 @@
  * offload engine process a TLS record packet-by-packet, updating the
  * GCM state incrementally and only producing/validating the tag when
  * the final record bytes arrive.
+ *
+ * Each context binds to a kernel set at setKey()/setH() time: the
+ * portable scalar reference kernels, or (default, when the machine
+ * supports it) the AES-NI/PCLMUL kernels dispatched through
+ * crypto/cpu.hh. Both produce bit-identical output; tests force each
+ * variant explicitly to cross-check them.
  */
 
 #ifndef ANIC_CRYPTO_GCM_HH
@@ -14,22 +20,31 @@
 #include <cstdint>
 
 #include "crypto/aes.hh"
+#include "crypto/cpu.hh"
 #include "util/bytes.hh"
 
 namespace anic::crypto {
 
+namespace detail {
+struct HwOps;
+}
+
 /**
- * GHASH over GF(2^128) with 4-bit tables (mbedTLS-style). Exposed
- * separately so tests can cross-check the table implementation against
- * the bitwise reference.
+ * GHASH over GF(2^128); scalar kernel uses 4-bit tables (mbedTLS-
+ * style), hardware kernel uses PCLMULQDQ with aggregated reduction.
+ * Exposed separately so tests can cross-check both implementations
+ * against the bitwise reference.
  */
 class Ghash
 {
   public:
     Ghash() = default;
 
-    /** Initializes the tables from the hash subkey H (16 bytes). */
+    /** Initializes from the hash subkey H using the active kernels. */
     void setH(const uint8_t h[16]);
+
+    /** Same, with an explicit kernel choice (tests/benches). */
+    void setH(const uint8_t h[16], CryptoImpl impl);
 
     /** Absorbs exactly one 16-byte block. */
     void absorbBlock(const uint8_t block[16]);
@@ -47,10 +62,14 @@ class Ghash
                                 uint8_t out[16]);
 
   private:
+    friend class AesGcm;
+
     void mulH(uint8_t x[16]) const;
 
+    const detail::HwOps *hw_ = nullptr; // null: scalar tables
     uint64_t hl_[16] = {0};
     uint64_t hh_[16] = {0};
+    alignas(16) uint8_t hpow_[8][16] = {{0}}; // H^1..H^8 (hw kernels)
     uint8_t y_[16] = {0};
 };
 
@@ -70,8 +89,19 @@ class AesGcm
 
     AesGcm() = default;
     explicit AesGcm(ByteView key) { setKey(key); }
+    AesGcm(ByteView key, CryptoImpl impl) { setKey(key, impl); }
 
+    /** Binds the key using the active kernel set. */
     void setKey(ByteView key);
+
+    /** Same, with an explicit kernel choice (tests/benches). */
+    void setKey(ByteView key, CryptoImpl impl);
+
+    /** The kernel set this context is bound to. */
+    CryptoImpl impl() const
+    {
+        return hw_ != nullptr ? CryptoImpl::Hw : CryptoImpl::Scalar;
+    }
 
     /** Starts a message with a 96-bit IV and associated data. */
     void start(ByteView iv, ByteView aad);
@@ -97,10 +127,13 @@ class AesGcm
 
   private:
     void ctrBlock(uint8_t out[16]);
+    void encryptBlock(const uint8_t in[16], uint8_t out[16]) const;
     void cryptUpdate(ByteView in, ByteSpan out, bool encrypt);
 
     Aes128 aes_;
     Ghash ghash_;
+    const detail::HwOps *hw_ = nullptr; // null: scalar kernels
+    alignas(16) uint8_t rk_[11][16];    // round keys (hw kernels)
     uint8_t j0_[16];       // pre-counter block (for the tag)
     uint8_t ctr_[16];      // running counter block
     uint8_t ks_[16];       // current keystream block
@@ -118,10 +151,15 @@ class AesGcm
  * the message. Used by software fallback to re-encrypt NIC-decrypted
  * packet ranges so a partially-offloaded record can be authenticated
  * (paper §5.2 "Partial offload"), and by placement-style engines that
- * resume mid-message.
+ * resume mid-message. Routed through the dispatched CTR kernel so the
+ * NIC resync path gets the hardware speed too.
  */
 void aesGcmCtrAtOffset(const Aes128 &aes, ByteView iv, uint64_t byteOff,
                        ByteSpan data);
+
+/** Same, with an explicit kernel choice (tests/benches). */
+void aesGcmCtrAtOffset(const Aes128 &aes, ByteView iv, uint64_t byteOff,
+                       ByteSpan data, CryptoImpl impl);
 
 } // namespace anic::crypto
 

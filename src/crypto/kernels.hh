@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Internal kernel dispatch table shared by the crypto primitives.
+ *
+ * The scalar reference kernels live in aes.cc/gcm.cc/crc32c.cc; the
+ * hardware kernels (AES-NI, PCLMULQDQ, SSE4.2) live in aesni_gcm.cc
+ * and crc32c_hw.cc, which are compiled with per-file ISA flags only on
+ * x86 toolchains. This header is ISA-neutral so any translation unit
+ * (including tests and benches) can include it; the function pointers
+ * are resolved once at startup by cpu.cc.
+ *
+ * Conventions shared by both kernel sets:
+ *   - AES round keys are 11 x 16 bytes in wire order (the byte
+ *     sequence XORed into the state), identical between the scalar
+ *     key schedule and the AES-NI one.
+ *   - GHASH powers are H^1..H^8, each stored byte-reversed (ready for
+ *     carry-less multiplication); the accumulator `y` stays in the
+ *     same byte layout the scalar Ghash uses, so scalar and hardware
+ *     absorbs can interleave within one message.
+ *   - Counter blocks use GCM layout: 12-byte IV, 32-bit big-endian
+ *     counter in bytes 12..15.
+ */
+
+#ifndef ANIC_CRYPTO_KERNELS_HH
+#define ANIC_CRYPTO_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace anic::crypto::detail {
+
+constexpr size_t kAesRounds = 10;
+constexpr size_t kGhashPowers = 8;
+
+struct HwOps
+{
+    /** Advances a raw (non-inverted) CRC32C state over @p n bytes. */
+    uint32_t (*crc32cUpdate)(uint32_t crc, const uint8_t *p, size_t n);
+
+    /** AES-128 key schedule (AESKEYGENASSIST). */
+    void (*aesKeyExpand)(const uint8_t key[16], uint8_t rk[11][16]);
+
+    /** Single-block encrypt from expanded round keys. */
+    void (*aesEncryptBlock)(const uint8_t rk[11][16], const uint8_t in[16],
+                            uint8_t out[16]);
+
+    /** Computes the byte-reversed powers H^1..H^8 from the subkey H. */
+    void (*ghashInit)(const uint8_t h[16], uint8_t hpow[8][16]);
+
+    /** Absorbs @p nblk whole 16-byte blocks into accumulator @p y. */
+    void (*ghashBlocks)(const uint8_t hpow[8][16], uint8_t y[16],
+                        const uint8_t *data, size_t nblk);
+
+    /**
+     * Fused GCM bulk update over whole blocks: 8-way interleaved
+     * AES-CTR keystream, XOR with @p in, and aggregated-reduction
+     * GHASH over the ciphertext. Pre-increments the counter like
+     * AesGcm::ctrBlock and stores the advanced counter back into
+     * @p ctr. In-place (out == in) safe.
+     */
+    void (*gcmCryptBlocks)(const uint8_t rk[11][16],
+                           const uint8_t hpow[8][16], uint8_t ctr[16],
+                           uint8_t y[16], const uint8_t *in, uint8_t *out,
+                           size_t nblk, bool encrypt);
+
+    /**
+     * CTR-only transform of whole blocks for the resync/partial-
+     * offload path: block @p j uses counter value (uint32)(counter+j).
+     * In-place safe.
+     */
+    void (*ctrBlocks)(const uint8_t rk[11][16], const uint8_t iv[12],
+                      uint64_t counter, const uint8_t *in, uint8_t *out,
+                      size_t nblk);
+};
+
+/**
+ * The hardware kernel table, or nullptr when the scalar kernels are
+ * active (not compiled in, CPU lacks the extensions, or forced via
+ * ANIC_CRYPTO_IMPL=scalar). Resolved once.
+ */
+const HwOps *hwOps();
+
+/** Same, ignoring the environment override (tests and benches). */
+const HwOps *hwOpsIfSupported();
+
+/** Scalar CRC32C kernel (slicing-by-8), raw-state form. */
+uint32_t crc32cScalarUpdate(uint32_t crc, const uint8_t *p, size_t n);
+
+#ifdef ANIC_HAVE_X86_CRYPTO
+// Implemented in the ISA-flagged translation units.
+namespace x86 {
+uint32_t crc32cUpdate(uint32_t crc, const uint8_t *p, size_t n);
+void aesKeyExpand(const uint8_t key[16], uint8_t rk[11][16]);
+void aesEncryptBlock(const uint8_t rk[11][16], const uint8_t in[16],
+                     uint8_t out[16]);
+void ghashInit(const uint8_t h[16], uint8_t hpow[8][16]);
+void ghashBlocks(const uint8_t hpow[8][16], uint8_t y[16],
+                 const uint8_t *data, size_t nblk);
+void gcmCryptBlocks(const uint8_t rk[11][16], const uint8_t hpow[8][16],
+                    uint8_t ctr[16], uint8_t y[16], const uint8_t *in,
+                    uint8_t *out, size_t nblk, bool encrypt);
+void ctrBlocks(const uint8_t rk[11][16], const uint8_t iv[12],
+               uint64_t counter, const uint8_t *in, uint8_t *out,
+               size_t nblk);
+} // namespace x86
+#endif // ANIC_HAVE_X86_CRYPTO
+
+} // namespace anic::crypto::detail
+
+#endif // ANIC_CRYPTO_KERNELS_HH
