@@ -66,6 +66,12 @@ run(double loss, double reorder, size_t recordSize)
     double none = static_cast<double>(s1.rxNotOffloaded -
                                       s0.rxNotOffloaded);
     double tot = full + part + none;
+
+    emitRegistrySnapshot("abl_resync",
+                         {{"loss", tagNum(loss)},
+                          {"reorder", tagNum(reorder)},
+                          {"record_kib", tagNum(static_cast<double>(
+                                             recordSize >> 10))}});
     return Mix{tot ? 100 * full / tot : 0, tot ? 100 * part / tot : 0,
                tot ? 100 * none / tot : 0, runr.meter().gbps()};
 }

@@ -95,6 +95,12 @@ runNginx(const NginxParams &p)
                                : 0.0;
     r.corruptions = client.stats().corruptions;
     r.errors = server.stats().errors;
+
+    if (!p.bench.empty()) {
+        ScenarioTags tags = p.scenario;
+        tags.emplace_back("variant", variantName(p.variant));
+        emitRegistrySnapshot(p.bench, tags);
+    }
     return r;
 }
 

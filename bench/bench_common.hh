@@ -91,6 +91,12 @@ struct NginxParams
     size_t serverSndBuf = 1 << 20;
     size_t clientRcvBuf = 1 << 20;
     net::Link::Config link;
+
+    /** When non-empty, runNginx emits a registry snapshot tagged with
+     *  @p scenario at the end of the measurement window (it must run
+     *  while the world is alive — scopes unlink on destruction). */
+    std::string bench;
+    ScenarioTags scenario;
 };
 
 struct NginxResult

@@ -250,5 +250,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     speedupSummary();
+    anic::bench::emitRegistrySnapshot("crypto_micro");
     return 0;
 }

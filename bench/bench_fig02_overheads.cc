@@ -59,6 +59,9 @@ nvmeRow(bool writes)
                : (m.crcPerByte + m.copyPerByte(fcfg.blockSize * 16)) *
                      fcfg.blockSize;
     double per_req = reqs > 0 ? cycles / reqs : 0;
+
+    emitRegistrySnapshot("fig02",
+                         {{"workload", writes ? "nvme_write" : "nvme_read"}});
     return Row{writes ? "NVMe-TCP write" : "NVMe-TCP read", per_req,
                per_req > 0 ? 100.0 * offloadable / per_req : 0};
 }
@@ -101,6 +104,9 @@ tlsRow(bool rxSide)
                             : m.aesGcmEncryptPerByte) *
                     (records > 0 ? bytes / records : 0);
     double per_rec = records > 0 ? cycles / records : 0;
+
+    emitRegistrySnapshot("fig02",
+                         {{"workload", rxSide ? "tls_rx" : "tls_tx"}});
     return Row{rxSide ? "TLS receive" : "TLS transmit", per_rec,
                per_rec > 0 ? 100.0 * crypto / per_rec : 0};
 }

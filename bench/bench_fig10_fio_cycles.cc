@@ -61,6 +61,10 @@ measure(uint32_t blockSize, int depth)
     p.cyclesPerReq = reqs > 0 ? cycles / reqs : 0;
     p.copyCrcPct = p.cyclesPerReq > 0 ? 100.0 * copy_crc / p.cyclesPerReq : 0;
     p.idlePct = 100.0 * (1.0 - w.server.busyCores(busy, window));
+
+    emitRegistrySnapshot("fig10",
+                         {{"block_kib", tagNum(blockSize >> 10)},
+                          {"depth", tagNum(depth)}});
     return p;
 }
 

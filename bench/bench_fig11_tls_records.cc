@@ -67,6 +67,10 @@ measure(size_t recordSize, bool rxSide)
     p.cryptoPct = p.cyclesPerRecord > 0
                       ? 100.0 * crypto_per_rec / p.cyclesPerRecord
                       : 0;
+
+    emitRegistrySnapshot(
+        "fig11", {{"record_kib", tagNum(static_cast<double>(recordSize >> 10))},
+                  {"side", rxSide ? "rx" : "tx"}});
     return p;
 }
 

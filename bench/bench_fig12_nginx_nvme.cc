@@ -34,6 +34,10 @@ main()
                 p.variant = HttpVariant::Http;
                 p.storage.offload = off == 1;
                 p.connections = 256;
+                p.bench = "fig12";
+                p.scenario = {{"file_kib", tagNum(static_cast<double>(kib))},
+                              {"cores", tagNum(p.serverCores)},
+                              {"storage_offload", off ? "1" : "0"}};
                 r[cores8][off] = runNginx(p);
             }
         }

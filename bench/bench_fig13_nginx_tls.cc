@@ -49,6 +49,9 @@ main()
                 p.serverSndBuf = 256 << 10;
                 p.warmup = cores8 ? 40 * sim::kMillisecond
                                   : 120 * sim::kMillisecond;
+                p.bench = "fig13";
+                p.scenario = {{"file_kib", tagNum(static_cast<double>(kib))},
+                              {"cores", tagNum(p.serverCores)}};
                 NginxResult r = runNginx(p);
                 gbps[i] = r.gbps;
                 if (variants[i] == HttpVariant::OffloadZc)

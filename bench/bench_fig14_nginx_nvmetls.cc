@@ -46,6 +46,10 @@ main()
                 } else {
                     p.variant = HttpVariant::Https; // all software
                 }
+                p.bench = "fig14";
+                p.scenario = {{"file_kib", tagNum(static_cast<double>(kib))},
+                              {"cores", tagNum(p.serverCores)},
+                              {"offload", off ? "1" : "0"}};
                 r[cores8][off] = runNginx(p);
             }
         }

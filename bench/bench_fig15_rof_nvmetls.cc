@@ -65,6 +65,10 @@ runKv(int serverCores, uint64_t valueSize, bool offload)
     w.sim.runFor(window);
     client.measureStop();
 
+    emitRegistrySnapshot(
+        "fig15", {{"value_kib", tagNum(static_cast<double>(valueSize >> 10))},
+                  {"cores", tagNum(serverCores)},
+                  {"offload", offload ? "1" : "0"}});
     return KvResult{client.meter().gbps(), w.server.busyCores(busy, window)};
 }
 

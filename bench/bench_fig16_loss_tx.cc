@@ -60,6 +60,10 @@ run(double loss, int mode /*0=tcp 1=offload 2=tls*/)
     uint64_t recovery = pcie1.ctxRecoveryBytes - pcie0.ctxRecoveryBytes;
     p.pciePct = 100.0 * w.generator.nicDev().pcieUtilization(recovery,
                                                              window);
+
+    static const char *kModeName[] = {"tcp", "offload", "tls"};
+    emitRegistrySnapshot("fig16",
+                         {{"loss", tagNum(loss)}, {"mode", kModeName[mode]}});
     return p;
 }
 

@@ -67,6 +67,10 @@ run(double loss, int mode /*0=tcp 1=offload 2=tls*/)
     p.fullPct = total > 0 ? 100.0 * full / total : 0;
     p.partialPct = total > 0 ? 100.0 * part / total : 0;
     p.nonePct = total > 0 ? 100.0 * none / total : 0;
+
+    static const char *kModeName[] = {"tcp", "offload", "tls"};
+    emitRegistrySnapshot("fig17",
+                         {{"loss", tagNum(loss)}, {"mode", kModeName[mode]}});
     return p;
 }
 

@@ -55,6 +55,8 @@ main()
             p.clientRcvBuf = 64 << 10;
             p.warmup = 15 * sim::kMillisecond;
             p.window = 20 * sim::kMillisecond;
+            p.bench = "fig19";
+            p.scenario = {{"connections", tagNum(conns)}};
             NginxResult r = runNginx(p);
             gbps[i] = r.gbps;
             if (variants[i] == HttpVariant::OffloadZc) {

@@ -10,6 +10,19 @@
  * Lines go to stdout; when ANIC_BENCH_JSON names a file they are
  * appended there as well. The active crypto kernel is always included
  * since it dominates wall-clock (not simulated) numbers.
+ *
+ * emitRegistrySnapshot() additionally dumps the whole hierarchical
+ * StatsRegistry (every component instrument, uniform schema across
+ * all benches and examples):
+ *
+ *   {"schema":"anic.registry.v1","bench":"fig13","crypto_impl":"hw",
+ *    "scenario":{"variant":"offload+zc"},"stats":{"srv":{"nic0":...}}}
+ *
+ * It must run while the world is alive (scopes unlink on
+ * destruction). Snapshots go to stdout and ANIC_BENCH_JSON like
+ * records; ANIC_SNAPSHOT_DIR=<dir> additionally writes one
+ * <bench>[-<n>].json file per snapshot, and ANIC_TRACE_FILE=<path>
+ * dumps the global trace ring as JSONL (when ANIC_TRACE enables it).
  */
 
 #ifndef ANIC_BENCH_BENCH_JSON_HH
@@ -20,12 +33,27 @@
 #include <initializer_list>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "crypto/cpu.hh"
+#include "sim/registry.hh"
+#include "sim/trace.hh"
 
 namespace anic::bench {
 
 using JsonExtra = std::initializer_list<std::pair<const char *, std::string>>;
+
+/** Scenario tags carried by a registry snapshot ("variant":"https"). */
+using ScenarioTags = std::vector<std::pair<std::string, std::string>>;
+
+/** Compact numeric tag value ("0.01", "256"). */
+inline std::string
+tagNum(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%g", v);
+    return buf;
+}
 
 inline void
 jsonRecord(const char *bench, const char *metric, double value,
@@ -56,6 +84,72 @@ jsonRecord(const char *bench, const char *metric, double value,
         if (std::FILE *f = std::fopen(path, "a")) {
             std::fprintf(f, "%s\n", line.c_str());
             std::fclose(f);
+        }
+    }
+}
+
+inline void
+emitRegistrySnapshot(const std::string &bench, const ScenarioTags &scenario = {},
+                     sim::StatsRegistry *reg = nullptr)
+{
+    if (reg == nullptr)
+        reg = &sim::StatsRegistry::global();
+
+    std::string line = "{\"schema\":\"anic.registry.v1\",\"bench\":\"";
+    line += bench;
+    line += "\",\"crypto_impl\":\"";
+    line += crypto::activeCryptoImplName();
+    line += "\",\"scenario\":{";
+    bool first = true;
+    for (const auto &[key, val] : scenario) {
+        if (!first)
+            line += ",";
+        first = false;
+        line += "\"";
+        line += key;
+        line += "\":\"";
+        line += val;
+        line += "\"";
+    }
+    line += "},\"stats\":";
+    reg->writeJson(line);
+    line += "}";
+
+    std::printf("%s\n", line.c_str());
+    if (const char *path = std::getenv("ANIC_BENCH_JSON")) {
+        if (std::FILE *f = std::fopen(path, "a")) {
+            std::fprintf(f, "%s\n", line.c_str());
+            std::fclose(f);
+        }
+    }
+    if (const char *dir = std::getenv("ANIC_SNAPSHOT_DIR")) {
+        // One file per snapshot: <bench>.json, <bench>-2.json, ...
+        static std::vector<std::pair<std::string, int>> seq;
+        int n = 0;
+        for (auto &[name, cnt] : seq) {
+            if (name == bench)
+                n = ++cnt;
+        }
+        if (n == 0) {
+            seq.emplace_back(bench, 1);
+            n = 1;
+        }
+        std::string path = std::string(dir) + "/" + bench;
+        if (n > 1)
+            path += "-" + std::to_string(n);
+        path += ".json";
+        if (std::FILE *f = std::fopen(path.c_str(), "w")) {
+            std::fprintf(f, "%s\n", line.c_str());
+            std::fclose(f);
+        }
+    }
+    if (const char *path = std::getenv("ANIC_TRACE_FILE")) {
+        sim::TraceRing &ring = sim::TraceRing::global();
+        if (ring.enabled()) {
+            if (std::FILE *f = std::fopen(path, "w")) {
+                ring.dumpJsonl(f);
+                std::fclose(f);
+            }
         }
     }
 }

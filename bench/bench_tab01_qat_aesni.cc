@@ -60,6 +60,7 @@ main()
     }
     jsonRecord("tab01", "aesni_mbps", cbc, {{"cipher", "cbc-hmac-sha1"}});
     jsonRecord("tab01", "aesni_mbps", gcm, {{"cipher", "gcm"}});
+    emitRegistrySnapshot("tab01");
     std::printf("\npaper: 249 / 3144 / 695 and 249 / 3109 / 3150\n");
     return 0;
 }

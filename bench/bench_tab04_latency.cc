@@ -41,6 +41,9 @@ latency(uint64_t size, int step)
     // (The harness enables copy+crc together at step>=2; step 3 adds
     // nothing separate here because crc rides the same flag — shown
     // as the same column refinement below.)
+    p.bench = "tab04";
+    p.scenario = {{"file_kib", tagNum(static_cast<double>(size >> 10))},
+                  {"step", tagNum(step)}};
     NginxResult r = runNginx(p);
     return r.latencyUs;
 }

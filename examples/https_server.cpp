@@ -16,6 +16,7 @@
 
 #include "app/http.hh"
 #include "app/macro_world.hh"
+#include "bench_json.hh"
 
 using namespace anic;
 
@@ -87,5 +88,6 @@ main(int argc, char **argv)
                       Variant{"offload+zc", true, true, true}}) {
         run(v, connections, file_kib);
     }
+    anic::bench::emitRegistrySnapshot("https_server");
     return 0;
 }

@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "app/macro_world.hh"
+#include "bench_json.hh"
 
 using namespace anic;
 
@@ -109,5 +110,6 @@ main()
                 "context recoveries\n",
                 (unsigned long long)w.generator.nicDev().stats().txOffloadedPkts,
                 (unsigned long long)w.generator.nicDev().stats().txResyncs);
+    anic::bench::emitRegistrySnapshot("quickstart");
     return corrupt || received != kTotal ? 1 : 0;
 }

@@ -16,6 +16,7 @@
 
 #include "app/fio.hh"
 #include "app/macro_world.hh"
+#include "bench_json.hh"
 
 using namespace anic;
 
@@ -77,5 +78,6 @@ main(int argc, char **argv)
                 io_kib, depth);
     run(false, io_kib, depth);
     run(true, io_kib, depth);
+    anic::bench::emitRegistrySnapshot("remote_storage");
     return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "app/kv.hh"
 #include "app/macro_world.hh"
+#include "bench_json.hh"
 
 using namespace anic;
 
@@ -88,5 +89,6 @@ main(int argc, char **argv)
                 (unsigned long long)value_kib, connections);
     run(false, value_kib, connections);
     run(true, value_kib, connections);
+    anic::bench::emitRegistrySnapshot("secure_kv");
     return 0;
 }

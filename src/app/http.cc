@@ -22,8 +22,14 @@ buildResponseHeader(uint64_t contentLength)
 
 HttpServer::HttpServer(core::Node &node, uint16_t port,
                        StorageService &storage, HttpServerConfig cfg)
-    : node_(node), storage_(storage), cfg_(std::move(cfg))
+    : node_(node), storage_(storage), cfg_(std::move(cfg)),
+      scope_(node.subScope("http"))
 {
+    cfg_.tlsCfg.aggregate = &tlsAgg_;
+    scope_.link("requests", stats_.requests);
+    scope_.link("bytesSent", stats_.bytesSent);
+    scope_.link("errors", stats_.errors);
+    tls::linkTlsStats(scope_, "tls", tlsAgg_);
     node_.stack().listen(port, node_.tcpConfig(),
                          [this](tcp::TcpConnection &c) { accept(c); });
 }
@@ -149,9 +155,17 @@ HttpClient::HttpClient(core::Node &node, net::IpAddr localIp,
                        net::IpAddr serverIp, uint16_t port,
                        const host::FileStore &files, HttpClientConfig cfg)
     : node_(node), localIp_(localIp), serverIp_(serverIp), port_(port),
-      files_(files), cfg_(std::move(cfg)), rng_(cfg_.seed)
+      files_(files), cfg_(std::move(cfg)), rng_(cfg_.seed),
+      scope_(node.subScope("httpClient"))
 {
     ANIC_ASSERT(!cfg_.fileIds.empty(), "client needs target files");
+    cfg_.tlsCfg.aggregate = &tlsAgg_;
+    scope_.link("responses", stats_.responses);
+    scope_.link("bodyBytes", stats_.bodyBytes);
+    scope_.link("corruptions", stats_.corruptions);
+    scope_.link("latencyUs", stats_.latencyUs);
+    scope_.link("goodput", meter_);
+    tls::linkTlsStats(scope_, "tls", tlsAgg_);
 }
 
 void

@@ -27,9 +27,9 @@ struct HttpServerConfig
 
 struct HttpServerStats
 {
-    uint64_t requests = 0;
-    uint64_t bytesSent = 0;
-    uint64_t errors = 0;
+    sim::Counter requests;
+    sim::Counter bytesSent;
+    sim::Counter errors;
 };
 
 class HttpServer
@@ -66,6 +66,8 @@ class HttpServer
     StorageService &storage_;
     HttpServerConfig cfg_;
     HttpServerStats stats_;
+    sim::StatsScope scope_;  ///< "<node>.http"
+    tls::TlsStats tlsAgg_;   ///< across accepted TLS sockets
     std::vector<std::unique_ptr<Conn>> conns_;
 };
 
@@ -87,9 +89,9 @@ struct HttpClientConfig
 
 struct HttpClientStats
 {
-    uint64_t responses = 0;
-    uint64_t bodyBytes = 0;
-    uint64_t corruptions = 0;
+    sim::Counter responses;
+    sim::Counter bodyBytes;
+    sim::Counter corruptions;
     sim::SampleStat latencyUs; ///< per-request latency (measured window)
 };
 
@@ -147,6 +149,8 @@ class HttpClient
 
     HttpClientStats stats_;
     sim::IntervalMeter meter_;
+    sim::StatsScope scope_;  ///< "<node>.httpClient"
+    tls::TlsStats tlsAgg_;   ///< across client TLS sockets
     bool measuring_ = false;
     uint64_t windowResponses_ = 0;
 };

@@ -8,8 +8,16 @@ IperfRun::IperfRun(core::Node &sender, net::IpAddr senderIp,
                    core::Node &receiver, net::IpAddr receiverIp,
                    IperfConfig cfg)
     : sender_(sender), senderIp_(senderIp), receiver_(receiver),
-      receiverIp_(receiverIp), cfg_(std::move(cfg))
+      receiverIp_(receiverIp), cfg_(std::move(cfg)),
+      scope_(receiver.subScope("iperf")), txScope_(sender.subScope("iperfTx"))
 {
+    cfg_.serverTls.aggregate = &rxTlsAgg_;
+    cfg_.clientTls.aggregate = &txTlsAgg_;
+    scope_.link("bytesReceived", bytesReceived_);
+    scope_.link("corruptions", corruptions_);
+    scope_.link("goodput", meter_);
+    tls::linkTlsStats(scope_, "tls", rxTlsAgg_);
+    tls::linkTlsStats(txScope_, "tls", txTlsAgg_);
 }
 
 void

@@ -74,8 +74,12 @@ class IperfRun
     int acceptIdx_ = 0;
 
     sim::IntervalMeter meter_;
-    uint64_t bytesReceived_ = 0;
-    uint64_t corruptions_ = 0;
+    sim::Counter bytesReceived_;
+    sim::Counter corruptions_;
+    sim::StatsScope scope_;   ///< "<receiver>.iperf"
+    sim::StatsScope txScope_; ///< "<sender>.iperfTx"
+    tls::TlsStats rxTlsAgg_;  ///< across receiver-side TLS sockets
+    tls::TlsStats txTlsAgg_;  ///< across sender-side TLS sockets
 };
 
 } // namespace anic::app

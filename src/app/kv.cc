@@ -8,8 +8,14 @@ namespace anic::app {
 
 KvServer::KvServer(core::Node &node, uint16_t port, StorageService &storage,
                    KvServerConfig cfg)
-    : node_(node), storage_(storage), cfg_(std::move(cfg))
+    : node_(node), storage_(storage), cfg_(std::move(cfg)),
+      scope_(node.subScope("kv"))
 {
+    cfg_.tlsCfg.aggregate = &tlsAgg_;
+    scope_.link("gets", stats_.gets);
+    scope_.link("errors", stats_.errors);
+    scope_.link("bytesSent", stats_.bytesSent);
+    tls::linkTlsStats(scope_, "tls", tlsAgg_);
     node_.stack().listen(port, node_.tcpConfig(),
                          [this](tcp::TcpConnection &c) { accept(c); });
 }
@@ -125,8 +131,16 @@ KvClient::KvClient(core::Node &node, net::IpAddr localIp,
                    net::IpAddr serverIp, uint16_t port,
                    const host::FileStore &values, KvClientConfig cfg)
     : node_(node), localIp_(localIp), serverIp_(serverIp), port_(port),
-      values_(values), cfg_(std::move(cfg)), rng_(cfg_.seed)
+      values_(values), cfg_(std::move(cfg)), rng_(cfg_.seed),
+      scope_(node.subScope("kvClient"))
 {
+    cfg_.tlsCfg.aggregate = &tlsAgg_;
+    scope_.link("responses", stats_.responses);
+    scope_.link("bodyBytes", stats_.bodyBytes);
+    scope_.link("corruptions", stats_.corruptions);
+    scope_.link("latencyUs", stats_.latencyUs);
+    scope_.link("goodput", meter_);
+    tls::linkTlsStats(scope_, "tls", tlsAgg_);
 }
 
 void

@@ -27,9 +27,9 @@ struct KvServerConfig
 
 struct KvServerStats
 {
-    uint64_t gets = 0;
-    uint64_t errors = 0;
-    uint64_t bytesSent = 0;
+    sim::Counter gets;
+    sim::Counter errors;
+    sim::Counter bytesSent;
 };
 
 /** Values are files in the FileStore (the OffloadDB extent map). */
@@ -65,6 +65,8 @@ class KvServer
     StorageService &storage_;
     KvServerConfig cfg_;
     KvServerStats stats_;
+    sim::StatsScope scope_;  ///< "<node>.kv"
+    tls::TlsStats tlsAgg_;   ///< across accepted TLS sockets
     std::vector<std::unique_ptr<Conn>> conns_;
 };
 
@@ -81,9 +83,9 @@ struct KvClientConfig
 
 struct KvClientStats
 {
-    uint64_t responses = 0;
-    uint64_t bodyBytes = 0;
-    uint64_t corruptions = 0;
+    sim::Counter responses;
+    sim::Counter bodyBytes;
+    sim::Counter corruptions;
     sim::SampleStat latencyUs;
 };
 
@@ -130,6 +132,8 @@ class KvClient
 
     KvClientStats stats_;
     sim::IntervalMeter meter_;
+    sim::StatsScope scope_;  ///< "<node>.kvClient"
+    tls::TlsStats tlsAgg_;   ///< across client TLS sockets
     bool measuring_ = false;
     uint64_t windowResponses_ = 0;
 };

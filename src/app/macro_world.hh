@@ -88,6 +88,7 @@ struct MacroWorld
         n.nicCfg = c.nicCfg;
         n.tcpCfg = c.generatorTcp;
         n.stackSeed = 101;
+        n.name = "gen";
         return n;
     }
 
@@ -100,6 +101,7 @@ struct MacroWorld
         n.nicCfg = c.nicCfg;
         n.tcpCfg = c.serverTcp;
         n.stackSeed = 202;
+        n.name = "srv";
         return n;
     }
 

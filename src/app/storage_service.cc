@@ -7,8 +7,23 @@ namespace anic::app {
 StorageService::StorageService(core::Node &node, host::FileStore &files,
                                Config cfg)
     : node_(node), files_(files), cfg_(std::move(cfg)),
-      cache_(cfg_.pageCacheBytes)
+      cache_(cfg_.pageCacheBytes), scope_(node.subScope("storage"))
 {
+    scope_.link("cacheHits", hits_);
+    scope_.link("cacheMisses", misses_);
+    scope_.link("remoteBytesRead", remoteBytes_);
+    scope_.link("nvme.readsCompleted", nvmeAgg_.readsCompleted);
+    scope_.link("nvme.writesCompleted", nvmeAgg_.writesCompleted);
+    scope_.link("nvme.failures", nvmeAgg_.failures);
+    scope_.link("nvme.dataPdusRx", nvmeAgg_.dataPdusRx);
+    scope_.link("nvme.crcSkipped", nvmeAgg_.crcSkipped);
+    scope_.link("nvme.crcSoftware", nvmeAgg_.crcSoftware);
+    scope_.link("nvme.crcFailures", nvmeAgg_.crcFailures);
+    scope_.link("nvme.bytesPlaced", nvmeAgg_.bytesPlaced);
+    scope_.link("nvme.bytesCopied", nvmeAgg_.bytesCopied);
+    scope_.link("nvme.resyncRequests", nvmeAgg_.resyncRequests);
+    scope_.link("nvme.resyncConfirmed", nvmeAgg_.resyncConfirmed);
+    tls::linkTlsStats(scope_, "tls", tlsAgg_);
 }
 
 void
@@ -33,16 +48,17 @@ StorageService::connectRemote(net::IpAddr localIp, net::IpAddr targetIp,
         c.setOnConnected([this, &r, &c] {
             if (cfg_.tlsTransport) {
                 tls::TlsConfig tcfg = cfg_.tlsCfg;
+                tcfg.aggregate = &tlsAgg_;
                 r.tls = std::make_unique<tls::TlsSocket>(
                     c, tls::SessionKeys::derive(cfg_.tlsSecret, true), tcfg);
                 r.tls->enableOffload(node_.device());
                 r.queue = std::make_unique<nvmetcp::NvmeHostQueue>(
-                    *r.tls, cfg_.wire, cfg_.offload);
+                    *r.tls, cfg_.wire, cfg_.offload, &nvmeAgg_);
                 if (cfg_.offloadEnabled && tcfg.rxOffload)
                     r.queue->enableOffloadOverTls(*r.tls);
             } else {
                 r.queue = std::make_unique<nvmetcp::NvmeHostQueue>(
-                    c, cfg_.wire, cfg_.offload);
+                    c, cfg_.wire, cfg_.offload, &nvmeAgg_);
                 if (cfg_.offloadEnabled)
                     r.queue->enableOffload(node_.device(), c);
             }

@@ -73,9 +73,12 @@ class StorageService
     Config cfg_;
     host::PageCache cache_;
     std::vector<Remote> remotes_; // one per core
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
-    uint64_t remoteBytes_ = 0;
+    sim::StatsScope scope_;       ///< "<node>.storage"
+    sim::Counter hits_;
+    sim::Counter misses_;
+    sim::Counter remoteBytes_;
+    nvmetcp::NvmeHostStats nvmeAgg_; ///< across the per-core queues
+    tls::TlsStats tlsAgg_;           ///< across the NVMe-TLS transports
 };
 
 } // namespace anic::app

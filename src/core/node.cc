@@ -4,19 +4,30 @@ namespace anic::core {
 
 Node::Node(sim::Simulator &sim, Config cfg) : sim_(sim), cfg_(std::move(cfg))
 {
-    for (int i = 0; i < cfg_.cores; i++)
-        cores_.push_back(std::make_unique<host::Core>(sim_, cfg_.model, i));
+    sim::StatsRegistry &reg = cfg_.registry != nullptr
+                                  ? *cfg_.registry
+                                  : sim::StatsRegistry::global();
+    name_ = reg.uniqueName(cfg_.name.empty() ? "node" : cfg_.name);
+    scope_ = sim::StatsScope(reg, name_);
+    for (int i = 0; i < cfg_.cores; i++) {
+        cores_.push_back(std::make_unique<host::Core>(
+            sim_, cfg_.model, i, scope_.child("cpu" + std::to_string(i))));
+    }
     std::vector<host::Core *> raw;
     for (auto &c : cores_)
         raw.push_back(c.get());
-    stack_ = std::make_unique<tcp::TcpStack>(sim_, raw, cfg_.stackSeed);
+    stack_ = std::make_unique<tcp::TcpStack>(sim_, raw, cfg_.stackSeed,
+                                             scope_.child("tcp"));
 }
 
 OffloadDevice &
 Node::attachPort(net::Link &link, int linkPort, net::IpAddr ip)
 {
     Port p;
-    p.nic = std::make_unique<nic::Nic>(sim_, link, linkPort, cfg_.nicCfg);
+    nic::Nic::Config nicCfg = cfg_.nicCfg;
+    nicCfg.name = name_ + ".nic" + std::to_string(ports_.size());
+    nicCfg.registry = scope_.registry();
+    p.nic = std::make_unique<nic::Nic>(sim_, link, linkPort, nicCfg);
     p.dev = std::make_unique<OffloadDevice>(sim_, *p.nic, ip);
     p.dev->attachStack(stack_.get());
     stack_->addDevice(p.dev.get());

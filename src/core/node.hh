@@ -26,6 +26,14 @@ class Node
         nic::Nic::Config nicCfg;
         uint64_t stackSeed = 0x1234;
         tcp::TcpConnection::Config tcpCfg;
+
+        /** Stable instance name for the stats registry ("srv");
+         *  empty -> a unique "node", "node2", ... is chosen. Cores
+         *  become <name>.cpu<i>, the stack <name>.tcp, and port @p i's
+         *  NIC <name>.nic<i>. */
+        std::string name;
+        /** Registry to publish under; null -> StatsRegistry::global(). */
+        sim::StatsRegistry *registry = nullptr;
     };
 
     Node(sim::Simulator &sim, Config cfg);
@@ -42,6 +50,12 @@ class Node
     OffloadDevice &device(int i = 0) { return *ports_.at(i).dev; }
     nic::Nic &nicDev(int i = 0) { return *ports_.at(i).nic; }
     size_t portCount() const { return ports_.size(); }
+
+    /** Registry instance name ("node", "srv", ...). */
+    const std::string &name() const { return name_; }
+    /** Child scope under this node's name, for co-located components
+     *  (apps, storage services) to publish their own stats. */
+    sim::StatsScope subScope(const std::string &leaf) { return scope_.child(leaf); }
 
     /** Snapshot of per-core busy ticks (for windowed utilization). */
     std::vector<sim::Tick> busySnapshot() const;
@@ -63,6 +77,8 @@ class Node
 
     sim::Simulator &sim_;
     Config cfg_;
+    std::string name_;
+    sim::StatsScope scope_;
     std::vector<std::unique_ptr<host::Core>> cores_;
     std::unique_ptr<tcp::TcpStack> stack_;
     std::vector<Port> ports_;

@@ -43,6 +43,7 @@ Core::charge(double cycles)
     sim::Tick dur = model_.cyclesToTicks(cycles);
     busyCycles_ += cycles;
     busyTicks_ += dur;
+    busyNs_.set(static_cast<double>(busyTicks_) / sim::kNanosecond);
     freeAt_ = std::max(sim_.now(), freeAt_) + dur;
 }
 
@@ -77,6 +78,7 @@ Core::runOne()
     sim::Tick dur = model_.cyclesToTicks(pendingCycles_);
     busyCycles_ += pendingCycles_;
     busyTicks_ += dur;
+    busyNs_.set(static_cast<double>(busyTicks_) / sim::kNanosecond);
     freeAt_ = sim_.now() + dur;
     pendingCycles_ = 0.0;
 

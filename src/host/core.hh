@@ -22,6 +22,7 @@
 #include <functional>
 
 #include "host/cycle_model.hh"
+#include "sim/registry.hh"
 #include "sim/simulator.hh"
 
 namespace anic::host {
@@ -32,9 +33,15 @@ class Core
   public:
     using Work = std::function<void()>;
 
-    Core(sim::Simulator &sim, const CycleModel &model, int id)
-        : sim_(sim), model_(model), id_(id)
+    /** @param scope registry scope to publish cycle accounting under
+     *  ("<node>.cpu0"); a detached scope keeps the core unregistered. */
+    Core(sim::Simulator &sim, const CycleModel &model, int id,
+         sim::StatsScope scope = {})
+        : sim_(sim), model_(model), id_(id), scope_(std::move(scope))
     {
+        scope_.link("busyCycles", busyCycles_);
+        scope_.link("busyNs", busyNs_);
+        scope_.link("itemsExecuted", items_);
     }
 
     Core(const Core &) = delete;
@@ -120,9 +127,11 @@ class Core
     static Core *sCurrent_;
 
     double pendingCycles_ = 0.0; // charged by the current item
-    double busyCycles_ = 0.0;
+    sim::Gauge busyCycles_;
     sim::Tick busyTicks_ = 0;
-    uint64_t items_ = 0;
+    sim::Gauge busyNs_; ///< busyTicks_ in ns, for the registry
+    sim::Counter items_;
+    sim::StatsScope scope_;
 };
 
 } // namespace anic::host

@@ -19,9 +19,27 @@
 #include <optional>
 
 #include "net/packet.hh"
+#include "sim/registry.hh"
 #include "util/bytes.hh"
 
 namespace anic::nic {
+
+/**
+ * Work counters shared by all engine kinds; the NIC owns one
+ * aggregate per device (published as "<nic>.engine.*") and installs
+ * it on every engine it hosts, including inner engines of the
+ * NVMe-TLS composition.
+ */
+struct EngineStats
+{
+    sim::Counter bytesTransformed; ///< encrypted/decrypted in place
+    sim::Counter bytesChecked;     ///< CRC-covered payload bytes
+    sim::Counter bytesPlaced;      ///< zero-copy DMA placement
+    sim::Counter tagsVerified;     ///< TLS ICVs checked OK
+    sim::Counter tagFailures;      ///< TLS ICV mismatches
+    sim::Counter crcsVerified;     ///< NVMe data digests checked OK
+    sim::Counter crcFailures;      ///< NVMe data digest mismatches
+};
 
 /**
  * Accumulates the offload results for the packet currently moving
@@ -129,6 +147,21 @@ class L5Engine
     /** The context was re-armed via a driver descriptor (tx resync /
      *  l5o re-create); engines hosting inner layers reset them here. */
     virtual void onRearm() {}
+
+    /** Installs the owner's aggregate work counters (may be null).
+     *  Engines hosting inner layers propagate the pointer down. */
+    virtual void setStats(EngineStats *stats) { engineStats_ = stats; }
+
+  protected:
+    /** Bumps an aggregate counter if one is installed. */
+    void
+    count(sim::Counter EngineStats::*m, uint64_t n = 1)
+    {
+        if (engineStats_ != nullptr)
+            (engineStats_->*m) += n;
+    }
+
+    EngineStats *engineStats_ = nullptr;
 };
 
 } // namespace anic::nic

@@ -52,7 +52,76 @@ FlowContext::advanceTo(uint32_t seq)
 Nic::Nic(sim::Simulator &sim, net::Link &link, int port, Config cfg)
     : sim_(sim), link_(link), port_(port), cfg_(cfg)
 {
+    sim::StatsRegistry &reg =
+        cfg_.registry != nullptr ? *cfg_.registry : sim::StatsRegistry::global();
+    name_ = reg.uniqueName(cfg_.name.empty() ? "nic" : cfg_.name);
+    scope_ = sim::StatsScope(reg, name_);
+    trace_ = cfg_.trace != nullptr ? cfg_.trace : &sim::TraceRing::global();
+    linkInstruments();
     link_.attach(port, [this](net::PacketPtr pkt) { onWire(std::move(pkt)); });
+}
+
+void
+Nic::linkInstruments()
+{
+    scope_.link("pktsTx", stats_.pktsTx);
+    scope_.link("pktsRx", stats_.pktsRx);
+    scope_.link("bytesTx", stats_.bytesTx);
+    scope_.link("bytesRx", stats_.bytesRx);
+    scope_.link("ctxCacheHits", stats_.ctxCacheHits);
+    scope_.link("ctxCacheMisses", stats_.ctxCacheMisses);
+    scope_.link("ctxCacheEvictions", stats_.ctxCacheEvictions);
+    scope_.link("rxOffloadedPkts", stats_.rxOffloadedPkts);
+    scope_.link("txOffloadedPkts", stats_.txOffloadedPkts);
+    scope_.link("txResyncs", stats_.txResyncs);
+
+    scope_.link("pcie.rxDataBytes", pcie_.rxDataBytes);
+    scope_.link("pcie.txDataBytes", pcie_.txDataBytes);
+    scope_.link("pcie.descriptorBytes", pcie_.descriptorBytes);
+    scope_.link("pcie.ctxFetchBytes", pcie_.ctxFetchBytes);
+    scope_.link("pcie.ctxWritebackBytes", pcie_.ctxWritebackBytes);
+    scope_.link("pcie.ctxRecoveryBytes", pcie_.ctxRecoveryBytes);
+
+    scope_.link("fsm.msgsCompleted", fsmAgg_.msgsCompleted);
+    scope_.link("fsm.msgsCovered", fsmAgg_.msgsCovered);
+    scope_.link("fsm.msgsAborted", fsmAgg_.msgsAborted);
+    scope_.link("fsm.resyncRequests", fsmAgg_.resyncRequests);
+    scope_.link("fsm.resyncConfirmed", fsmAgg_.resyncConfirmed);
+    scope_.link("fsm.resyncRefuted", fsmAgg_.resyncRefuted);
+    scope_.link("fsm.trackFailures", fsmAgg_.trackFailures);
+    scope_.link("fsm.desyncs", fsmAgg_.desyncs);
+    scope_.link("fsm.gapEvents", fsmAgg_.gapEvents);
+    scope_.link("fsm.bypassedSpans", fsmAgg_.bypassedSpans);
+    scope_.link("fsm.midMsgResumes", fsmAgg_.midMsgResumes);
+    scope_.link("fsm.dwellOffloadingNs",
+                fsmDwellNs_[static_cast<int>(FsmState::Offloading)]);
+    scope_.link("fsm.dwellSearchingNs",
+                fsmDwellNs_[static_cast<int>(FsmState::Searching)]);
+    scope_.link("fsm.dwellTrackingNs",
+                fsmDwellNs_[static_cast<int>(FsmState::Tracking)]);
+
+    scope_.link("engine.bytesTransformed", engineAgg_.bytesTransformed);
+    scope_.link("engine.bytesChecked", engineAgg_.bytesChecked);
+    scope_.link("engine.bytesPlaced", engineAgg_.bytesPlaced);
+    scope_.link("engine.tagsVerified", engineAgg_.tagsVerified);
+    scope_.link("engine.tagFailures", engineAgg_.tagFailures);
+    scope_.link("engine.crcsVerified", engineAgg_.crcsVerified);
+    scope_.link("engine.crcFailures", engineAgg_.crcFailures);
+}
+
+void
+Nic::installFsmHooks(FlowContext &ctx)
+{
+    FsmHooks hooks;
+    hooks.now = [this] { return sim_.now(); };
+    hooks.aggregate = &fsmAgg_;
+    for (int i = 0; i < kFsmStateCount; i++)
+        hooks.dwellNs[i] = &fsmDwellNs_[i];
+    hooks.trace = trace_;
+    hooks.traceId = ctx.id();
+    hooks.name = name_ + ".fsm";
+    ctx.fsm().setHooks(std::move(hooks));
+    ctx.engine().setStats(&engineAgg_);
 }
 
 // ------------------------------------------------------------- transmit
@@ -222,12 +291,16 @@ Nic::touchContext(uint64_t ctxId)
     }
     stats_.ctxCacheMisses++;
     pcie_.ctxFetchBytes += cfg_.ctxBytes;
+    trace_->record(sim_.now(), sim::TraceKind::CtxFetch, name_, ctxId,
+                   cfg_.ctxBytes);
     while (cacheMap_.size() >= cfg_.ctxCacheCapacity) {
         uint64_t victim = cacheLru_.back();
         cacheLru_.pop_back();
         cacheMap_.erase(victim);
         stats_.ctxCacheEvictions++;
         pcie_.ctxWritebackBytes += cfg_.ctxBytes;
+        trace_->record(sim_.now(), sim::TraceKind::CtxEvict, name_, victim,
+                       cfg_.ctxBytes);
     }
     cacheLru_.push_front(ctxId);
     cacheMap_[ctxId] = cacheLru_.begin();
@@ -249,6 +322,7 @@ Nic::createRxContext(const net::FlowKey &flow,
                 onResyncRequest_(id, reqId, seq);
             }
         });
+    installFsmHooks(*ctx);
     ctx->arm(tcpsn, msgIdx);
     FlowContext *raw = ctx.get();
     ANIC_ASSERT(rxByFlow_.find(flow) == rxByFlow_.end(),
@@ -267,6 +341,7 @@ Nic::createTxContext(std::unique_ptr<L5Engine> engine, uint32_t tcpsn,
     uint64_t id = nextCtxId_++;
     TxCtx tc;
     tc.ctx = std::make_unique<FlowContext>(id, std::move(engine), nullptr);
+    installFsmHooks(*tc.ctx);
     tc.ctx->arm(tcpsn, msgIdx);
     tc.expectedSeq = tcpsn;
     txById_.emplace(id, std::move(tc));
@@ -324,6 +399,8 @@ Nic::applyTxResync(const TxResyncCmd &cmd)
         return; // context destroyed while the command was in flight
     TxCtx &tc = it->second;
     stats_.txResyncs++;
+    trace_->record(sim_.now(), sim::TraceKind::TxResync, name_, cmd.ctxId,
+                   cmd.tcpsn, cmd.rebuild.size());
     touchContext(cmd.ctxId);
 
     // The NIC re-reads the message bytes preceding the retransmitted

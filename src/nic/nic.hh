@@ -24,23 +24,26 @@
 #include <deque>
 #include <list>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "net/link.hh"
 #include "nic/stream_fsm.hh"
+#include "sim/registry.hh"
 #include "sim/simulator.hh"
+#include "sim/trace.hh"
 
 namespace anic::nic {
 
 /** PCIe byte counters by category (drives Figure 16b). */
 struct PcieStats
 {
-    uint64_t rxDataBytes = 0;      ///< packet DMA writes to host
-    uint64_t txDataBytes = 0;      ///< packet DMA reads from host
-    uint64_t descriptorBytes = 0;  ///< descriptor traffic
-    uint64_t ctxFetchBytes = 0;    ///< context cache misses
-    uint64_t ctxWritebackBytes = 0;///< context evictions
-    uint64_t ctxRecoveryBytes = 0; ///< tx resync re-reads of message data
+    sim::Counter rxDataBytes;      ///< packet DMA writes to host
+    sim::Counter txDataBytes;      ///< packet DMA reads from host
+    sim::Counter descriptorBytes;  ///< descriptor traffic
+    sim::Counter ctxFetchBytes;    ///< context cache misses
+    sim::Counter ctxWritebackBytes;///< context evictions
+    sim::Counter ctxRecoveryBytes; ///< tx resync re-reads of message data
 
     uint64_t
     total() const
@@ -53,16 +56,16 @@ struct PcieStats
 /** NIC-level counters. */
 struct NicStats
 {
-    uint64_t pktsTx = 0;
-    uint64_t pktsRx = 0;
-    uint64_t bytesTx = 0;
-    uint64_t bytesRx = 0;
-    uint64_t ctxCacheHits = 0;
-    uint64_t ctxCacheMisses = 0;
-    uint64_t ctxCacheEvictions = 0;
-    uint64_t rxOffloadedPkts = 0;
-    uint64_t txOffloadedPkts = 0;
-    uint64_t txResyncs = 0;
+    sim::Counter pktsTx;
+    sim::Counter pktsRx;
+    sim::Counter bytesTx;
+    sim::Counter bytesRx;
+    sim::Counter ctxCacheHits;
+    sim::Counter ctxCacheMisses;
+    sim::Counter ctxCacheEvictions;
+    sim::Counter rxOffloadedPkts;
+    sim::Counter txOffloadedPkts;
+    sim::Counter txResyncs;
 };
 
 /**
@@ -124,6 +127,15 @@ class Nic
         double pcieGbps = 126.0;
 
         size_t descriptorBytes = 32;
+
+        /** Stable instance name for the stats registry ("srv.nic0");
+         *  empty -> a unique "nic", "nic2", ... is chosen. */
+        std::string name;
+        /** Registry to publish under; null -> StatsRegistry::global(). */
+        sim::StatsRegistry *registry = nullptr;
+        /** Trace ring for evict/resync events and per-flow FSM
+         *  transitions; null -> TraceRing::global(). */
+        sim::TraceRing *trace = nullptr;
     };
 
     Nic(sim::Simulator &sim, net::Link &link, int port, Config cfg);
@@ -195,6 +207,19 @@ class Nic
     const Config &config() const { return cfg_; }
     const FsmStats *rxFsmStats(uint64_t ctxId) const;
 
+    /** Roll-up of every per-flow FSM on this NIC (rx and tx). */
+    const FsmStats &fsmStats() const { return fsmAgg_; }
+    /** Roll-up of every engine's work counters on this NIC. */
+    const EngineStats &engineStats() const { return engineAgg_; }
+    /** Per-state dwell time (ns per visit) across all flows. */
+    const sim::Distribution &fsmDwellNs(FsmState s) const
+    {
+        return fsmDwellNs_[static_cast<int>(s)];
+    }
+
+    /** Registry instance name ("nic", "srv.nic0", ...). */
+    const std::string &name() const { return name_; }
+
     /** PCIe utilization over [since, now] given byte delta. */
     double
     pcieUtilization(uint64_t bytesDelta, sim::Tick window) const
@@ -234,6 +259,8 @@ class Nic
     sim::Tick touchContext(uint64_t ctxId);
     void processTxOffload(net::Packet &pkt);
     void processRxOffload(net::Packet &pkt);
+    void installFsmHooks(FlowContext &ctx);
+    void linkInstruments();
 
     sim::Simulator &sim_;
     net::Link &link_;
@@ -261,6 +288,15 @@ class Nic
 
     NicStats stats_;
     PcieStats pcie_;
+
+    // Observability: per-flow FSMs roll up here so the registry stays
+    // bounded at any flow count (the ROADMAP's millions-of-flows goal).
+    std::string name_;
+    sim::StatsScope scope_;
+    sim::TraceRing *trace_ = nullptr;
+    FsmStats fsmAgg_;
+    EngineStats engineAgg_;
+    sim::Distribution fsmDwellNs_[kFsmStateCount];
 };
 
 } // namespace anic::nic

@@ -4,6 +4,20 @@
 
 namespace anic::nic {
 
+const char *
+fsmStateName(FsmState s)
+{
+    switch (s) {
+      case FsmState::Offloading:
+        return "offloading";
+      case FsmState::Searching:
+        return "searching";
+      case FsmState::Tracking:
+        return "tracking";
+    }
+    return "?";
+}
+
 StreamFsm::StreamFsm(
     L5Engine &engine,
     std::function<void(uint64_t reqId, uint64_t pos)> requestResync)
@@ -12,9 +26,51 @@ StreamFsm::StreamFsm(
 }
 
 void
+StreamFsm::setHooks(FsmHooks hooks)
+{
+    hooks_ = std::move(hooks);
+    if (hooks_.now)
+        stateEnterTick_ = hooks_.now();
+}
+
+void
+StreamFsm::toState(FsmState next)
+{
+    if (next == state_)
+        return;
+    if (hooks_.now) {
+        sim::Tick now = hooks_.now();
+        if (auto *d = hooks_.dwellNs[static_cast<int>(state_)])
+            d->add(static_cast<double>(now - stateEnterTick_) /
+                   sim::kNanosecond);
+        stateEnterTick_ = now;
+    }
+    traceEvent(sim::TraceKind::FsmTransition, static_cast<uint64_t>(state_),
+               static_cast<uint64_t>(next));
+    state_ = next;
+}
+
+void
+StreamFsm::bump(sim::Counter FsmStats::*m, uint64_t n)
+{
+    (stats_.*m) += n;
+    if (hooks_.aggregate != nullptr)
+        ((*hooks_.aggregate).*m) += n;
+}
+
+void
+StreamFsm::traceEvent(sim::TraceKind kind, uint64_t a, uint64_t b)
+{
+    if (hooks_.trace == nullptr)
+        return;
+    hooks_.trace->record(hooks_.now ? hooks_.now() : 0, kind, hooks_.name,
+                         hooks_.traceId, a, b);
+}
+
+void
 StreamFsm::reset(uint64_t pos, uint64_t msgIdx)
 {
-    state_ = FsmState::Offloading;
+    toState(FsmState::Offloading);
     expected_ = pos;
     msgStart_ = pos;
     msgIdx_ = msgIdx;
@@ -44,21 +100,21 @@ StreamFsm::segment(uint64_t pos, ByteSpan data, PacketResult &res)
         if (end <= expected_ || pos < expected_) {
             // Entirely or partially "in the past" (retransmission /
             // overlap): bypassed, context unchanged (Figure 8a).
-            stats_.bypassedSpans++;
+            bump(&FsmStats::bypassedSpans);
             return false;
         }
         if (pos == expected_)
             return processSpan(pos, data, res);
-        stats_.gapEvents++;
+        bump(&FsmStats::gapEvents);
         handleGap(pos, data, res);
         return false;
       }
       case FsmState::Searching:
-        stats_.bypassedSpans++;
+        bump(&FsmStats::bypassedSpans);
         scanSpan(pos, data, res);
         return false;
       case FsmState::Tracking:
-        stats_.bypassedSpans++;
+        bump(&FsmStats::bypassedSpans);
         trackSpan(pos, data, res);
         return false;
     }
@@ -96,7 +152,7 @@ StreamFsm::processSpan(uint64_t pos, ByteSpan data, PacketResult &res,
             msgActive_ = true;
             skipMode_ = false;
             covered_ = false;
-            stats_.midMsgResumes++;
+            bump(&FsmStats::midMsgResumes);
         }
     }
 
@@ -122,9 +178,9 @@ StreamFsm::processSpan(uint64_t pos, ByteSpan data, PacketResult &res,
                 if (msgActive_) {
                     engine_.onMsgAbort();
                     msgActive_ = false;
-                    stats_.msgsAborted++;
+                    bump(&FsmStats::msgsAborted);
                 }
-                stats_.desyncs++;
+                bump(&FsmStats::desyncs);
                 Bytes failed = hdrBuf_;
                 uint64_t fail_end = pos + off;
                 enterSearch(fail_end - failed.size());
@@ -161,9 +217,9 @@ StreamFsm::processSpan(uint64_t pos, ByteSpan data, PacketResult &res,
                 if (!skipMode_) {
                     engine_.onMsgEnd(covered_, res);
                     msgActive_ = false;
-                    stats_.msgsCompleted++;
+                    bump(&FsmStats::msgsCompleted);
                     if (covered_)
-                        stats_.msgsCovered++;
+                        bump(&FsmStats::msgsCovered);
                     covered_ = true;
                 }
                 msgIdx_++;
@@ -186,7 +242,7 @@ StreamFsm::handleGap(uint64_t pos, ByteSpan data, PacketResult &res)
     if (msgActive_) {
         engine_.onMsgAbort();
         msgActive_ = false;
-        stats_.msgsAborted++;
+        bump(&FsmStats::msgsAborted);
     }
 
     if (!hdrComplete_) {
@@ -214,7 +270,7 @@ StreamFsm::handleGap(uint64_t pos, ByteSpan data, PacketResult &res)
         skipMode_ = true;
         inMsgOff_ = end - msgStart_;
         expected_ = end;
-        stats_.bypassedSpans++;
+        bump(&FsmStats::bypassedSpans);
         return;
     }
 
@@ -228,7 +284,7 @@ StreamFsm::handleGap(uint64_t pos, ByteSpan data, PacketResult &res)
     inMsgOff_ = 0;
     skipMode_ = true;
     expected_ = boundary;
-    stats_.bypassedSpans++;
+    bump(&FsmStats::bypassedSpans);
     if (end > boundary) {
         processSpan(boundary,
                     data.subspan(static_cast<size_t>(boundary - pos)), res,
@@ -239,7 +295,7 @@ StreamFsm::handleGap(uint64_t pos, ByteSpan data, PacketResult &res)
 void
 StreamFsm::enterSearch(uint64_t contPos)
 {
-    state_ = FsmState::Searching;
+    toState(FsmState::Searching);
     contValid_ = true;
     searchCont_ = contPos;
     searchCarry_.clear();
@@ -254,9 +310,9 @@ StreamFsm::positionLost()
     if (msgActive_) {
         engine_.onMsgAbort();
         msgActive_ = false;
-        stats_.msgsAborted++;
+        bump(&FsmStats::msgsAborted);
     }
-    state_ = FsmState::Searching;
+    toState(FsmState::Searching);
     contValid_ = false;
     searchCarry_.clear();
     trackHdrBuf_.clear();
@@ -291,10 +347,11 @@ StreamFsm::scanSpan(uint64_t pos, ByteView data, PacketResult &res)
 
         // Plausible header: speculate, ask software, start tracking.
         uint64_t cand = window_base + i;
-        stats_.resyncRequests++;
+        bump(&FsmStats::resyncRequests);
         pendingReqId_ = nextReqId_++;
         haveConfirm_ = false;
-        state_ = FsmState::Tracking;
+        toState(FsmState::Tracking);
+        traceEvent(sim::TraceKind::ResyncRequest, cand);
         trackMsgCount_ = 0;
         trackCurStart_ = cand;
         trackCurLen_ = info->wireLen;
@@ -363,7 +420,7 @@ StreamFsm::trackSpan(uint64_t pos, ByteView data, PacketResult &res)
         std::optional<MsgInfo> info = engine_.parseHeader(trackHdrBuf_);
         if (!info) {
             // Magic mismatch: the speculation was wrong (d1).
-            stats_.trackFailures++;
+            bump(&FsmStats::trackFailures);
             Bytes failed = trackHdrBuf_;
             uint64_t fail_pos = nextHdrPos_;
             enterSearch(fail_pos);
@@ -389,11 +446,13 @@ StreamFsm::confirm(uint64_t reqId, bool ok, uint64_t msgIdx)
         return; // stale response for an abandoned speculation
     pendingReqId_ = 0;
     if (!ok) {
-        stats_.resyncRefuted++;
+        bump(&FsmStats::resyncRefuted);
+        traceEvent(sim::TraceKind::ResyncRefuted, trackCont_);
         enterSearch(trackCont_);
         return;
     }
-    stats_.resyncConfirmed++;
+    bump(&FsmStats::resyncConfirmed);
+    traceEvent(sim::TraceKind::ResyncConfirmed, msgIdx);
     confirmedMsgIdx_ = msgIdx;
     adoptTrackedPosition();
 }
@@ -405,7 +464,7 @@ StreamFsm::adoptTrackedPosition()
     // is message #confirmedMsgIdx_. Everything tracked since then is
     // position- and index-known, so flip to Offloading in skip mode;
     // transforms re-engage at the next packet-aligned boundary (d2).
-    state_ = FsmState::Offloading;
+    toState(FsmState::Offloading);
     skipMode_ = true;
     covered_ = false;
     msgActive_ = false;

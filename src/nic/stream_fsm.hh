@@ -30,8 +30,11 @@
 #define ANIC_NIC_STREAM_FSM_HH
 
 #include <functional>
+#include <string>
 
 #include "nic/engine.hh"
+#include "sim/registry.hh"
+#include "sim/trace.hh"
 
 namespace anic::nic {
 
@@ -42,20 +45,44 @@ enum class FsmState
     Tracking,
 };
 
+constexpr int kFsmStateCount = 3;
+
+const char *fsmStateName(FsmState s);
+
 /** Observable FSM statistics (drive Figures 16-18 classification). */
 struct FsmStats
 {
-    uint64_t msgsCompleted = 0;   ///< messages whose end was processed
-    uint64_t msgsCovered = 0;     ///< ... with full coverage (verified)
-    uint64_t msgsAborted = 0;     ///< messages disrupted mid-processing
-    uint64_t resyncRequests = 0;  ///< speculations sent to software
-    uint64_t resyncConfirmed = 0; ///< speculations software confirmed
-    uint64_t resyncRefuted = 0;   ///< speculations software refuted
-    uint64_t trackFailures = 0;   ///< magic mismatch while tracking
-    uint64_t desyncs = 0;         ///< in-sequence framing desync (bad)
-    uint64_t gapEvents = 0;       ///< out-of-sequence spans observed
-    uint64_t bypassedSpans = 0;   ///< spans passed through unprocessed
-    uint64_t midMsgResumes = 0;   ///< mid-message (placement) resumes
+    sim::Counter msgsCompleted;   ///< messages whose end was processed
+    sim::Counter msgsCovered;     ///< ... with full coverage (verified)
+    sim::Counter msgsAborted;     ///< messages disrupted mid-processing
+    sim::Counter resyncRequests;  ///< speculations sent to software
+    sim::Counter resyncConfirmed; ///< speculations software confirmed
+    sim::Counter resyncRefuted;   ///< speculations software refuted
+    sim::Counter trackFailures;   ///< magic mismatch while tracking
+    sim::Counter desyncs;         ///< in-sequence framing desync (bad)
+    sim::Counter gapEvents;       ///< out-of-sequence spans observed
+    sim::Counter bypassedSpans;   ///< spans passed through unprocessed
+    sim::Counter midMsgResumes;   ///< mid-message (placement) resumes
+};
+
+/**
+ * Observability hooks the owner (the NIC, or a test) installs on a
+ * StreamFsm. All members are optional; a default-constructed hooks
+ * struct keeps the FSM silent. The NIC aggregates every per-flow FSM
+ * into one FsmStats + per-state dwell distributions so the registry
+ * stays bounded no matter how many flows exist.
+ */
+struct FsmHooks
+{
+    std::function<sim::Tick()> now; ///< time source for dwell/trace
+    FsmStats *aggregate = nullptr;  ///< owner-level roll-up
+    /** Per-state dwell-time distributions (ns per visit), indexed by
+     *  FsmState; the Figs 17-18 signal for how long loss/reorder keep
+     *  the NIC out of Offloading. */
+    sim::Distribution *dwellNs[kFsmStateCount] = {};
+    sim::TraceRing *trace = nullptr;
+    uint64_t traceId = 0; ///< flow id stamped on trace events
+    std::string name;     ///< component path, e.g. "srv.nic0.fsm"
 };
 
 class StreamFsm
@@ -69,6 +96,10 @@ class StreamFsm
      */
     StreamFsm(L5Engine &engine,
               std::function<void(uint64_t reqId, uint64_t pos)> requestResync);
+
+    /** Installs observability hooks (see FsmHooks). Call before
+     *  reset() so the initial state's dwell clock starts correctly. */
+    void setHooks(FsmHooks hooks);
 
     /** Arms the FSM: the next message starts at @p pos with index
      *  @p msgIdx (from l5o_create / context recovery). */
@@ -114,11 +145,20 @@ class StreamFsm
     void trackSpan(uint64_t pos, ByteView data, PacketResult &res);
     void adoptTrackedPosition();
 
+    /** State transition: closes the departing state's dwell interval
+     *  and records a trace event when the state actually changes. */
+    void toState(FsmState next);
+    /** Increments a stat on this FSM and on the owner aggregate. */
+    void bump(sim::Counter FsmStats::*m, uint64_t n = 1);
+    void traceEvent(sim::TraceKind kind, uint64_t a = 0, uint64_t b = 0);
+
     L5Engine &engine_;
     std::function<void(uint64_t, uint64_t)> requestResync_;
 
     FsmState state_ = FsmState::Searching;
     FsmStats stats_;
+    FsmHooks hooks_;
+    sim::Tick stateEnterTick_ = 0;
 
     // ---- Offloading sub-state
     uint64_t expected_ = 0; ///< next processable stream position

@@ -5,8 +5,8 @@
 namespace anic::nvmetcp {
 
 NvmeHostQueue::NvmeHostQueue(tcp::StreamSocket &sock, WireConfig wc,
-                             NvmeOffloadConfig ocfg)
-    : sock_(sock), wc_(wc), ocfg_(ocfg), assembler_(wc)
+                             NvmeOffloadConfig ocfg, NvmeHostStats *aggregate)
+    : sock_(sock), wc_(wc), ocfg_(ocfg), assembler_(wc), aggregate_(aggregate)
 {
     sock_.setOnReadable([this] { onReadable(); });
     sock_.setOnWritable([this] { flushSendQueue(); });
@@ -73,7 +73,7 @@ NvmeHostQueue::enableOffloadOverTls(tls::TlsSocket &tlsSock)
         [this, core](uint64_t reqId, uint64_t recIdx, uint32_t recOff) {
             core->post([this, core, reqId, recIdx, recOff] {
                 core->charge(core->model().resyncUpcallCost);
-                stats_.resyncRequests++;
+                count(&NvmeHostStats::resyncRequests);
                 resyncPending_ = true;
                 resyncReqId_ = reqId;
                 resyncPlainValid_ = false;
@@ -269,7 +269,7 @@ NvmeHostQueue::onPdu(RxPdu &&pdu)
     core.charge(m.nvmePduCost);
 
     if (pdu.ch.type == kPduC2HData) {
-        stats_.dataPdusRx++;
+        count(&NvmeHostStats::dataPdusRx);
         DataPduHdr dh = parseDataPduHdr(pdu.bytes);
         auto it = requests_.find(dh.cid);
         if (it == requests_.end())
@@ -316,22 +316,22 @@ NvmeHostQueue::onPdu(RxPdu &&pdu)
         if (req.opcode != kOpRead)
             copied = 0; // writes have no inbound payload
         core.charge(m.copyPerByte(outstandingBytes_) * copied);
-        stats_.bytesCopied += static_cast<uint64_t>(copied);
-        stats_.bytesPlaced += placed_bytes;
+        count(&NvmeHostStats::bytesCopied, static_cast<uint64_t>(copied));
+        count(&NvmeHostStats::bytesPlaced, placed_bytes);
 
         // ---- data digest
         if (wc_.dataDigest && dh.dataLen > 0) {
             bool skip = ocfg_.crcRx && pdu.crcFullyOffloaded();
             if (skip) {
-                stats_.crcSkipped++;
+                count(&NvmeHostStats::crcSkipped);
             } else {
-                stats_.crcSoftware++;
+                count(&NvmeHostStats::crcSoftware);
                 core.charge(m.crcPerByte * dh.dataLen);
                 uint32_t wire = static_cast<uint32_t>(
                     getLe32(pdu.bytes.data() + data_end));
                 if (crypto::Crc32c::compute(data) != wire) {
                     req.failed = true;
-                    stats_.crcFailures++;
+                    count(&NvmeHostStats::crcFailures);
                 }
             }
         }
@@ -366,13 +366,13 @@ NvmeHostQueue::completeRequest(uint16_t cid, bool ok)
     bool success = ok && !req.failed &&
                    (req.opcode != kOpRead || req.received == req.len);
     if (!success)
-        stats_.failures++;
+        count(&NvmeHostStats::failures);
     if (req.opcode == kOpRead) {
-        stats_.readsCompleted++;
+        count(&NvmeHostStats::readsCompleted);
         if (req.readDone)
             req.readDone(success, std::move(req.buffer));
     } else {
-        stats_.writesCompleted++;
+        count(&NvmeHostStats::writesCompleted);
         if (req.writeDone)
             req.writeDone(success);
     }
@@ -398,7 +398,7 @@ NvmeHostQueue::checkPendingResync()
     resyncPending_ = false;
     resyncPlainValid_ = false;
     if (ok)
-        stats_.resyncConfirmed++;
+        count(&NvmeHostStats::resyncConfirmed);
     if (tlsRxEngine_ != nullptr) {
         tlsRxEngine_->innerResyncResponse(resyncReqId_, ok, 0);
     } else if (l5o_ != nullptr) {
@@ -424,7 +424,7 @@ void
 NvmeHostQueue::resyncRxReq(uint32_t tcpsn)
 {
     ANIC_ASSERT(conn_ != nullptr);
-    stats_.resyncRequests++;
+    count(&NvmeHostStats::resyncRequests);
     resyncPending_ = true;
     // Translate the sequence number into our stream-offset space.
     uint64_t consumed = assembler_.streamConsumed();

@@ -41,24 +41,27 @@ struct NvmeOffloadConfig
 
 struct NvmeHostStats
 {
-    uint64_t readsCompleted = 0;
-    uint64_t writesCompleted = 0;
-    uint64_t failures = 0;
-    uint64_t dataPdusRx = 0;
-    uint64_t crcSkipped = 0;  ///< capsules fully verified by the NIC
-    uint64_t crcSoftware = 0; ///< capsules verified in software
-    uint64_t crcFailures = 0;
-    uint64_t bytesPlaced = 0; ///< payload the NIC DMA'd to buffers
-    uint64_t bytesCopied = 0; ///< payload copied by software
-    uint64_t resyncRequests = 0;
-    uint64_t resyncConfirmed = 0;
+    sim::Counter readsCompleted;
+    sim::Counter writesCompleted;
+    sim::Counter failures;
+    sim::Counter dataPdusRx;
+    sim::Counter crcSkipped;  ///< capsules fully verified by the NIC
+    sim::Counter crcSoftware; ///< capsules verified in software
+    sim::Counter crcFailures;
+    sim::Counter bytesPlaced; ///< payload the NIC DMA'd to buffers
+    sim::Counter bytesCopied; ///< payload copied by software
+    sim::Counter resyncRequests;
+    sim::Counter resyncConfirmed;
 };
 
 class NvmeHostQueue : private core::L5pCallbacks
 {
   public:
+    /** @param aggregate optional owner-level stats (e.g. one per
+     *  StorageService across its per-core queues) every count also
+     *  lands in — that is what the registry publishes. */
     NvmeHostQueue(tcp::StreamSocket &sock, WireConfig wc,
-                  NvmeOffloadConfig ocfg);
+                  NvmeOffloadConfig ocfg, NvmeHostStats *aggregate = nullptr);
     ~NvmeHostQueue() override;
 
     /**
@@ -117,6 +120,15 @@ class NvmeHostQueue : private core::L5pCallbacks
     std::optional<TxMsgState> getTxMsgState(uint32_t tcpsn) override;
     void resyncRxReq(uint32_t tcpsn) override;
 
+    /** Counts into the queue stats and the owner aggregate. */
+    void
+    count(sim::Counter NvmeHostStats::*m, uint64_t n = 1)
+    {
+        (stats_.*m) += n;
+        if (aggregate_ != nullptr)
+            (aggregate_->*m) += n;
+    }
+
     tcp::StreamSocket &sock_;
     WireConfig wc_;
     NvmeOffloadConfig ocfg_;
@@ -156,6 +168,7 @@ class NvmeHostQueue : private core::L5pCallbacks
     uint32_t innerAnchorRecOff_ = 0;
 
     NvmeHostStats stats_;
+    NvmeHostStats *aggregate_ = nullptr;
 };
 
 } // namespace anic::nvmetcp

@@ -105,6 +105,7 @@ NvmeRxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
             ByteView chunk(data.data() + i, n);
             if (isDataPdu_ && wc_.dataDigest) {
                 crc_.update(chunk);
+                count(&nic::EngineStats::bytesChecked, n);
                 res.sawCrcBytes = true;
             }
             if (placeTarget_ && subHdrValid_) {
@@ -117,6 +118,7 @@ NvmeRxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
                         res.spanPktOff + static_cast<uint32_t>(i),
                         static_cast<uint32_t>(n)});
                     bytesPlaced_ += n;
+                    count(&nic::EngineStats::bytesPlaced, n);
                 }
             }
             i += n;
@@ -143,8 +145,12 @@ NvmeRxEngine::onMsgEnd(bool covered, nic::PacketResult &res)
         return;
     }
     uint32_t wire = static_cast<uint32_t>(getLe32(ddgstBuf_));
-    if (crc_.value() != wire)
+    if (crc_.value() != wire) {
         res.crcFailed = true;
+        count(&nic::EngineStats::crcFailures);
+    } else {
+        count(&nic::EngineStats::crcsVerified);
+    }
 }
 
 void
@@ -194,6 +200,7 @@ NvmeTxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
             size_t n = static_cast<size_t>(
                 std::min<uint64_t>(data_end - pos, data.size() - i));
             crc_.update(ByteView(data.data() + i, n));
+            count(&nic::EngineStats::bytesChecked, n);
             i += n;
         } else {
             // Replace the dummy digest with the computed CRC.

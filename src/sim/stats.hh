@@ -1,128 +1,25 @@
 /**
  * @file
- * Lightweight statistics: counters, sample distributions, and interval
- * rate meters used by benches to report throughput and CPU usage.
+ * DEPRECATED forwarding header. The instruments moved to
+ * sim/registry.hh as part of the unified stats registry:
+ *
+ *   SampleStat    -> sim::Distribution
+ *   IntervalMeter -> sim::RateMeter
+ *
+ * The aliases below keep out-of-tree includes compiling for one
+ * release; this header will be removed in the next PR. Include
+ * sim/registry.hh directly in new code.
  */
 
 #ifndef ANIC_SIM_STATS_HH
 #define ANIC_SIM_STATS_HH
 
-#include <algorithm>
-#include <cmath>
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "sim/simulator.hh"
+#include "sim/registry.hh"
 
 namespace anic::sim {
 
-/**
- * Collects scalar samples and reports mean / stddev / percentiles.
- * Keeps all samples; fine for the sample counts benches produce.
- */
-class SampleStat
-{
-  public:
-    void add(double v) { samples_.push_back(v); }
-    size_t count() const { return samples_.size(); }
-    bool empty() const { return samples_.empty(); }
-
-    double
-    mean() const
-    {
-        if (samples_.empty())
-            return 0.0;
-        double sum = 0.0;
-        for (double v : samples_)
-            sum += v;
-        return sum / static_cast<double>(samples_.size());
-    }
-
-    double
-    stddev() const
-    {
-        if (samples_.size() < 2)
-            return 0.0;
-        double m = mean();
-        double acc = 0.0;
-        for (double v : samples_)
-            acc += (v - m) * (v - m);
-        return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
-    }
-
-    double min() const;
-    double max() const;
-
-    /** p in [0,100]; nearest-rank percentile. */
-    double percentile(double p) const;
-
-    /**
-     * Trimmed mean as used by the paper's methodology: drop the single
-     * minimum and maximum sample, average the rest.
-     */
-    double trimmedMean() const;
-
-    void clear() { samples_.clear(); }
-
-  private:
-    std::vector<double> samples_;
-};
-
-/**
- * Measures a rate (e.g. bytes delivered) over a measurement window so
- * warm-up traffic can be excluded.
- */
-class IntervalMeter
-{
-  public:
-    /** Starts (or restarts) the measurement window at time @p now. */
-    void
-    start(Tick now)
-    {
-        startTick_ = now;
-        value_ = 0;
-        running_ = true;
-    }
-
-    /** Accumulates @p amount if the window is open. */
-    void
-    add(uint64_t amount)
-    {
-        if (running_)
-            value_ += amount;
-    }
-
-    /** Closes the window at @p now. */
-    void
-    stop(Tick now)
-    {
-        endTick_ = now;
-        running_ = false;
-    }
-
-    uint64_t total() const { return value_; }
-    Tick elapsed() const { return endTick_ - startTick_; }
-
-    /** Rate in units/second over the closed window. */
-    double
-    perSecond() const
-    {
-        Tick e = elapsed();
-        if (e == 0)
-            return 0.0;
-        return static_cast<double>(value_) / ticksToSeconds(e);
-    }
-
-    /** Convenience: bits/sec in Gbps when value is bytes. */
-    double gbps() const { return perSecond() * 8.0 / 1e9; }
-
-  private:
-    Tick startTick_ = 0;
-    Tick endTick_ = 0;
-    uint64_t value_ = 0;
-    bool running_ = false;
-};
+using SampleStat = Distribution;
+using IntervalMeter = RateMeter;
 
 } // namespace anic::sim
 

@@ -1,0 +1,99 @@
+#include "sim/trace.hh"
+
+#include <cstdlib>
+
+namespace anic::sim {
+
+const char *
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::FsmTransition:
+        return "fsm_transition";
+      case TraceKind::ResyncRequest:
+        return "resync_request";
+      case TraceKind::ResyncConfirmed:
+        return "resync_confirmed";
+      case TraceKind::ResyncRefuted:
+        return "resync_refuted";
+      case TraceKind::CtxEvict:
+        return "ctx_evict";
+      case TraceKind::CtxFetch:
+        return "ctx_fetch";
+      case TraceKind::Retransmit:
+        return "retransmit";
+      case TraceKind::TxResync:
+        return "tx_resync";
+      case TraceKind::Custom:
+        return "custom";
+    }
+    return "?";
+}
+
+TraceRing &
+TraceRing::global()
+{
+    static TraceRing *ring = [] {
+        size_t cap = kDefaultCapacity;
+        if (const char *c = std::getenv("ANIC_TRACE_CAP")) {
+            unsigned long v = std::strtoul(c, nullptr, 10);
+            if (v > 0)
+                cap = v;
+        }
+        auto *r = new TraceRing(cap);
+        if (const char *e = std::getenv("ANIC_TRACE")) {
+            if (e[0] != '\0' && e[0] != '0')
+                r->enable();
+        }
+        return r;
+    }();
+    return *ring;
+}
+
+std::vector<TraceEvent>
+TraceRing::events() const
+{
+    std::vector<TraceEvent> out;
+    out.reserve(buf_.size());
+    // Once wrapped, head_ is the oldest slot.
+    for (size_t i = 0; i < buf_.size(); ++i)
+        out.push_back(buf_[(head_ + i) % buf_.size()]);
+    return out;
+}
+
+void
+TraceRing::dumpJsonl(std::FILE *f) const
+{
+    for (const TraceEvent &ev : events()) {
+        std::fprintf(f,
+                     "{\"ts_ns\":%llu,\"kind\":\"%s\",\"comp\":\"%s\","
+                     "\"id\":%llu,\"a\":%llu,\"b\":%llu}\n",
+                     (unsigned long long)(ev.ts / kNanosecond),
+                     traceKindName(ev.kind), ev.comp.c_str(),
+                     (unsigned long long)ev.id, (unsigned long long)ev.a,
+                     (unsigned long long)ev.b);
+    }
+}
+
+void
+TraceRing::dumpChromeTrace(std::FILE *f) const
+{
+    std::fprintf(f, "[");
+    bool first = true;
+    for (const TraceEvent &ev : events()) {
+        // chrome://tracing wants microsecond timestamps.
+        std::fprintf(f,
+                     "%s{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"g\","
+                     "\"ts\":%.3f,\"pid\":1,\"tid\":1,"
+                     "\"args\":{\"comp\":\"%s\",\"id\":%llu,"
+                     "\"a\":%llu,\"b\":%llu}}",
+                     first ? "" : ",\n", traceKindName(ev.kind),
+                     static_cast<double>(ev.ts) / kMicrosecond,
+                     ev.comp.c_str(), (unsigned long long)ev.id,
+                     (unsigned long long)ev.a, (unsigned long long)ev.b);
+        first = false;
+    }
+    std::fprintf(f, "]\n");
+}
+
+} // namespace anic::sim

@@ -10,6 +10,13 @@ using net::kTcpFin;
 using net::kTcpPsh;
 using net::kTcpSyn;
 
+void
+TcpConnection::count(sim::Counter TcpStats::*m, uint64_t n)
+{
+    (stats_.*m) += n;
+    (stack_.agg_.*m) += n;
+}
+
 // --------------------------------------------------------------- SendRing
 
 size_t
@@ -240,7 +247,7 @@ TcpConnection::processAck(const net::TcpHeader &h)
 
     if (seqGt(ack, sndUna_)) {
         uint32_t acked = seqDiff(ack, sndUna_);
-        stats_.acksRcvd++;
+        count(&TcpStats::acksRcvd);
 
         if (rttPending_ && seqGeq(ack, rttSeq_)) {
             rttSample(stack_.sim().now() - rttSentAt_);
@@ -303,7 +310,7 @@ TcpConnection::processAck(const net::TcpHeader &h)
     } else if (ack == sndUna_ && flightSize() > 0 && h.flags == kTcpAck) {
         // Potential duplicate ACK (no data, no SYN/FIN).
         dupAcks_++;
-        stats_.dupAcksRcvd++;
+        count(&TcpStats::dupAcksRcvd);
         if (dupAcks_ == 3 && !inRecovery_) {
             enterFastRecovery();
         } else if (inRecovery_) {
@@ -335,7 +342,7 @@ TcpConnection::enterFastRecovery()
     ssthresh_ = std::max(flightSize() / 2, 2 * cfg_.mss);
     inRecovery_ = true;
     recover_ = sndNxt_;
-    stats_.fastRetransmits++;
+    count(&TcpStats::fastRetransmits);
     uint32_t len = std::min<uint32_t>(
         cfg_.mss, std::min<uint32_t>(flightSize(), sndRing_.size()));
     if (len > 0)
@@ -390,7 +397,7 @@ TcpConnection::trySend()
         if (!sendSegment(sndNxt_, len, false))
             return; // device full; redriven via onDeviceWritable
         sndNxt_ += len;
-        stats_.bytesSent += len;
+        count(&TcpStats::bytesSent, len);
     }
 
     // Send FIN once all data has been transmitted at least once.
@@ -442,9 +449,14 @@ TcpConnection::sendSegment(uint32_t seq, uint32_t len, bool retransmission)
         devBlocked_ = true;
         return false;
     }
-    stats_.dataPktsSent++;
+    count(&TcpStats::dataPktsSent);
     if (retransmission) {
-        stats_.retransmits++;
+        count(&TcpStats::retransmits);
+        stack_.trace_->record(stack_.sim().now(), sim::TraceKind::Retransmit,
+                              stack_.scope_.prefix().empty()
+                                  ? "tcp"
+                                  : stack_.scope_.prefix(),
+                              net::FlowKeyHash{}(local_), seq, len);
     } else if (!rttPending_) {
         rttSeq_ = seq + len;
         rttSentAt_ = stack_.sim().now();
@@ -481,7 +493,7 @@ TcpConnection::sendFlagsPacket(uint8_t flags, uint32_t seq, bool withAck)
     core_.charge(core_.model().tcpTxPerPacket);
     stack_.output(*this, pkt); // control packets ignore backpressure
     if (withAck) {
-        stats_.acksSent++;
+        count(&TcpStats::acksSent);
         unackedDataPkts_ = 0;
         lastAdvertisedWnd_ = th.window;
     }
@@ -554,14 +566,14 @@ TcpConnection::onRtoFire(uint64_t generation)
     }
 
     if (state_ == State::SynSent) {
-        stats_.rtoFires++;
+        count(&TcpStats::rtoFires);
         rtoBackoff_++;
         sendFlagsPacket(kTcpSyn, iss_, false);
         armRto();
         return;
     }
     if (state_ == State::SynRcvd) {
-        stats_.rtoFires++;
+        count(&TcpStats::rtoFires);
         rtoBackoff_++;
         sendFlagsPacket(kTcpSyn | kTcpAck, iss_, true);
         armRto();
@@ -570,7 +582,7 @@ TcpConnection::onRtoFire(uint64_t generation)
     if (flightSize() == 0)
         return;
 
-    stats_.rtoFires++;
+    count(&TcpStats::rtoFires);
     ssthresh_ = std::max(flightSize() / 2, 2 * cfg_.mss);
     cwnd_ = cfg_.mss;
     inRecovery_ = false;
@@ -593,7 +605,7 @@ TcpConnection::processData(const net::PacketPtr &pkt, const net::TcpHeader &h)
     ByteView payload = pkt->payload();
     bool fin = (h.flags & kTcpFin) != 0;
     if (!payload.empty())
-        stats_.dataPktsRcvd++;
+        count(&TcpStats::dataPktsRcvd);
 
     int64_t delta = static_cast<int32_t>(h.seq - rcvNxt_);
     int64_t end_delta = delta + static_cast<int64_t>(payload.size());
@@ -607,7 +619,7 @@ TcpConnection::processData(const net::PacketPtr &pkt, const net::TcpHeader &h)
 
     if (delta > 0) {
         // Out of order: buffer, duplicate-ack immediately.
-        stats_.oooPktsRcvd++;
+        count(&TcpStats::oooPktsRcvd);
         uint64_t pos = rcvStreamOff_ + static_cast<uint64_t>(delta);
         if (oooBytes_ + payload.size() <= cfg_.rcvBufSize) {
             auto it = ooo_.find(pos);
@@ -664,7 +676,7 @@ TcpConnection::deliverSegment(uint32_t seq, ByteView data,
         rxQueue_.push_back(std::move(seg));
         rcvStreamOff_ += data.size();
         rcvNxt_ += static_cast<uint32_t>(data.size());
-        stats_.bytesDelivered += data.size();
+        count(&TcpStats::bytesDelivered, data.size());
     }
     if (fin) {
         rcvNxt_ += 1;

@@ -22,6 +22,7 @@
 
 #include "host/core.hh"
 #include "net/packet.hh"
+#include "sim/registry.hh"
 #include "tcp/seq.hh"
 #include "tcp/socket.hh"
 
@@ -57,17 +58,17 @@ class SendRing
 /** Counters exposed for tests and benches. */
 struct TcpStats
 {
-    uint64_t dataPktsSent = 0;
-    uint64_t dataPktsRcvd = 0;
-    uint64_t acksSent = 0;
-    uint64_t acksRcvd = 0;
-    uint64_t retransmits = 0;
-    uint64_t fastRetransmits = 0;
-    uint64_t rtoFires = 0;
-    uint64_t dupAcksRcvd = 0;
-    uint64_t oooPktsRcvd = 0;
-    uint64_t bytesSent = 0;     ///< first transmissions only
-    uint64_t bytesDelivered = 0;
+    sim::Counter dataPktsSent;
+    sim::Counter dataPktsRcvd;
+    sim::Counter acksSent;
+    sim::Counter acksRcvd;
+    sim::Counter retransmits;
+    sim::Counter fastRetransmits;
+    sim::Counter rtoFires;
+    sim::Counter dupAcksRcvd;
+    sim::Counter oooPktsRcvd;
+    sim::Counter bytesSent;     ///< first transmissions only
+    sim::Counter bytesDelivered;
 };
 
 /**
@@ -198,6 +199,9 @@ class TcpConnection : public StreamSocket
     void onNewlyAcked(uint32_t acked);
     void enterFastRecovery();
     void rttSample(sim::Tick sample);
+
+    /** Bumps a stat on this connection and on the stack aggregate. */
+    void count(sim::Counter TcpStats::*m, uint64_t n = 1);
 
     TcpStack &stack_;
     host::Core &core_;

@@ -5,10 +5,24 @@
 namespace anic::tcp {
 
 TcpStack::TcpStack(sim::Simulator &sim, std::vector<host::Core *> cores,
-                   uint64_t seed)
-    : sim_(sim), cores_(std::move(cores)), rng_(seed)
+                   uint64_t seed, sim::StatsScope scope)
+    : sim_(sim), cores_(std::move(cores)), rng_(seed),
+      scope_(std::move(scope)), trace_(&sim::TraceRing::global())
 {
     ANIC_ASSERT(!cores_.empty(), "stack needs at least one core");
+    scope_.link("dataPktsSent", agg_.dataPktsSent);
+    scope_.link("dataPktsRcvd", agg_.dataPktsRcvd);
+    scope_.link("acksSent", agg_.acksSent);
+    scope_.link("acksRcvd", agg_.acksRcvd);
+    scope_.link("retransmits", agg_.retransmits);
+    scope_.link("fastRetransmits", agg_.fastRetransmits);
+    scope_.link("rtoFires", agg_.rtoFires);
+    scope_.link("dupAcksRcvd", agg_.dupAcksRcvd);
+    scope_.link("oooPktsRcvd", agg_.oooPktsRcvd);
+    scope_.link("bytesSent", agg_.bytesSent);
+    scope_.link("bytesDelivered", agg_.bytesDelivered);
+    scope_.link("droppedInputs", droppedInputs_);
+    scope_.link("connections", connections_);
 }
 
 void
@@ -56,6 +70,7 @@ TcpStack::createConnection(const net::FlowKey &local,
     auto conn = std::make_unique<TcpConnection>(*this, c, cfg, local, iss);
     TcpConnection &ref = *conn;
     conns_.emplace(local, std::move(conn));
+    connections_.set(static_cast<double>(conns_.size()));
     return ref;
 }
 
@@ -149,6 +164,7 @@ void
 TcpStack::destroy(TcpConnection &conn)
 {
     conns_.erase(conn.localFlow());
+    connections_.set(static_cast<double>(conns_.size()));
 }
 
 } // namespace anic::tcp

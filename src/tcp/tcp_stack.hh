@@ -14,6 +14,8 @@
 
 #include "host/core.hh"
 #include "net/packet.hh"
+#include "sim/registry.hh"
+#include "sim/trace.hh"
 #include "tcp/net_device.hh"
 #include "tcp/tcp_connection.hh"
 #include "util/rand.hh"
@@ -26,8 +28,11 @@ class TcpStack
   public:
     using AcceptFn = std::function<void(TcpConnection &)>;
 
+    /** @param scope registry scope to publish stack-wide counters
+     *  under ("<node>.tcp"); a detached scope keeps the stack
+     *  unregistered (bare construction in unit tests). */
     TcpStack(sim::Simulator &sim, std::vector<host::Core *> cores,
-             uint64_t seed = 0x7cb);
+             uint64_t seed = 0x7cb, sim::StatsScope scope = {});
 
     /** Binds a device/IP pair (a host may have several ports). */
     void addDevice(NetDevice *dev);
@@ -68,6 +73,9 @@ class TcpStack
     /** Host-wide dropped-input counter (no matching flow). */
     uint64_t droppedInputs() const { return droppedInputs_; }
 
+    /** Roll-up of every connection's counters on this stack. */
+    const TcpStats &stats() const { return agg_; }
+
   private:
     struct Listener
     {
@@ -91,10 +99,17 @@ class TcpStack
         conns_;
     std::unordered_map<uint16_t, Listener> listeners_;
     uint16_t nextEphemeral_ = 32768;
-    uint64_t droppedInputs_ = 0;
+    sim::Counter droppedInputs_;
 
     // Connections waiting for tx-ring space, per device.
     std::unordered_map<NetDevice *, std::vector<TcpConnection *>> blocked_;
+
+    // Observability: per-connection stats roll up here so the
+    // registry stays bounded at any connection count.
+    sim::StatsScope scope_;
+    TcpStats agg_;
+    sim::Gauge connections_;
+    sim::TraceRing *trace_ = nullptr;
 
     friend class TcpConnection;
 };

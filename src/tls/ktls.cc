@@ -4,6 +4,23 @@
 
 namespace anic::tls {
 
+void
+linkTlsStats(sim::StatsScope &scope, const std::string &stem,
+             const TlsStats &s)
+{
+    scope.link(stem + ".recordsTx", s.recordsTx);
+    scope.link(stem + ".recordsRx", s.recordsRx);
+    scope.link(stem + ".rxFullyOffloaded", s.rxFullyOffloaded);
+    scope.link(stem + ".rxPartiallyOffloaded", s.rxPartiallyOffloaded);
+    scope.link(stem + ".rxNotOffloaded", s.rxNotOffloaded);
+    scope.link(stem + ".tagFailures", s.tagFailures);
+    scope.link(stem + ".txMsgStateUpcalls", s.txMsgStateUpcalls);
+    scope.link(stem + ".rxResyncRequests", s.rxResyncRequests);
+    scope.link(stem + ".rxResyncConfirmed", s.rxResyncConfirmed);
+    scope.link(stem + ".plaintextBytesTx", s.plaintextBytesTx);
+    scope.link(stem + ".plaintextBytesRx", s.plaintextBytesRx);
+}
+
 namespace {
 
 /** Clips offload metadata to a sub-range of a segment's data. */
@@ -173,8 +190,8 @@ TlsSocket::emitRecord(ByteView plaintext, TxMode mode)
     txMap_.add(conn_.sndNextByteSeq(), static_cast<uint32_t>(wire.size()),
                txRecSeq_, cfg_.txOffload ? wire : Bytes{});
     txRecSeq_++;
-    stats_.recordsTx++;
-    stats_.plaintextBytesTx += plaintext.size();
+    count(&TlsStats::recordsTx);
+    count(&TlsStats::plaintextBytesTx, plaintext.size());
 
     size_t acc = conn_.send(wire);
     if (acc < wire.size()) {
@@ -215,7 +232,7 @@ TlsSocket::sendSpace() const
 std::optional<core::L5pCallbacks::TxMsgState>
 TlsSocket::getTxMsgState(uint32_t tcpsn)
 {
-    stats_.txMsgStateUpcalls++;
+    count(&TlsStats::txMsgStateUpcalls);
     const core::TxMsgTracker::Entry *e = txMap_.find(tcpsn);
     if (e == nullptr)
         return std::nullopt;
@@ -280,7 +297,7 @@ TlsSocket::ingestSegment(tcp::RxSegment seg)
             if (!h) {
                 // Stream desync: treat as a fatal protocol error.
                 rxError_ = true;
-                stats_.tagFailures++;
+                count(&TlsStats::tagFailures);
                 return;
             }
             rxHdr_ = *h;
@@ -322,14 +339,14 @@ TlsSocket::finishRecord()
     bool offloaded = cfg_.rxOffload && all && !rxSlices_.empty();
 
     if (offloaded) {
-        stats_.rxFullyOffloaded++;
+        count(&TlsStats::rxFullyOffloaded);
         // NIC decrypted everything and verified the ICV: slices
         // already hold plaintext.
     } else {
         if (any)
-            stats_.rxPartiallyOffloaded++;
+            count(&TlsStats::rxPartiallyOffloaded);
         else
-            stats_.rxNotOffloaded++;
+            count(&TlsStats::rxNotOffloaded);
 
         // Reassemble the ciphertext. NIC-decrypted ranges must first
         // be re-encrypted (AES-GCM authenticates ciphertext), which
@@ -360,7 +377,7 @@ TlsSocket::finishRecord()
         bool ok = rxGcm_.checkTag(ByteView(ct).subspan(plain_len, kTagSize));
         if (!ok) {
             conn_.core().charge(cycles);
-            stats_.tagFailures++;
+            count(&TlsStats::tagFailures);
             rxError_ = true;
             return;
         }
@@ -394,8 +411,8 @@ TlsSocket::finishRecord()
 
     if (recordObserver_)
         recordObserver_(rxRecSeq_, rxPlainOff_ - plain_len);
-    stats_.recordsRx++;
-    stats_.plaintextBytesRx += plain_len;
+    count(&TlsStats::recordsRx);
+    count(&TlsStats::plaintextBytesRx, plain_len);
     rxRecSeq_++;
     rxSlices_.clear();
     rxHdrBuf_.clear();
@@ -410,7 +427,7 @@ TlsSocket::answerPendingResync(uint32_t recordStartSeq)
         return;
     if (recordStartSeq == resyncSeq_) {
         resyncPending_ = false;
-        stats_.rxResyncConfirmed++;
+        count(&TlsStats::rxResyncConfirmed);
         l5o_->resyncRxResp(resyncSeq_, true, rxRecSeq_);
     } else if (tcp::seqGt(recordStartSeq, resyncSeq_)) {
         resyncPending_ = false;
@@ -421,7 +438,7 @@ TlsSocket::answerPendingResync(uint32_t recordStartSeq)
 void
 TlsSocket::resyncRxReq(uint32_t tcpsn)
 {
-    stats_.rxResyncRequests++;
+    count(&TlsStats::rxResyncRequests);
     resyncPending_ = true;
     resyncSeq_ = tcpsn;
 
@@ -431,7 +448,7 @@ TlsSocket::resyncRxReq(uint32_t tcpsn)
         if (tcpsn == cur) {
             // The NIC guessed the record currently being assembled.
             resyncPending_ = false;
-            stats_.rxResyncConfirmed++;
+            count(&TlsStats::rxResyncConfirmed);
             l5o_->resyncRxResp(tcpsn, true, rxRecSeq_);
         } else if (tcp::seqLt(tcpsn, cur)) {
             resyncPending_ = false;

@@ -30,11 +30,32 @@
 
 #include "core/offload_device.hh"
 #include "core/tx_msg_tracker.hh"
+#include "sim/registry.hh"
 #include "tcp/tcp_connection.hh"
 #include "tls/record.hh"
 #include "tls/tls_engine.hh"
 
 namespace anic::tls {
+
+/** Socket-level statistics (drives Figures 11, 13, 16-18). */
+struct TlsStats
+{
+    sim::Counter recordsTx;
+    sim::Counter recordsRx;
+    sim::Counter rxFullyOffloaded;
+    sim::Counter rxPartiallyOffloaded;
+    sim::Counter rxNotOffloaded;
+    sim::Counter tagFailures;
+    sim::Counter txMsgStateUpcalls;
+    sim::Counter rxResyncRequests;
+    sim::Counter rxResyncConfirmed;
+    sim::Counter plaintextBytesTx;
+    sim::Counter plaintextBytesRx;
+};
+
+/** Links every TlsStats counter under @p scope as "<stem>.<field>". */
+void linkTlsStats(sim::StatsScope &scope, const std::string &stem,
+                  const TlsStats &s);
 
 /** Per-socket TLS configuration. */
 struct TlsConfig
@@ -43,22 +64,11 @@ struct TlsConfig
     bool txOffload = false;
     bool rxOffload = false;
     bool zerocopySendfile = false; ///< only meaningful with txOffload
-};
 
-/** Socket-level statistics (drives Figures 11, 13, 16-18). */
-struct TlsStats
-{
-    uint64_t recordsTx = 0;
-    uint64_t recordsRx = 0;
-    uint64_t rxFullyOffloaded = 0;
-    uint64_t rxPartiallyOffloaded = 0;
-    uint64_t rxNotOffloaded = 0;
-    uint64_t tagFailures = 0;
-    uint64_t txMsgStateUpcalls = 0;
-    uint64_t rxResyncRequests = 0;
-    uint64_t rxResyncConfirmed = 0;
-    uint64_t plaintextBytesTx = 0;
-    uint64_t plaintextBytesRx = 0;
+    /** Owner-level aggregate every count also lands in; sockets come
+     *  and go per connection, the aggregate is what the registry
+     *  publishes (per-socket stats stay available via stats()). */
+    TlsStats *aggregate = nullptr;
 };
 
 /** How transmitted bytes are sourced (send vs sendfile variants). */
@@ -144,6 +154,15 @@ class TlsSocket : public tcp::StreamSocket, private core::L5pCallbacks
     // ---------------------------------------------- L5pCallbacks
     std::optional<TxMsgState> getTxMsgState(uint32_t tcpsn) override;
     void resyncRxReq(uint32_t tcpsn) override;
+
+    /** Counts into the socket stats and the configured aggregate. */
+    void
+    count(sim::Counter TlsStats::*m, uint64_t n = 1)
+    {
+        (stats_.*m) += n;
+        if (cfg_.aggregate != nullptr)
+            (cfg_.aggregate->*m) += n;
+    }
 
     tcp::TcpConnection &conn_;
     TlsConfig cfg_;

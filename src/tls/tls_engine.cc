@@ -59,6 +59,7 @@ TlsTxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
                 std::min<uint64_t>(ctEnd_ - pos, data.size() - i));
             // Encrypt plaintext in place.
             gcm_.encryptUpdate(data.subspan(i, n), data.subspan(i, n));
+            count(&nic::EngineStats::bytesTransformed, n);
             res.sawCryptoBytes = true;
             i += n;
         } else {
@@ -124,7 +125,16 @@ TlsRxEngine::installInner(
             }
         });
     innerPos_ = plaintextPos;
+    inner_->setStats(engineStats_);
     innerFsm_->reset(plaintextPos, innerMsgIdx);
+}
+
+void
+TlsRxEngine::setStats(nic::EngineStats *stats)
+{
+    TlsEngineBase::setStats(stats);
+    if (inner_)
+        inner_->setStats(stats);
 }
 
 void
@@ -249,6 +259,7 @@ TlsRxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
             } else {
                 gcm_.decryptUpdate(chunk, chunk);
             }
+            count(&nic::EngineStats::bytesTransformed, n);
             res.sawCryptoBytes = true;
             if (inner_) {
                 // Feed the decrypted plaintext to the inner layer.
@@ -285,8 +296,12 @@ TlsRxEngine::onMsgEnd(bool covered, nic::PacketResult &res)
         return;
     }
     ANIC_ASSERT(tagHave_ == kTagSize);
-    if (!gcm_.checkTag(ByteView(tagBuf_, kTagSize)))
+    if (!gcm_.checkTag(ByteView(tagBuf_, kTagSize))) {
         res.tagFailed = true;
+        count(&nic::EngineStats::tagFailures);
+    } else {
+        count(&nic::EngineStats::tagsVerified);
+    }
 }
 
 void

@@ -95,6 +95,9 @@ class TlsRxEngine : public TlsEngineBase
     /** SW->HW resync response for the inner layer. */
     void innerResyncResponse(uint64_t reqId, bool ok, uint64_t msgIdx);
 
+    /** Propagates the aggregate to the hosted inner engine too. */
+    void setStats(nic::EngineStats *stats) override;
+
     const nic::FsmStats *innerFsmStats() const;
 
     void onMsgStart(uint64_t msgIdx, ByteView hdr) override;

@@ -291,6 +291,76 @@ TEST(StreamFsm, HeaderReorderingTriggersSearchTrackConfirm)
     EXPECT_EQ(h.fsm.stats().resyncConfirmed, 1u);
 }
 
+TEST(StreamFsm, TraceRingRecordsLossResyncTransitions)
+{
+    // Acceptance: drive loss + resync and check the trace ring holds
+    // the searching -> tracking -> offloading walk with monotonic
+    // timestamps.
+    Harness h;
+    sim::TraceRing ring(64);
+    ring.enable();
+    sim::Tick clock = 0;
+    FsmHooks hooks;
+    hooks.now = [&clock] { return clock; };
+    hooks.trace = &ring;
+    hooks.traceId = 7;
+    hooks.name = "test.fsm";
+    h.fsm.setHooks(std::move(hooks));
+    h.fsm.reset(0, 0);
+
+    Bytes stream = buildStream(10, 250);
+    Bytes wire(stream.size());
+    for (int p = 0; p < 5; p++) {
+        clock += sim::kNanosecond;
+        EXPECT_TRUE(h.feed(stream, p * 100, 100, wire));
+    }
+    clock += sim::kNanosecond;
+    EXPECT_FALSE(h.feed(stream, 600, 100, wire)); // loss -> Searching
+    clock += sim::kNanosecond;
+    EXPECT_FALSE(h.feed(stream, 700, 100, wire)); // m3 hdr -> Tracking
+    ASSERT_EQ(h.resyncReqs.size(), 1u);
+    clock += sim::kNanosecond;
+    h.fsm.confirm(h.resyncReqs[0].first, true, 3); // -> Offloading
+    EXPECT_EQ(h.fsm.state(), FsmState::Offloading);
+
+    std::vector<sim::TraceEvent> ev = ring.events();
+    for (size_t i = 1; i < ev.size(); i++)
+        EXPECT_GE(ev[i].ts, ev[i - 1].ts); // oldest-first, monotonic
+
+    std::vector<sim::TraceEvent> trans;
+    bool sawRequest = false, sawConfirm = false;
+    for (const sim::TraceEvent &e : ev) {
+        if (e.kind == sim::TraceKind::FsmTransition)
+            trans.push_back(e);
+        sawRequest |= e.kind == sim::TraceKind::ResyncRequest;
+        sawConfirm |= e.kind == sim::TraceKind::ResyncConfirmed;
+    }
+    EXPECT_TRUE(sawRequest);
+    EXPECT_TRUE(sawConfirm);
+    ASSERT_GE(trans.size(), 3u);
+    auto from = [](const sim::TraceEvent &e) {
+        return static_cast<FsmState>(e.a);
+    };
+    auto to = [](const sim::TraceEvent &e) {
+        return static_cast<FsmState>(e.b);
+    };
+    const sim::TraceEvent &t0 = trans[trans.size() - 3];
+    const sim::TraceEvent &t1 = trans[trans.size() - 2];
+    const sim::TraceEvent &t2 = trans[trans.size() - 1];
+    EXPECT_EQ(from(t0), FsmState::Offloading);
+    EXPECT_EQ(to(t0), FsmState::Searching);
+    EXPECT_EQ(from(t1), FsmState::Searching);
+    EXPECT_EQ(to(t1), FsmState::Tracking);
+    EXPECT_EQ(from(t2), FsmState::Tracking);
+    EXPECT_EQ(to(t2), FsmState::Offloading);
+    EXPECT_LT(t0.ts, t1.ts);
+    EXPECT_LT(t1.ts, t2.ts);
+    for (const sim::TraceEvent &t : trans) {
+        EXPECT_EQ(t.id, 7u);
+        EXPECT_EQ(t.comp, "test.fsm");
+    }
+}
+
 TEST(StreamFsm, RefutedSpeculationKeepsSearching)
 {
     Harness h;

@@ -119,6 +119,67 @@ TEST(NicDevice, ContextCacheLruAndEviction)
     EXPECT_EQ(w.nicA.pcie().ctxWritebackBytes, w.nicA.config().ctxBytes);
 }
 
+TEST(NicDevice, RegistryMirrorsStatsUnderCacheChurn)
+{
+    // Fig 19 path: more flows than context-cache slots, so every
+    // touch in the round-robin misses, fetches over PCIe and evicts
+    // (with writeback) an older context. The registry view must stay
+    // bit-identical to the legacy NicStats/PcieStats structs.
+    sim::StatsRegistry reg;
+    Nic::Config cfg;
+    cfg.ctxCacheCapacity = 4;
+    cfg.name = "dut";
+    cfg.registry = &reg;
+    NicWorld w(cfg);
+
+    tls::DirectionKeys keys;
+    keys.key.assign(16, 1);
+    keys.staticIv.assign(12, 2);
+
+    constexpr int kFlows = 11; // > ctxCacheCapacity
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < kFlows; i++) {
+        ids.push_back(w.nicA.createTxContext(
+            std::make_unique<tls::TlsTxEngine>(keys), 0, 0));
+    }
+    std::vector<uint32_t> seq(kFlows, 0);
+    for (int round = 0; round < 3; round++) {
+        for (int i = 0; i < kFlows; i++) {
+            w.nicA.transmit(mkPkt(1, 2, seq[i], 1000, ids[i]));
+            seq[i] += 1000;
+        }
+    }
+    w.sim.run();
+
+    const NicStats &st = w.nicA.stats();
+    const PcieStats &pc = w.nicA.pcie();
+    EXPECT_GT(st.ctxCacheEvictions, 0u);
+    EXPECT_GT(pc.ctxWritebackBytes, 0u);
+
+    auto counter = [&](const char *leaf) {
+        const sim::Counter *c = reg.findCounter(std::string("dut.") + leaf);
+        EXPECT_NE(c, nullptr) << leaf;
+        return c ? c->value() : ~0ull;
+    };
+    EXPECT_EQ(counter("pktsTx"), st.pktsTx);
+    EXPECT_EQ(counter("ctxCacheHits"), st.ctxCacheHits);
+    EXPECT_EQ(counter("ctxCacheMisses"), st.ctxCacheMisses);
+    EXPECT_EQ(counter("ctxCacheEvictions"), st.ctxCacheEvictions);
+    EXPECT_EQ(counter("txOffloadedPkts"), st.txOffloadedPkts);
+    EXPECT_EQ(counter("pcie.ctxFetchBytes"), pc.ctxFetchBytes);
+    EXPECT_EQ(counter("pcie.ctxWritebackBytes"), pc.ctxWritebackBytes);
+    EXPECT_EQ(counter("pcie.txDataBytes"), pc.txDataBytes);
+
+    // LRU invariant under churn: every round-robin touch beyond the
+    // warm first four is a miss, and each miss evicts.
+    EXPECT_EQ(st.ctxCacheMisses,
+              st.ctxCacheEvictions + cfg.ctxCacheCapacity);
+    EXPECT_EQ(pc.ctxFetchBytes,
+              st.ctxCacheMisses * w.nicA.config().ctxBytes);
+    EXPECT_EQ(pc.ctxWritebackBytes,
+              st.ctxCacheEvictions * w.nicA.config().ctxBytes);
+}
+
 TEST(NicDevice, TxOffloadEncryptsThroughRingInOrder)
 {
     NicWorld w;

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Unit tests for the hierarchical stats registry, its typed
+ * instruments, and the trace ring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/registry.hh"
+#include "sim/stats.hh"
+#include "sim/trace.hh"
+
+namespace anic::sim {
+namespace {
+
+// ---------------------------------------------------------- Counter
+
+TEST(Counter, ActsLikeUint64)
+{
+    Counter c;
+    EXPECT_EQ(c, 0u);
+    c++;
+    ++c;
+    c += 40;
+    EXPECT_EQ(c, 42u);
+    uint64_t raw = c;
+    EXPECT_EQ(raw, 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, StructCopyAndDelta)
+{
+    struct S
+    {
+        Counter a, b;
+    };
+    S s0;
+    S s1 = s0;
+    s1.a += 10;
+    s1.b += 3;
+    EXPECT_EQ(s1.a - s0.a, 10u);
+    EXPECT_EQ(s1.b - s0.b, 3u);
+}
+
+// ------------------------------------------------------------ Gauge
+
+TEST(Gauge, SetAndArithmetic)
+{
+    Gauge g;
+    g.set(1.5);
+    g += 0.5;
+    EXPECT_DOUBLE_EQ(g, 2.0);
+    g -= 2.0;
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+// ----------------------------------------------------- Distribution
+
+TEST(Distribution, PercentileEdgeCases)
+{
+    Distribution d;
+    d.add(5.0);
+    // Single sample: every percentile is that sample.
+    EXPECT_DOUBLE_EQ(d.percentile(0), 5.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 5.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 5.0);
+
+    for (int i = 1; i <= 9; i++)
+        d.add(static_cast<double>(i * 10));
+    // p=0 -> min, p=100 -> max, out-of-range p clamps.
+    EXPECT_DOUBLE_EQ(d.percentile(0), 5.0);
+    EXPECT_DOUBLE_EQ(d.percentile(-3), 5.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 90.0);
+    EXPECT_DOUBLE_EQ(d.percentile(250), 90.0);
+    EXPECT_DOUBLE_EQ(d.min(), 5.0);
+    EXPECT_DOUBLE_EQ(d.max(), 90.0);
+}
+
+TEST(Distribution, TrimmedMeanDuplicatedExtremes)
+{
+    // Duplicated min and max: only ONE copy of each is dropped.
+    Distribution d;
+    for (double v : {1.0, 1.0, 2.0, 3.0, 9.0, 9.0})
+        d.add(v);
+    // drop one 1 and one 9 -> (1+2+3+9)/4
+    EXPECT_DOUBLE_EQ(d.trimmedMean(), (1.0 + 2.0 + 3.0 + 9.0) / 4.0);
+}
+
+TEST(Distribution, TrimmedMeanTinySets)
+{
+    Distribution d;
+    EXPECT_DOUBLE_EQ(d.trimmedMean(), 0.0); // empty -> mean of nothing
+    d.add(7.0);
+    EXPECT_DOUBLE_EQ(d.trimmedMean(), 7.0); // <=2 samples -> plain mean
+    d.add(9.0);
+    EXPECT_DOUBLE_EQ(d.trimmedMean(), 8.0);
+}
+
+// -------------------------------------------------------- RateMeter
+
+TEST(RateMeter, OpenWindowReadsZeroNotGarbage)
+{
+    // The old IntervalMeter computed endTick_(0) - startTick_ while
+    // the window was open, producing a huge unsigned underflow.
+    RateMeter m;
+    EXPECT_EQ(m.elapsed(), 0u); // never started
+    EXPECT_DOUBLE_EQ(m.perSecond(), 0.0);
+
+    m.start(5 * kMillisecond);
+    m.add(1000);
+    EXPECT_EQ(m.elapsed(), 0u); // open window: no underflow
+    EXPECT_DOUBLE_EQ(m.perSecond(), 0.0);
+    EXPECT_DOUBLE_EQ(m.gbps(), 0.0);
+    EXPECT_EQ(m.total(), 1000u);
+
+    m.stop(6 * kMillisecond);
+    EXPECT_EQ(m.elapsed(), 1 * kMillisecond);
+    EXPECT_DOUBLE_EQ(m.perSecond(), 1000.0 / 1e-3);
+}
+
+TEST(RateMeter, RestartReopensWindow)
+{
+    RateMeter m;
+    m.start(0);
+    m.add(10);
+    m.stop(kSecond);
+    EXPECT_DOUBLE_EQ(m.perSecond(), 10.0);
+    m.start(2 * kSecond);
+    EXPECT_EQ(m.elapsed(), 0u); // reopened: guarded again
+    EXPECT_EQ(m.total(), 0u);
+}
+
+// --------------------------------------------------------- Registry
+
+TEST(Registry, LinkAndFind)
+{
+    StatsRegistry reg;
+    Counter c;
+    Gauge g;
+    reg.link("a.ctr", c);
+    reg.link("a.g", g);
+    c += 7;
+    ASSERT_NE(reg.findCounter("a.ctr"), nullptr);
+    EXPECT_EQ(*reg.findCounter("a.ctr"), 7u);
+    EXPECT_EQ(reg.findCounter("a.g"), nullptr); // wrong type
+    EXPECT_NE(reg.findGauge("a.g"), nullptr);
+    EXPECT_EQ(reg.findCounter("nope"), nullptr);
+    EXPECT_TRUE(reg.contains("a.ctr"));
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Registry, OwnedGetOrCreate)
+{
+    StatsRegistry reg;
+    Counter &c1 = reg.counter("x.y");
+    c1 += 3;
+    Counter &c2 = reg.counter("x.y");
+    EXPECT_EQ(&c1, &c2); // same instrument
+    EXPECT_EQ(c2, 3u);
+    Distribution &d = reg.distribution("x.d");
+    d.add(1.0);
+    EXPECT_EQ(reg.findDistribution("x.d")->count(), 1u);
+}
+
+TEST(Registry, RemoveSubtreeIsSegmentAware)
+{
+    StatsRegistry reg;
+    Counter a, b, c;
+    reg.link("nic.pktsTx", a);
+    reg.link("nic.fsm.resyncs", b);
+    reg.link("nicolas", c); // shares the string prefix, not the path
+    reg.removeSubtree("nic");
+    EXPECT_FALSE(reg.contains("nic.pktsTx"));
+    EXPECT_FALSE(reg.contains("nic.fsm.resyncs"));
+    EXPECT_TRUE(reg.contains("nicolas"));
+}
+
+TEST(Registry, UniqueNameAndScopeLifecycle)
+{
+    StatsRegistry reg;
+    EXPECT_EQ(reg.uniqueName("nic"), "nic");
+    {
+        StatsScope s1(reg, reg.uniqueName("nic"));
+        EXPECT_EQ(s1.prefix(), "nic");
+        EXPECT_EQ(reg.uniqueName("nic"), "nic2");
+        StatsScope s2(reg, reg.uniqueName("nic"));
+        EXPECT_EQ(reg.uniqueName("nic"), "nic3");
+        Counter c;
+        s1.link("pkts", c);
+        EXPECT_TRUE(reg.contains("nic.pkts"));
+    }
+    // Both scopes died: links removed, names free again (stable
+    // naming across sequential bench worlds in one process).
+    EXPECT_FALSE(reg.contains("nic.pkts"));
+    EXPECT_EQ(reg.uniqueName("nic"), "nic");
+}
+
+TEST(Registry, DetachedScopeIsNoop)
+{
+    StatsScope s; // default: detached
+    Counter c;
+    s.link("x", c); // must not crash
+    EXPECT_FALSE(s.attached());
+    StatsScope child = s.child("y");
+    EXPECT_FALSE(child.attached());
+}
+
+TEST(Registry, ForEachVisitsInPathOrder)
+{
+    StatsRegistry reg;
+    Counter a, b;
+    reg.link("b.x", b);
+    reg.link("a.x", a);
+    std::vector<std::string> seen;
+    reg.forEach([&](const std::string &p, const InstrumentRef &) {
+        seen.push_back(p);
+    });
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], "a.x");
+    EXPECT_EQ(seen[1], "b.x");
+}
+
+// ------------------------------------------------------------- JSON
+
+TEST(RegistryJson, EmptyRegistryIsEmptyObject)
+{
+    StatsRegistry reg;
+    EXPECT_EQ(reg.jsonSnapshot(), "{}");
+}
+
+TEST(RegistryJson, NestedGroups)
+{
+    StatsRegistry reg;
+    Counter pkts(3);
+    Gauge util(0.5);
+    reg.link("nic.pktsTx", pkts);
+    reg.link("nic.fsm.resyncs", reg.counter("nic.fsm.resyncs"));
+    reg.counter("nic.fsm.resyncs") += 2;
+    reg.link("util", util);
+    std::string js = reg.jsonSnapshot();
+    EXPECT_EQ(js, "{\"nic\":{\"fsm\":{\"resyncs\":2},\"pktsTx\":3},"
+                  "\"util\":0.5}");
+}
+
+TEST(RegistryJson, ConsecutiveSiblingsAndGroupClose)
+{
+    // Regression for the one-pass emitter's comma placement: leaf
+    // following a closed group, and two leaves sharing a parent.
+    StatsRegistry reg;
+    Counter a(1), b(2), d(4);
+    reg.link("a.b", a);
+    reg.link("a.c", b);
+    reg.link("d", d);
+    EXPECT_EQ(reg.jsonSnapshot(), "{\"a\":{\"b\":1,\"c\":2},\"d\":4}");
+}
+
+TEST(RegistryJson, DistributionAndRateShapes)
+{
+    StatsRegistry reg;
+    Distribution &d = reg.distribution("lat");
+    EXPECT_NE(reg.jsonSnapshot().find("\"lat\":{\"count\":0}"),
+              std::string::npos);
+    d.add(1.0);
+    d.add(3.0);
+    std::string js = reg.jsonSnapshot();
+    EXPECT_NE(js.find("\"count\":2"), std::string::npos);
+    EXPECT_NE(js.find("\"mean\":2"), std::string::npos);
+
+    RateMeter &m = reg.rate("rate");
+    m.start(0);
+    m.add(8);
+    m.stop(kSecond);
+    js = reg.jsonSnapshot();
+    EXPECT_NE(js.find("\"total\":8"), std::string::npos);
+    EXPECT_NE(js.find("\"perSec\":8"), std::string::npos);
+}
+
+// -------------------------------------------------- deprecated aliases
+
+TEST(DeprecatedAliases, SampleStatAndIntervalMeterForward)
+{
+    // stats.hh forwards the old names onto the new instruments for
+    // one deprecation cycle.
+    SampleStat s;
+    s.add(2.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    IntervalMeter m;
+    m.start(0);
+    m.add(1);
+    EXPECT_EQ(m.elapsed(), 0u); // inherits the open-window guard
+}
+
+// -------------------------------------------------------- TraceRing
+
+TEST(TraceRing, DisabledRecordIsNoop)
+{
+    TraceRing ring;
+    ring.record(1, TraceKind::FsmTransition, "nic", 1, 0, 1);
+    EXPECT_EQ(ring.size(), 0u);
+}
+
+TEST(TraceRing, BoundedWithDropCount)
+{
+    TraceRing ring;
+    ring.setCapacity(4);
+    ring.enable();
+    for (uint64_t i = 0; i < 10; i++)
+        ring.record(i, TraceKind::Custom, "t", i, 0, 0);
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.dropped(), 6u);
+    std::vector<TraceEvent> ev = ring.events();
+    ASSERT_EQ(ev.size(), 4u);
+    // Oldest-first, holding the last 4 of 10.
+    EXPECT_EQ(ev.front().ts, 6u);
+    EXPECT_EQ(ev.back().ts, 9u);
+}
+
+TEST(TraceRing, EventsAreOrderedAfterWrap)
+{
+    TraceRing ring;
+    ring.setCapacity(3);
+    ring.enable();
+    for (uint64_t i = 0; i < 5; i++)
+        ring.record(i * 10, TraceKind::Custom, "t", i, 0, 0);
+    std::vector<TraceEvent> ev = ring.events();
+    for (size_t i = 1; i < ev.size(); i++)
+        EXPECT_LT(ev[i - 1].ts, ev[i].ts);
+}
+
+} // namespace
+} // namespace anic::sim

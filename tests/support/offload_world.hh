@@ -21,17 +21,19 @@ struct OffloadWorld
     explicit OffloadWorld(net::Link::Config linkCfg = {},
                           core::Node::Config cfgA = {},
                           core::Node::Config cfgB = {})
-        : link(sim, linkCfg), a(sim, withSeed(cfgA, 11)),
-          b(sim, withSeed(cfgB, 22))
+        : link(sim, linkCfg), a(sim, withSeed(cfgA, 11, "a")),
+          b(sim, withSeed(cfgB, 22, "b"))
     {
         a.attachPort(link, 0, kIpA);
         b.attachPort(link, 1, kIpB);
     }
 
     static core::Node::Config
-    withSeed(core::Node::Config c, uint64_t seed)
+    withSeed(core::Node::Config c, uint64_t seed, const char *name)
     {
         c.stackSeed = seed;
+        if (c.name.empty())
+            c.name = name;
         return c;
     }
 
