@@ -10,7 +10,7 @@
 #define ANIC_APP_FIO_HH
 
 #include "nvmetcp/host_queue.hh"
-#include "sim/stats.hh"
+#include "sim/registry.hh"
 #include "util/rand.hh"
 
 namespace anic::app {
@@ -46,7 +46,7 @@ class FioJob
     uint64_t windowCompletions() const { return windowCompletions_; }
     uint64_t failures() const { return failures_; }
     sim::Tick windowStart() const { return windowStart_; }
-    const sim::SampleStat &latencyUs() const { return latencyUs_; }
+    const sim::Distribution &latencyUs() const { return latencyUs_; }
 
   private:
     void
@@ -91,7 +91,7 @@ class FioJob
     uint64_t windowCompletions_ = 0;
     uint64_t failures_ = 0;
     sim::Tick windowStart_ = 0;
-    sim::SampleStat latencyUs_;
+    sim::Distribution latencyUs_;
 
   public:
     /** Drive content seed for verification (set by the harness). */

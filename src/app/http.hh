@@ -13,7 +13,7 @@
 #define ANIC_APP_HTTP_HH
 
 #include "app/storage_service.hh"
-#include "sim/stats.hh"
+#include "sim/registry.hh"
 #include "util/rand.hh"
 
 namespace anic::app {
@@ -92,7 +92,7 @@ struct HttpClientStats
     sim::Counter responses;
     sim::Counter bodyBytes;
     sim::Counter corruptions;
-    sim::SampleStat latencyUs; ///< per-request latency (measured window)
+    sim::Distribution latencyUs; ///< per-request latency (measured window)
 };
 
 class HttpClient
@@ -110,7 +110,7 @@ class HttpClient
     void measureStop();
 
     const HttpClientStats &stats() const { return stats_; }
-    const sim::IntervalMeter &bodyMeter() const { return meter_; }
+    const sim::RateMeter &bodyMeter() const { return meter_; }
     uint64_t windowResponses() const { return windowResponses_; }
     int connected() const { return connected_; }
 
@@ -148,7 +148,7 @@ class HttpClient
     int connected_ = 0;
 
     HttpClientStats stats_;
-    sim::IntervalMeter meter_;
+    sim::RateMeter meter_;
     sim::StatsScope scope_;  ///< "<node>.httpClient"
     tls::TlsStats tlsAgg_;   ///< across client TLS sockets
     bool measuring_ = false;

@@ -9,7 +9,7 @@
 #define ANIC_APP_IPERF_HH
 
 #include "core/node.hh"
-#include "sim/stats.hh"
+#include "sim/registry.hh"
 #include "tls/ktls.hh"
 
 namespace anic::app {
@@ -38,7 +38,7 @@ class IperfRun
     void measureStop();
 
     /** Application payload goodput over the window. */
-    const sim::IntervalMeter &meter() const { return meter_; }
+    const sim::RateMeter &meter() const { return meter_; }
 
     uint64_t bytesReceived() const { return bytesReceived_; }
     uint64_t corruptions() const { return corruptions_; }
@@ -73,7 +73,7 @@ class IperfRun
     int connected_ = 0;
     int acceptIdx_ = 0;
 
-    sim::IntervalMeter meter_;
+    sim::RateMeter meter_;
     sim::Counter bytesReceived_;
     sim::Counter corruptions_;
     sim::StatsScope scope_;   ///< "<receiver>.iperf"

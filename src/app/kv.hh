@@ -13,7 +13,7 @@
 #define ANIC_APP_KV_HH
 
 #include "app/storage_service.hh"
-#include "sim/stats.hh"
+#include "sim/registry.hh"
 #include "util/rand.hh"
 
 namespace anic::app {
@@ -86,7 +86,7 @@ struct KvClientStats
     sim::Counter responses;
     sim::Counter bodyBytes;
     sim::Counter corruptions;
-    sim::SampleStat latencyUs;
+    sim::Distribution latencyUs;
 };
 
 class KvClient
@@ -101,7 +101,7 @@ class KvClient
     void measureStop();
 
     const KvClientStats &stats() const { return stats_; }
-    const sim::IntervalMeter &meter() const { return meter_; }
+    const sim::RateMeter &meter() const { return meter_; }
     uint64_t windowResponses() const { return windowResponses_; }
 
   private:
@@ -131,7 +131,7 @@ class KvClient
     std::vector<std::unique_ptr<Conn>> conns_;
 
     KvClientStats stats_;
-    sim::IntervalMeter meter_;
+    sim::RateMeter meter_;
     sim::StatsScope scope_;  ///< "<node>.kvClient"
     tls::TlsStats tlsAgg_;   ///< across client TLS sockets
     bool measuring_ = false;

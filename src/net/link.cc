@@ -23,6 +23,21 @@ Link::transmit(int fromPort, PacketPtr pkt)
         delay += imp.reorderExtraDelay;
     }
 
+    if (imp.corruptRate > 0 && pkt->payloadSize() > 0 &&
+        rng_.chance(imp.corruptRate)) {
+        st.corrupted++;
+        // Corrupt a private copy: the sender retains the pristine bytes
+        // for retransmission, exactly like real wire corruption.
+        auto bad = std::make_shared<Packet>(*pkt);
+        bad->rx = RxOffloadMeta{};
+        ByteSpan pay = bad->payloadMut();
+        size_t len = pay.size();
+        size_t flips = 1 + rng_.below(3);
+        for (size_t i = 0; i < flips; i++)
+            pay[rng_.below(len)] ^= static_cast<uint8_t>(1 + rng_.below(255));
+        pkt = std::move(bad);
+    }
+
     deliver(to, pkt, delay);
 
     if (imp.duplicateRate > 0 && rng_.chance(imp.duplicateRate)) {

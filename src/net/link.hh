@@ -23,6 +23,12 @@ struct Impairments
     double lossRate = 0.0;      ///< probability a packet is dropped
     double reorderRate = 0.0;   ///< probability a packet is delayed extra
     double duplicateRate = 0.0; ///< probability a packet is duplicated
+    /** Probability a packet's TCP payload is bit-flipped in flight.
+     *  IP/TCP headers stay valid (the stack still delivers the bytes)
+     *  so corruption surfaces as L5 integrity failures: TLS auth-tag
+     *  mismatches and NVMe-TCP data-digest (CRC) mismatches. Packets
+     *  without payload are never corrupted. */
+    double corruptRate = 0.0;
     sim::Tick reorderExtraDelay = 20 * sim::kMicrosecond;
 };
 
@@ -34,6 +40,7 @@ struct LinkStats
     uint64_t dropped = 0;
     uint64_t reordered = 0;
     uint64_t duplicated = 0;
+    uint64_t corrupted = 0;
 };
 
 /**

@@ -119,6 +119,7 @@ Nic::installFsmHooks(FlowContext &ctx)
         hooks.dwellNs[i] = &fsmDwellNs_[i];
     hooks.trace = trace_;
     hooks.traceId = ctx.id();
+    hooks.probe = cfg_.fsmProbe;
     hooks.name = name_ + ".fsm";
     ctx.fsm().setHooks(std::move(hooks));
     ctx.engine().setStats(&engineAgg_);

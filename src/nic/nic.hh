@@ -136,6 +136,9 @@ class Nic
         /** Trace ring for evict/resync events and per-flow FSM
          *  transitions; null -> TraceRing::global(). */
         sim::TraceRing *trace = nullptr;
+        /** Optional invariant probe installed on every per-flow FSM
+         *  (fuzz harness / tests); null -> no probing. */
+        FsmProbe *fsmProbe = nullptr;
     };
 
     Nic(sim::Simulator &sim, net::Link &link, int port, Config cfg);

@@ -1,8 +1,48 @@
 #include "nic/stream_fsm.hh"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "util/panic.hh"
 
 namespace anic::nic {
+
+namespace {
+
+/**
+ * Mutation-testing hook: ANIC_FSM_BUG=<name> deliberately mis-wires
+ * one FSM decision so the fuzz harness can prove it detects real
+ * bugs (the "mutation smoke check"). Never set in production runs.
+ *
+ *  - confirm_off_by_one: adopt a confirmed speculation with the wrong
+ *    message index (crypto state one record ahead of the stream).
+ *  - skip_confirm: treat a software *refutation* as a confirmation —
+ *    i.e. the NIC stops honoring the resync handshake.
+ */
+enum class FsmBug
+{
+    None,
+    ConfirmOffByOne,
+    SkipConfirm,
+};
+
+FsmBug
+fsmBug()
+{
+    static const FsmBug bug = [] {
+        const char *e = std::getenv("ANIC_FSM_BUG");
+        if (e == nullptr)
+            return FsmBug::None;
+        if (std::strcmp(e, "confirm_off_by_one") == 0)
+            return FsmBug::ConfirmOffByOne;
+        if (std::strcmp(e, "skip_confirm") == 0)
+            return FsmBug::SkipConfirm;
+        return FsmBug::None;
+    }();
+    return bug;
+}
+
+} // namespace
 
 const char *
 fsmStateName(FsmState s)
@@ -38,6 +78,8 @@ StreamFsm::toState(FsmState next)
 {
     if (next == state_)
         return;
+    if (hooks_.probe != nullptr)
+        hooks_.probe->onTransition(hooks_.traceId, state_, next);
     if (hooks_.now) {
         sim::Tick now = hooks_.now();
         if (auto *d = hooks_.dwellNs[static_cast<int>(state_)])
@@ -93,7 +135,18 @@ StreamFsm::segment(uint64_t pos, ByteSpan data, PacketResult &res)
 {
     if (data.empty())
         return false;
+    FsmState pre = state_;
+    uint64_t preExpected = expected_;
+    bool processed = segmentImpl(pos, data, res);
+    if (hooks_.probe != nullptr)
+        hooks_.probe->onSegment(hooks_.traceId, pre, pos, preExpected,
+                                data.size(), processed);
+    return processed;
+}
 
+bool
+StreamFsm::segmentImpl(uint64_t pos, ByteSpan data, PacketResult &res)
+{
     switch (state_) {
       case FsmState::Offloading: {
         uint64_t end = pos + data.size();
@@ -349,9 +402,12 @@ StreamFsm::scanSpan(uint64_t pos, ByteView data, PacketResult &res)
         uint64_t cand = window_base + i;
         bump(&FsmStats::resyncRequests);
         pendingReqId_ = nextReqId_++;
+        pendingReqPos_ = cand;
         haveConfirm_ = false;
         toState(FsmState::Tracking);
         traceEvent(sim::TraceKind::ResyncRequest, cand);
+        if (hooks_.probe != nullptr)
+            hooks_.probe->onResyncRequest(hooks_.traceId, pendingReqId_, cand);
         trackMsgCount_ = 0;
         trackCurStart_ = cand;
         trackCurLen_ = info->wireLen;
@@ -444,7 +500,12 @@ StreamFsm::confirm(uint64_t reqId, bool ok, uint64_t msgIdx)
 {
     if (state_ != FsmState::Tracking || reqId != pendingReqId_)
         return; // stale response for an abandoned speculation
+    uint64_t reqPos = pendingReqPos_;
     pendingReqId_ = 0;
+    if (hooks_.probe != nullptr)
+        hooks_.probe->onResyncResolved(hooks_.traceId, reqId, ok, reqPos);
+    if (fsmBug() == FsmBug::SkipConfirm && !ok)
+        ok = true; // mutation: ignore software's refutation
     if (!ok) {
         bump(&FsmStats::resyncRefuted);
         traceEvent(sim::TraceKind::ResyncRefuted, trackCont_);
@@ -452,8 +513,12 @@ StreamFsm::confirm(uint64_t reqId, bool ok, uint64_t msgIdx)
         return;
     }
     bump(&FsmStats::resyncConfirmed);
-    traceEvent(sim::TraceKind::ResyncConfirmed, msgIdx);
+    // Operand b carries the speculated stream position so trace-level
+    // checkers can assert confirmations advance in sequence space.
+    traceEvent(sim::TraceKind::ResyncConfirmed, msgIdx, reqPos);
     confirmedMsgIdx_ = msgIdx;
+    if (fsmBug() == FsmBug::ConfirmOffByOne)
+        confirmedMsgIdx_ = msgIdx + 1; // mutation: wrong record index
     adoptTrackedPosition();
 }
 

@@ -66,6 +66,47 @@ struct FsmStats
 };
 
 /**
+ * Invariant probe: a harness-side observer of every FSM decision.
+ * Unlike the TraceRing (bounded, sampling-friendly), a probe sees
+ * every event synchronously and can assert invariants the paper's
+ * transparency argument rests on — e.g. a span is only ever processed
+ * in-sequence from the Offloading state, transition edges follow the
+ * documented diagram, and resync confirmations move forward in
+ * sequence space. All callbacks default to no-ops so checkers
+ * override only what they need.
+ */
+struct FsmProbe
+{
+    virtual ~FsmProbe() = default;
+    /** One segment() call: @p preState / @p preExpected are the state
+     *  and next-processable position on entry, @p processed the
+     *  return value (span fully consumed with transforms active). */
+    virtual void onSegment(uint64_t traceId, FsmState preState, uint64_t pos,
+                           uint64_t preExpected, size_t len, bool processed)
+    {
+        (void)traceId, (void)preState, (void)pos;
+        (void)preExpected, (void)len, (void)processed;
+    }
+    /** A state change (self-loops are never reported). */
+    virtual void onTransition(uint64_t traceId, FsmState from, FsmState to)
+    {
+        (void)traceId, (void)from, (void)to;
+    }
+    virtual void onResyncRequest(uint64_t traceId, uint64_t reqId,
+                                 uint64_t pos)
+    {
+        (void)traceId, (void)reqId, (void)pos;
+    }
+    /** Software's confirm/refute reached a live speculation; @p pos is
+     *  the originally speculated stream position. */
+    virtual void onResyncResolved(uint64_t traceId, uint64_t reqId, bool ok,
+                                  uint64_t pos)
+    {
+        (void)traceId, (void)reqId, (void)ok, (void)pos;
+    }
+};
+
+/**
  * Observability hooks the owner (the NIC, or a test) installs on a
  * StreamFsm. All members are optional; a default-constructed hooks
  * struct keeps the FSM silent. The NIC aggregates every per-flow FSM
@@ -81,8 +122,9 @@ struct FsmHooks
      *  the NIC out of Offloading. */
     sim::Distribution *dwellNs[kFsmStateCount] = {};
     sim::TraceRing *trace = nullptr;
-    uint64_t traceId = 0; ///< flow id stamped on trace events
-    std::string name;     ///< component path, e.g. "srv.nic0.fsm"
+    uint64_t traceId = 0;           ///< flow id stamped on trace events
+    FsmProbe *probe = nullptr;      ///< synchronous invariant observer
+    std::string name;               ///< component path, e.g. "srv.nic0.fsm"
 };
 
 class StreamFsm
@@ -136,6 +178,7 @@ class StreamFsm
     }
 
   private:
+    bool segmentImpl(uint64_t pos, ByteSpan data, PacketResult &res);
     bool processSpan(uint64_t pos, ByteSpan data, PacketResult &res,
                      bool allowResume = true);
     void feedScan(uint64_t pos, ByteView data, PacketResult &res);
@@ -186,6 +229,7 @@ class StreamFsm
     uint64_t trackCurLen_ = 0;
     Bytes trackCurHdr_;
     uint64_t pendingReqId_ = 0;
+    uint64_t pendingReqPos_ = 0; ///< speculated position of the live request
     uint64_t nextReqId_ = 1;
     bool confirmedOk_ = false;
     uint64_t confirmedMsgIdx_ = 0;

@@ -1,5 +1,7 @@
 #include "nvmetcp/host_queue.hh"
 
+#include <algorithm>
+
 #include "util/panic.hh"
 
 namespace anic::nvmetcp {
@@ -254,11 +256,41 @@ NvmeHostQueue::onReadable()
 {
     while (sock_.readable()) {
         tcp::RxSegment seg = sock_.pop();
+        if (dead_) {
+            (void)seg;
+            continue;
+        }
         assembler_.ingest(std::move(seg),
                           [this](RxPdu &&pdu) { onPdu(std::move(pdu)); });
-        ANIC_ASSERT(!assembler_.error(), "NVMe-TCP stream desync");
+        if (assembler_.error()) {
+            // PDU framing lost (corrupted common header). Mirror a
+            // real initiator's fatal-transport-error handling: fail
+            // every outstanding command and go quiescent, instead of
+            // asserting, so impairment fuzzing can corrupt streams.
+            dead_ = true;
+            failAllOutstanding();
+        }
     }
     checkPendingResync();
+}
+
+void
+NvmeHostQueue::failAllOutstanding()
+{
+    std::vector<uint16_t> cids;
+    cids.reserve(requests_.size());
+    for (const auto &[cid, req] : requests_)
+        cids.push_back(cid);
+    // Issue order, not hash order: completion callbacks can issue new
+    // commands, and the replay must be identical across processes.
+    std::sort(cids.begin(), cids.end());
+    for (uint16_t cid : cids) {
+        auto it = requests_.find(cid);
+        if (it == requests_.end())
+            continue;
+        it->second.failed = true;
+        completeRequest(cid, false);
+    }
 }
 
 void
@@ -267,6 +299,18 @@ NvmeHostQueue::onPdu(RxPdu &&pdu)
     host::Core &core = sock_.core();
     const host::CycleModel &m = core.model();
     core.charge(m.nvmePduCost);
+
+    if (wc_.headerDigest) {
+        core.charge(m.crcPerByte * pdu.ch.hlen);
+        if (!verifyHdgst(wc_, pdu.bytes, pdu.ch)) {
+            // Fatal transport error: the specific header (cid, data
+            // offset) cannot be trusted, so nothing in this PDU can
+            // be attributed to a command.
+            dead_ = true;
+            failAllOutstanding();
+            return;
+        }
+    }
 
     if (pdu.ch.type == kPduC2HData) {
         count(&NvmeHostStats::dataPdusRx);

@@ -91,6 +91,11 @@ class NvmeHostQueue : private core::L5pCallbacks
     size_t outstanding() const { return requests_.size(); }
     uint64_t outstandingBytes() const { return outstandingBytes_; }
 
+    /** True once PDU framing was lost (corrupted common header): all
+     *  outstanding commands were failed and the queue is quiescent —
+     *  the initiator-side analogue of a fatal transport error. */
+    bool desynced() const { return dead_; }
+
     /** FSM stats of the rx offload (outer or inner), if any. */
     const nic::FsmStats *rxFsmStats() const;
 
@@ -110,6 +115,7 @@ class NvmeHostQueue : private core::L5pCallbacks
     uint16_t allocCid();
     void enqueuePdu(Bytes pdu, bool trackForResync);
     void flushSendQueue();
+    void failAllOutstanding();
     void onReadable();
     void onPdu(RxPdu &&pdu);
     void completeRequest(uint16_t cid, bool ok);
@@ -154,6 +160,7 @@ class NvmeHostQueue : private core::L5pCallbacks
     size_t sendqOff_ = 0;
 
     PduAssembler assembler_;
+    bool dead_ = false;
     core::TxMsgTracker txMap_;
     uint64_t txMsgIdx_ = 0;
 

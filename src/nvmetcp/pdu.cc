@@ -86,6 +86,18 @@ fillHdgst(const WireConfig &wc, Bytes &pdu, uint8_t hlen)
 
 } // namespace
 
+bool
+verifyHdgst(const WireConfig &wc, ByteView pdu, const CommonHdr &ch)
+{
+    if (!wc.headerDigest)
+        return true;
+    if (pdu.size() < static_cast<size_t>(ch.hlen) + kDigestSize)
+        return false;
+    uint32_t wire =
+        static_cast<uint32_t>(getLe32(pdu.data() + ch.hlen));
+    return crypto::Crc32c::compute(ByteView(pdu.data(), ch.hlen)) == wire;
+}
+
 Bytes
 buildCmdCapsule(const WireConfig &wc, const CmdCapsule &cmd)
 {

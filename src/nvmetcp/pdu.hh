@@ -150,6 +150,16 @@ CmdCapsule parseCmdCapsule(ByteView pdu);
 RespCapsule parseRespCapsule(ByteView pdu);
 DataPduHdr parseDataPduHdr(ByteView pdu);
 
+/**
+ * Verifies the header digest of a full wire PDU (trivially true when
+ * HDGST is not negotiated). The common-header structure checks alone
+ * cannot protect the specific header — a flipped cid or dataOffset
+ * passes the data digest, so receivers must check this before
+ * trusting any header field. A mismatch is a fatal transport error
+ * (NVMe/TCP §7.4.7), like losing PDU framing.
+ */
+bool verifyHdgst(const WireConfig &wc, ByteView pdu, const CommonHdr &ch);
+
 /** Offload flags of one contiguous chunk of an assembled PDU. */
 struct PduSlice
 {

@@ -18,9 +18,19 @@ NvmeTarget::onReadable()
 {
     while (sock_.readable()) {
         tcp::RxSegment seg = sock_.pop();
+        if (dead_) {
+            (void)seg; // drain and discard; the session is over
+            continue;
+        }
         assembler_.ingest(std::move(seg),
                           [this](RxPdu &&pdu) { onPdu(std::move(pdu)); });
-        ANIC_ASSERT(!assembler_.error(), "target stream desync");
+        if (assembler_.error()) {
+            // A corrupted common header destroyed PDU framing; a real
+            // controller treats this as a fatal transport error and
+            // kills the connection. Stop serving instead of asserting
+            // so impairment fuzzing can exercise this path.
+            dead_ = true;
+        }
     }
 }
 
@@ -30,6 +40,17 @@ NvmeTarget::onPdu(RxPdu &&pdu)
     host::Core &core = sock_.core();
     const host::CycleModel &m = core.model();
     core.charge(m.nvmePduCost);
+
+    if (wc_.headerDigest) {
+        core.charge(m.crcPerByte * pdu.ch.hlen);
+        if (!verifyHdgst(wc_, pdu.bytes, pdu.ch)) {
+            // Fatal transport error: a corrupted specific header
+            // (cid, slba, data offset) must not reach the command
+            // table.
+            dead_ = true;
+            return;
+        }
+    }
 
     switch (pdu.ch.type) {
       case kPduCapsuleCmd: {

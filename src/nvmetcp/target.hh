@@ -35,6 +35,11 @@ class NvmeTarget
 
     const NvmeTargetStats &stats() const { return stats_; }
 
+    /** True once PDU framing was lost (corrupted common header): the
+     *  session stops serving — a real controller would reset the
+     *  connection (NVMe/TCP §7.4.7 fatal transport error). */
+    bool desynced() const { return dead_; }
+
   private:
     void onReadable();
     void onPdu(RxPdu &&pdu);
@@ -60,6 +65,7 @@ class NvmeTarget
     std::deque<Bytes> sendq_;
     size_t sendqOff_ = 0;
 
+    bool dead_ = false;
     NvmeTargetStats stats_;
 };
 

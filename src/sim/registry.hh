@@ -14,9 +14,8 @@
  *  - Counter       monotonically increasing uint64 (packets, bytes)
  *  - Gauge         instantaneous double (cycles, depths)
  *  - Distribution  scalar samples with moments/percentiles
- *                  (subsumes the old SampleStat)
  *  - RateMeter     value accumulated over an explicit measurement
- *                  window (subsumes the old IntervalMeter)
+ *                  window
  *
  * The registry renders one nested JSON object from the dotted paths;
  * bench_json.hh wraps that into the shared snapshot schema every
@@ -82,7 +81,6 @@ class Gauge
 /**
  * Collects scalar samples and reports mean / stddev / percentiles.
  * Keeps all samples; fine for the sample counts benches produce.
- * (Subsumes the old SampleStat, which remains as an alias.)
  */
 class Distribution
 {
@@ -134,8 +132,7 @@ class Distribution
 
 /**
  * Measures a rate (e.g. bytes delivered) over a measurement window so
- * warm-up traffic can be excluded. (Subsumes the old IntervalMeter,
- * which remains as an alias.)
+ * warm-up traffic can be excluded.
  */
 class RateMeter
 {
@@ -174,7 +171,7 @@ class RateMeter
     /**
      * Window length. Reading while the window is still open (or never
      * opened) returns 0 rather than the endTick_ - startTick_
-     * underflow the old IntervalMeter produced.
+     * underflow a naive endTick - startTick would produce.
      */
     Tick
     elapsed() const

@@ -230,6 +230,16 @@ TcpConnection::onPacket(const net::PacketPtr &pkt)
         break;
     }
 
+    // A SYN in a synchronized state is the peer retransmitting its
+    // SYN-ACK: our handshake ACK was lost. RFC 793 requires any such
+    // unacceptable segment to elicit an empty ACK — without it a
+    // connection that never sends data (so nothing else carries an
+    // ACK) leaves the peer stuck in SYN-RCVD forever.
+    if (h.flags & kTcpSyn) {
+        sendAck();
+        return;
+    }
+
     if (h.flags & kTcpAck)
         processAck(h);
     if (pkt->payloadSize() > 0 || (h.flags & kTcpFin))

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * fuzz_offload — deterministic differential fuzzer for the autonomous
+ * offload FSM.
+ *
+ *   fuzz_offload --seeds 200            # quick sweep (CI tier)
+ *   fuzz_offload --seed 1234567         # one specific seed
+ *   fuzz_offload --replay fail.scenario # reproduce a saved scenario
+ *   fuzz_offload --seeds 25 --expect-failure   # mutation smoke: with
+ *       ANIC_FSM_BUG set the sweep must find and minimize a failure
+ *
+ * On the first failing scenario the harness minimizes it, writes the
+ * replay file (fuzz-fail-<seed>.scenario, --out selects the
+ * directory), re-loads the file and verifies the reproduction, then
+ * exits non-zero. Every Nth seed (--determinism-every, default 16)
+ * the offload run is executed twice and the trace-ring hashes must
+ * match exactly — the same seed always yields the same simulation.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "testing/differential.hh"
+
+using namespace anic::testing;
+
+namespace {
+
+struct Options
+{
+    uint64_t seeds = 200;
+    uint64_t seedBase = 1;
+    bool haveSingleSeed = false;
+    uint64_t singleSeed = 0;
+    std::string replayFile;
+    std::string outDir = ".";
+    uint64_t determinismEvery = 16;
+    bool expectFailure = false;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--seeds N] [--seed-base B] [--seed S]\n"
+        "          [--replay FILE] [--out DIR] [--determinism-every K]\n"
+        "          [--expect-failure]\n",
+        argv0);
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; i++) {
+        std::string a = argv[i];
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (a == "--seeds") {
+            const char *v = need("--seeds");
+            if (v == nullptr)
+                return false;
+            opt.seeds = std::strtoull(v, nullptr, 10);
+        } else if (a == "--seed-base") {
+            const char *v = need("--seed-base");
+            if (v == nullptr)
+                return false;
+            opt.seedBase = std::strtoull(v, nullptr, 10);
+        } else if (a == "--seed") {
+            const char *v = need("--seed");
+            if (v == nullptr)
+                return false;
+            opt.haveSingleSeed = true;
+            opt.singleSeed = std::strtoull(v, nullptr, 10);
+        } else if (a == "--replay") {
+            const char *v = need("--replay");
+            if (v == nullptr)
+                return false;
+            opt.replayFile = v;
+        } else if (a == "--out") {
+            const char *v = need("--out");
+            if (v == nullptr)
+                return false;
+            opt.outDir = v;
+        } else if (a == "--determinism-every") {
+            const char *v = need("--determinism-every");
+            if (v == nullptr)
+                return false;
+            opt.determinismEvery = std::strtoull(v, nullptr, 10);
+        } else if (a == "--expect-failure") {
+            opt.expectFailure = true;
+        } else {
+            usage(argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+printErrors(const std::vector<std::string> &errs)
+{
+    for (const std::string &e : errs)
+        std::printf("  %s\n", e.c_str());
+}
+
+/** Minimizes, saves, and re-verifies one failing scenario.
+ *  Returns true if the written replay file reproduces the failure. */
+bool
+handleFailure(DifferentialRunner &runner, const Scenario &s,
+              const std::vector<std::string> &errs, const Options &opt)
+{
+    std::printf("FAIL seed %" PRIu64 " (%zu error%s):\n", s.seed,
+                errs.size(), errs.size() == 1 ? "" : "s");
+    printErrors(errs);
+
+    std::printf("minimizing...\n");
+    Scenario small = runner.minimize(s);
+    std::string path =
+        opt.outDir + "/fuzz-fail-" + std::to_string(s.seed) + ".scenario";
+    std::ofstream out(path);
+    out << small.toText();
+    out.close();
+    if (!out) {
+        std::printf("could not write replay file %s\n", path.c_str());
+        return false;
+    }
+    std::printf("replay written: %s\n", path.c_str());
+
+    // Close the loop: the file on disk must itself reproduce.
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::optional<Scenario> reloaded = Scenario::fromText(buf.str());
+    if (!reloaded) {
+        std::printf("replay file does not parse back\n");
+        return false;
+    }
+    std::vector<std::string> again = runner.check(*reloaded);
+    if (again.empty()) {
+        std::printf("replay file does NOT reproduce the failure\n");
+        return false;
+    }
+    std::printf("replay reproduces (%zu error%s):\n", again.size(),
+                again.size() == 1 ? "" : "s");
+    printErrors(again);
+    return true;
+}
+
+int
+replayMode(const Options &opt)
+{
+    std::ifstream in(opt.replayFile);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", opt.replayFile.c_str());
+        return 2;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::optional<Scenario> s = Scenario::fromText(buf.str());
+    if (!s) {
+        std::fprintf(stderr, "malformed scenario file %s\n",
+                     opt.replayFile.c_str());
+        return 2;
+    }
+    DifferentialRunner runner;
+    std::vector<std::string> errs = runner.check(*s);
+    if (errs.empty()) {
+        std::printf("replay seed %" PRIu64 ": PASS\n", s->seed);
+        return 0;
+    }
+    std::printf("replay seed %" PRIu64 ": FAIL (%zu error%s)\n", s->seed,
+                errs.size(), errs.size() == 1 ? "" : "s");
+    printErrors(errs);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    if (!parseArgs(argc, argv, opt))
+        return 2;
+    if (!opt.replayFile.empty())
+        return replayMode(opt);
+
+    ScenarioGen gen;
+    DifferentialRunner runner;
+    uint64_t first = opt.haveSingleSeed ? opt.singleSeed : opt.seedBase;
+    uint64_t count = opt.haveSingleSeed ? 1 : opt.seeds;
+    uint64_t checked = 0;
+    uint64_t determinismChecks = 0;
+
+    for (uint64_t i = 0; i < count; i++) {
+        uint64_t seed = first + i;
+        Scenario s = gen.generate(seed);
+
+        if (opt.determinismEvery != 0 && i % opt.determinismEvery == 0) {
+            uint64_t h1 = runner.runOne(s, true).traceHash;
+            uint64_t h2 = runner.runOne(s, true).traceHash;
+            determinismChecks++;
+            if (h1 != h2) {
+                std::printf("FAIL seed %" PRIu64
+                            ": nondeterministic trace "
+                            "(%016" PRIx64 " vs %016" PRIx64 ")\n",
+                            seed, h1, h2);
+                return 1;
+            }
+        }
+
+        std::vector<std::string> errs = runner.check(s);
+        checked++;
+        if (!errs.empty()) {
+            bool reproduced = handleFailure(runner, s, errs, opt);
+            if (opt.expectFailure && reproduced) {
+                std::printf("expected failure found after %" PRIu64
+                            " scenario%s\n",
+                            checked, checked == 1 ? "" : "s");
+                return 0;
+            }
+            return 1;
+        }
+        if ((i + 1) % 25 == 0)
+            std::fprintf(stderr, "... %" PRIu64 "/%" PRIu64 " ok\n",
+                         i + 1, count);
+    }
+
+    if (opt.expectFailure) {
+        std::printf("expected a failure but %" PRIu64
+                    " scenarios passed\n",
+                    checked);
+        return 1;
+    }
+    std::printf("{\"scenarios\": %" PRIu64 ", \"failures\": 0, "
+                "\"determinism_checks\": %" PRIu64 "}\n",
+                checked, determinismChecks);
+    return 0;
+}

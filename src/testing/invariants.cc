@@ -1,0 +1,157 @@
+#include "testing/invariants.hh"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace anic::testing {
+
+namespace {
+
+std::string
+fmt(const char *format, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, format);
+    std::vsnprintf(buf, sizeof buf, format, ap);
+    va_end(ap);
+    return buf;
+}
+
+} // namespace
+
+void
+FsmInvariantChecker::fail(std::string msg)
+{
+    // Bound memory: a broken FSM can violate on every packet.
+    if (violations_.size() < 64)
+        violations_.push_back(std::move(msg));
+}
+
+void
+FsmInvariantChecker::onSegment(uint64_t traceId, nic::FsmState preState,
+                               uint64_t pos, uint64_t preExpected, size_t len,
+                               bool processed)
+{
+    events_++;
+    (void)len;
+    if (!processed)
+        return;
+    if (preState != nic::FsmState::Offloading)
+        fail(fmt("flow %" PRIu64 ": span at pos %" PRIu64
+                 " processed while FSM was %s",
+                 traceId, pos, nic::fsmStateName(preState)));
+    if (pos != preExpected)
+        fail(fmt("flow %" PRIu64 ": out-of-sequence span processed "
+                 "(pos %" PRIu64 ", expected %" PRIu64 ")",
+                 traceId, pos, preExpected));
+}
+
+void
+FsmInvariantChecker::onTransition(uint64_t traceId, nic::FsmState from,
+                                  nic::FsmState to)
+{
+    events_++;
+    if (from == to) {
+        fail(fmt("flow %" PRIu64 ": self-loop transition reported (%s)",
+                 traceId, nic::fsmStateName(from)));
+        return;
+    }
+    // Legal edges (paper Fig. 7 plus the reset/arm edge): the only
+    // exit from Offloading is Searching, and Tracking is only entered
+    // from Searching.
+    bool legal = (from == nic::FsmState::Offloading &&
+                  to == nic::FsmState::Searching) ||
+                 (from == nic::FsmState::Searching) ||
+                 (from == nic::FsmState::Tracking);
+    if (!legal)
+        fail(fmt("flow %" PRIu64 ": illegal transition %s -> %s", traceId,
+                 nic::fsmStateName(from), nic::fsmStateName(to)));
+    // A transition out of Offloading abandons any live speculation
+    // bookkeeping; entering Searching clears the pending request.
+    if (to == nic::FsmState::Searching)
+        flows_[traceId].havePending = false;
+}
+
+void
+FsmInvariantChecker::onResyncRequest(uint64_t traceId, uint64_t reqId,
+                                     uint64_t pos)
+{
+    events_++;
+    FlowState &f = flows_[traceId];
+    if (reqId <= f.lastReqId)
+        fail(fmt("flow %" PRIu64 ": resync request ids not increasing "
+                 "(%" PRIu64 " after %" PRIu64 ")",
+                 traceId, reqId, f.lastReqId));
+    f.lastReqId = reqId;
+    f.pendingReqId = reqId;
+    f.pendingReqPos = pos;
+    f.havePending = true;
+}
+
+void
+FsmInvariantChecker::onResyncResolved(uint64_t traceId, uint64_t reqId,
+                                      bool ok, uint64_t pos)
+{
+    events_++;
+    FlowState &f = flows_[traceId];
+    if (!f.havePending || reqId != f.pendingReqId || pos != f.pendingReqPos) {
+        fail(fmt("flow %" PRIu64 ": resolution for req %" PRIu64
+                 " at pos %" PRIu64 " does not match the live speculation",
+                 traceId, reqId, pos));
+        return;
+    }
+    f.havePending = false;
+    if (ok) {
+        if (f.haveConfirmed && pos <= f.lastConfirmedPos)
+            fail(fmt("flow %" PRIu64 ": resync confirmation moved backwards "
+                     "in sequence space (%" PRIu64 " after %" PRIu64 ")",
+                     traceId, pos, f.lastConfirmedPos));
+        f.lastConfirmedPos = pos;
+        f.haveConfirmed = true;
+    }
+}
+
+std::vector<std::string>
+checkTraceRing(const sim::TraceRing &ring)
+{
+    std::vector<std::string> out;
+    std::vector<sim::TraceEvent> evs = ring.events();
+    for (size_t i = 1; i < evs.size(); i++) {
+        if (evs[i].ts < evs[i - 1].ts) {
+            out.push_back(fmt("trace ring timestamps not monotonic at "
+                              "event %zu (%" PRIu64 " after %" PRIu64 ")",
+                              i, evs[i].ts, evs[i - 1].ts));
+            break; // one report is enough
+        }
+    }
+    return out;
+}
+
+uint64_t
+traceHash(const sim::TraceRing &ring)
+{
+    constexpr uint64_t kPrime = 0x100000001b3ull;
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&](uint64_t v) {
+        for (int i = 0; i < 8; i++) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= kPrime;
+        }
+    };
+    for (const sim::TraceEvent &ev : ring.events()) {
+        mix(ev.ts);
+        mix(static_cast<uint64_t>(ev.kind));
+        mix(ev.id);
+        mix(ev.a);
+        mix(ev.b);
+        for (char c : ev.comp) {
+            h ^= static_cast<uint8_t>(c);
+            h *= kPrime;
+        }
+    }
+    return h;
+}
+
+} // namespace anic::testing

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * FSM invariant checking for the fuzz harness. FsmInvariantChecker
+ * implements nic::FsmProbe and validates, synchronously and for every
+ * per-flow FSM in a run, the properties the paper's transparency
+ * argument rests on:
+ *
+ *  - a span is only ever processed (transforms applied) when the FSM
+ *    is Offloading and the span starts exactly at the expected
+ *    position — out-of-sequence data is never offloaded;
+ *  - state transitions follow the documented diagram (the only exit
+ *    from Offloading is Searching; Tracking is only entered from
+ *    Searching);
+ *  - resync request ids increase monotonically per flow, responses
+ *    match an outstanding request, and *confirmed* speculations move
+ *    strictly forward in sequence space;
+ *
+ * plus post-run trace-ring validation (timestamps monotonic) and a
+ * stable FNV-1a hash over the trace used for determinism checks.
+ */
+
+#ifndef ANIC_TESTING_INVARIANTS_HH
+#define ANIC_TESTING_INVARIANTS_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nic/stream_fsm.hh"
+#include "sim/trace.hh"
+
+namespace anic::testing {
+
+class FsmInvariantChecker : public nic::FsmProbe
+{
+  public:
+    void onSegment(uint64_t traceId, nic::FsmState preState, uint64_t pos,
+                   uint64_t preExpected, size_t len, bool processed) override;
+    void onTransition(uint64_t traceId, nic::FsmState from,
+                      nic::FsmState to) override;
+    void onResyncRequest(uint64_t traceId, uint64_t reqId,
+                         uint64_t pos) override;
+    void onResyncResolved(uint64_t traceId, uint64_t reqId, bool ok,
+                          uint64_t pos) override;
+
+    const std::vector<std::string> &violations() const { return violations_; }
+    uint64_t eventsSeen() const { return events_; }
+
+  private:
+    void fail(std::string msg);
+
+    struct FlowState
+    {
+        uint64_t lastReqId = 0;
+        uint64_t pendingReqId = 0;
+        uint64_t pendingReqPos = 0;
+        bool havePending = false;
+        uint64_t lastConfirmedPos = 0;
+        bool haveConfirmed = false;
+    };
+
+    std::unordered_map<uint64_t, FlowState> flows_;
+    std::vector<std::string> violations_;
+    uint64_t events_ = 0;
+};
+
+/** Validates the trace ring (timestamps oldest-first, non-decreasing);
+ *  returns human-readable violations, empty when clean. */
+std::vector<std::string> checkTraceRing(const sim::TraceRing &ring);
+
+/** Stable FNV-1a hash over all trace events (ts, kind, id, operands,
+ *  component name) — the run fingerprint for determinism checks. */
+uint64_t traceHash(const sim::TraceRing &ring);
+
+} // namespace anic::testing
+
+#endif // ANIC_TESTING_INVARIANTS_HH

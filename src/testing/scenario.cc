@@ -1,0 +1,236 @@
+#include "testing/scenario.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace anic::testing {
+
+bool
+Scenario::hasCorruption() const
+{
+    for (const PhaseSpec &p : phases)
+        if (p.dir[0].corruptRate > 0 || p.dir[1].corruptRate > 0)
+            return true;
+    return false;
+}
+
+namespace {
+
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+void
+appendU64(std::string &out, uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+    out += buf;
+}
+
+} // namespace
+
+std::string
+Scenario::toText() const
+{
+    std::string out = "anic-scenario v1\n";
+    out += "seed ";
+    appendU64(out, seed);
+    out += "\nwire_seed ";
+    appendU64(out, wireSeed);
+    out += "\nctx_cache ";
+    appendU64(out, ctxCacheCapacity);
+    out += "\ntime_limit_ps ";
+    appendU64(out, timeLimit);
+    out += "\n";
+    for (const PhaseSpec &p : phases) {
+        out += "phase ";
+        appendU64(out, p.duration);
+        for (int d = 0; d < 2; d++) {
+            const net::Impairments &im = p.dir[d];
+            out += " ";
+            appendDouble(out, im.lossRate);
+            out += " ";
+            appendDouble(out, im.reorderRate);
+            out += " ";
+            appendDouble(out, im.duplicateRate);
+            out += " ";
+            appendDouble(out, im.corruptRate);
+            out += " ";
+            appendU64(out, im.reorderExtraDelay);
+        }
+        out += "\n";
+    }
+    for (const TlsFlowSpec &f : tls) {
+        out += "tls ";
+        appendU64(out, f.secret);
+        out += " ";
+        appendU64(out, f.seed);
+        out += " ";
+        appendU64(out, f.bytes);
+        out += " ";
+        appendU64(out, f.recordSize);
+        out += " ";
+        appendU64(out, f.rotateEvery);
+        out += " ";
+        appendU64(out, f.reverse ? 1 : 0);
+        out += " ";
+        appendU64(out, f.startAt);
+        out += "\n";
+    }
+    if (nvme.enabled) {
+        out += "nvme ";
+        appendU64(out, nvme.ops);
+        out += " ";
+        appendU64(out, nvme.maxLen);
+        out += " ";
+        appendU64(out, nvme.qdepth);
+        out += " ";
+        appendDouble(out, nvme.writeRatio);
+        out += " ";
+        appendU64(out, nvme.startAt);
+        out += "\n";
+    }
+    out += "end\n";
+    return out;
+}
+
+std::optional<Scenario>
+Scenario::fromText(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != "anic-scenario v1")
+        return std::nullopt;
+
+    Scenario s;
+    s.phases.clear();
+    bool sawEnd = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "end") {
+            sawEnd = true;
+            break;
+        } else if (key == "seed") {
+            ls >> s.seed;
+        } else if (key == "wire_seed") {
+            ls >> s.wireSeed;
+        } else if (key == "ctx_cache") {
+            ls >> s.ctxCacheCapacity;
+        } else if (key == "time_limit_ps") {
+            ls >> s.timeLimit;
+        } else if (key == "phase") {
+            PhaseSpec p;
+            ls >> p.duration;
+            for (int d = 0; d < 2; d++) {
+                net::Impairments &im = p.dir[d];
+                ls >> im.lossRate >> im.reorderRate >> im.duplicateRate >>
+                    im.corruptRate >> im.reorderExtraDelay;
+            }
+            if (ls.fail())
+                return std::nullopt;
+            s.phases.push_back(p);
+        } else if (key == "tls") {
+            TlsFlowSpec f;
+            uint64_t rev = 0;
+            ls >> f.secret >> f.seed >> f.bytes >> f.recordSize >>
+                f.rotateEvery >> rev >> f.startAt;
+            if (ls.fail())
+                return std::nullopt;
+            f.reverse = rev != 0;
+            s.tls.push_back(f);
+        } else if (key == "nvme") {
+            s.nvme.enabled = true;
+            ls >> s.nvme.ops >> s.nvme.maxLen >> s.nvme.qdepth >>
+                s.nvme.writeRatio >> s.nvme.startAt;
+            if (ls.fail())
+                return std::nullopt;
+        } else {
+            return std::nullopt; // unknown directive
+        }
+        if (ls.fail())
+            return std::nullopt;
+    }
+    if (!sawEnd)
+        return std::nullopt;
+    return s;
+}
+
+// ------------------------------------------------------------ generator
+
+Scenario
+ScenarioGen::generate(uint64_t seed) const
+{
+    // Decorrelate from callers that use small sequential seeds.
+    Rng r(seed * 0x9e3779b97f4a7c15ull + 0x6a09e667f3bcc909ull);
+
+    Scenario s;
+    s.seed = seed;
+    s.wireSeed = r.next() | 1;
+    s.timeLimit = 4 * sim::kSecond;
+
+    // Corruption makes the oracle weaker (flows may legitimately
+    // stall), so keep a solid majority of scenarios corruption-free.
+    bool allowCorrupt = r.chance(0.35);
+
+    int nPhases = static_cast<int>(r.range(1, 4));
+    for (int i = 0; i < nPhases; i++) {
+        PhaseSpec p;
+        p.duration = r.range(2, 12) * sim::kMillisecond;
+        for (int d = 0; d < 2; d++) {
+            net::Impairments &im = p.dir[d];
+            if (r.chance(0.7))
+                im.lossRate = r.uniform() * 0.06;
+            if (r.chance(0.5))
+                im.reorderRate = r.uniform() * 0.12;
+            if (r.chance(0.35))
+                im.duplicateRate = r.uniform() * 0.04;
+            if (allowCorrupt && r.chance(0.5))
+                im.corruptRate = r.uniform() * 0.02;
+            im.reorderExtraDelay = r.range(5, 80) * sim::kMicrosecond;
+        }
+        s.phases.push_back(p);
+    }
+
+    // Context-cache pressure: a third of scenarios squeeze the cache
+    // below the live context count (each flow uses up to two contexts
+    // per node) to exercise evict/fetch churn.
+    s.ctxCacheCapacity = r.chance(0.35) ? r.range(1, 6) : 20000;
+
+    int nTls = static_cast<int>(r.range(1, 3));
+    for (int i = 0; i < nTls; i++) {
+        TlsFlowSpec f;
+        f.secret = r.next() | 1;
+        f.seed = r.next() | 1;
+        f.bytes = r.range(16, 128) * 1024;
+        f.recordSize = r.range(512, 16384);
+        if (r.chance(0.35))
+            f.rotateEvery = r.range(8, 48) * 1024;
+        f.reverse = r.chance(0.25);
+        f.startAt = r.range(0, 4) * sim::kMillisecond;
+        s.tls.push_back(f);
+    }
+
+    if (r.chance(0.5)) {
+        s.nvme.enabled = true;
+        s.nvme.ops = static_cast<uint32_t>(r.range(2, 8));
+        s.nvme.maxLen = static_cast<uint32_t>(r.range(4096, 65536));
+        s.nvme.qdepth = static_cast<uint32_t>(r.range(1, 4));
+        s.nvme.writeRatio = r.chance(0.5) ? 0.25 : 0.0;
+        s.nvme.startAt = r.range(0, 4) * sim::kMillisecond;
+    }
+
+    return s;
+}
+
+} // namespace anic::testing

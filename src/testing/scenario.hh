@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Fuzz scenarios: a declarative, fully-seeded description of one
+ * differential experiment — a time-varying impairment schedule on
+ * both link directions, NIC context-cache pressure, a set of TLS
+ * flows (with optional mid-stream key rotation and either data
+ * direction), and an optional NVMe-TCP workload.
+ *
+ * Scenarios are pure data: ScenarioGen derives one deterministically
+ * from a 64-bit seed (no wall clock, no global state), and the text
+ * form round-trips losslessly so a failing scenario can be saved as a
+ * replay file and reproduced tick-identically by
+ * `fuzz_offload --replay <file>`.
+ */
+
+#ifndef ANIC_TESTING_SCENARIO_HH
+#define ANIC_TESTING_SCENARIO_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/link.hh"
+#include "sim/simulator.hh"
+#include "util/rand.hh"
+
+namespace anic::testing {
+
+/** One interval of the impairment schedule. */
+struct PhaseSpec
+{
+    sim::Tick duration = 10 * sim::kMillisecond;
+    net::Impairments dir[2]; // [0]: a->b, [1]: b->a
+};
+
+/** One TLS connection's workload. */
+struct TlsFlowSpec
+{
+    uint64_t secret = 1;    ///< base key-derivation secret
+    uint64_t seed = 1;      ///< plaintext content seed
+    uint64_t bytes = 65536; ///< total plaintext to move
+    size_t recordSize = 4096;
+    /** Rotate to a fresh key (socket swap on the live connection)
+     *  every this many plaintext bytes; 0 = never. */
+    uint64_t rotateEvery = 0;
+    bool reverse = false; ///< data flows server(b) -> client(a)
+    sim::Tick startAt = 0;
+};
+
+/** The NVMe-TCP workload (target on node a, host queue on node b). */
+struct NvmeFlowSpec
+{
+    bool enabled = false;
+    uint32_t ops = 0;         ///< total commands to issue
+    uint32_t maxLen = 65536;  ///< per-command byte length cap
+    uint32_t qdepth = 4;      ///< issue window
+    double writeRatio = 0.25; ///< fraction of commands that are writes
+    sim::Tick startAt = 0;
+};
+
+struct Scenario
+{
+    uint64_t seed = 1;     ///< generator seed (labels the scenario)
+    uint64_t wireSeed = 1; ///< link impairment RNG seed
+    size_t ctxCacheCapacity = 20000;
+    sim::Tick timeLimit = 4 * sim::kSecond;
+    std::vector<PhaseSpec> phases; ///< after the last phase: clean link
+    std::vector<TlsFlowSpec> tls;
+    NvmeFlowSpec nvme;
+
+    /** True if any phase can flip payload bytes. Corrupting scenarios
+     *  get the weaker oracle: delivered bytes must still be correct,
+     *  but completion is not guaranteed (authentication failures
+     *  legitimately stall a flow). */
+    bool hasCorruption() const;
+
+    /** Losslessly serializes to the replay-file text form. */
+    std::string toText() const;
+
+    /** Parses toText() output; nullopt on malformed input. */
+    static std::optional<Scenario> fromText(const std::string &text);
+};
+
+/**
+ * Derives scenarios from seeds. The distributions are chosen so quick
+ * mode (a few hundred seeds) still hits the interesting regimes:
+ * about half the scenarios are corruption-free (eligible for the
+ * strict differential oracle), most carry loss/reorder on the data
+ * path, a third rotate keys mid-stream, and a third squeeze the NIC
+ * context cache below the live flow count.
+ */
+class ScenarioGen
+{
+  public:
+    Scenario generate(uint64_t seed) const;
+};
+
+} // namespace anic::testing
+
+#endif // ANIC_TESTING_SCENARIO_HH

@@ -1,0 +1,69 @@
+#include "testing/traffic.hh"
+
+#include <cstring>
+#include <memory>
+
+#include "crypto/gcm.hh"
+
+namespace anic::testing {
+
+net::Impairments
+randomImpairments(Rng &rng, const ImpairmentCaps &caps)
+{
+    net::Impairments im;
+    im.lossRate = rng.uniform() * caps.loss;
+    im.reorderRate = rng.uniform() * caps.reorder;
+    im.duplicateRate = rng.uniform() * caps.duplicate;
+    im.corruptRate = caps.corrupt > 0 ? rng.uniform() * caps.corrupt : 0.0;
+    return im;
+}
+
+Bytes
+buildTlsRecordStream(const tls::DirectionKeys &keys, Rng &rng, int count,
+                     uint64_t plainSeed, std::vector<RecordInfo> &records,
+                     size_t minPlain, size_t maxPlain)
+{
+    crypto::AesGcm gcm(keys.key);
+    Bytes stream;
+    records.clear();
+    records.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; i++) {
+        size_t plen = rng.range(minPlain, maxPlain);
+        tls::RecordHeader h;
+        h.length = static_cast<uint16_t>(plen + tls::kTagSize);
+        size_t base = stream.size();
+        records.push_back(RecordInfo{base, plen});
+        stream.resize(base + h.wireLen());
+        h.encode(stream.data() + base);
+        Bytes pt(plen);
+        fillDeterministic(pt, plainSeed, 0);
+        auto nonce = tls::recordNonce(keys.staticIv, i);
+        Bytes sealed = gcm.seal(
+            nonce, ByteView(stream.data() + base, tls::kHeaderSize), pt);
+        std::memcpy(stream.data() + base + tls::kHeaderSize, sealed.data(),
+                    sealed.size());
+    }
+    return stream;
+}
+
+std::function<void()>
+deterministicPump(std::function<size_t(ByteView)> send, uint64_t seed,
+                  uint64_t total, uint64_t &sent, size_t chunk)
+{
+    auto st = std::make_shared<std::function<size_t(ByteView)>>(
+        std::move(send));
+    return [st, seed, total, &sent, chunk] {
+        while (sent < total) {
+            size_t n = static_cast<size_t>(
+                std::min<uint64_t>(total - sent, chunk));
+            Bytes b(n);
+            fillDeterministic(b, seed, sent);
+            size_t acc = (*st)(b);
+            sent += acc;
+            if (acc < n)
+                break;
+        }
+    };
+}
+
+} // namespace anic::testing

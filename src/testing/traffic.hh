@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Shared seeded traffic-generation helpers used by both the property
+ * tests (tests/property_test.cpp via tests/support/scenario.hh) and
+ * the fuzz harness. Everything here is a pure function of its Rng /
+ * seed arguments so callers stay exactly reproducible.
+ */
+
+#ifndef ANIC_TESTING_TRAFFIC_HH
+#define ANIC_TESTING_TRAFFIC_HH
+
+#include <functional>
+
+#include "net/link.hh"
+#include "tcp/socket.hh"
+#include "tls/record.hh"
+#include "util/bytes.hh"
+#include "util/rand.hh"
+
+namespace anic::testing {
+
+/** Bounds for randomImpairments(); defaults mirror the ranges the
+ *  property suites historically swept. */
+struct ImpairmentCaps
+{
+    double loss = 0.05;
+    double reorder = 0.05;
+    double duplicate = 0.02;
+    double corrupt = 0.0;
+};
+
+/** One direction's impairments drawn uniformly below the caps. */
+net::Impairments randomImpairments(Rng &rng, const ImpairmentCaps &caps = {});
+
+/** One record of a buildTlsRecordStream() stream. */
+struct RecordInfo
+{
+    uint64_t start = 0;   ///< stream offset of the record header
+    size_t plainLen = 0;  ///< plaintext bytes in the record
+};
+
+/**
+ * Builds a contiguous ciphertext stream of @p count AES-GCM records
+ * with random plaintext sizes in [minPlain, maxPlain]. Record i is
+ * sealed with recordNonce(keys.staticIv, i); plaintext is
+ * fillDeterministic(@p plainSeed, 0) per record (each record's
+ * expected plaintext is recomputable from its RecordInfo alone).
+ */
+Bytes buildTlsRecordStream(const tls::DirectionKeys &keys, Rng &rng,
+                           int count, uint64_t plainSeed,
+                           std::vector<RecordInfo> &records,
+                           size_t minPlain = 64, size_t maxPlain = 16384);
+
+/**
+ * Returns a pump closure that streams fillDeterministic(@p seed)
+ * bytes through @p send until @p total bytes were accepted,
+ * advancing @p sent (caller-owned so completion is observable).
+ * Install it as the socket's writable callback and call it once to
+ * start.
+ */
+std::function<void()> deterministicPump(std::function<size_t(ByteView)> send,
+                                        uint64_t seed, uint64_t total,
+                                        uint64_t &sent, size_t chunk = 65536);
+
+/**
+ * Receiver-side ledger: feed every popped RxSegment; verifies the
+ * bytes against fillDeterministic(seed, streamOff) and accumulates
+ * the delivered count.
+ */
+struct DeliveryChecker
+{
+    uint64_t seed = 0;
+    uint64_t received = 0;
+    bool corrupt = false;
+
+    void
+    onSegment(const tcp::RxSegment &seg)
+    {
+        if (!checkDeterministic(seg.data, seed, seg.streamOff))
+            corrupt = true;
+        received += seg.data.size();
+    }
+};
+
+} // namespace anic::testing
+
+#endif // ANIC_TESTING_TRAFFIC_HH

@@ -139,6 +139,12 @@ class TlsSocket : public tcp::StreamSocket, private core::L5pCallbacks
     /** Index the next received record will get. */
     uint64_t nextRxRecordSeq() const { return rxRecSeq_; }
 
+    /** Framed record bytes TCP has not yet accepted. Zero together
+     *  with an all-acked connection means no in-flight record depends
+     *  on this socket's keys or NIC contexts — the safe point for a
+     *  key-rotation style socket swap. */
+    size_t txBacklog() const { return staging_.size() - stagingOff_; }
+
   private:
     // ------------------------------------------------------- tx
     bool emitRecord(ByteView plaintext, TxMode mode);

@@ -185,6 +185,40 @@ TEST(Link, DuplicationCreatesIndependentCopies)
     EXPECT_TRUE(got[1]->rx.placed.empty());
 }
 
+TEST(Link, CorruptionFlipsPayloadLeavesHeadersValid)
+{
+    sim::Simulator sim;
+    Link::Config cfg;
+    cfg.dir[0].corruptRate = 1.0; // every payload-carrying packet corrupted
+    cfg.seed = 8;
+    Link link(sim, cfg);
+    std::vector<PacketPtr> got;
+    link.attach(1, [&](PacketPtr p) { got.push_back(std::move(p)); });
+    Ipv4Header ip;
+    ip.src = makeIp(1, 0, 0, 1);
+    ip.dst = makeIp(1, 0, 0, 2);
+    TcpHeader tcp;
+    tcp.srcPort = 1000;
+    tcp.dstPort = 2000;
+    tcp.seq = 12345;
+    Bytes payload(64, 0xab);
+    auto pkt = std::make_shared<Packet>(Packet::make(ip, tcp, payload));
+    link.transmit(0, pkt);
+    // A pure-ACK packet must never be corrupted (nothing to flip).
+    link.transmit(0, std::make_shared<Packet>(Packet::make(ip, tcp, {})));
+    sim.run();
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(link.stats(0).corrupted, 1u);
+    // Headers survive intact, so the stack still delivers the segment.
+    EXPECT_EQ(got[0]->tcp().seq, 12345u);
+    EXPECT_EQ(got[0]->ip().src, ip.src);
+    // Payload differs in at least one byte...
+    EXPECT_FALSE(std::equal(payload.begin(), payload.end(),
+                            got[0]->payload().begin()));
+    // ...and the sender's copy is untouched (retransmits stay pristine).
+    EXPECT_EQ(pkt->payload()[0], 0xab);
+}
+
 TEST(Link, ImpairmentsAreDirectional)
 {
     sim::Simulator sim;

@@ -20,6 +20,7 @@
 
 #include "nic/stream_fsm.hh"
 #include "support/offload_world.hh"
+#include "support/scenario.hh"
 #include "tls/ktls.hh"
 #include "tls/tls_engine.hh"
 
@@ -41,30 +42,15 @@ TEST_P(FsmTorture, ProcessedBytesAlwaysDecryptCorrectly)
     keys.key.assign(16, 0x11);
     keys.staticIv.assign(12, 0x22);
 
-    // Build a ciphertext stream of records with random sizes.
-    crypto::AesGcm gcm(keys.key);
-    Bytes stream;
-    std::map<uint64_t, uint64_t> recStartToIdx;
-    std::vector<uint64_t> recStarts;
-    std::vector<size_t> recPlain;
+    // Build a ciphertext stream of records with random sizes (shared
+    // generator, tests/support/scenario.hh).
     const int kRecords = 200;
-    for (int i = 0; i < kRecords; i++) {
-        size_t plen = rng.range(64, 16384);
-        tls::RecordHeader h;
-        h.length = static_cast<uint16_t>(plen + 16);
-        size_t base = stream.size();
-        recStartToIdx[base] = i;
-        recStarts.push_back(base);
-        recPlain.push_back(plen);
-        stream.resize(base + h.wireLen());
-        h.encode(stream.data() + base);
-        Bytes pt(plen);
-        fillDeterministic(pt, 7, 0);
-        auto nonce = tls::recordNonce(keys.staticIv, i);
-        Bytes sealed =
-            gcm.seal(nonce, ByteView(stream.data() + base, 5), pt);
-        std::memcpy(stream.data() + base + 5, sealed.data(), sealed.size());
-    }
+    std::vector<testing::RecordInfo> records;
+    Bytes stream = testing::buildTlsRecordStream(keys, rng, kRecords,
+                                                 /*plainSeed=*/7, records);
+    std::map<uint64_t, uint64_t> recStartToIdx;
+    for (size_t i = 0; i < records.size(); i++)
+        recStartToIdx[records[i].start] = i;
 
     tls::TlsRxEngine eng(keys);
     uint64_t pendingReq = 0;
@@ -159,8 +145,8 @@ TEST_P(FsmTorture, ProcessedBytesAlwaysDecryptCorrectly)
 
     // Invariant (a): every processed byte decrypted correctly.
     for (int i = 0; i < kRecords; i++) {
-        uint64_t base = recStarts[i];
-        size_t plen = recPlain[i];
+        uint64_t base = records[i].start;
+        size_t plen = records[i].plainLen;
         Bytes expected(plen);
         fillDeterministic(expected, 7, 0);
         for (const Span &sp : spans) {
@@ -203,49 +189,36 @@ TEST_P(TcpProperty, ExactDeliveryUnderImpairments)
     const int idx = GetParam();
     Rng rng(1000 + idx);
     net::Link::Config lc;
-    lc.dir[0].lossRate = rng.uniform() * 0.05;
-    lc.dir[0].reorderRate = rng.uniform() * 0.05;
-    lc.dir[0].duplicateRate = rng.uniform() * 0.02;
-    lc.dir[1].lossRate = rng.uniform() * 0.03;
+    lc.dir[0] = testing::randomImpairments(rng);
+    lc.dir[1] = testing::randomImpairments(rng, {.loss = 0.03,
+                                                 .reorder = 0.0,
+                                                 .duplicate = 0.0});
     lc.seed = 2000 + idx;
     testing::OffloadWorld w(lc);
 
     constexpr uint64_t kBytes = 512 << 10;
-    uint64_t received = 0;
-    bool corrupt = false;
+    testing::DeliveryChecker rx{/*seed=*/5};
     tcp::TcpConnection *server = nullptr;
     w.b.stack().listen(80, {}, [&](tcp::TcpConnection &c) {
         server = &c;
-        c.setOnReadable([&c, &received, &corrupt] {
-            while (c.readable()) {
-                tcp::RxSegment seg = c.pop();
-                if (!checkDeterministic(seg.data, 5, seg.streamOff))
-                    corrupt = true;
-                received += seg.data.size();
-            }
+        c.setOnReadable([&c, &rx] {
+            while (c.readable())
+                rx.onSegment(c.pop());
         });
     });
 
     tcp::TcpConnection &c = w.a.stack().connect(
         testing::OffloadWorld::kIpA, testing::OffloadWorld::kIpB, 80, {});
     uint64_t sent = 0;
-    auto pump = [&] {
-        while (sent < kBytes) {
-            size_t n = std::min<uint64_t>(kBytes - sent, 32768);
-            Bytes b(n);
-            fillDeterministic(b, 5, sent);
-            size_t acc = c.send(b);
-            sent += acc;
-            if (acc < n)
-                break;
-        }
-    };
-    c.setOnConnected([&] { pump(); });
+    auto pump = testing::deterministicPump(
+        [&c](ByteView b) { return c.send(b); }, /*seed=*/5, kBytes, sent,
+        32768);
+    c.setOnConnected(pump);
     c.setOnWritable(pump);
 
     w.sim.runUntil(20 * sim::kSecond);
-    EXPECT_EQ(received, kBytes) << "case " << idx;
-    EXPECT_FALSE(corrupt);
+    EXPECT_EQ(rx.received, kBytes) << "case " << idx;
+    EXPECT_FALSE(rx.corrupt);
     ASSERT_NE(server, nullptr);
     EXPECT_LE(server->rxQueuedBytes(), server->config().rcvBufSize + 8192);
 }
@@ -263,9 +236,12 @@ TEST_P(TlsProperty, OffloadedStreamsStayAuthenticated)
     const int idx = GetParam();
     Rng rng(3000 + idx);
     net::Link::Config lc;
-    lc.dir[0].lossRate = rng.uniform() * 0.04;
-    lc.dir[0].reorderRate = rng.uniform() * 0.04;
-    lc.dir[1].lossRate = rng.uniform() * 0.02;
+    lc.dir[0] = testing::randomImpairments(rng, {.loss = 0.04,
+                                                 .reorder = 0.04,
+                                                 .duplicate = 0.0});
+    lc.dir[1] = testing::randomImpairments(rng, {.loss = 0.02,
+                                                 .reorder = 0.0,
+                                                 .duplicate = 0.0});
     lc.seed = 4000 + idx;
     testing::OffloadWorld w(lc);
 
@@ -273,8 +249,7 @@ TEST_P(TlsProperty, OffloadedStreamsStayAuthenticated)
     constexpr uint64_t kSeed = 99;
     std::unique_ptr<tls::TlsSocket> server;
     std::unique_ptr<tls::TlsSocket> client;
-    uint64_t received = 0;
-    bool corrupt = false;
+    testing::DeliveryChecker rx{kSeed};
 
     w.b.stack().listen(443, {}, [&](tcp::TcpConnection &c) {
         tls::TlsConfig scfg;
@@ -284,12 +259,8 @@ TEST_P(TlsProperty, OffloadedStreamsStayAuthenticated)
             c, tls::SessionKeys::derive(7, false), scfg);
         server->enableOffload(w.b.device());
         server->setOnReadable([&] {
-            while (server->readable()) {
-                tcp::RxSegment seg = server->pop();
-                if (!checkDeterministic(seg.data, kSeed, seg.streamOff))
-                    corrupt = true;
-                received += seg.data.size();
-            }
+            while (server->readable())
+                rx.onSegment(server->pop());
         });
     });
 
@@ -303,24 +274,16 @@ TEST_P(TlsProperty, OffloadedStreamsStayAuthenticated)
         client = std::make_unique<tls::TlsSocket>(
             c, tls::SessionKeys::derive(7, true), ccfg);
         client->enableOffload(w.a.device());
-        auto pump = [&] {
-            while (sent < kBytes) {
-                size_t n = std::min<uint64_t>(kBytes - sent, 65536);
-                Bytes b(n);
-                fillDeterministic(b, kSeed, sent);
-                size_t acc = client->send(b);
-                sent += acc;
-                if (acc < n)
-                    break;
-            }
-        };
+        auto pump = testing::deterministicPump(
+            [&](ByteView b) { return client->send(b); }, kSeed, kBytes,
+            sent);
         client->setOnWritable(pump);
         pump();
     });
 
     w.sim.runUntil(20 * sim::kSecond);
-    EXPECT_EQ(received, kBytes) << "case " << idx;
-    EXPECT_FALSE(corrupt);
+    EXPECT_EQ(rx.received, kBytes) << "case " << idx;
+    EXPECT_FALSE(rx.corrupt);
     ASSERT_NE(server, nullptr);
     const tls::TlsStats &st = server->stats();
     EXPECT_EQ(st.tagFailures, 0u);

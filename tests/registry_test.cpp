@@ -7,7 +7,6 @@
 #include <gtest/gtest.h>
 
 #include "sim/registry.hh"
-#include "sim/stats.hh"
 #include "sim/trace.hh"
 
 namespace anic::sim {
@@ -274,21 +273,6 @@ TEST(RegistryJson, DistributionAndRateShapes)
     js = reg.jsonSnapshot();
     EXPECT_NE(js.find("\"total\":8"), std::string::npos);
     EXPECT_NE(js.find("\"perSec\":8"), std::string::npos);
-}
-
-// -------------------------------------------------- deprecated aliases
-
-TEST(DeprecatedAliases, SampleStatAndIntervalMeterForward)
-{
-    // stats.hh forwards the old names onto the new instruments for
-    // one deprecation cycle.
-    SampleStat s;
-    s.add(2.0);
-    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
-    IntervalMeter m;
-    m.start(0);
-    m.add(1);
-    EXPECT_EQ(m.elapsed(), 0u); // inherits the open-window guard
 }
 
 // -------------------------------------------------------- TraceRing

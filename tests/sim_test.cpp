@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/simulator.hh"
-#include "sim/stats.hh"
+#include "sim/registry.hh"
 
 namespace anic::sim {
 namespace {
@@ -93,9 +93,9 @@ TEST(TickConversions, RoundTrip)
     EXPECT_EQ(kMicrosecond, 1000000u);
 }
 
-TEST(SampleStat, Moments)
+TEST(Distribution, Moments)
 {
-    SampleStat s;
+    Distribution s;
     for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
         s.add(v);
     EXPECT_DOUBLE_EQ(s.mean(), 3.0);
@@ -105,9 +105,9 @@ TEST(SampleStat, Moments)
     EXPECT_EQ(s.count(), 5u);
 }
 
-TEST(SampleStat, Percentiles)
+TEST(Distribution, Percentiles)
 {
-    SampleStat s;
+    Distribution s;
     for (int i = 1; i <= 100; i++)
         s.add(i);
     EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
@@ -116,17 +116,17 @@ TEST(SampleStat, Percentiles)
     EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
 }
 
-TEST(SampleStat, TrimmedMeanDropsExtremes)
+TEST(Distribution, TrimmedMeanDropsExtremes)
 {
-    SampleStat s;
+    Distribution s;
     for (double v : {10.0, 10.0, 10.0, 1000.0, 0.0})
         s.add(v);
     EXPECT_DOUBLE_EQ(s.trimmedMean(), 10.0);
 }
 
-TEST(IntervalMeter, MeasuresOnlyWindow)
+TEST(RateMeter, MeasuresOnlyWindow)
 {
-    IntervalMeter m;
+    RateMeter m;
     m.add(100); // before start: ignored
     m.start(kSecond);
     m.add(1000);

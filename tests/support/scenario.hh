@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Single include point for the shared seeded-scenario machinery: test
+ * suites pull the fuzz harness's scenario description and traffic
+ * generators from src/testing/ through this header instead of keeping
+ * private copies of the RNG/stream/pump helpers. Link anic_testing.
+ */
+
+#ifndef ANIC_TESTS_SUPPORT_SCENARIO_HH
+#define ANIC_TESTS_SUPPORT_SCENARIO_HH
+
+#include "testing/scenario.hh"
+#include "testing/traffic.hh"
+
+#endif // ANIC_TESTS_SUPPORT_SCENARIO_HH
