@@ -26,22 +26,24 @@ namespace {
 
 struct Mix
 {
-    double fullPct, partPct, nonePct, gbps;
+    double fullPct = 0, partPct = 0, nonePct = 0, gbps = 0;
 };
 
 Mix
-run(double loss, double reorder, size_t recordSize)
+run(sim::RunContext &ctx, double loss, double reorder, size_t recordSize)
 {
     net::Link::Config lc;
     lc.dir[0].lossRate = loss;
     lc.dir[0].reorderRate = reorder;
     lc.seed = 91;
-    app::MacroWorld::Config cfg;
-    cfg.serverCores = 2;
-    cfg.generatorCores = 8;
-    cfg.remoteStorage = false;
-    cfg.link = lc;
-    app::MacroWorld w(cfg);
+    auto ex = ExperimentBuilder()
+                  .run(ctx)
+                  .serverCores(2)
+                  .generatorCores(8)
+                  .pageCache()
+                  .link(lc)
+                  .build();
+    app::MacroWorld &w = ex->world();
 
     app::IperfConfig icfg;
     icfg.streams = 32;
@@ -51,12 +53,11 @@ run(double loss, double reorder, size_t recordSize)
     app::IperfRun runr(w.generator, app::MacroWorld::kGenIp, w.server,
                        app::MacroWorld::kSrvIp, icfg);
     runr.start();
-    w.sim.runFor(15 * sim::kMillisecond);
-    sim::Tick window = measureWindow(40 * sim::kMillisecond);
+    ex->warm(15 * sim::kMillisecond);
+    sim::Tick window = ex->scaledWindow(40 * sim::kMillisecond);
     tls::TlsStats s0 = runr.receiverTlsStats();
-    runr.measureStart();
-    w.sim.runFor(window);
-    runr.measureStop();
+    ex->measure(
+        window, [&] { runr.measureStart(); }, [&] { runr.measureStop(); });
     tls::TlsStats s1 = runr.receiverTlsStats();
 
     double full = static_cast<double>(s1.rxFullyOffloaded -
@@ -67,7 +68,7 @@ run(double loss, double reorder, size_t recordSize)
                                       s0.rxNotOffloaded);
     double tot = full + part + none;
 
-    emitRegistrySnapshot("abl_resync",
+    emitRegistrySnapshot(ctx, "abl_resync",
                          {{"loss", tagNum(loss)},
                           {"reorder", tagNum(reorder)},
                           {"record_kib", tagNum(static_cast<double>(
@@ -79,25 +80,41 @@ run(double loss, double reorder, size_t recordSize)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchCli(argc, argv);
     printHeader("Ablation: receive-side recovery machinery (record mix "
                 "under impairment)");
-    // 16 KiB records never align with 1460-byte segments; the
-    // mid-record resume machinery does all the recovery work.
-    std::printf("%-26s %7s %8s %6s %8s\n", "configuration", "full",
-                "partial", "none", "Gbps");
     struct Case
     {
         const char *name;
         double loss, reorder;
     };
-    for (Case c : {Case{"loss 1%", 0.01, 0}, Case{"loss 3%", 0.03, 0},
-                   Case{"reorder 1%", 0, 0.01}, Case{"reorder 3%", 0, 0.03}}) {
-        Mix m = run(c.loss, c.reorder, 16384);
+    const Case cases[] = {Case{"loss 1%", 0.01, 0}, Case{"loss 3%", 0.03, 0},
+                          Case{"reorder 1%", 0, 0.01},
+                          Case{"reorder 3%", 0, 0.03}};
+    Mix mixes[4];
+    {
+        Sweep sweep("abl_resync", opt);
+        for (int i = 0; i < 4; i++) {
+            const Case &c = cases[i];
+            sweep.add(c.name, [&mixes, i, c](sim::RunContext &ctx) {
+                // 16 KiB records never align with 1460-byte segments;
+                // the mid-record resume machinery does all the
+                // recovery work.
+                mixes[i] = run(ctx, c.loss, c.reorder, 16384);
+            });
+        }
+        sweep.drain();
+    }
+
+    std::printf("%-26s %7s %8s %6s %8s\n", "configuration", "full",
+                "partial", "none", "Gbps");
+    for (int i = 0; i < 4; i++) {
+        const Mix &m = mixes[i];
         std::printf("%-26s %6.0f%% %7.0f%% %5.0f%% %8.2f\n",
-                    strprintf("16K records, %s", c.name).c_str(), m.fullPct,
-                    m.partPct, m.nonePct, m.gbps);
+                    strprintf("16K records, %s", cases[i].name).c_str(),
+                    m.fullPct, m.partPct, m.nonePct, m.gbps);
     }
     std::printf("\nWithout the speculative search+track+confirm FSM, every "
                 "loss would stop offloading until a record started exactly "

@@ -3,61 +3,29 @@
 namespace anic::bench {
 
 NginxResult
-runNginx(const NginxParams &p)
+runNginx(sim::RunContext &ctx, const NginxParams &p)
 {
-    app::MacroWorld::Config cfg;
-    cfg.serverCores = p.serverCores;
-    cfg.generatorCores = p.generatorCores;
-    cfg.link = p.link;
-    cfg.serverTcp.sndBufSize = p.serverSndBuf;
-    cfg.generatorTcp.rcvBufSize = p.clientRcvBuf;
-    // HTTP clients only ever send small requests, but the send ring
-    // allocates its full capacity on first use — at 128K connections
-    // the 1 MB default would be ~128 GB.
-    cfg.generatorTcp.sndBufSize = 64 << 10;
-    cfg.remoteStorage = p.c1;
-    if (p.c1) {
-        cfg.storage.pageCacheBytes = 0; // C1: every request misses
-        cfg.storage.offloadEnabled = p.storage.offload;
-        cfg.storage.offload.crcRx = p.storage.offload;
-        cfg.storage.offload.copyRx = p.storage.offload;
-        cfg.storage.tlsTransport = p.storage.tls;
-        cfg.storage.tlsCfg.rxOffload = p.storage.tlsOffload;
-    }
+    ExperimentBuilder b;
+    b.run(ctx)
+        .serverCores(p.serverCores)
+        .generatorCores(p.generatorCores)
+        .link(p.link)
+        .serverSndBuf(p.serverSndBuf)
+        .generatorRcvBuf(p.clientRcvBuf)
+        .httpVariant(p.variant)
+        .files(p.fileCount, p.fileSize)
+        .connections(p.connections);
+    if (p.c1)
+        b.remoteStorage(p.storage);
+    else
+        b.pageCache();
+    auto ex = b.build();
 
-    app::MacroWorld w(cfg);
-    std::vector<uint32_t> ids = w.makeFiles(p.fileCount, p.fileSize);
-    if (!p.c1)
-        w.storage->prewarm();
-
-    app::HttpServerConfig scfg;
-    app::HttpClientConfig ccfg;
-    switch (p.variant) {
-      case HttpVariant::Http:
-        break;
-      case HttpVariant::Https:
-        scfg.tlsEnabled = true;
-        ccfg.tlsEnabled = true;
-        break;
-      case HttpVariant::Offload:
-        scfg.tlsEnabled = true;
-        scfg.tlsCfg.txOffload = true;
-        scfg.tlsCfg.rxOffload = true;
-        ccfg.tlsEnabled = true;
-        break;
-      case HttpVariant::OffloadZc:
-        scfg.tlsEnabled = true;
-        scfg.tlsCfg.txOffload = true;
-        scfg.tlsCfg.rxOffload = true;
-        scfg.tlsCfg.zerocopySendfile = true;
-        ccfg.tlsEnabled = true;
-        break;
-    }
-    ccfg.connections = p.connections;
-    ccfg.fileIds = ids;
+    app::HttpClientConfig ccfg = ex->httpClientCfg();
     ccfg.verifyContent = false; // benches measure, tests verify
 
-    app::HttpServer server(w.server, 443, *w.storage, scfg);
+    app::MacroWorld &w = ex->world();
+    app::HttpServer server(w.server, 443, *w.storage, ex->httpServerCfg());
     app::HttpClient client(w.generator, app::MacroWorld::kGenIp,
                            app::MacroWorld::kSrvIp, 443, w.files, ccfg);
     client.start();
@@ -66,23 +34,22 @@ runNginx(const NginxParams &p)
     // opening the measurement window.
     sim::Tick ramp = static_cast<sim::Tick>(p.connections) *
                      ccfg.staggerPerConn;
-    w.sim.runFor(p.warmup + ramp);
+    ex->warm(p.warmup + ramp);
     for (int tries = 0;
          client.connected() < p.connections * 95 / 100 && tries < 40;
          tries++) {
-        w.sim.runFor(5 * sim::kMillisecond);
+        ex->warm(5 * sim::kMillisecond);
     }
-    sim::Tick window = measureWindow(p.window);
-    std::vector<sim::Tick> busy = w.server.busySnapshot();
+    sim::Tick window = ex->scaledWindow(p.window);
     nic::NicStats nic0 = w.server.nicDev().stats();
-    client.measureStart();
-    w.sim.runFor(window);
-    client.measureStop();
+    double busyCores = ex->measure(
+        window, [&] { client.measureStart(); },
+        [&] { client.measureStop(); });
     nic::NicStats nic1 = w.server.nicDev().stats();
 
     NginxResult r;
     r.gbps = client.bodyMeter().gbps();
-    r.busyCores = w.server.busyCores(busy, window);
+    r.busyCores = busyCores;
     r.requestsPerSec = static_cast<double>(client.windowResponses()) /
                        sim::ticksToSeconds(window);
     r.latencyUs = client.stats().latencyUs.empty()
@@ -99,8 +66,17 @@ runNginx(const NginxParams &p)
     if (!p.bench.empty()) {
         ScenarioTags tags = p.scenario;
         tags.emplace_back("variant", variantName(p.variant));
-        emitRegistrySnapshot(p.bench, tags);
+        emitRegistrySnapshot(ctx, p.bench, tags);
     }
+    return r;
+}
+
+NginxResult
+runNginx(const NginxParams &p)
+{
+    sim::RunContext ctx(sim::RunConfig::fromEnv());
+    NginxResult r = runNginx(ctx, p);
+    makeBenchSink("")(ctx.takeOutput());
     return r;
 }
 

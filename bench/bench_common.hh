@@ -1,38 +1,46 @@
 /**
  * @file
- * Shared benchmark harness: world construction, the nginx scenario
- * (used by Figures 12-14, 19 and Table 4), measurement windows, and
+ * Shared benchmark harness: the nginx scenario engine (used by
+ * Figures 12-14, 19 and Table 4) built on ExperimentBuilder, plus
  * table formatting. Each bench binary prints the rows/series of the
  * paper artifact it reproduces.
  *
- * Set ANIC_QUICK=1 to shrink measurement windows (CI smoke runs).
+ * Every bench accepts the shared CLI (see bench_cli.hh): --jobs N
+ * shards sweep points across worker threads with byte-identical
+ * output, --quick / ANIC_QUICK shrinks measurement windows.
  */
 
 #ifndef ANIC_BENCH_BENCH_COMMON_HH
 #define ANIC_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 
 #include "app/http.hh"
 #include "app/iperf.hh"
 #include "app/kv.hh"
-#include "app/macro_world.hh"
-#include "bench_json.hh"
+#include "bench_cli.hh"
+#include "experiment.hh"
+#include "util/env.hh"
 
 namespace anic::bench {
 
+/** @deprecated Prefer BenchOptions::quick / RunConfig.windowScale. */
 inline bool
 quickMode()
 {
-    return std::getenv("ANIC_QUICK") != nullptr;
+    return util::Env::quick();
 }
 
+/** @deprecated Prefer RunContext::scaleWindow (never floors to zero).
+ *  Kept for out-of-tree callers for one release. */
 inline sim::Tick
 measureWindow(sim::Tick full)
 {
-    return quickMode() ? full / 4 : full;
+    if (!quickMode())
+        return full;
+    sim::Tick w = full / 4;
+    return (full > 0 && w == 0) ? 1 : w;
 }
 
 inline void
@@ -42,39 +50,6 @@ printHeader(const char *title)
     std::printf("%s\n", title);
     std::printf("================================================================\n");
 }
-
-/** nginx transport/offload variants (Figure 13 legend). */
-enum class HttpVariant
-{
-    Http,      ///< no encryption (upper bound)
-    Https,     ///< kTLS software crypto (baseline)
-    Offload,   ///< TLS NIC offload, sendfile still copies
-    OffloadZc, ///< TLS NIC offload + zero-copy sendfile
-};
-
-inline const char *
-variantName(HttpVariant v)
-{
-    switch (v) {
-      case HttpVariant::Http:
-        return "http";
-      case HttpVariant::Https:
-        return "https";
-      case HttpVariant::Offload:
-        return "offload";
-      case HttpVariant::OffloadZc:
-        return "offload+zc";
-    }
-    return "?";
-}
-
-/** Storage-path offload selection for C1 scenarios. */
-struct StorageVariant
-{
-    bool offload = false;    ///< NVMe-TCP CRC + copy offload
-    bool tls = false;        ///< NVMe-TLS transport
-    bool tlsOffload = false; ///< offload the storage TLS too
-};
 
 struct NginxParams
 {
@@ -110,7 +85,13 @@ struct NginxResult
     uint64_t errors = 0;
 };
 
-/** Runs one nginx data point (the Figure 12-14 engine). */
+/** Runs one nginx data point (the Figure 12-14 engine) inside @p ctx:
+ *  stats/trace isolation, window scaling, and output all flow through
+ *  the run context, so points can run on JobRunner workers. */
+NginxResult runNginx(sim::RunContext &ctx, const NginxParams &p);
+
+/** @deprecated Serial shim: runs in a private RunContext and flushes
+ *  its output immediately. Prefer the RunContext overload. */
 NginxResult runNginx(const NginxParams &p);
 
 } // namespace anic::bench

@@ -17,24 +17,25 @@ namespace {
 
 struct Row
 {
-    const char *name;
-    double cycles;
-    double offloadablePct;
+    const char *name = "";
+    double cycles = 0;
+    double offloadablePct = 0;
 };
 
 Row
-nvmeRow(bool writes)
+nvmeRow(sim::RunContext &ctx, bool writes)
 {
-    app::MacroWorld::Config cfg;
-    cfg.serverCores = 1;
-    cfg.generatorCores = 8;
-    cfg.remoteStorage = true;
-    cfg.storage.pageCacheBytes = 0;
-    cfg.serverTcp.rcvBufSize = 4 << 20;
-    cfg.serverTcp.sndBufSize = 4 << 20;
-    cfg.generatorTcp.sndBufSize = 4 << 20;
-    cfg.generatorTcp.rcvBufSize = 4 << 20;
-    app::MacroWorld w(cfg);
+    auto ex = ExperimentBuilder()
+                  .run(ctx)
+                  .serverCores(1)
+                  .generatorCores(8)
+                  .remoteStorage()
+                  .serverRcvBuf(4 << 20)
+                  .serverSndBuf(4 << 20)
+                  .generatorSndBuf(4 << 20)
+                  .generatorRcvBuf(4 << 20)
+                  .build();
+    app::MacroWorld &w = ex->world();
 
     app::FioConfig fcfg;
     fcfg.blockSize = 262144;
@@ -42,12 +43,12 @@ nvmeRow(bool writes)
     fcfg.writes = writes;
     app::FioJob job(w.sim, *w.storage->queue(0), fcfg);
     w.server.core(0).post([&job] { job.start(); });
-    w.sim.runFor(10 * sim::kMillisecond);
+    ex->warm(10 * sim::kMillisecond);
 
-    sim::Tick window = measureWindow(40 * sim::kMillisecond);
+    sim::Tick window = ex->scaledWindow(40 * sim::kMillisecond);
     std::vector<double> cyc = w.server.cycleSnapshot();
     uint64_t done0 = job.completions();
-    w.sim.runFor(window);
+    ex->warm(window);
     double cycles = w.server.busyCyclesSince(cyc);
     double reqs = static_cast<double>(job.completions() - done0);
 
@@ -60,34 +61,36 @@ nvmeRow(bool writes)
                      fcfg.blockSize;
     double per_req = reqs > 0 ? cycles / reqs : 0;
 
-    emitRegistrySnapshot("fig02",
+    emitRegistrySnapshot(ctx, "fig02",
                          {{"workload", writes ? "nvme_write" : "nvme_read"}});
     return Row{writes ? "NVMe-TCP write" : "NVMe-TCP read", per_req,
                per_req > 0 ? 100.0 * offloadable / per_req : 0};
 }
 
 Row
-tlsRow(bool rxSide)
+tlsRow(sim::RunContext &ctx, bool rxSide)
 {
-    app::MacroWorld::Config cfg;
-    cfg.serverCores = 1;
-    cfg.generatorCores = rxSide ? 4 : 1;
-    cfg.remoteStorage = false;
-    app::MacroWorld w(cfg);
+    auto ex = ExperimentBuilder()
+                  .run(ctx)
+                  .serverCores(1)
+                  .generatorCores(rxSide ? 4 : 1)
+                  .pageCache()
+                  .build();
+    app::MacroWorld &w = ex->world();
 
     app::IperfConfig icfg;
     icfg.streams = rxSide ? 4 : 1;
     app::IperfRun run(w.generator, app::MacroWorld::kGenIp, w.server,
                       app::MacroWorld::kSrvIp, icfg);
     run.start();
-    w.sim.runFor(10 * sim::kMillisecond);
+    ex->warm(10 * sim::kMillisecond);
 
-    sim::Tick window = measureWindow(30 * sim::kMillisecond);
+    sim::Tick window = ex->scaledWindow(30 * sim::kMillisecond);
     core::Node &dut = rxSide ? w.server : w.generator;
     std::vector<double> cyc = dut.cycleSnapshot();
     tls::TlsStats s0 = rxSide ? run.receiverTlsStats()
                               : run.senderTlsStats();
-    w.sim.runFor(window);
+    ex->warm(window);
     double cycles = dut.busyCyclesSince(cyc);
     tls::TlsStats s1 = rxSide ? run.receiverTlsStats()
                               : run.senderTlsStats();
@@ -105,7 +108,7 @@ tlsRow(bool rxSide)
                     (records > 0 ? bytes / records : 0);
     double per_rec = records > 0 ? cycles / records : 0;
 
-    emitRegistrySnapshot("fig02",
+    emitRegistrySnapshot(ctx, "fig02",
                          {{"workload", rxSide ? "tls_rx" : "tls_tx"}});
     return Row{rxSide ? "TLS receive" : "TLS transmit", per_rec,
                per_rec > 0 ? 100.0 * crypto / per_rec : 0};
@@ -114,14 +117,33 @@ tlsRow(bool rxSide)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchCli(argc, argv);
     printHeader("Figure 2: L5P overheads (compute-bound share is what the "
                 "NIC can take)");
+
+    Row rows[4];
+    {
+        Sweep sweep("fig02", opt);
+        sweep.add("nvme_write", [&rows](sim::RunContext &ctx) {
+            rows[0] = nvmeRow(ctx, true);
+        });
+        sweep.add("nvme_read", [&rows](sim::RunContext &ctx) {
+            rows[1] = nvmeRow(ctx, false);
+        });
+        sweep.add("tls_tx", [&rows](sim::RunContext &ctx) {
+            rows[2] = tlsRow(ctx, false);
+        });
+        sweep.add("tls_rx", [&rows](sim::RunContext &ctx) {
+            rows[3] = tlsRow(ctx, true);
+        });
+        sweep.drain();
+    }
+
     std::printf("%-16s %16s %14s\n", "workload", "cycles/message",
                 "offloadable");
-    for (Row r : {nvmeRow(true), nvmeRow(false), tlsRow(false),
-                  tlsRow(true)}) {
+    for (const Row &r : rows) {
         std::printf("%-16s %16.0f %13.0f%%\n", r.name, r.cycles,
                     r.offloadablePct);
     }

@@ -17,23 +17,24 @@ namespace {
 
 struct Point
 {
-    double cyclesPerReq;
-    double copyCrcPct;
-    double idlePct;
+    double cyclesPerReq = 0;
+    double copyCrcPct = 0;
+    double idlePct = 0;
 };
 
 Point
-measure(uint32_t blockSize, int depth)
+measure(sim::RunContext &ctx, uint32_t blockSize, int depth)
 {
-    app::MacroWorld::Config cfg;
-    cfg.serverCores = 1;
-    cfg.generatorCores = 8;
-    cfg.remoteStorage = true;
-    cfg.storage.pageCacheBytes = 0;
-    // Deep queues need roomy sockets.
-    cfg.serverTcp.rcvBufSize = 4 << 20;
-    cfg.generatorTcp.sndBufSize = 4 << 20;
-    app::MacroWorld w(cfg);
+    auto ex = ExperimentBuilder()
+                  .run(ctx)
+                  .serverCores(1)
+                  .generatorCores(8)
+                  .remoteStorage()
+                  // Deep queues need roomy sockets.
+                  .serverRcvBuf(4 << 20)
+                  .generatorSndBuf(4 << 20)
+                  .build();
+    app::MacroWorld &w = ex->world();
 
     app::FioConfig fcfg;
     fcfg.blockSize = blockSize;
@@ -41,12 +42,12 @@ measure(uint32_t blockSize, int depth)
     app::FioJob job(w.sim, *w.storage->queue(0), fcfg);
     w.server.core(0).post([&job] { job.start(); });
 
-    w.sim.runFor(10 * sim::kMillisecond);
-    sim::Tick window = measureWindow(40 * sim::kMillisecond);
+    ex->warm(10 * sim::kMillisecond);
+    sim::Tick window = ex->scaledWindow(40 * sim::kMillisecond);
     std::vector<double> cyc = w.server.cycleSnapshot();
     std::vector<sim::Tick> busy = w.server.busySnapshot();
     uint64_t done0 = job.completions();
-    w.sim.runFor(window);
+    ex->warm(window);
     double cycles = w.server.busyCyclesSince(cyc);
     double reqs = static_cast<double>(job.completions() - done0);
 
@@ -62,34 +63,52 @@ measure(uint32_t blockSize, int depth)
     p.copyCrcPct = p.cyclesPerReq > 0 ? 100.0 * copy_crc / p.cyclesPerReq : 0;
     p.idlePct = 100.0 * (1.0 - w.server.busyCores(busy, window));
 
-    emitRegistrySnapshot("fig10",
+    emitRegistrySnapshot(ctx, "fig10",
                          {{"block_kib", tagNum(blockSize >> 10)},
                           {"depth", tagNum(depth)}});
     return p;
 }
 
-void
-sweep(uint32_t blockSize, const char *label)
-{
-    std::printf("\n-- %s random reads --\n", label);
-    std::printf("%-8s %14s %10s %8s\n", "depth", "cycles/req", "copy+crc",
-                "idle");
-    for (int depth : {1, 4, 16, 64, 256, 1024}) {
-        Point p = measure(blockSize, depth);
-        std::printf("%-8d %14.0f %9.1f%% %7.1f%%\n", depth, p.cyclesPerReq,
-                    p.copyCrcPct, p.idlePct);
-    }
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchCli(argc, argv);
     printHeader("Figure 10: NVMe-TCP/fio cycles per random read "
                 "(copy+crc = offloadable share)");
-    sweep(4096, "4KiB");
-    sweep(262144, "256KiB");
+
+    const uint32_t blocks[] = {4096, 262144};
+    const char *blockNames[] = {"4KiB", "256KiB"};
+    const int depths[] = {1, 4, 16, 64, 256, 1024};
+    Point pts[2][6]; // [block][depth]
+    {
+        Sweep sweep("fig10", opt);
+        for (int bi = 0; bi < 2; bi++) {
+            for (int di = 0; di < 6; di++) {
+                uint32_t block = blocks[bi];
+                int depth = depths[di];
+                std::string label = strprintf("block=%s/depth=%d",
+                                              blockNames[bi], depth);
+                sweep.add(label,
+                          [&pts, bi, di, block, depth](sim::RunContext &ctx) {
+                              pts[bi][di] = measure(ctx, block, depth);
+                          });
+            }
+        }
+        sweep.drain();
+    }
+
+    for (int bi = 0; bi < 2; bi++) {
+        std::printf("\n-- %s random reads --\n", blockNames[bi]);
+        std::printf("%-8s %14s %10s %8s\n", "depth", "cycles/req",
+                    "copy+crc", "idle");
+        for (int di = 0; di < 6; di++) {
+            const Point &p = pts[bi][di];
+            std::printf("%-8d %14.0f %9.1f%% %7.1f%%\n", depths[di],
+                        p.cyclesPerReq, p.copyCrcPct, p.idlePct);
+        }
+    }
     std::printf("\npaper: 4KiB 2-8%%; 256KiB 25%% (low depth) to ~55%% "
                 "(>=1Ki, working set exceeds LLC)\n");
     return 0;

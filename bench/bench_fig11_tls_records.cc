@@ -15,18 +15,20 @@ namespace {
 
 struct Point
 {
-    double cyclesPerRecord;
-    double cryptoPct;
+    double cyclesPerRecord = 0;
+    double cryptoPct = 0;
 };
 
 Point
-measure(size_t recordSize, bool rxSide)
+measure(sim::RunContext &ctx, size_t recordSize, bool rxSide)
 {
-    app::MacroWorld::Config cfg;
-    cfg.serverCores = 1;
-    cfg.generatorCores = rxSide ? 4 : 1;
-    cfg.remoteStorage = false;
-    app::MacroWorld w(cfg);
+    auto ex = ExperimentBuilder()
+                  .run(ctx)
+                  .serverCores(1)
+                  .generatorCores(rxSide ? 4 : 1)
+                  .pageCache()
+                  .build();
+    app::MacroWorld &w = ex->world();
 
     app::IperfConfig icfg;
     icfg.streams = rxSide ? 4 : 1;
@@ -38,14 +40,14 @@ measure(size_t recordSize, bool rxSide)
     app::IperfRun run(sender, app::MacroWorld::kGenIp, receiver,
                       app::MacroWorld::kSrvIp, icfg);
     run.start();
-    w.sim.runFor(10 * sim::kMillisecond);
+    ex->warm(10 * sim::kMillisecond);
 
-    sim::Tick window = measureWindow(30 * sim::kMillisecond);
+    sim::Tick window = ex->scaledWindow(30 * sim::kMillisecond);
     core::Node &dut = rxSide ? receiver : sender;
     std::vector<double> cyc = dut.cycleSnapshot();
     tls::TlsStats st0 = rxSide ? run.receiverTlsStats()
                                : run.senderTlsStats();
-    w.sim.runFor(window);
+    ex->warm(window);
     double cycles = dut.busyCyclesSince(cyc);
     tls::TlsStats st1 = rxSide ? run.receiverTlsStats()
                                : run.senderTlsStats();
@@ -69,6 +71,7 @@ measure(size_t recordSize, bool rxSide)
                       : 0;
 
     emitRegistrySnapshot(
+        ctx,
         "fig11", {{"record_kib", tagNum(static_cast<double>(recordSize >> 10))},
                   {"side", rxSide ? "rx" : "tx"}});
     return p;
@@ -77,27 +80,45 @@ measure(size_t recordSize, bool rxSide)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchCli(argc, argv);
     printHeader("Figure 11: kTLS/iperf per-record cycles (software path), "
                 "AES-GCM crypto vs other");
+
+    const size_t kibs[] = {2, 4, 8, 16};
+    Point pts[4][2]; // [size][tx=0 rx=1]
+    {
+        Sweep sweep("fig11", opt);
+        for (int ki = 0; ki < 4; ki++) {
+            for (int rx = 0; rx < 2; rx++) {
+                size_t kib = kibs[ki];
+                std::string label = strprintf("rec=%zuK/%s", kib,
+                                              rx ? "rx" : "tx");
+                sweep.add(label, [&pts, ki, rx, kib](sim::RunContext &ctx) {
+                    Point p = measure(ctx, kib << 10, rx == 1);
+                    pts[ki][rx] = p;
+                    std::string rec = std::to_string(kib);
+                    const char *side = rx ? "rx" : "tx";
+                    jsonRecord(ctx, "fig11",
+                               strprintf("%s_cycles_per_record", side)
+                                   .c_str(),
+                               p.cyclesPerRecord, {{"record_kib", rec}});
+                    jsonRecord(ctx, "fig11",
+                               strprintf("%s_crypto_pct", side).c_str(),
+                               p.cryptoPct, {{"record_kib", rec}});
+                });
+            }
+        }
+        sweep.drain();
+    }
+
     std::printf("%-12s %16s %10s %16s %10s\n", "record[KiB]", "tx cyc/rec",
                 "tx crypto", "rx cyc/rec", "rx crypto");
-    for (size_t kib : {2, 4, 8, 16}) {
-        Point tx = measure(kib << 10, false);
-        Point rx = measure(kib << 10, true);
-        std::printf("%-12zu %16.0f %9.0f%% %16.0f %9.0f%%\n", kib,
-                    tx.cyclesPerRecord, tx.cryptoPct, rx.cyclesPerRecord,
-                    rx.cryptoPct);
-        std::string rec = std::to_string(kib);
-        jsonRecord("fig11", "tx_cycles_per_record", tx.cyclesPerRecord,
-                   {{"record_kib", rec}});
-        jsonRecord("fig11", "tx_crypto_pct", tx.cryptoPct,
-                   {{"record_kib", rec}});
-        jsonRecord("fig11", "rx_cycles_per_record", rx.cyclesPerRecord,
-                   {{"record_kib", rec}});
-        jsonRecord("fig11", "rx_crypto_pct", rx.cryptoPct,
-                   {{"record_kib", rec}});
+    for (int ki = 0; ki < 4; ki++) {
+        std::printf("%-12zu %16.0f %9.0f%% %16.0f %9.0f%%\n", kibs[ki],
+                    pts[ki][0].cyclesPerRecord, pts[ki][0].cryptoPct,
+                    pts[ki][1].cyclesPerRecord, pts[ki][1].cryptoPct);
     }
     std::printf("\npaper: crypto share grows with record size; tx <=74%%, "
                 "rx <=60%% at 16 KiB\n");

@@ -15,40 +15,59 @@ using namespace anic;
 using namespace anic::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchCli(argc, argv);
     printHeader("Figure 12: nginx + NVMe-TCP offload, C1 (drive-bound, "
                 "http transport)");
+
+    const uint64_t kibs[] = {4, 16, 64, 256};
+    NginxResult r[4][2][2]; // [size][cores8][offload]
+    {
+        Sweep sweep("fig12", opt);
+        for (int ki = 0; ki < 4; ki++) {
+            for (int cores8 = 0; cores8 < 2; cores8++) {
+                for (int off = 0; off < 2; off++) {
+                    uint64_t kib = kibs[ki];
+                    std::string label =
+                        strprintf("kib=%llu/cores=%d/off=%d",
+                                  static_cast<unsigned long long>(kib),
+                                  cores8 ? 8 : 1, off);
+                    sweep.add(label, [&r, ki, cores8, off,
+                                      kib](sim::RunContext &ctx) {
+                        NginxParams p;
+                        p.serverCores = cores8 ? 8 : 1;
+                        p.fileSize = kib << 10;
+                        p.c1 = true;
+                        p.variant = HttpVariant::Http;
+                        p.storage.offload = off == 1;
+                        p.connections = 256;
+                        p.bench = "fig12";
+                        p.scenario = {
+                            {"file_kib", tagNum(static_cast<double>(kib))},
+                            {"cores", tagNum(p.serverCores)},
+                            {"storage_offload", off ? "1" : "0"}};
+                        r[ki][cores8][off] = runNginx(ctx, p);
+                    });
+                }
+            }
+        }
+        sweep.drain();
+    }
+
     std::printf("%-10s | %10s %10s %7s | %10s %10s %7s | %9s %9s\n",
                 "file[KiB]", "base 1c", "off 1c", "gain", "base 8c",
                 "off 8c", "gain", "busy base", "busy off");
-
-    for (uint64_t kib : {4, 16, 64, 256}) {
-        NginxResult r[2][2]; // [cores8][offload]
-        for (int cores8 = 0; cores8 < 2; cores8++) {
-            for (int off = 0; off < 2; off++) {
-                NginxParams p;
-                p.serverCores = cores8 ? 8 : 1;
-                p.fileSize = kib << 10;
-                p.c1 = true;
-                p.variant = HttpVariant::Http;
-                p.storage.offload = off == 1;
-                p.connections = 256;
-                p.bench = "fig12";
-                p.scenario = {{"file_kib", tagNum(static_cast<double>(kib))},
-                              {"cores", tagNum(p.serverCores)},
-                              {"storage_offload", off ? "1" : "0"}};
-                r[cores8][off] = runNginx(p);
-            }
-        }
+    for (int ki = 0; ki < 4; ki++) {
+        const auto &x = r[ki];
         std::printf("%-10llu | %10.2f %10.2f %6.0f%% | %10.2f %10.2f %6.0f%% "
                     "| %9.2f %9.2f\n",
-                    static_cast<unsigned long long>(kib), r[0][0].gbps,
-                    r[0][1].gbps,
-                    100.0 * (r[0][1].gbps / r[0][0].gbps - 1.0), r[1][0].gbps,
-                    r[1][1].gbps,
-                    100.0 * (r[1][1].gbps / r[1][0].gbps - 1.0),
-                    r[1][0].busyCores, r[1][1].busyCores);
+                    static_cast<unsigned long long>(kibs[ki]), x[0][0].gbps,
+                    x[0][1].gbps,
+                    100.0 * (x[0][1].gbps / x[0][0].gbps - 1.0), x[1][0].gbps,
+                    x[1][1].gbps,
+                    100.0 * (x[1][1].gbps / x[1][0].gbps - 1.0),
+                    x[1][0].busyCores, x[1][1].busyCores);
     }
     std::printf("\npaper: 1-core gains 4-44%% growing with size; 8 cores "
                 "saturate the drive (21.38 Gbps) and the offload shows up "

@@ -14,14 +14,70 @@ using namespace anic;
 using namespace anic::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchCli(argc, argv);
     printHeader("Figure 13: nginx + TLS offload variants, C2 (page cache, "
                 "NIC-bound)");
 
     const HttpVariant variants[] = {HttpVariant::Https, HttpVariant::Offload,
                                     HttpVariant::OffloadZc,
                                     HttpVariant::Http};
+    const uint64_t kibs[] = {4, 16, 64, 256};
+
+    struct Cell
+    {
+        double gbps = 0;
+        double busy = 0;
+    };
+    Cell cells[2][4][4]; // [cores8][size][variant]
+    {
+        Sweep sweep("fig13", opt);
+        for (int cores8 = 0; cores8 < 2; cores8++) {
+            for (int ki = 0; ki < 4; ki++) {
+                for (int i = 0; i < 4; i++) {
+                    uint64_t kib = kibs[ki];
+                    std::string label =
+                        strprintf("cores=%d/kib=%llu/%s", cores8 ? 8 : 1,
+                                  static_cast<unsigned long long>(kib),
+                                  variantName(variants[i]));
+                    sweep.add(label, [&cells, &variants, cores8, ki, i,
+                                      kib](sim::RunContext &ctx) {
+                        NginxParams p;
+                        p.serverCores = cores8 ? 8 : 1;
+                        p.generatorCores = 16;
+                        p.fileSize = kib << 10;
+                        p.c1 = false;
+                        p.variant = variants[i];
+                        // Enough connections to saturate, few enough
+                        // that the software variants reach steady state
+                        // (measuring the initial-burst transient would
+                        // count pre-buffered responses draining at line
+                        // rate as throughput).
+                        p.connections = cores8 ? 512 : 128;
+                        p.serverSndBuf = 256 << 10;
+                        p.warmup = cores8 ? 40 * sim::kMillisecond
+                                          : 120 * sim::kMillisecond;
+                        p.bench = "fig13";
+                        p.scenario = {
+                            {"file_kib", tagNum(static_cast<double>(kib))},
+                            {"cores", tagNum(p.serverCores)}};
+                        NginxResult r = runNginx(ctx, p);
+                        cells[cores8][ki][i] = Cell{r.gbps, r.busyCores};
+                        jsonRecord(ctx, "fig13", "gbps", r.gbps,
+                                   {{"cores", std::to_string(p.serverCores)},
+                                    {"file_kib", std::to_string(kib)},
+                                    {"variant", variantName(variants[i])}});
+                        jsonRecord(ctx, "fig13", "busy_cores", r.busyCores,
+                                   {{"cores", std::to_string(p.serverCores)},
+                                    {"file_kib", std::to_string(kib)},
+                                    {"variant", variantName(variants[i])}});
+                    });
+                }
+            }
+        }
+        sweep.drain();
+    }
 
     for (int cores8 = 0; cores8 < 2; cores8++) {
         std::printf("\n-- %d server core%s --\n", cores8 ? 8 : 1,
@@ -30,46 +86,15 @@ main()
         for (HttpVariant v : variants)
             std::printf(" %11s", variantName(v));
         std::printf(" %8s %10s\n", "zc/https", "busy(zc)");
-
-        for (uint64_t kib : {4, 16, 64, 256}) {
-            double gbps[4];
-            double busy_zc = 0;
-            for (int i = 0; i < 4; i++) {
-                NginxParams p;
-                p.serverCores = cores8 ? 8 : 1;
-                p.generatorCores = 16;
-                p.fileSize = kib << 10;
-                p.c1 = false;
-                p.variant = variants[i];
-                // Enough connections to saturate, few enough that the
-                // software variants reach steady state (measuring the
-                // initial-burst transient would count pre-buffered
-                // responses draining at line rate as throughput).
-                p.connections = cores8 ? 512 : 128;
-                p.serverSndBuf = 256 << 10;
-                p.warmup = cores8 ? 40 * sim::kMillisecond
-                                  : 120 * sim::kMillisecond;
-                p.bench = "fig13";
-                p.scenario = {{"file_kib", tagNum(static_cast<double>(kib))},
-                              {"cores", tagNum(p.serverCores)}};
-                NginxResult r = runNginx(p);
-                gbps[i] = r.gbps;
-                if (variants[i] == HttpVariant::OffloadZc)
-                    busy_zc = r.busyCores;
-                jsonRecord("fig13", "gbps", r.gbps,
-                           {{"cores", std::to_string(p.serverCores)},
-                            {"file_kib", std::to_string(kib)},
-                            {"variant", variantName(variants[i])}});
-                jsonRecord("fig13", "busy_cores", r.busyCores,
-                           {{"cores", std::to_string(p.serverCores)},
-                            {"file_kib", std::to_string(kib)},
-                            {"variant", variantName(variants[i])}});
-            }
-            std::printf("%-10llu", static_cast<unsigned long long>(kib));
-            for (double g : gbps)
-                std::printf(" %11.2f", g);
+        for (int ki = 0; ki < 4; ki++) {
+            const Cell *row = cells[cores8][ki];
+            std::printf("%-10llu",
+                        static_cast<unsigned long long>(kibs[ki]));
+            for (int i = 0; i < 4; i++)
+                std::printf(" %11.2f", row[i].gbps);
             std::printf(" %7.0f%% %10.2f\n",
-                        100.0 * (gbps[2] / gbps[0] - 1.0), busy_zc);
+                        100.0 * (row[2].gbps / row[0].gbps - 1.0),
+                        row[2].busy);
         }
     }
     std::printf("\npaper: 1 core offload+zc = 11%%..2.7x over https; "

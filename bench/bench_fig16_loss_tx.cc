@@ -17,27 +17,32 @@ namespace {
 
 struct Point
 {
-    double gbps;
-    double pciePct; // context-recovery share of PCIe capacity
+    double gbps = 0;
+    double pciePct = 0; // context-recovery share of PCIe capacity
 };
 
+const char *kModeName[] = {"tcp", "offload", "tls"};
+
 Point
-run(double loss, int mode /*0=tcp 1=offload 2=tls*/)
+run(sim::RunContext &ctx, double loss, int mode /*0=tcp 1=offload 2=tls*/)
 {
     net::Link::Config lc;
     lc.dir[0].lossRate = loss;
     lc.seed = 77;
-    app::MacroWorld::Config cfg;
-    cfg.serverCores = 8; // receiver must not be the bottleneck
-    cfg.generatorCores = 1; // the measured, saturated sender core
-    cfg.remoteStorage = false;
-    cfg.link = lc;
-    // Modest per-stream socket buffers: with 1 MB each, a single
-    // software-TLS core spends >100 ms pre-encrypting the initial
-    // 128-stream burst before any ack gets processed.
-    cfg.generatorTcp.sndBufSize = 128 << 10;
-    cfg.serverTcp.sndBufSize = 128 << 10;
-    app::MacroWorld w(cfg);
+    auto ex = ExperimentBuilder()
+                  .run(ctx)
+                  .serverCores(8)    // receiver must not be the bottleneck
+                  .generatorCores(1) // the measured, saturated sender core
+                  .pageCache()
+                  .link(lc)
+                  // Modest per-stream socket buffers: with 1 MB each, a
+                  // single software-TLS core spends >100 ms
+                  // pre-encrypting the initial 128-stream burst before
+                  // any ack gets processed.
+                  .generatorSndBuf(128 << 10)
+                  .serverSndBuf(128 << 10)
+                  .build();
+    app::MacroWorld &w = ex->world();
 
     app::IperfConfig icfg;
     icfg.streams = 128;
@@ -46,13 +51,13 @@ run(double loss, int mode /*0=tcp 1=offload 2=tls*/)
     app::IperfRun runr(w.generator, app::MacroWorld::kGenIp, w.server,
                        app::MacroWorld::kSrvIp, icfg);
     runr.start();
-    w.sim.runFor(20 * sim::kMillisecond);
+    ex->warm(20 * sim::kMillisecond);
 
-    sim::Tick window = measureWindow(40 * sim::kMillisecond);
+    sim::Tick window = ex->scaledWindow(40 * sim::kMillisecond);
     nic::PcieStats pcie0 = w.generator.nicDev().pcie();
-    runr.measureStart();
-    w.sim.runFor(window);
-    runr.measureStop();
+    ex->measure(
+        w.generator, window, [&] { runr.measureStart(); },
+        [&] { runr.measureStop(); });
     nic::PcieStats pcie1 = w.generator.nicDev().pcie();
 
     Point p;
@@ -61,8 +66,7 @@ run(double loss, int mode /*0=tcp 1=offload 2=tls*/)
     p.pciePct = 100.0 * w.generator.nicDev().pcieUtilization(recovery,
                                                              window);
 
-    static const char *kModeName[] = {"tcp", "offload", "tls"};
-    emitRegistrySnapshot("fig16",
+    emitRegistrySnapshot(ctx, "fig16",
                          {{"loss", tagNum(loss)}, {"mode", kModeName[mode]}});
     return p;
 }
@@ -70,19 +74,37 @@ run(double loss, int mode /*0=tcp 1=offload 2=tls*/)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchCli(argc, argv);
     printHeader("Figure 16: loss at the sender (1 saturated core, 128 TLS "
                 "streams)");
+
+    const double losses[] = {0.0, 0.01, 0.02, 0.03, 0.04, 0.05};
+    Point pts[6][3]; // [loss][mode]
+    {
+        Sweep sweep("fig16", opt);
+        for (int li = 0; li < 6; li++) {
+            for (int mode = 0; mode < 3; mode++) {
+                double loss = losses[li];
+                std::string label = strprintf("loss=%g/%s", loss,
+                                              kModeName[mode]);
+                sweep.add(label,
+                          [&pts, li, mode, loss](sim::RunContext &ctx) {
+                              pts[li][mode] = run(ctx, loss, mode);
+                          });
+            }
+        }
+        sweep.drain();
+    }
+
     std::printf("%-8s %10s %10s %10s %12s %14s\n", "loss", "tcp", "offload",
                 "tls(sw)", "off vs tcp", "recovery PCIe");
-    for (double loss : {0.0, 0.01, 0.02, 0.03, 0.04, 0.05}) {
-        Point tcp = run(loss, 0);
-        Point off = run(loss, 1);
-        Point sw = run(loss, 2);
+    for (int li = 0; li < 6; li++) {
+        const Point *m = pts[li];
         std::printf("%-7.0f%% %10.2f %10.2f %10.2f %11.0f%% %13.2f%%\n",
-                    loss * 100, tcp.gbps, off.gbps, sw.gbps,
-                    100.0 * (off.gbps / tcp.gbps - 1.0), off.pciePct);
+                    losses[li] * 100, m[0].gbps, m[1].gbps, m[2].gbps,
+                    100.0 * (m[1].gbps / m[0].gbps - 1.0), m[1].pciePct);
     }
     std::printf("\npaper: offload within -8..-11%% of tcp at all loss "
                 "rates, >=33%% over software tls; recovery <=2.5%% of "

@@ -17,27 +17,32 @@ namespace {
 
 struct Point
 {
-    double gbps;
-    double fullPct, partialPct, nonePct;
+    double gbps = 0;
+    double fullPct = 0, partialPct = 0, nonePct = 0;
 };
 
+const char *kModeName[] = {"tcp", "offload", "tls"};
+
 Point
-run(double loss, int mode /*0=tcp 1=offload 2=tls*/)
+run(sim::RunContext &ctx, double loss, int mode /*0=tcp 1=offload 2=tls*/)
 {
     net::Link::Config lc;
     lc.dir[0].lossRate = loss;
     lc.seed = 78;
-    app::MacroWorld::Config cfg;
-    cfg.serverCores = 1;    // the measured, saturated receiver core
-    cfg.generatorCores = 8; // sender must not be the bottleneck
-    cfg.remoteStorage = false;
-    cfg.link = lc;
-    // Modest per-stream socket buffers: with 1 MB each, a single
-    // software-TLS core spends >100 ms pre-encrypting the initial
-    // 128-stream burst before any ack gets processed.
-    cfg.generatorTcp.sndBufSize = 128 << 10;
-    cfg.serverTcp.sndBufSize = 128 << 10;
-    app::MacroWorld w(cfg);
+    auto ex = ExperimentBuilder()
+                  .run(ctx)
+                  .serverCores(1)    // the measured, saturated receiver core
+                  .generatorCores(8) // sender must not be the bottleneck
+                  .pageCache()
+                  .link(lc)
+                  // Modest per-stream socket buffers: with 1 MB each, a
+                  // single software-TLS core spends >100 ms
+                  // pre-encrypting the initial 128-stream burst before
+                  // any ack gets processed.
+                  .generatorSndBuf(128 << 10)
+                  .serverSndBuf(128 << 10)
+                  .build();
+    app::MacroWorld &w = ex->world();
 
     app::IperfConfig icfg;
     icfg.streams = 128;
@@ -46,13 +51,12 @@ run(double loss, int mode /*0=tcp 1=offload 2=tls*/)
     app::IperfRun runr(w.generator, app::MacroWorld::kGenIp, w.server,
                        app::MacroWorld::kSrvIp, icfg);
     runr.start();
-    w.sim.runFor(20 * sim::kMillisecond);
+    ex->warm(20 * sim::kMillisecond);
 
-    sim::Tick window = measureWindow(40 * sim::kMillisecond);
+    sim::Tick window = ex->scaledWindow(40 * sim::kMillisecond);
     tls::TlsStats s0 = runr.receiverTlsStats();
-    runr.measureStart();
-    w.sim.runFor(window);
-    runr.measureStop();
+    ex->measure(
+        window, [&] { runr.measureStart(); }, [&] { runr.measureStop(); });
     tls::TlsStats s1 = runr.receiverTlsStats();
 
     Point p;
@@ -68,8 +72,7 @@ run(double loss, int mode /*0=tcp 1=offload 2=tls*/)
     p.partialPct = total > 0 ? 100.0 * part / total : 0;
     p.nonePct = total > 0 ? 100.0 * none / total : 0;
 
-    static const char *kModeName[] = {"tcp", "offload", "tls"};
-    emitRegistrySnapshot("fig17",
+    emitRegistrySnapshot(ctx, "fig17",
                          {{"loss", tagNum(loss)}, {"mode", kModeName[mode]}});
     return p;
 }
@@ -77,22 +80,40 @@ run(double loss, int mode /*0=tcp 1=offload 2=tls*/)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchCli(argc, argv);
     printHeader("Figure 17: loss at the receiver (1 saturated core, 128 "
                 "TLS streams)");
+
+    const double losses[] = {0.0, 0.01, 0.02, 0.03, 0.04, 0.05};
+    Point pts[6][3]; // [loss][mode]
+    {
+        Sweep sweep("fig17", opt);
+        for (int li = 0; li < 6; li++) {
+            for (int mode = 0; mode < 3; mode++) {
+                double loss = losses[li];
+                std::string label = strprintf("loss=%g/%s", loss,
+                                              kModeName[mode]);
+                sweep.add(label,
+                          [&pts, li, mode, loss](sim::RunContext &ctx) {
+                              pts[li][mode] = run(ctx, loss, mode);
+                          });
+            }
+        }
+        sweep.drain();
+    }
+
     std::printf("%-8s %10s %10s %10s %11s | %7s %8s %6s\n", "loss", "tcp",
                 "offload", "tls(sw)", "off vs sw", "full", "partial",
                 "none");
-    for (double loss : {0.0, 0.01, 0.02, 0.03, 0.04, 0.05}) {
-        Point tcp = run(loss, 0);
-        Point off = run(loss, 1);
-        Point sw = run(loss, 2);
+    for (int li = 0; li < 6; li++) {
+        const Point *m = pts[li];
         std::printf("%-7.0f%% %10.2f %10.2f %10.2f %10.0f%% | %6.0f%% "
                     "%7.0f%% %5.0f%%\n",
-                    loss * 100, tcp.gbps, off.gbps, sw.gbps,
-                    100.0 * (off.gbps / sw.gbps - 1.0), off.fullPct,
-                    off.partialPct, off.nonePct);
+                    losses[li] * 100, m[0].gbps, m[1].gbps, m[2].gbps,
+                    100.0 * (m[1].gbps / m[2].gbps - 1.0), m[1].fullPct,
+                    m[1].partialPct, m[1].nonePct);
     }
     std::printf("\npaper: >=19%% over software tls even at 5%% loss; more "
                 "than half of records remain fully offloaded\n");

@@ -19,57 +19,76 @@ using namespace anic;
 using namespace anic::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchCli(argc, argv);
     printHeader("Figure 19: connection scalability vs NIC context cache "
                 "(20K flows)");
     const HttpVariant variants[] = {HttpVariant::Https, HttpVariant::Offload,
                                     HttpVariant::OffloadZc,
                                     HttpVariant::Http};
+    std::vector<int> counts = opt.quick
+                                  ? std::vector<int>{128, 2048, 16384}
+                                  : std::vector<int>{128, 512, 2048, 8192,
+                                                     32768, 131072};
+
+    struct Row
+    {
+        double gbps[4] = {0, 0, 0, 0};
+        double busyZc = 0;
+        double missRate = 0;
+    };
+    std::vector<Row> rows(counts.size());
+    {
+        Sweep sweep("fig19", opt);
+        for (size_t ci = 0; ci < counts.size(); ci++) {
+            for (int i = 0; i < 4; i++) {
+                int conns = counts[ci];
+                std::string label = strprintf("conns=%d/%s", conns,
+                                              variantName(variants[i]));
+                sweep.add(label, [&rows, &variants, ci, i,
+                                  conns](sim::RunContext &ctx) {
+                    NginxParams p;
+                    p.serverCores = 8;
+                    p.generatorCores = 16;
+                    p.connections = conns;
+                    p.fileSize = 256 << 10;
+                    p.fileCount = 32;
+                    p.c1 = false;
+                    p.variant = variants[i];
+                    // Small per-connection buffers so 128K connections
+                    // fit in memory; aggregate throughput is
+                    // unaffected.
+                    p.serverSndBuf = 64 << 10;
+                    p.clientRcvBuf = 64 << 10;
+                    p.warmup = 15 * sim::kMillisecond;
+                    p.window = 20 * sim::kMillisecond;
+                    p.bench = "fig19";
+                    p.scenario = {{"connections", tagNum(conns)}};
+                    NginxResult r = runNginx(ctx, p);
+                    rows[ci].gbps[i] = r.gbps;
+                    if (variants[i] == HttpVariant::OffloadZc) {
+                        rows[ci].busyZc = r.busyCores;
+                        rows[ci].missRate = r.ctxMissPerPkt;
+                    }
+                });
+            }
+        }
+        sweep.drain();
+    }
+
     std::printf("%-8s", "conns");
     for (HttpVariant v : variants)
         std::printf(" %11s", variantName(v));
     std::printf(" %9s %10s %12s\n", "zc/https", "busy(zc)", "ctx miss/pkt");
-
-    bool quick = quickMode();
-    std::vector<int> counts = quick
-                                  ? std::vector<int>{128, 2048, 16384}
-                                  : std::vector<int>{128, 512, 2048, 8192,
-                                                     32768, 131072};
-    for (int conns : counts) {
-        double gbps[4] = {0, 0, 0, 0};
-        double busy_zc = 0;
-        double miss_rate = 0;
-        for (int i = 0; i < 4; i++) {
-            NginxParams p;
-            p.serverCores = 8;
-            p.generatorCores = 16;
-            p.connections = conns;
-            p.fileSize = 256 << 10;
-            p.fileCount = 32;
-            p.c1 = false;
-            p.variant = variants[i];
-            // Small per-connection buffers so 128K connections fit in
-            // memory; aggregate throughput is unaffected.
-            p.serverSndBuf = 64 << 10;
-            p.clientRcvBuf = 64 << 10;
-            p.warmup = 15 * sim::kMillisecond;
-            p.window = 20 * sim::kMillisecond;
-            p.bench = "fig19";
-            p.scenario = {{"connections", tagNum(conns)}};
-            NginxResult r = runNginx(p);
-            gbps[i] = r.gbps;
-            if (variants[i] == HttpVariant::OffloadZc) {
-                busy_zc = r.busyCores;
-                miss_rate = r.ctxMissPerPkt;
-            }
-        }
-        std::printf("%-8d", conns);
-        for (double g : gbps)
+    for (size_t ci = 0; ci < counts.size(); ci++) {
+        const Row &row = rows[ci];
+        std::printf("%-8d", counts[ci]);
+        for (double g : row.gbps)
             std::printf(" %11.2f", g);
         std::printf(" %8.0f%% %10.2f %12.4f\n",
-                    100.0 * (gbps[2] / gbps[0] - 1.0), busy_zc, miss_rate);
-        std::fflush(stdout); // rows are expensive; don't lose them
+                    100.0 * (row.gbps[2] / row.gbps[0] - 1.0), row.busyZc,
+                    row.missRate);
     }
     std::printf("\npaper: offload+zc within 10%% of http at every count; "
                 "53-94%% over https; no cliff past 20K flows\n");

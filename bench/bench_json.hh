@@ -7,10 +7,6 @@
  *   {"bench":"fig13","metric":"gbps","value":42.1,
  *    "crypto_impl":"hw","variant":"offload+zc","file_kib":"256"}
  *
- * Lines go to stdout; when ANIC_BENCH_JSON names a file they are
- * appended there as well. The active crypto kernel is always included
- * since it dominates wall-clock (not simulated) numbers.
- *
  * emitRegistrySnapshot() additionally dumps the whole hierarchical
  * StatsRegistry (every component instrument, uniform schema across
  * all benches and examples):
@@ -18,26 +14,30 @@
  *   {"schema":"anic.registry.v1","bench":"fig13","crypto_impl":"hw",
  *    "scenario":{"variant":"offload+zc"},"stats":{"srv":{"nic0":...}}}
  *
- * It must run while the world is alive (scopes unlink on
- * destruction). Snapshots go to stdout and ANIC_BENCH_JSON like
- * records; ANIC_SNAPSHOT_DIR=<dir> additionally writes one
- * <bench>[-<n>].json file per snapshot, and ANIC_TRACE_FILE=<path>
- * dumps the global trace ring as JSONL (when ANIC_TRACE enables it).
+ * Two call styles:
+ *
+ *  - RunContext overloads (preferred): the line is buffered in the
+ *    run's Output and flushed by the JobRunner in submission order,
+ *    which keeps `--jobs N` byte-identical to serial. Snapshots read
+ *    the context's own registry; ANIC_SNAPSHOT_DIR / ANIC_TRACE_FILE
+ *    artifacts are attached to the Output and written at flush time.
+ *
+ *  - Immediate overloads (DEPRECATED, kept as thin shims for one PR
+ *    for ad-hoc tools): write straight to stdout, ANIC_BENCH_JSON,
+ *    ANIC_SNAPSHOT_DIR and ANIC_TRACE_FILE, reading the thread-local
+ *    global registry/ring. Not safe under a JobRunner.
  */
 
 #ifndef ANIC_BENCH_BENCH_JSON_HH
 #define ANIC_BENCH_BENCH_JSON_HH
 
 #include <cstdio>
-#include <cstdlib>
 #include <initializer_list>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "crypto/cpu.hh"
-#include "sim/registry.hh"
-#include "sim/trace.hh"
+#include "sim/run_context.hh"
 
 namespace anic::bench {
 
@@ -55,104 +55,47 @@ tagNum(double v)
     return buf;
 }
 
-inline void
-jsonRecord(const char *bench, const char *metric, double value,
-           JsonExtra extra = {})
-{
-    std::string line = "{\"bench\":\"";
-    line += bench;
-    line += "\",\"metric\":\"";
-    line += metric;
-    line += "\",\"value\":";
-    char num[64];
-    std::snprintf(num, sizeof num, "%.6g", value);
-    line += num;
-    line += ",\"crypto_impl\":\"";
-    line += crypto::activeCryptoImplName();
-    line += "\"";
-    for (const auto &[key, val] : extra) {
-        line += ",\"";
-        line += key;
-        line += "\":\"";
-        line += val;
-        line += "\"";
-    }
-    line += "}";
+namespace detail {
 
-    std::printf("%s\n", line.c_str());
-    if (const char *path = std::getenv("ANIC_BENCH_JSON")) {
-        if (std::FILE *f = std::fopen(path, "a")) {
-            std::fprintf(f, "%s\n", line.c_str());
-            std::fclose(f);
-        }
-    }
-}
+/** Builds one {"bench":...,"metric":...} record line (no newline). */
+std::string recordLine(const char *bench, const char *metric, double value,
+                       JsonExtra extra);
 
-inline void
-emitRegistrySnapshot(const std::string &bench, const ScenarioTags &scenario = {},
-                     sim::StatsRegistry *reg = nullptr)
-{
-    if (reg == nullptr)
-        reg = &sim::StatsRegistry::global();
+/** Builds one anic.registry.v1 snapshot line from @p reg. */
+std::string snapshotLine(const std::string &bench,
+                         const ScenarioTags &scenario,
+                         const sim::StatsRegistry &reg);
 
-    std::string line = "{\"schema\":\"anic.registry.v1\",\"bench\":\"";
-    line += bench;
-    line += "\",\"crypto_impl\":\"";
-    line += crypto::activeCryptoImplName();
-    line += "\",\"scenario\":{";
-    bool first = true;
-    for (const auto &[key, val] : scenario) {
-        if (!first)
-            line += ",";
-        first = false;
-        line += "\"";
-        line += key;
-        line += "\":\"";
-        line += val;
-        line += "\"";
-    }
-    line += "},\"stats\":";
-    reg->writeJson(line);
-    line += "}";
+/** Immediate sinks (stdout + ANIC_BENCH_JSON; snapshot files). */
+void writeJsonLine(const std::string &line, const std::string &jsonPath = "");
+void writeSnapshotFile(const std::string &bench, const std::string &line);
+void writeTraceFile(const std::string &dump);
 
-    std::printf("%s\n", line.c_str());
-    if (const char *path = std::getenv("ANIC_BENCH_JSON")) {
-        if (std::FILE *f = std::fopen(path, "a")) {
-            std::fprintf(f, "%s\n", line.c_str());
-            std::fclose(f);
-        }
-    }
-    if (const char *dir = std::getenv("ANIC_SNAPSHOT_DIR")) {
-        // One file per snapshot: <bench>.json, <bench>-2.json, ...
-        static std::vector<std::pair<std::string, int>> seq;
-        int n = 0;
-        for (auto &[name, cnt] : seq) {
-            if (name == bench)
-                n = ++cnt;
-        }
-        if (n == 0) {
-            seq.emplace_back(bench, 1);
-            n = 1;
-        }
-        std::string path = std::string(dir) + "/" + bench;
-        if (n > 1)
-            path += "-" + std::to_string(n);
-        path += ".json";
-        if (std::FILE *f = std::fopen(path.c_str(), "w")) {
-            std::fprintf(f, "%s\n", line.c_str());
-            std::fclose(f);
-        }
-    }
-    if (const char *path = std::getenv("ANIC_TRACE_FILE")) {
-        sim::TraceRing &ring = sim::TraceRing::global();
-        if (ring.enabled()) {
-            if (std::FILE *f = std::fopen(path, "w")) {
-                ring.dumpJsonl(f);
-                std::fclose(f);
-            }
-        }
-    }
-}
+} // namespace detail
+
+// ------------------------------------------------ RunContext style
+
+/** Buffers one record line in @p ctx (flushed in submission order). */
+void jsonRecord(sim::RunContext &ctx, const char *bench, const char *metric,
+                double value, JsonExtra extra = {});
+
+/** Buffers a snapshot of @p ctx's registry, plus (when configured)
+ *  a per-run snapshot-file artifact and a trace dump. Must run while
+ *  the run's world is alive (scopes unlink on destruction). */
+void emitRegistrySnapshot(sim::RunContext &ctx, const std::string &bench,
+                          const ScenarioTags &scenario = {});
+
+// ------------------------------- immediate style (deprecated shims)
+
+/** DEPRECATED: immediate-mode jsonRecord (single-run tools only). */
+void jsonRecord(const char *bench, const char *metric, double value,
+                JsonExtra extra = {});
+
+/** DEPRECATED: immediate-mode snapshot of the thread-local global
+ *  (or @p reg) registry (single-run tools only). */
+void emitRegistrySnapshot(const std::string &bench,
+                          const ScenarioTags &scenario = {},
+                          sim::StatsRegistry *reg = nullptr);
 
 } // namespace anic::bench
 

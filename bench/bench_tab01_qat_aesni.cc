@@ -15,52 +15,79 @@ using namespace anic::bench;
 namespace {
 
 double
-qat(int threads)
+qat(sim::RunContext &ctx, int threads)
 {
     sim::Simulator sim;
     host::CycleModel model;
     model.cpuGhz = 2.4;
-    host::Core core(sim, model, 0);
+    host::Core core(sim, model, 0,
+                    sim::StatsScope(ctx.registry(), "core0"));
     accel::OffCpuAccelerator dev(sim, {});
-    return accel::runAcceleratedSpeedTest(sim, core, dev, threads, 16384,
-                                          measureWindow(
-                                              100 * sim::kMillisecond));
+    return accel::runAcceleratedSpeedTest(
+        sim, core, dev, threads, 16384,
+        ctx.scaleWindow(100 * sim::kMillisecond));
 }
 
 double
-aesni(double cyclesPerByte)
+aesni(sim::RunContext &ctx, double cyclesPerByte)
 {
     sim::Simulator sim;
     host::CycleModel model;
     model.cpuGhz = 2.4;
-    host::Core core(sim, model, 0);
-    return accel::runOnCpuSpeedTest(sim, core, cyclesPerByte, 16384,
-                                    measureWindow(100 * sim::kMillisecond));
+    host::Core core(sim, model, 0,
+                    sim::StatsScope(ctx.registry(), "core0"));
+    return accel::runOnCpuSpeedTest(
+        sim, core, cyclesPerByte, 16384,
+        ctx.scaleWindow(100 * sim::kMillisecond));
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchCli(argc, argv);
     printHeader("Table 1: AES-NI (on-CPU) vs QAT (off-CPU) encryption "
                 "bandwidth, MB/s, 16KiB blocks, 1 core @2.4GHz");
-    double q1 = qat(1);
-    double q128 = qat(128);
-    double cbc = aesni(accel::CipherCosts::kCbcHmacSha1PerByte);
-    double gcm = aesni(accel::CipherCosts::kGcmPerByte);
+
+    double mbps[4] = {}; // q1, q128, cbc, gcm
+    {
+        Sweep sweep("tab01", opt);
+        sweep.add("qat1", [&mbps](sim::RunContext &ctx) {
+            mbps[0] = qat(ctx, 1);
+        });
+        sweep.add("qat128", [&mbps](sim::RunContext &ctx) {
+            mbps[1] = qat(ctx, 128);
+        });
+        sweep.add("aesni-cbc", [&mbps](sim::RunContext &ctx) {
+            mbps[2] = aesni(ctx, accel::CipherCosts::kCbcHmacSha1PerByte);
+        });
+        sweep.add("aesni-gcm", [&mbps](sim::RunContext &ctx) {
+            mbps[3] = aesni(ctx, accel::CipherCosts::kGcmPerByte);
+            emitRegistrySnapshot(ctx, "tab01");
+        });
+        sweep.drain();
+    }
+    double q1 = mbps[0], q128 = mbps[1], cbc = mbps[2], gcm = mbps[3];
+
     std::printf("%-28s %10s %10s %10s\n", "cipher", "QAT 1", "QAT 128",
                 "AES-NI 1");
     std::printf("%-28s %10.0f %10.0f %10.0f\n", "AES-128-CBC-HMAC-SHA1", q1,
                 q128, cbc);
     std::printf("%-28s %10.0f %10.0f %10.0f\n", "AES-128-GCM", q1, q128, gcm);
+    // Aggregate records span all sweep points, so they are emitted
+    // from the main thread after drain (honoring --json).
+    auto record = [&](const char *metric, double v, const char *cipher) {
+        detail::writeJsonLine(detail::recordLine("tab01", metric, v,
+                                                 {{"cipher", cipher}}),
+                              opt.jsonPath);
+    };
     for (const char *cipher : {"cbc-hmac-sha1", "gcm"}) {
-        jsonRecord("tab01", "qat1_mbps", q1, {{"cipher", cipher}});
-        jsonRecord("tab01", "qat128_mbps", q128, {{"cipher", cipher}});
+        record("qat1_mbps", q1, cipher);
+        record("qat128_mbps", q128, cipher);
     }
-    jsonRecord("tab01", "aesni_mbps", cbc, {{"cipher", "cbc-hmac-sha1"}});
-    jsonRecord("tab01", "aesni_mbps", gcm, {{"cipher", "gcm"}});
-    emitRegistrySnapshot("tab01");
+    record("aesni_mbps", cbc, "cbc-hmac-sha1");
+    record("aesni_mbps", gcm, "gcm");
     std::printf("\npaper: 249 / 3144 / 695 and 249 / 3109 / 3150\n");
     return 0;
 }

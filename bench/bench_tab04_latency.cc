@@ -15,7 +15,7 @@ using namespace anic::bench;
 namespace {
 
 double
-latency(uint64_t size, int step)
+latency(sim::RunContext &ctx, uint64_t size, int step)
 {
     NginxParams p;
     p.serverCores = 1;
@@ -44,26 +44,45 @@ latency(uint64_t size, int step)
     p.bench = "tab04";
     p.scenario = {{"file_kib", tagNum(static_cast<double>(size >> 10))},
                   {"step", tagNum(step)}};
-    NginxResult r = runNginx(p);
+    NginxResult r = runNginx(ctx, p);
     return r.latencyUs;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    BenchOptions opt = parseBenchCli(argc, argv);
     printHeader("Table 4: single synchronous GET latency [usec], "
                 "cumulative offloads");
+
+    const uint64_t kibs[] = {4, 16, 64, 256};
+    double us[4][3] = {};
+    {
+        Sweep sweep("tab04", opt);
+        for (int ki = 0; ki < 4; ki++) {
+            for (int step = 0; step < 3; step++) {
+                uint64_t kib = kibs[ki];
+                std::string label =
+                    strprintf("kib=%llu/step=%d",
+                              static_cast<unsigned long long>(kib), step);
+                sweep.add(label,
+                          [&us, ki, step, kib](sim::RunContext &ctx) {
+                              us[ki][step] = latency(ctx, kib << 10, step);
+                          });
+            }
+        }
+        sweep.drain();
+    }
+
     std::printf("%-10s %10s %12s %14s %12s\n", "size", "base", "+TLS",
                 "+copy+CRC", "relative");
-    for (uint64_t kib : {4, 16, 64, 256}) {
-        double base = latency(kib << 10, 0);
-        double tls = latency(kib << 10, 1);
-        double all = latency(kib << 10, 2);
+    for (int ki = 0; ki < 4; ki++) {
+        double base = us[ki][0], tls = us[ki][1], all = us[ki][2];
         std::printf("%-9lluK %10.0f %12.0f %14.0f %11.2fx\n",
-                    static_cast<unsigned long long>(kib), base, tls, all,
-                    base > 0 ? all / base : 0);
+                    static_cast<unsigned long long>(kibs[ki]), base, tls,
+                    all, base > 0 ? all / base : 0);
     }
     std::printf("\npaper: 4K 0.98x, 16K 0.90x, 64K 0.78x, 256K 0.71x; "
                 "TLS gives most of the reduction\n");

@@ -14,61 +14,45 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "app/http.hh"
-#include "app/macro_world.hh"
+#include "experiment.hh"
 #include "bench_json.hh"
 
 using namespace anic;
+using namespace anic::bench;
 
 namespace {
 
-struct Variant
-{
-    const char *name;
-    bool tls;
-    bool offload;
-    bool zc;
-};
-
 void
-run(const Variant &v, int connections, uint64_t fileKib)
+run(HttpVariant v, int connections, uint64_t fileKib)
 {
-    app::MacroWorld::Config cfg;
-    cfg.serverCores = 4;
-    cfg.generatorCores = 12;
-    cfg.remoteStorage = false;
-    app::MacroWorld w(cfg);
-    std::vector<uint32_t> ids = w.makeFiles(64, fileKib << 10);
-    w.storage->prewarm();
+    auto ex = ExperimentBuilder()
+                  .serverCores(4)
+                  .generatorCores(12)
+                  .pageCache()
+                  .httpVariant(v)
+                  .files(64, fileKib << 10)
+                  .connections(connections)
+                  .build();
+    app::MacroWorld &w = ex->world();
 
-    app::HttpServerConfig scfg;
-    scfg.tlsEnabled = v.tls;
-    scfg.tlsCfg.txOffload = v.offload;
-    scfg.tlsCfg.rxOffload = v.offload;
-    scfg.tlsCfg.zerocopySendfile = v.zc;
-    app::HttpServer server(w.server, 443, *w.storage, scfg);
-
-    app::HttpClientConfig ccfg;
-    ccfg.connections = connections;
-    ccfg.fileIds = ids;
-    ccfg.tlsEnabled = v.tls;
+    app::HttpServer server(w.server, 443, *w.storage, ex->httpServerCfg());
+    app::HttpClientConfig ccfg = ex->httpClientCfg();
     ccfg.verifyContent = false;
     app::HttpClient client(w.generator, app::MacroWorld::kGenIp,
                            app::MacroWorld::kSrvIp, 443, w.files, ccfg);
     client.start();
 
-    w.sim.runFor(15 * sim::kMillisecond);
-    std::vector<sim::Tick> busy = w.server.busySnapshot();
-    client.measureStart();
+    ex->warm(15 * sim::kMillisecond);
     sim::Tick window = 25 * sim::kMillisecond;
-    w.sim.runFor(window);
-    client.measureStop();
+    double busy = ex->measure(
+        window, [&] { client.measureStart(); },
+        [&] { client.measureStop(); });
 
-    std::printf("%-12s %10.2f Gbps %10.0f req/s %8.2f busy cores\n", v.name,
-                client.bodyMeter().gbps(),
+    std::printf("%-12s %10.2f Gbps %10.0f req/s %8.2f busy cores\n",
+                variantName(v), client.bodyMeter().gbps(),
                 static_cast<double>(client.windowResponses()) /
                     sim::ticksToSeconds(window),
-                w.server.busyCores(busy, window));
+                busy);
 }
 
 } // namespace
@@ -82,10 +66,8 @@ main(int argc, char **argv)
     std::printf("https file server: %d connections, %llu KiB files, "
                 "4 server cores, 100 Gbps\n\n",
                 connections, (unsigned long long)file_kib);
-    for (Variant v : {Variant{"http", false, false, false},
-                      Variant{"https", true, false, false},
-                      Variant{"offload", true, true, false},
-                      Variant{"offload+zc", true, true, true}}) {
+    for (HttpVariant v : {HttpVariant::Http, HttpVariant::Https,
+                          HttpVariant::Offload, HttpVariant::OffloadZc}) {
         run(v, connections, file_kib);
     }
     anic::bench::emitRegistrySnapshot("https_server");

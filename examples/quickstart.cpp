@@ -13,7 +13,7 @@
 
 #include <cstdio>
 
-#include "app/macro_world.hh"
+#include "experiment.hh"
 #include "bench_json.hh"
 
 using namespace anic;
@@ -25,10 +25,11 @@ main()
     //    connected by a link with 1% packet loss toward the server.
     net::Link::Config link;
     link.dir[0].lossRate = 0.01;
-    app::MacroWorld::Config cfg;
-    cfg.remoteStorage = false; // no storage needed here
-    cfg.link = link;
-    app::MacroWorld w(cfg);
+    auto ex = bench::ExperimentBuilder()
+                  .pageCache() // no storage needed here
+                  .link(link)
+                  .build();
+    app::MacroWorld &w = ex->world();
 
     // 2. Server: accept one TLS connection with rx offload and verify
     //    the received plaintext.

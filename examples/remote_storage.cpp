@@ -15,27 +15,27 @@
 #include <cstdlib>
 
 #include "app/fio.hh"
-#include "app/macro_world.hh"
+#include "experiment.hh"
 #include "bench_json.hh"
 
 using namespace anic;
+using namespace anic::bench;
 
 namespace {
 
 void
 run(bool offload, uint32_t ioKib, int depth)
 {
-    app::MacroWorld::Config cfg;
-    cfg.serverCores = 1;
-    cfg.generatorCores = 8;
-    cfg.remoteStorage = true;
-    cfg.storage.pageCacheBytes = 0;
-    cfg.storage.offloadEnabled = offload;
-    cfg.storage.offload.crcRx = offload;
-    cfg.storage.offload.copyRx = offload;
-    cfg.serverTcp.rcvBufSize = 4 << 20;
-    cfg.generatorTcp.sndBufSize = 4 << 20;
-    app::MacroWorld w(cfg);
+    StorageVariant sv;
+    sv.offload = offload;
+    auto ex = ExperimentBuilder()
+                  .serverCores(1)
+                  .generatorCores(8)
+                  .remoteStorage(sv)
+                  .serverRcvBuf(4 << 20)
+                  .generatorSndBuf(4 << 20)
+                  .build();
+    app::MacroWorld &w = ex->world();
 
     app::FioConfig fcfg;
     fcfg.blockSize = ioKib << 10;
@@ -45,11 +45,11 @@ run(bool offload, uint32_t ioKib, int depth)
     job.driveSeed_ = w.drive.config().contentSeed;
     w.server.core(0).post([&job] { job.start(); });
 
-    w.sim.runFor(10 * sim::kMillisecond);
+    ex->warm(10 * sim::kMillisecond);
     std::vector<sim::Tick> busy = w.server.busySnapshot();
     uint64_t done0 = job.completions();
     sim::Tick window = 50 * sim::kMillisecond;
-    w.sim.runFor(window);
+    ex->warm(window);
 
     uint64_t reqs = job.completions() - done0;
     double gbps = static_cast<double>(reqs) * fcfg.blockSize * 8 /

@@ -12,52 +12,43 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "app/kv.hh"
-#include "app/macro_world.hh"
+#include "experiment.hh"
 #include "bench_json.hh"
 
 using namespace anic;
+using namespace anic::bench;
 
 namespace {
 
 void
 run(bool offload, uint64_t valueKib, int connections)
 {
-    app::MacroWorld::Config cfg;
-    cfg.serverCores = 2;
-    cfg.generatorCores = 12;
-    cfg.remoteStorage = true;
-    cfg.storage.pageCacheBytes = 0;
-    cfg.storage.tlsTransport = true; // NVMe over TLS
-    cfg.storage.offloadEnabled = offload;
-    cfg.storage.offload.crcRx = offload;
-    cfg.storage.offload.copyRx = offload;
-    cfg.storage.tlsCfg.rxOffload = offload;
-    app::MacroWorld w(cfg);
-    w.makeFiles(128, valueKib << 10);
+    StorageVariant sv;
+    sv.tls = true; // NVMe over TLS
+    sv.offload = offload;
+    sv.tlsOffload = offload;
+    auto ex = ExperimentBuilder()
+                  .serverCores(2)
+                  .generatorCores(12)
+                  .remoteStorage(sv)
+                  .kvOffload(offload)
+                  .files(128, valueKib << 10)
+                  .connections(connections)
+                  .build();
+    app::MacroWorld &w = ex->world();
 
-    app::KvServerConfig scfg;
-    scfg.tlsEnabled = true; // client-facing TLS
-    scfg.tlsCfg.txOffload = offload;
-    scfg.tlsCfg.rxOffload = offload;
-    scfg.tlsCfg.zerocopySendfile = offload;
-    app::KvServer server(w.server, 6379, *w.storage, scfg);
-
-    app::KvClientConfig ccfg;
-    ccfg.connections = connections;
-    ccfg.keyCount = 128;
-    ccfg.tlsEnabled = true;
+    app::KvServer server(w.server, 6379, *w.storage, ex->kvServerCfg());
+    app::KvClientConfig ccfg = ex->kvClientCfg();
     ccfg.verifyContent = true;
     app::KvClient client(w.generator, app::MacroWorld::kGenIp,
                          app::MacroWorld::kSrvIp, 6379, w.files, ccfg);
     client.start();
 
-    w.sim.runFor(15 * sim::kMillisecond);
-    std::vector<sim::Tick> busy = w.server.busySnapshot();
-    client.measureStart();
+    ex->warm(15 * sim::kMillisecond);
     sim::Tick window = 30 * sim::kMillisecond;
-    w.sim.runFor(window);
-    client.measureStop();
+    double busy = ex->measure(
+        window, [&] { client.measureStart(); },
+        [&] { client.measureStop(); });
 
     uint64_t placed = 0;
     uint64_t skipped = 0;
@@ -71,8 +62,7 @@ run(bool offload, uint64_t valueKib, int connections)
                 offload ? "offload" : "software", client.meter().gbps(),
                 static_cast<double>(client.windowResponses()) /
                     sim::ticksToSeconds(window),
-                w.server.busyCores(busy, window),
-                (unsigned long long)client.stats().corruptions,
+                busy, (unsigned long long)client.stats().corruptions,
                 static_cast<double>(placed) / (1 << 20),
                 (unsigned long long)skipped);
 }

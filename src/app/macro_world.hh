@@ -37,6 +37,10 @@ struct MacroWorld
         nic::Nic::Config nicCfg;
         tcp::TcpConnection::Config serverTcp;
         tcp::TcpConnection::Config generatorTcp;
+
+        /** Per-run context owning this world's registry and trace
+         *  ring; null falls back to the thread-local globals. */
+        sim::RunContext *run = nullptr;
     };
 
     explicit MacroWorld(Config cfg)
@@ -89,6 +93,8 @@ struct MacroWorld
         n.tcpCfg = c.generatorTcp;
         n.stackSeed = 101;
         n.name = "gen";
+        if (c.run != nullptr)
+            n.bindRun(*c.run);
         return n;
     }
 
@@ -102,6 +108,8 @@ struct MacroWorld
         n.tcpCfg = c.serverTcp;
         n.stackSeed = 202;
         n.name = "srv";
+        if (c.run != nullptr)
+            n.bindRun(*c.run);
         return n;
     }
 

@@ -17,7 +17,7 @@ Node::Node(sim::Simulator &sim, Config cfg) : sim_(sim), cfg_(std::move(cfg))
     for (auto &c : cores_)
         raw.push_back(c.get());
     stack_ = std::make_unique<tcp::TcpStack>(sim_, raw, cfg_.stackSeed,
-                                             scope_.child("tcp"));
+                                             scope_.child("tcp"), cfg_.trace);
 }
 
 OffloadDevice &
@@ -27,6 +27,8 @@ Node::attachPort(net::Link &link, int linkPort, net::IpAddr ip)
     nic::Nic::Config nicCfg = cfg_.nicCfg;
     nicCfg.name = name_ + ".nic" + std::to_string(ports_.size());
     nicCfg.registry = scope_.registry();
+    if (nicCfg.trace == nullptr)
+        nicCfg.trace = cfg_.trace;
     p.nic = std::make_unique<nic::Nic>(sim_, link, linkPort, nicCfg);
     p.dev = std::make_unique<OffloadDevice>(sim_, *p.nic, ip);
     p.dev->attachStack(stack_.get());

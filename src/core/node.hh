@@ -13,6 +13,7 @@
 
 #include "core/offload_device.hh"
 #include "host/storage.hh"
+#include "sim/run_context.hh"
 
 namespace anic::core {
 
@@ -34,6 +35,18 @@ class Node
         std::string name;
         /** Registry to publish under; null -> StatsRegistry::global(). */
         sim::StatsRegistry *registry = nullptr;
+        /** Trace ring for this node's stack and NICs; null ->
+         *  TraceRing::global() (nicCfg.trace, when set, still wins
+         *  for the NICs). */
+        sim::TraceRing *trace = nullptr;
+
+        /** Binds registry + trace to @p run's per-run instances. */
+        void
+        bindRun(sim::RunContext &run)
+        {
+            registry = &run.registry();
+            trace = &run.trace();
+        }
     };
 
     Node(sim::Simulator &sim, Config cfg);

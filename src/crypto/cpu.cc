@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "crypto/kernels.hh"
+#include "util/env.hh"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <cpuid.h>
@@ -52,7 +53,8 @@ const detail::HwOps kX86Ops = {
 CryptoImpl
 resolveActive()
 {
-    const char *env = std::getenv("ANIC_CRYPTO_IMPL");
+    const std::string &impl = util::Env::cryptoImpl();
+    const char *env = impl.empty() ? nullptr : impl.c_str();
     bool supported = hwCryptoSupported();
     if (env != nullptr) {
         if (std::strcmp(env, "scalar") == 0)

@@ -4,7 +4,7 @@
 
 namespace anic::host {
 
-Core *Core::sCurrent_ = nullptr;
+thread_local Core *Core::sCurrent_ = nullptr;
 
 void
 Core::post(Work w)

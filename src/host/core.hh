@@ -124,7 +124,9 @@ class Core
     bool pumpScheduled_ = false;
     sim::Tick freeAt_ = 0;
 
-    static Core *sCurrent_;
+    // thread_local: each JobRunner worker simulates its own world, so
+    // "the currently executing core" is a per-thread notion.
+    static thread_local Core *sCurrent_;
 
     double pendingCycles_ = 0.0; // charged by the current item
     sim::Gauge busyCycles_;

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/env.hh"
 #include "util/panic.hh"
 
 namespace anic::nic {
@@ -30,12 +31,10 @@ FsmBug
 fsmBug()
 {
     static const FsmBug bug = [] {
-        const char *e = std::getenv("ANIC_FSM_BUG");
-        if (e == nullptr)
-            return FsmBug::None;
-        if (std::strcmp(e, "confirm_off_by_one") == 0)
+        const std::string &e = util::Env::fsmBug();
+        if (e == "confirm_off_by_one")
             return FsmBug::ConfirmOffByOne;
-        if (std::strcmp(e, "skip_confirm") == 0)
+        if (e == "skip_confirm")
             return FsmBug::SkipConfirm;
         return FsmBug::None;
     }();

@@ -1,0 +1,160 @@
+#include "sim/executor.hh"
+
+#include <cstdio>
+
+#include "util/panic.hh"
+
+namespace anic::sim {
+
+JobRunner::JobRunner(Config cfg) : cfg_(std::move(cfg))
+{
+    jobs_ = cfg_.jobs < 1 ? 1 : cfg_.jobs;
+    stats_.jobs = jobs_;
+    workers_.reserve(static_cast<size_t>(jobs_));
+    for (int i = 0; i < jobs_; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+JobRunner::~JobRunner()
+{
+    drain();
+}
+
+void
+JobRunner::submit(std::string label, Job job)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    ANIC_ASSERT(!drained_, "submit after drain");
+    if (!clockStarted_) {
+        clockStarted_ = true;
+        start_ = std::chrono::steady_clock::now();
+    }
+    size_t index = slots_.size();
+    slots_.push_back(Slot{std::move(label), false, false, {}, 0.0});
+    queue_.push_back(Pending{index, std::move(job)});
+    lk.unlock();
+    workCv_.notify_one();
+}
+
+void
+JobRunner::cancelPending()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (Pending &p : queue_) {
+        Slot &s = slots_[p.index];
+        s.done = true;
+        s.canceled = true;
+        stats_.canceled++;
+    }
+    queue_.clear();
+    flushLocked(lk);
+    doneCv_.notify_all();
+}
+
+void
+JobRunner::drain()
+{
+    {
+        std::unique_lock<std::mutex> lk(mu_);
+        doneCv_.wait(lk, [this] {
+            return queue_.empty() && inFlight_ == 0 &&
+                   flushNext_ == slots_.size() && !flushing_;
+        });
+        if (!drained_) {
+            drained_ = true;
+            if (clockStarted_) {
+                stats_.wallSeconds =
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+            }
+            for (const Slot &s : slots_) {
+                if (s.canceled)
+                    continue;
+                stats_.runs++;
+                stats_.cpuSeconds += s.wallSeconds;
+                stats_.perRun.push_back(RunTiming{s.label, s.wallSeconds});
+            }
+        }
+        stop_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread &t : workers_) {
+        if (t.joinable())
+            t.join();
+    }
+    workers_.clear();
+}
+
+void
+JobRunner::workerLoop()
+{
+    for (;;) {
+        Pending p;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            workCv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            p = std::move(queue_.front());
+            queue_.pop_front();
+            inFlight_++;
+        }
+
+        RunContext ctx(cfg_.run);
+        ctx.clockStart();
+        p.job(ctx);
+        ctx.clockStop();
+
+        std::unique_lock<std::mutex> lk(mu_);
+        Slot &s = slots_[p.index];
+        s.out = ctx.takeOutput();
+        s.wallSeconds = ctx.wallSeconds();
+        s.done = true;
+        inFlight_--;
+        flushLocked(lk);
+        lk.unlock();
+        doneCv_.notify_all();
+    }
+}
+
+void
+JobRunner::flushLocked(std::unique_lock<std::mutex> &lk)
+{
+    // Single flusher at a time: whoever completes the next-in-order
+    // slot walks the done prefix, handing outputs to the sink outside
+    // the lock (the sink does file I/O) but still strictly in order.
+    if (flushing_)
+        return;
+    flushing_ = true;
+    while (flushNext_ < slots_.size() && slots_[flushNext_].done) {
+        Slot &s = slots_[flushNext_];
+        RunContext::Output out = std::move(s.out);
+        s.out = {};
+        flushNext_++;
+        bool emit = !s.canceled;
+        lk.unlock();
+        if (emit) {
+            if (cfg_.sink)
+                cfg_.sink(out);
+            else
+                defaultSink(out);
+        }
+        lk.lock();
+    }
+    flushing_ = false;
+}
+
+void
+JobRunner::defaultSink(const RunContext::Output &out)
+{
+    if (!out.text.empty()) {
+        std::fwrite(out.text.data(), 1, out.text.size(), stdout);
+        std::fflush(stdout);
+    }
+}
+
+} // namespace anic::sim

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * JobRunner: a thread pool that shards independent simulation runs
+ * (bench sweep points, fuzz seeds, ablation variants) across N
+ * workers with deterministic, submission-order result aggregation.
+ *
+ * Each submitted job executes against its own RunContext — private
+ * StatsRegistry, private TraceRing, buffered output — so runs share
+ * no mutable state. Completed outputs are handed to the sink strictly
+ * in submission order regardless of which worker finishes first,
+ * which makes `--jobs 8` output byte-identical to `--jobs 1`.
+ *
+ * Per-run wall-clock and the aggregate speedup (sum of run times /
+ * elapsed time) are collected in Stats so sweeps can record their
+ * perf trajectory.
+ */
+
+#ifndef ANIC_SIM_EXECUTOR_HH
+#define ANIC_SIM_EXECUTOR_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/run_context.hh"
+
+namespace anic::sim {
+
+class JobRunner
+{
+  public:
+    /** One independent simulation run. All output must go through
+     *  the RunContext; the job must not touch stdout/files itself. */
+    using Job = std::function<void(RunContext &)>;
+
+    /** Receives completed run outputs, in submission order, one run
+     *  at a time (never called concurrently). */
+    using Sink = std::function<void(const RunContext::Output &)>;
+
+    struct Config
+    {
+        /** Worker threads; values < 1 are clamped to 1. */
+        int jobs = 1;
+        /** Per-run configuration template (window scale, tracing). */
+        RunConfig run;
+        /** Output sink; null writes each run's text to stdout. */
+        Sink sink;
+    };
+
+    struct RunTiming
+    {
+        std::string label;
+        double wallSeconds = 0.0;
+    };
+
+    struct Stats
+    {
+        int jobs = 1;
+        uint64_t runs = 0;     ///< jobs executed (excludes canceled)
+        uint64_t canceled = 0;
+        double wallSeconds = 0.0; ///< first submit -> drain, elapsed
+        double cpuSeconds = 0.0;  ///< sum of per-run wall clocks
+        std::vector<RunTiming> perRun; ///< submission order
+
+        /** Aggregate parallel speedup (1.0 when serial). */
+        double
+        speedup() const
+        {
+            return wallSeconds > 0.0 ? cpuSeconds / wallSeconds : 0.0;
+        }
+    };
+
+    explicit JobRunner(Config cfg);
+    ~JobRunner();
+
+    JobRunner(const JobRunner &) = delete;
+    JobRunner &operator=(const JobRunner &) = delete;
+
+    int jobs() const { return jobs_; }
+
+    /** Enqueues a run. @p label names it in per-run timing (and in
+     *  failure reports of callers that keep their own result slots). */
+    void submit(std::string label, Job job);
+
+    /** Drops every job not yet started (their slots flush empty).
+     *  Used for early exit once a sweep has found what it wanted. */
+    void cancelPending();
+
+    /** Blocks until every non-canceled job has executed and every
+     *  output has been flushed to the sink, then records stats.
+     *  Idempotent; also called by the destructor. */
+    void drain();
+
+    /** Valid after drain(). */
+    const Stats &stats() const { return stats_; }
+
+  private:
+    struct Slot
+    {
+        std::string label;
+        bool done = false;
+        bool canceled = false;
+        RunContext::Output out;
+        double wallSeconds = 0.0;
+    };
+
+    struct Pending
+    {
+        size_t index;
+        Job job;
+    };
+
+    void workerLoop();
+    void flushLocked(std::unique_lock<std::mutex> &lk);
+    void defaultSink(const RunContext::Output &out);
+
+    Config cfg_;
+    int jobs_ = 1;
+
+    std::mutex mu_;
+    std::condition_variable workCv_;
+    std::condition_variable doneCv_;
+    std::deque<Pending> queue_;
+    std::deque<Slot> slots_;
+    size_t flushNext_ = 0; ///< next submission index to hand the sink
+    size_t inFlight_ = 0;  ///< jobs currently executing
+    bool flushing_ = false;
+    bool stop_ = false;
+    bool drained_ = false;
+    bool clockStarted_ = false;
+    std::chrono::steady_clock::time_point start_{};
+    Stats stats_;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace anic::sim
+
+#endif // ANIC_SIM_EXECUTOR_HH

@@ -114,7 +114,10 @@ appendInstrumentJson(const InstrumentRef &ref, std::string &out)
 StatsRegistry &
 StatsRegistry::global()
 {
-    static StatsRegistry reg;
+    // Thread-local: each JobRunner worker that falls through to the
+    // fallback registry gets its own (runs should inject their
+    // RunContext's registry instead — see DESIGN.md §12).
+    static thread_local StatsRegistry reg;
     return reg;
 }
 

@@ -221,8 +221,9 @@ class StatsRegistry
     StatsRegistry(const StatsRegistry &) = delete;
     StatsRegistry &operator=(const StatsRegistry &) = delete;
 
-    /** Process-wide default; components register here unless a config
-     *  supplies another registry. */
+    /** Thread-local fallback; components register here unless a
+     *  config supplies another registry (worlds running under a
+     *  RunContext must use its registry instead). */
     static StatsRegistry &global();
 
     // ------------------------------------------------------- links

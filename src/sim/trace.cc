@@ -1,6 +1,7 @@
 #include "sim/trace.hh"
 
-#include <cstdlib>
+#include "util/env.hh"
+#include "util/panic.hh"
 
 namespace anic::sim {
 
@@ -33,18 +34,13 @@ traceKindName(TraceKind k)
 TraceRing &
 TraceRing::global()
 {
-    static TraceRing *ring = [] {
+    static thread_local TraceRing *ring = [] {
         size_t cap = kDefaultCapacity;
-        if (const char *c = std::getenv("ANIC_TRACE_CAP")) {
-            unsigned long v = std::strtoul(c, nullptr, 10);
-            if (v > 0)
-                cap = v;
-        }
+        if (util::Env::traceCap() > 0)
+            cap = util::Env::traceCap();
         auto *r = new TraceRing(cap);
-        if (const char *e = std::getenv("ANIC_TRACE")) {
-            if (e[0] != '\0' && e[0] != '0')
-                r->enable();
-        }
+        if (util::Env::traceEnabled())
+            r->enable();
         return r;
     }();
     return *ring;
@@ -61,18 +57,27 @@ TraceRing::events() const
     return out;
 }
 
+std::string
+TraceRing::jsonl() const
+{
+    std::string out;
+    for (const TraceEvent &ev : events()) {
+        out += strprintf(
+            "{\"ts_ns\":%llu,\"kind\":\"%s\",\"comp\":\"%s\","
+            "\"id\":%llu,\"a\":%llu,\"b\":%llu}\n",
+            (unsigned long long)(ev.ts / kNanosecond),
+            traceKindName(ev.kind), ev.comp.c_str(),
+            (unsigned long long)ev.id, (unsigned long long)ev.a,
+            (unsigned long long)ev.b);
+    }
+    return out;
+}
+
 void
 TraceRing::dumpJsonl(std::FILE *f) const
 {
-    for (const TraceEvent &ev : events()) {
-        std::fprintf(f,
-                     "{\"ts_ns\":%llu,\"kind\":\"%s\",\"comp\":\"%s\","
-                     "\"id\":%llu,\"a\":%llu,\"b\":%llu}\n",
-                     (unsigned long long)(ev.ts / kNanosecond),
-                     traceKindName(ev.kind), ev.comp.c_str(),
-                     (unsigned long long)ev.id, (unsigned long long)ev.a,
-                     (unsigned long long)ev.b);
-    }
+    std::string out = jsonl();
+    std::fwrite(out.data(), 1, out.size(), f);
 }
 
 void

@@ -59,9 +59,12 @@ class TraceRing
     }
 
     /**
-     * Process-wide ring used by components that have no injected ring.
-     * Enabled (and sized) from ANIC_TRACE / ANIC_TRACE_CAP on first
-     * use; stays disabled otherwise so record() is a cheap no-op.
+     * Fallback ring used by components that have no injected ring.
+     * Thread-local: parallel JobRunner workers that fall through to
+     * it never share a ring (runs should inject their RunContext's
+     * ring instead — see DESIGN.md §12). Enabled (and sized) from
+     * ANIC_TRACE / ANIC_TRACE_CAP on first use per thread; stays
+     * disabled otherwise so record() is a cheap no-op.
      */
     static TraceRing &global();
 
@@ -106,6 +109,9 @@ class TraceRing
 
     /** Events oldest-first. */
     std::vector<TraceEvent> events() const;
+
+    /** One JSON object per line, as a string. */
+    std::string jsonl() const;
 
     /** One JSON object per line. */
     void dumpJsonl(std::FILE *f) const;

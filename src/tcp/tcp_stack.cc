@@ -5,9 +5,11 @@
 namespace anic::tcp {
 
 TcpStack::TcpStack(sim::Simulator &sim, std::vector<host::Core *> cores,
-                   uint64_t seed, sim::StatsScope scope)
+                   uint64_t seed, sim::StatsScope scope,
+                   sim::TraceRing *trace)
     : sim_(sim), cores_(std::move(cores)), rng_(seed),
-      scope_(std::move(scope)), trace_(&sim::TraceRing::global())
+      scope_(std::move(scope)),
+      trace_(trace != nullptr ? trace : &sim::TraceRing::global())
 {
     ANIC_ASSERT(!cores_.empty(), "stack needs at least one core");
     scope_.link("dataPktsSent", agg_.dataPktsSent);

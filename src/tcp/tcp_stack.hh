@@ -30,9 +30,13 @@ class TcpStack
 
     /** @param scope registry scope to publish stack-wide counters
      *  under ("<node>.tcp"); a detached scope keeps the stack
-     *  unregistered (bare construction in unit tests). */
+     *  unregistered (bare construction in unit tests).
+     *  @param trace ring for retransmit events; null falls back to
+     *  the thread-local TraceRing::global() (worlds owned by a
+     *  RunContext must inject its ring). */
     TcpStack(sim::Simulator &sim, std::vector<host::Core *> cores,
-             uint64_t seed = 0x7cb, sim::StatsScope scope = {});
+             uint64_t seed = 0x7cb, sim::StatsScope scope = {},
+             sim::TraceRing *trace = nullptr);
 
     /** Binds a device/IP pair (a host may have several ports). */
     void addDevice(NetDevice *dev);

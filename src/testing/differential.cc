@@ -13,6 +13,7 @@
 #include "testing/invariants.hh"
 #include "testing/traffic.hh"
 #include "tls/ktls.hh"
+#include "util/env.hh"
 
 namespace anic::testing {
 
@@ -62,6 +63,7 @@ nodeCfg(const Scenario &s, const char *name, uint64_t stackSeed,
     c.name = name;
     c.stackSeed = stackSeed;
     c.registry = reg;
+    c.trace = trace;
     c.nicCfg.ctxCacheCapacity = s.ctxCacheCapacity;
     c.nicCfg.trace = trace;
     c.nicCfg.fsmProbe = probe;
@@ -518,7 +520,7 @@ DifferentialRunner::runOne(const Scenario &s, bool offload)
         r.errors.push_back(v);
     r.traceHash = traceHash(w.trace);
     r.fsmEvents = probeA.eventsSeen() + probeB.eventsSeen();
-    if (std::getenv("ANIC_FUZZ_DEBUG") != nullptr)
+    if (util::Env::fuzzDebug())
         for (size_t i = 0; i < tls.size(); i++)
             std::fprintf(stderr, "[%s] tls %zu: %s\n",
                          offload ? "offload" : "software", i,

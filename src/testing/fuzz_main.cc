@@ -4,19 +4,25 @@
  * offload FSM.
  *
  *   fuzz_offload --seeds 200            # quick sweep (CI tier)
+ *   fuzz_offload --seeds 5000 --jobs 8  # sharded across 8 workers
  *   fuzz_offload --seed 1234567         # one specific seed
  *   fuzz_offload --replay fail.scenario # reproduce a saved scenario
  *   fuzz_offload --seeds 25 --expect-failure   # mutation smoke: with
  *       ANIC_FSM_BUG set the sweep must find and minimize a failure
  *
- * On the first failing scenario the harness minimizes it, writes the
- * replay file (fuzz-fail-<seed>.scenario, --out selects the
- * directory), re-loads the file and verifies the reproduction, then
- * exits non-zero. Every Nth seed (--determinism-every, default 16)
- * the offload run is executed twice and the trace-ring hashes must
- * match exactly — the same seed always yields the same simulation.
+ * --jobs N shards the seed sweep across N worker threads; every world
+ * is already run-isolated (its own simulator, registry, trace ring),
+ * so stdout is byte-identical to a serial sweep and the reported
+ * failing seed is the earliest in seed order. On the first failing
+ * scenario the harness minimizes it, writes the replay file
+ * (fuzz-fail-<seed>.scenario, --out selects the directory), re-loads
+ * the file and verifies the reproduction, then exits non-zero. Every
+ * Nth seed (--determinism-every, default 16) the offload run is
+ * executed twice and the trace-ring hashes must match exactly — the
+ * same seed always yields the same simulation.
  */
 
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -25,9 +31,11 @@
 #include <sstream>
 #include <string>
 
+#include "sim/executor.hh"
 #include "testing/differential.hh"
 
 using namespace anic::testing;
+namespace sim = anic::sim;
 
 namespace {
 
@@ -41,6 +49,7 @@ struct Options
     std::string outDir = ".";
     uint64_t determinismEvery = 16;
     bool expectFailure = false;
+    int jobs = 1;
 };
 
 void
@@ -48,7 +57,7 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--seeds N] [--seed-base B] [--seed S]\n"
+        "usage: %s [--seeds N] [--seed-base B] [--seed S] [--jobs N]\n"
         "          [--replay FILE] [--out DIR] [--determinism-every K]\n"
         "          [--expect-failure]\n",
         argv0);
@@ -82,6 +91,13 @@ parseArgs(int argc, char **argv, Options &opt)
                 return false;
             opt.haveSingleSeed = true;
             opt.singleSeed = std::strtoull(v, nullptr, 10);
+        } else if (a == "--jobs") {
+            const char *v = need("--jobs");
+            if (v == nullptr)
+                return false;
+            opt.jobs = std::atoi(v);
+            if (opt.jobs < 1)
+                opt.jobs = 1;
         } else if (a == "--replay") {
             const char *v = need("--replay");
             if (v == nullptr)
@@ -185,6 +201,17 @@ replayMode(const Options &opt)
     return 1;
 }
 
+/** What one seed's job recorded. Slots are distinct per submission
+ *  index, so workers never share one. */
+struct SeedOutcome
+{
+    bool ran = false;     ///< false: canceled after an earlier failure
+    bool detFail = false; ///< trace-hash mismatch between double runs
+    uint64_t h1 = 0, h2 = 0;
+    std::vector<std::string> errs; ///< differential oracle violations
+    Scenario scenario;
+};
+
 } // namespace
 
 int
@@ -197,33 +224,83 @@ main(int argc, char **argv)
         return replayMode(opt);
 
     ScenarioGen gen;
-    DifferentialRunner runner;
     uint64_t first = opt.haveSingleSeed ? opt.singleSeed : opt.seedBase;
     uint64_t count = opt.haveSingleSeed ? 1 : opt.seeds;
+
+    std::vector<SeedOutcome> outcomes(count);
+    sim::JobRunner::Config rcfg;
+    rcfg.jobs = opt.jobs;
+    {
+        // Progress goes to stderr (nondeterministic pacing is fine
+        // there); successful jobs write nothing to stdout, so parallel
+        // and serial stdout match byte for byte.
+        uint64_t flushed = 0;
+        rcfg.sink = [&flushed, count](const sim::RunContext::Output &o) {
+            if (!o.text.empty())
+                std::fwrite(o.text.data(), 1, o.text.size(), stdout);
+            flushed++;
+            if (flushed % 25 == 0)
+                std::fprintf(stderr, "... %" PRIu64 "/%" PRIu64 " done\n",
+                             flushed, count);
+        };
+        sim::JobRunner runner(rcfg);
+        for (uint64_t i = 0; i < count; i++) {
+            uint64_t seed = first + i;
+            bool detCheck = opt.determinismEvery != 0 &&
+                            i % opt.determinismEvery == 0;
+            runner.submit(
+                "seed=" + std::to_string(seed),
+                [&gen, &outcomes, &runner, i, seed,
+                 detCheck](sim::RunContext &) {
+                    SeedOutcome &so = outcomes[i];
+                    so.ran = true;
+                    Scenario s = gen.generate(seed);
+                    DifferentialRunner dr;
+                    if (detCheck) {
+                        so.h1 = dr.runOne(s, true).traceHash;
+                        so.h2 = dr.runOne(s, true).traceHash;
+                        if (so.h1 != so.h2) {
+                            so.detFail = true;
+                            so.scenario = s;
+                            runner.cancelPending();
+                            return;
+                        }
+                    }
+                    so.errs = dr.check(s);
+                    if (!so.errs.empty()) {
+                        so.scenario = s;
+                        // Seeds submitted before this one have already
+                        // been popped (the queue drains in order), so
+                        // they still finish: the earliest failure in
+                        // seed order is always among completed slots.
+                        runner.cancelPending();
+                    }
+                });
+        }
+        runner.drain();
+    }
+
+    // Report in seed order: the verdict is independent of --jobs.
     uint64_t checked = 0;
     uint64_t determinismChecks = 0;
-
     for (uint64_t i = 0; i < count; i++) {
-        uint64_t seed = first + i;
-        Scenario s = gen.generate(seed);
-
-        if (opt.determinismEvery != 0 && i % opt.determinismEvery == 0) {
-            uint64_t h1 = runner.runOne(s, true).traceHash;
-            uint64_t h2 = runner.runOne(s, true).traceHash;
-            determinismChecks++;
-            if (h1 != h2) {
-                std::printf("FAIL seed %" PRIu64
-                            ": nondeterministic trace "
-                            "(%016" PRIx64 " vs %016" PRIx64 ")\n",
-                            seed, h1, h2);
-                return 1;
-            }
-        }
-
-        std::vector<std::string> errs = runner.check(s);
+        const SeedOutcome &so = outcomes[i];
+        if (!so.ran)
+            break;
         checked++;
-        if (!errs.empty()) {
-            bool reproduced = handleFailure(runner, s, errs, opt);
+        if (so.detFail) {
+            std::printf("FAIL seed %" PRIu64
+                        ": nondeterministic trace "
+                        "(%016" PRIx64 " vs %016" PRIx64 ")\n",
+                        first + i, so.h1, so.h2);
+            return 1;
+        }
+        if (opt.determinismEvery != 0 && i % opt.determinismEvery == 0)
+            determinismChecks++;
+        if (!so.errs.empty()) {
+            DifferentialRunner runner;
+            bool reproduced =
+                handleFailure(runner, so.scenario, so.errs, opt);
             if (opt.expectFailure && reproduced) {
                 std::printf("expected failure found after %" PRIu64
                             " scenario%s\n",
@@ -232,9 +309,6 @@ main(int argc, char **argv)
             }
             return 1;
         }
-        if ((i + 1) % 25 == 0)
-            std::fprintf(stderr, "... %" PRIu64 "/%" PRIu64 " ok\n",
-                         i + 1, count);
     }
 
     if (opt.expectFailure) {

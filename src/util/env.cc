@@ -1,0 +1,77 @@
+#include "util/env.hh"
+
+#include <cstdlib>
+
+namespace anic::util {
+
+struct Env::Values
+{
+    bool quick = false;
+    bool traceEnabled = false;
+    size_t traceCap = 0;
+    std::string traceFile;
+    std::string snapshotDir;
+    std::string benchJson;
+    std::string cryptoImpl;
+    std::string fsmBug;
+    bool fuzzDebug = false;
+};
+
+namespace {
+
+bool
+envFlag(const char *name)
+{
+    const char *e = std::getenv(name);
+    return e != nullptr && e[0] != '\0' && !(e[0] == '0' && e[1] == '\0');
+}
+
+std::string
+envString(const char *name)
+{
+    const char *e = std::getenv(name);
+    return e != nullptr ? e : "";
+}
+
+size_t
+envSize(const char *name)
+{
+    const char *e = std::getenv(name);
+    if (e == nullptr)
+        return 0;
+    return static_cast<size_t>(std::strtoull(e, nullptr, 10));
+}
+
+} // namespace
+
+const Env::Values &
+Env::values()
+{
+    // Magic static: snapshotted once, thread-safe thereafter.
+    static const Values v = [] {
+        Values r;
+        r.quick = envFlag("ANIC_QUICK");
+        r.traceEnabled = envFlag("ANIC_TRACE");
+        r.traceCap = envSize("ANIC_TRACE_CAP");
+        r.traceFile = envString("ANIC_TRACE_FILE");
+        r.snapshotDir = envString("ANIC_SNAPSHOT_DIR");
+        r.benchJson = envString("ANIC_BENCH_JSON");
+        r.cryptoImpl = envString("ANIC_CRYPTO_IMPL");
+        r.fsmBug = envString("ANIC_FSM_BUG");
+        r.fuzzDebug = envFlag("ANIC_FUZZ_DEBUG");
+        return r;
+    }();
+    return v;
+}
+
+bool Env::quick() { return values().quick; }
+bool Env::traceEnabled() { return values().traceEnabled; }
+size_t Env::traceCap() { return values().traceCap; }
+const std::string &Env::traceFile() { return values().traceFile; }
+const std::string &Env::snapshotDir() { return values().snapshotDir; }
+const std::string &Env::benchJson() { return values().benchJson; }
+const std::string &Env::cryptoImpl() { return values().cryptoImpl; }
+const std::string &Env::fsmBug() { return values().fsmBug; }
+bool Env::fuzzDebug() { return values().fuzzDebug; }
+
+} // namespace anic::util

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Typed accessors for every ANIC_* environment knob. The whole
+ * environment is snapshotted once, on first access, so values are
+ * stable for the life of the process and safe to read from worker
+ * threads (no getenv racing a putenv).
+ *
+ * Knob table (documented in README "Environment knobs"):
+ *
+ *   ANIC_QUICK         bool    shrink bench measurement windows (CI)
+ *   ANIC_TRACE         bool    enable the fallback global trace ring
+ *   ANIC_TRACE_CAP     size    capacity of that ring (events)
+ *   ANIC_TRACE_FILE    path    dump the trace ring as JSONL
+ *   ANIC_SNAPSHOT_DIR  path    write one registry snapshot file/run
+ *   ANIC_BENCH_JSON    path    append bench JSON lines to this file
+ *   ANIC_CRYPTO_IMPL   enum    scalar | hw | auto kernel selection
+ *   ANIC_FSM_BUG       enum    fault injection for the mutation smoke
+ *   ANIC_FUZZ_DEBUG    bool    verbose differential-runner logging
+ *
+ * Code must come here instead of calling std::getenv("ANIC_...")
+ * directly; this is the single list of supported knobs.
+ */
+
+#ifndef ANIC_UTIL_ENV_HH
+#define ANIC_UTIL_ENV_HH
+
+#include <cstddef>
+#include <string>
+
+namespace anic::util {
+
+class Env
+{
+  public:
+    /** ANIC_QUICK: set (and not "0") -> shrink measurement windows. */
+    static bool quick();
+
+    /** ANIC_TRACE: enable the fallback global TraceRing. */
+    static bool traceEnabled();
+
+    /** ANIC_TRACE_CAP: trace ring capacity; 0 means "use default". */
+    static size_t traceCap();
+
+    /** ANIC_TRACE_FILE: JSONL dump path ("" when unset). */
+    static const std::string &traceFile();
+
+    /** ANIC_SNAPSHOT_DIR: per-run snapshot directory ("" when unset). */
+    static const std::string &snapshotDir();
+
+    /** ANIC_BENCH_JSON: bench JSON append path ("" when unset). */
+    static const std::string &benchJson();
+
+    /** ANIC_CRYPTO_IMPL: raw value ("" when unset; cpu.cc parses). */
+    static const std::string &cryptoImpl();
+
+    /** ANIC_FSM_BUG: raw value ("" when unset; stream_fsm.cc parses). */
+    static const std::string &fsmBug();
+
+    /** ANIC_FUZZ_DEBUG: verbose differential-runner logging. */
+    static bool fuzzDebug();
+
+  private:
+    struct Values;
+    static const Values &values();
+};
+
+} // namespace anic::util
+
+#endif // ANIC_UTIL_ENV_HH
