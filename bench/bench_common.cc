@@ -71,13 +71,4 @@ runNginx(sim::RunContext &ctx, const NginxParams &p)
     return r;
 }
 
-NginxResult
-runNginx(const NginxParams &p)
-{
-    sim::RunContext ctx(sim::RunConfig::fromEnv());
-    NginxResult r = runNginx(ctx, p);
-    makeBenchSink("")(ctx.takeOutput());
-    return r;
-}
-
 } // namespace anic::bench

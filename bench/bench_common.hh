@@ -25,24 +25,6 @@
 
 namespace anic::bench {
 
-/** @deprecated Prefer BenchOptions::quick / RunConfig.windowScale. */
-inline bool
-quickMode()
-{
-    return util::Env::quick();
-}
-
-/** @deprecated Prefer RunContext::scaleWindow (never floors to zero).
- *  Kept for out-of-tree callers for one release. */
-inline sim::Tick
-measureWindow(sim::Tick full)
-{
-    if (!quickMode())
-        return full;
-    sim::Tick w = full / 4;
-    return (full > 0 && w == 0) ? 1 : w;
-}
-
 inline void
 printHeader(const char *title)
 {
@@ -89,10 +71,6 @@ struct NginxResult
  *  stats/trace isolation, window scaling, and output all flow through
  *  the run context, so points can run on JobRunner workers. */
 NginxResult runNginx(sim::RunContext &ctx, const NginxParams &p);
-
-/** @deprecated Serial shim: runs in a private RunContext and flushes
- *  its output immediately. Prefer the RunContext overload. */
-NginxResult runNginx(const NginxParams &p);
 
 } // namespace anic::bench
 

@@ -44,12 +44,14 @@ struct MacroWorld
     };
 
     explicit MacroWorld(Config cfg)
-        : link(sim, cfg.link),
-          generator(sim, genCfg(cfg)),
-          server(sim, srvCfg(cfg)),
+        : link(sim, linkCfg(cfg, pool)),
+          generator(sim, genCfg(cfg, pool)),
+          server(sim, srvCfg(cfg, pool)),
           drive(sim, cfg.drive),
           files(cfg.drive.contentSeed)
     {
+        if (cfg.run != nullptr)
+            pool.linkStats(sim::StatsScope(cfg.run->registry(), "sim.alloc"));
         generator.attachPort(link, 0, kGenIp);
         server.attachPort(link, 1, kSrvIp);
 
@@ -83,8 +85,16 @@ struct MacroWorld
         }
     }
 
+    static net::Link::Config
+    linkCfg(const Config &c, net::PacketPool &pool)
+    {
+        net::Link::Config l = c.link;
+        l.pool = &pool;
+        return l;
+    }
+
     static core::Node::Config
-    genCfg(const Config &c)
+    genCfg(const Config &c, net::PacketPool &pool)
     {
         core::Node::Config n;
         n.cores = c.generatorCores;
@@ -93,13 +103,14 @@ struct MacroWorld
         n.tcpCfg = c.generatorTcp;
         n.stackSeed = 101;
         n.name = "gen";
+        n.pool = &pool;
         if (c.run != nullptr)
             n.bindRun(*c.run);
         return n;
     }
 
     static core::Node::Config
-    srvCfg(const Config &c)
+    srvCfg(const Config &c, net::PacketPool &pool)
     {
         core::Node::Config n;
         n.cores = c.serverCores;
@@ -108,6 +119,7 @@ struct MacroWorld
         n.tcpCfg = c.serverTcp;
         n.stackSeed = 202;
         n.name = "srv";
+        n.pool = &pool;
         if (c.run != nullptr)
             n.bindRun(*c.run);
         return n;
@@ -123,6 +135,10 @@ struct MacroWorld
         return ids;
     }
 
+    // Pool first: members destroy in reverse order, and every
+    // PacketPtr still alive in sim events / sockets must release back
+    // into the pool before its destructor checks liveCount == 0.
+    net::PacketPool pool;
     sim::Simulator sim;
     net::Link link;
     core::Node generator;

@@ -17,7 +17,8 @@ Node::Node(sim::Simulator &sim, Config cfg) : sim_(sim), cfg_(std::move(cfg))
     for (auto &c : cores_)
         raw.push_back(c.get());
     stack_ = std::make_unique<tcp::TcpStack>(sim_, raw, cfg_.stackSeed,
-                                             scope_.child("tcp"), cfg_.trace);
+                                             scope_.child("tcp"), cfg_.trace,
+                                             cfg_.pool);
 }
 
 OffloadDevice &

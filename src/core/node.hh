@@ -39,6 +39,10 @@ class Node
          *  TraceRing::global() (nicCfg.trace, when set, still wins
          *  for the NICs). */
         sim::TraceRing *trace = nullptr;
+        /** Packet arena for this node's stack; null ->
+         *  PacketPool::threadDefault(). Worlds that own their pool
+         *  (MacroWorld) inject it so packet recycling stays per-run. */
+        net::PacketPool *pool = nullptr;
 
         /** Binds registry + trace to @p run's per-run instances. */
         void

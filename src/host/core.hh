@@ -31,7 +31,9 @@ namespace anic::host {
 class Core
 {
   public:
-    using Work = std::function<void()>;
+    /** Work items share the simulator's inline-capture budget: no heap
+     *  allocation per posted item, oversized captures fail to compile. */
+    using Work = sim::Simulator::Callback;
 
     /** @param scope registry scope to publish cycle accounting under
      *  ("<node>.cpu0"); a detached scope keeps the core unregistered. */

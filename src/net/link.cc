@@ -28,7 +28,7 @@ Link::transmit(int fromPort, PacketPtr pkt)
         st.corrupted++;
         // Corrupt a private copy: the sender retains the pristine bytes
         // for retransmission, exactly like real wire corruption.
-        auto bad = std::make_shared<Packet>(*pkt);
+        PacketPtr bad = pool_.copy(*pkt);
         bad->rx = RxOffloadMeta{};
         ByteSpan pay = bad->payloadMut();
         size_t len = pay.size();
@@ -38,28 +38,63 @@ Link::transmit(int fromPort, PacketPtr pkt)
         pkt = std::move(bad);
     }
 
-    deliver(to, pkt, delay);
-
-    if (imp.duplicateRate > 0 && rng_.chance(imp.duplicateRate)) {
+    bool duplicate = imp.duplicateRate > 0 && rng_.chance(imp.duplicateRate);
+    PacketPtr dup;
+    if (duplicate) {
         st.duplicated++;
         // The duplicate arrives slightly later, carrying its own copy
         // of the bytes so downstream mutation (NIC decrypt-in-place)
         // cannot alias.
-        auto dup = std::make_shared<Packet>(*pkt);
+        dup = pool_.copy(*pkt);
         dup->rx = RxOffloadMeta{};
-        deliver(to, std::move(dup), delay + sim::kMicrosecond);
     }
+
+    deliver(to, std::move(pkt), delay);
+    if (duplicate)
+        deliver(to, std::move(dup), delay + sim::kMicrosecond);
 }
 
 void
 Link::deliver(int toPort, PacketPtr pkt, sim::Tick delay)
 {
     stats_[1 - toPort].delivered++;
-    sim_.schedule(delay, [this, toPort, pkt = std::move(pkt)]() mutable {
-        ANIC_ASSERT(handler_[toPort] != nullptr, "link port %d unattached",
-                    toPort);
-        handler_[toPort](std::move(pkt));
-    });
+    sim::Tick due = sim_.now() + delay;
+    std::vector<Batch> &pend = pending_[toPort];
+    for (Batch &b : pend) {
+        if (b.due == due) {
+            b.pkts.push_back(std::move(pkt));
+            return;
+        }
+    }
+    std::vector<PacketPtr> pkts;
+    if (!batchFree_.empty()) {
+        pkts = std::move(batchFree_.back());
+        batchFree_.pop_back();
+    }
+    pkts.push_back(std::move(pkt));
+    pend.push_back(Batch{due, std::move(pkts)});
+    sim_.scheduleAt(due, [this, toPort, due] { flush(toPort, due); });
+}
+
+void
+Link::flush(int toPort, sim::Tick due)
+{
+    ANIC_ASSERT(handler_[toPort] != nullptr, "link port %d unattached",
+                toPort);
+    std::vector<Batch> &pend = pending_[toPort];
+    for (size_t i = 0; i < pend.size(); i++) {
+        if (pend[i].due != due)
+            continue;
+        std::vector<PacketPtr> pkts = std::move(pend[i].pkts);
+        pend.erase(pend.begin() + static_cast<ptrdiff_t>(i));
+        for (PacketPtr &p : pkts)
+            handler_[toPort](std::move(p));
+        pkts.clear();
+        batchFree_.push_back(std::move(pkts));
+        return;
+    }
+    panic("link flush with no pending batch at tick %llu",
+          static_cast<unsigned long long>(due));
 }
 
 } // namespace anic::net

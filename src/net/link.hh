@@ -4,14 +4,20 @@
  * (extra delay for selected packets), and duplication. Serialization
  * (line rate) is modeled by the NICs; the link adds propagation delay
  * and impairments only.
+ *
+ * Deliveries landing on the same tick for the same port are coalesced
+ * into one scheduled event that drains the whole batch in send order,
+ * so a burst costs one queue operation instead of one per packet.
  */
 
 #ifndef ANIC_NET_LINK_HH
 #define ANIC_NET_LINK_HH
 
 #include <functional>
+#include <vector>
 
 #include "net/packet.hh"
+#include "net/packet_pool.hh"
 #include "sim/simulator.hh"
 #include "util/rand.hh"
 
@@ -55,12 +61,18 @@ class Link
         sim::Tick propDelay = 2 * sim::kMicrosecond;
         Impairments dir[2]; // [0]: port0->port1, [1]: port1->port0
         uint64_t seed = 1;
+        /** Arena for corruption/duplication copies; null falls back to
+         *  PacketPool::threadDefault(). */
+        PacketPool *pool = nullptr;
     };
 
     using Handler = std::function<void(PacketPtr)>;
 
     Link(sim::Simulator &sim, Config cfg)
-        : sim_(sim), cfg_(cfg), rng_(cfg.seed)
+        : sim_(sim),
+          cfg_(cfg),
+          rng_(cfg.seed),
+          pool_(cfg.pool != nullptr ? *cfg.pool : PacketPool::threadDefault())
     {
     }
 
@@ -81,13 +93,24 @@ class Link
     void setImpairments(int dir, const Impairments &imp) { cfg_.dir[dir] = imp; }
 
   private:
+    /** Packets due at one tick on one port, drained by one event. */
+    struct Batch
+    {
+        sim::Tick due = 0;
+        std::vector<PacketPtr> pkts;
+    };
+
     void deliver(int toPort, PacketPtr pkt, sim::Tick delay);
+    void flush(int toPort, sim::Tick due);
 
     sim::Simulator &sim_;
     Config cfg_;
     Rng rng_;
+    PacketPool &pool_;
     Handler handler_[2];
     LinkStats stats_[2];
+    std::vector<Batch> pending_[2];
+    std::vector<std::vector<PacketPtr>> batchFree_; ///< capacity recycling
 };
 
 } // namespace anic::net

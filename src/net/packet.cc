@@ -1,22 +1,46 @@
 #include "net/packet.hh"
 
+#include "net/packet_pool.hh"
+
 namespace anic::net {
 
 Packet
 Packet::make(const Ipv4Header &ip, const TcpHeader &tcp, ByteView payload)
 {
     Packet p;
-    p.bytes.resize(Ipv4Header::kSize + TcpHeader::kSize + payload.size());
+    p.bytes.resize(kHeaderSize + payload.size());
 
     Ipv4Header iph = ip;
     iph.totalLen = static_cast<uint16_t>(p.bytes.size());
     iph.encode(p.bytes.data());
     tcp.encode(p.bytes.data() + Ipv4Header::kSize);
     if (!payload.empty()) {
-        std::memcpy(p.bytes.data() + Ipv4Header::kSize + TcpHeader::kSize,
-                    payload.data(), payload.size());
+        std::memcpy(p.bytes.data() + kHeaderSize, payload.data(),
+                    payload.size());
     }
+    p.setHeaders(iph, tcp);
     return p;
+}
+
+void
+Packet::decodeHeaders() const
+{
+    ipHdr_ = Ipv4Header::decode(bytes.data());
+    tcpHdr_ = TcpHeader::decode(bytes.data() + Ipv4Header::kSize);
+    flow_ = FlowKey{ipHdr_.src, ipHdr_.dst, tcpHdr_.srcPort, tcpHdr_.dstPort};
+    hdrValid_ = true;
+}
+
+void
+PacketPtr::release(Packet *p)
+{
+    ANIC_ASSERT(p->refs_ > 0, "packet double release");
+    if (--p->refs_ != 0)
+        return;
+    if (p->pool_ != nullptr)
+        p->pool_->recycle(p);
+    else
+        delete p;
 }
 
 } // namespace anic::net

@@ -3,18 +3,29 @@
  * The simulated packet: real wire bytes plus the receive-descriptor
  * metadata a NIC attaches on its way up the stack (the moral
  * equivalent of Linux SKB fields like `decrypted`).
+ *
+ * Packets are reference-counted intrusively and recycled through
+ * net::PacketPool so the steady-state data path does zero per-packet
+ * heap allocation (see DESIGN.md §13). Decoded IP/TCP headers are
+ * cached on first use; code that rewrites header bytes in place must
+ * call invalidateHeaders().
  */
 
 #ifndef ANIC_NET_PACKET_HH
 #define ANIC_NET_PACKET_HH
 
-#include <memory>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "net/headers.hh"
 #include "util/bytes.hh"
+#include "util/panic.hh"
 
 namespace anic::net {
+
+class PacketPool;
+class PacketPtr;
 
 /**
  * Byte range of a packet's TCP payload that the NIC already DMA-wrote
@@ -58,9 +69,26 @@ class Packet
      *  (14) + FCS (4) + min IPG (12). */
     static constexpr size_t kWireOverhead = 38;
 
+    static constexpr size_t kHeaderSize = Ipv4Header::kSize + TcpHeader::kSize;
+
     Packet() = default;
 
-    /** Builds a packet from headers + payload (encodes real bytes). */
+    // Copies transfer content only; refcount and pool identity are
+    // per-object.
+    Packet(const Packet &o) : bytes(o.bytes), rx(o.rx), txCtx(o.txCtx) {}
+
+    Packet &
+    operator=(const Packet &o)
+    {
+        bytes = o.bytes;
+        rx = o.rx;
+        txCtx = o.txCtx;
+        hdrValid_ = false;
+        return *this;
+    }
+
+    /** Builds a standalone (non-pooled) packet from headers + payload;
+     *  unit-test convenience. Hot paths use PacketPool::makeTcp. */
     static Packet make(const Ipv4Header &ip, const TcpHeader &tcp,
                        ByteView payload);
 
@@ -74,47 +102,154 @@ class Packet
      */
     uint64_t txCtx = 0;
 
-    /** Decoded views -------------------------------------------------- */
+    /** Decoded views (cached on first use) ------------------------- */
 
-    Ipv4Header ip() const { return Ipv4Header::decode(bytes.data()); }
+    const Ipv4Header &
+    ip() const
+    {
+        if (!hdrValid_)
+            decodeHeaders();
+        return ipHdr_;
+    }
 
-    TcpHeader
+    const TcpHeader &
     tcp() const
     {
-        return TcpHeader::decode(bytes.data() + Ipv4Header::kSize);
+        if (!hdrValid_)
+            decodeHeaders();
+        return tcpHdr_;
     }
 
-    FlowKey
+    const FlowKey &
     flow() const
     {
-        Ipv4Header iph = ip();
-        TcpHeader tcph = tcp();
-        return FlowKey{iph.src, iph.dst, tcph.srcPort, tcph.dstPort};
+        if (!hdrValid_)
+            decodeHeaders();
+        return flow_;
     }
 
-    size_t
-    payloadSize() const
+    /** Drops the cached header decode; call after mutating the first
+     *  kHeaderSize bytes (payload mutation never requires this). */
+    void invalidateHeaders() { hdrValid_ = false; }
+
+    /** Primes the header cache without a decode (packet builders that
+     *  already hold the structs). */
+    void
+    setHeaders(const Ipv4Header &iph, const TcpHeader &tcph)
     {
-        return bytes.size() - Ipv4Header::kSize - TcpHeader::kSize;
+        ipHdr_ = iph;
+        tcpHdr_ = tcph;
+        flow_ = FlowKey{iph.src, iph.dst, tcph.srcPort, tcph.dstPort};
+        hdrValid_ = true;
     }
 
-    ByteView
-    payload() const
-    {
-        return ByteView(bytes).subspan(Ipv4Header::kSize + TcpHeader::kSize);
-    }
+    size_t payloadSize() const { return bytes.size() - kHeaderSize; }
 
-    ByteSpan
-    payloadMut()
-    {
-        return ByteSpan(bytes).subspan(Ipv4Header::kSize + TcpHeader::kSize);
-    }
+    ByteView payload() const { return ByteView(bytes).subspan(kHeaderSize); }
+
+    ByteSpan payloadMut() { return ByteSpan(bytes).subspan(kHeaderSize); }
 
     /** Frame size on the wire, including Ethernet-level overhead. */
     size_t wireSize() const { return bytes.size() + kWireOverhead; }
+
+  private:
+    friend class PacketPool;
+    friend class PacketPtr;
+
+    void decodeHeaders() const;
+
+    mutable Ipv4Header ipHdr_;
+    mutable TcpHeader tcpHdr_;
+    mutable FlowKey flow_;
+    mutable bool hdrValid_ = false;
+
+    // Intrusive refcount + pool identity (single-threaded per world;
+    // no atomics by design).
+    uint32_t refs_ = 0;
+    PacketPool *pool_ = nullptr;
+    Packet *nextFree_ = nullptr;
 };
 
-using PacketPtr = std::shared_ptr<Packet>;
+/**
+ * Intrusive smart pointer for pooled packets. Release of the last
+ * reference returns the packet to its owning PacketPool (retaining
+ * buffer capacity) or deletes it if it was heap-allocated standalone.
+ */
+class PacketPtr
+{
+  public:
+    PacketPtr() = default;
+    PacketPtr(std::nullptr_t) {}
+
+    PacketPtr(const PacketPtr &o) : p_(o.p_)
+    {
+        if (p_ != nullptr)
+            p_->refs_++;
+    }
+
+    PacketPtr(PacketPtr &&o) noexcept : p_(o.p_) { o.p_ = nullptr; }
+
+    PacketPtr &
+    operator=(const PacketPtr &o)
+    {
+        if (o.p_ != nullptr)
+            o.p_->refs_++;
+        Packet *old = p_;
+        p_ = o.p_;
+        if (old != nullptr)
+            release(old);
+        return *this;
+    }
+
+    PacketPtr &
+    operator=(PacketPtr &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            p_ = o.p_;
+            o.p_ = nullptr;
+        }
+        return *this;
+    }
+
+    ~PacketPtr() { reset(); }
+
+    void
+    reset()
+    {
+        if (p_ != nullptr) {
+            release(p_);
+            p_ = nullptr;
+        }
+    }
+
+    Packet *get() const { return p_; }
+    Packet &operator*() const { return *p_; }
+    Packet *operator->() const { return p_; }
+    explicit operator bool() const { return p_ != nullptr; }
+
+    bool operator==(const PacketPtr &o) const { return p_ == o.p_; }
+    bool operator!=(const PacketPtr &o) const { return p_ != o.p_; }
+    bool operator==(std::nullptr_t) const { return p_ == nullptr; }
+    bool operator!=(std::nullptr_t) const { return p_ != nullptr; }
+
+    /** Number of live references (tests). */
+    uint32_t useCount() const { return p_ != nullptr ? p_->refs_ : 0; }
+
+    /** Wraps a packet whose first reference the caller owns. */
+    static PacketPtr
+    adopt(Packet *p)
+    {
+        PacketPtr ptr;
+        ptr.p_ = p;
+        return ptr;
+    }
+
+  private:
+    static void release(Packet *p);
+
+    Packet *p_ = nullptr;
+};
 
 } // namespace anic::net
 

@@ -249,10 +249,44 @@ Nic::onWire(net::PacketPtr pkt)
         processRxOffload(*pkt);
     }
 
-    sim_.schedule(cfg_.rxLatency + extra, [this, pkt = std::move(pkt)] {
-        if (onReceive_)
-            onReceive_(pkt);
-    });
+    // Same-tick handoffs coalesce into one event per distinct tick:
+    // the batch drains in arrival order, so delivery order (and every
+    // delivery tick) matches the unbatched schedule exactly.
+    sim::Tick due = sim_.now() + cfg_.rxLatency + extra;
+    for (RxBatch &b : rxPending_) {
+        if (b.due == due) {
+            b.pkts.push_back(std::move(pkt));
+            return;
+        }
+    }
+    std::vector<net::PacketPtr> pkts;
+    if (!rxBatchFree_.empty()) {
+        pkts = std::move(rxBatchFree_.back());
+        rxBatchFree_.pop_back();
+    }
+    pkts.push_back(std::move(pkt));
+    rxPending_.push_back(RxBatch{due, std::move(pkts)});
+    sim_.scheduleAt(due, [this, due] { flushRx(due); });
+}
+
+void
+Nic::flushRx(sim::Tick due)
+{
+    for (size_t i = 0; i < rxPending_.size(); i++) {
+        if (rxPending_[i].due != due)
+            continue;
+        std::vector<net::PacketPtr> pkts = std::move(rxPending_[i].pkts);
+        rxPending_.erase(rxPending_.begin() + static_cast<ptrdiff_t>(i));
+        for (net::PacketPtr &p : pkts) {
+            if (onReceive_)
+                onReceive_(std::move(p));
+        }
+        pkts.clear();
+        rxBatchFree_.push_back(std::move(pkts));
+        return;
+    }
+    panic("nic rx flush with no pending batch at tick %llu",
+          static_cast<unsigned long long>(due));
 }
 
 void
@@ -329,7 +363,7 @@ Nic::createRxContext(const net::FlowKey &flow,
     ANIC_ASSERT(rxByFlow_.find(flow) == rxByFlow_.end(),
                 "rx context already exists for flow");
     rxByFlow_.emplace(flow, std::move(ctx));
-    rxById_.emplace(id, raw);
+    rxById_.emplace(id, RxRef{raw, flow});
     pcie_.descriptorBytes += cfg_.ctxBytes; // initial state download
     touchContext(id);
     return id;
@@ -357,12 +391,7 @@ Nic::destroyRxContext(uint64_t id)
     auto it = rxById_.find(id);
     if (it == rxById_.end())
         return;
-    for (auto fit = rxByFlow_.begin(); fit != rxByFlow_.end(); ++fit) {
-        if (fit->second.get() == it->second) {
-            rxByFlow_.erase(fit);
-            break;
-        }
-    }
+    rxByFlow_.erase(it->second.flow);
     rxById_.erase(it);
     auto cit = cacheMap_.find(id);
     if (cit != cacheMap_.end()) {
@@ -389,7 +418,7 @@ Nic::rxResyncResponse(uint64_t ctxId, uint64_t reqId, bool ok, uint64_t msgIdx)
     if (it == rxById_.end())
         return;
     pcie_.descriptorBytes += cfg_.descriptorBytes;
-    it->second->fsm().confirm(reqId, ok, msgIdx);
+    it->second.ctx->fsm().confirm(reqId, ok, msgIdx);
 }
 
 void
@@ -427,7 +456,7 @@ L5Engine *
 Nic::rxEngine(uint64_t ctxId)
 {
     auto it = rxById_.find(ctxId);
-    return it == rxById_.end() ? nullptr : &it->second->engine();
+    return it == rxById_.end() ? nullptr : &it->second.ctx->engine();
 }
 
 L5Engine *
@@ -449,7 +478,7 @@ const FsmStats *
 Nic::rxFsmStats(uint64_t ctxId) const
 {
     auto it = rxById_.find(ctxId);
-    return it == rxById_.end() ? nullptr : &it->second->fsm().stats();
+    return it == rxById_.end() ? nullptr : &it->second.ctx->fsm().stats();
 }
 
 } // namespace anic::nic

@@ -255,10 +255,18 @@ class Nic
         std::unique_ptr<TxResyncCmd> resync; // special descriptor
     };
 
+    /** Rx handoffs due at one tick, drained by one event. */
+    struct RxBatch
+    {
+        sim::Tick due = 0;
+        std::vector<net::PacketPtr> pkts;
+    };
+
     void applyTxResync(const TxResyncCmd &cmd);
     void pumpTx();
     void drainOne();
     void onWire(net::PacketPtr pkt);
+    void flushRx(sim::Tick due);
     sim::Tick touchContext(uint64_t ctxId);
     void processTxOffload(net::Packet &pkt);
     void processRxOffload(net::Packet &pkt);
@@ -274,6 +282,9 @@ class Nic
     bool txPumping_ = false;
     sim::Tick lineFreeAt_ = 0;
 
+    std::vector<RxBatch> rxPending_;
+    std::vector<std::vector<net::PacketPtr>> rxBatchFree_;
+
     std::function<void()> onTxSpace_;
     std::function<void(net::PacketPtr)> onReceive_;
     std::function<void(uint64_t, uint64_t, uint32_t)> onResyncRequest_;
@@ -282,7 +293,14 @@ class Nic
     std::unordered_map<net::FlowKey, std::unique_ptr<FlowContext>,
                        net::FlowKeyHash>
         rxByFlow_;
-    std::unordered_map<uint64_t, FlowContext *> rxById_;
+    // Reverse index carries the flow key so destroy is O(1) instead
+    // of a scan over every installed flow.
+    struct RxRef
+    {
+        FlowContext *ctx;
+        net::FlowKey flow;
+    };
+    std::unordered_map<uint64_t, RxRef> rxById_;
     std::unordered_map<uint64_t, TxCtx> txById_;
 
     // LRU context cache (ids of both rx and tx contexts).

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Fixed-capacity, move-only callable for the simulator hot path.
+ *
+ * std::function heap-allocates whenever a capture set exceeds its
+ * implementation-defined small-buffer (16 bytes in libstdc++), which
+ * makes every scheduled event and every core work item a malloc/free
+ * pair at high packet rates. InlineFunction<N> stores the callable
+ * inline, always: a capture set larger than N bytes is a compile-time
+ * error, not a silent heap fallback, so the zero-allocation property
+ * is enforced where the lambda is written.
+ *
+ * Trivially-copyable callables (the common case: a few pointers and
+ * integers) move by memcpy with no per-type code at all; everything
+ * else goes through generated relocate/destroy thunks.
+ */
+
+#ifndef ANIC_SIM_INLINE_FUNCTION_HH
+#define ANIC_SIM_INLINE_FUNCTION_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace anic::sim {
+
+template <size_t N>
+class InlineFunction
+{
+  public:
+    InlineFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineFunction(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= N,
+                      "capture set exceeds the InlineFunction inline buffer; "
+                      "shrink the lambda captures (no heap fallback exists)");
+        static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                      "over-aligned callable");
+        ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+        ops_ = &opsFor<Fn>;
+    }
+
+    InlineFunction(InlineFunction &&o) noexcept { moveFrom(o); }
+
+    InlineFunction &
+    operator=(InlineFunction &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            if (ops_->destroy != nullptr)
+                ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    void operator()() { ops_->invoke(buf_); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *);
+        /** Move-constructs dst from src and destroys src; null means
+         *  "memcpy the buffer" (trivially relocatable callable). */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *);
+    };
+
+    template <typename Fn>
+    static void
+    invokeFn(void *b)
+    {
+        (*static_cast<Fn *>(b))();
+    }
+
+    template <typename Fn>
+    static void
+    relocateFn(void *dst, void *src)
+    {
+        ::new (dst) Fn(std::move(*static_cast<Fn *>(src)));
+        static_cast<Fn *>(src)->~Fn();
+    }
+
+    template <typename Fn>
+    static void
+    destroyFn(void *b)
+    {
+        static_cast<Fn *>(b)->~Fn();
+    }
+
+    template <typename Fn>
+    static constexpr bool kTrivialRelocate =
+        std::is_trivially_copyable_v<Fn> &&
+        std::is_trivially_destructible_v<Fn>;
+
+    template <typename Fn>
+    static inline const Ops opsFor{
+        &invokeFn<Fn>,
+        kTrivialRelocate<Fn> ? nullptr : &relocateFn<Fn>,
+        std::is_trivially_destructible_v<Fn> ? nullptr : &destroyFn<Fn>};
+
+    void
+    moveFrom(InlineFunction &o)
+    {
+        ops_ = o.ops_;
+        if (ops_ != nullptr) {
+            if (ops_->relocate != nullptr)
+                ops_->relocate(buf_, o.buf_);
+            else
+                std::memcpy(buf_, o.buf_, N);
+            o.ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[N];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace anic::sim
+
+#endif // ANIC_SIM_INLINE_FUNCTION_HH

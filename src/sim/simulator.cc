@@ -1,6 +1,15 @@
 #include "sim/simulator.hh"
 
+#include <cstdlib>
+#include <string_view>
+
 namespace anic::sim {
+
+Simulator::Simulator()
+{
+    const char *q = std::getenv("ANIC_SIM_QUEUE");
+    calendar_ = !(q != nullptr && std::string_view(q) == "heap");
+}
 
 void
 Simulator::scheduleAt(Tick when, Callback cb)
@@ -8,33 +17,99 @@ Simulator::scheduleAt(Tick when, Callback cb)
     ANIC_ASSERT(when >= now_, "scheduling into the past: %llu < %llu",
                 static_cast<unsigned long long>(when),
                 static_cast<unsigned long long>(now_));
-    queue_.push(Event{when, nextSeq_++, std::move(cb)});
+    insert(Event{when, nextSeq_++, std::move(cb)});
+}
+
+void
+Simulator::insert(Event ev)
+{
+    size_++;
+    if (!calendar_) {
+        heap_.push(std::move(ev));
+        return;
+    }
+    if (ev.when < wheelBase_ + kBucketWidth)
+        near_.push(std::move(ev));
+    else if (ev.when < windowEnd()) {
+        buckets_[bucketIndex(ev.when)].push_back(std::move(ev));
+        bucketed_++;
+    } else
+        far_.push(std::move(ev));
+}
+
+bool
+Simulator::settle()
+{
+    // Invariants: every event in near_ is < wheelBase_ + kBucketWidth,
+    // every bucketed event is in [wheelBase_ + kBucketWidth,
+    // windowEnd()), every far event is >= windowEnd(). The three
+    // ranges are disjoint, so near_'s top (ordered by (when, seq)) is
+    // the global minimum whenever near_ is non-empty.
+    while (near_.empty()) {
+        if (bucketed_ == 0 && far_.empty())
+            return false;
+        if (bucketed_ == 0) {
+            // Sparse period (timer-only horizon): jump the window
+            // straight to the earliest far event instead of stepping
+            // bucket by bucket.
+            wheelBase_ = (far_.top().when >> kBucketShift) << kBucketShift;
+        } else {
+            wheelBase_ += kBucketWidth;
+        }
+        // The bucket that just entered [wheelBase_, wheelBase_ +
+        // kBucketWidth) spills into near_; heap order restores the
+        // exact (when, seq) sequence within it.
+        std::vector<Event> &b = buckets_[bucketIndex(wheelBase_)];
+        if (!b.empty()) {
+            bucketed_ -= b.size();
+            for (Event &ev : b)
+                near_.push(std::move(ev));
+            b.clear(); // keeps capacity for reuse
+        }
+        // Far events uncovered by the advancing horizon migrate in.
+        while (!far_.empty() && far_.top().when < windowEnd()) {
+            Event ev = far_.pop();
+            if (ev.when < wheelBase_ + kBucketWidth)
+                near_.push(std::move(ev));
+            else {
+                buckets_[bucketIndex(ev.when)].push_back(std::move(ev));
+                bucketed_++;
+            }
+        }
+    }
+    return true;
+}
+
+void
+Simulator::execute(Event ev)
+{
+    size_--;
+    now_ = ev.when;
+    executed_++;
+    ev.cb();
 }
 
 void
 Simulator::run()
 {
-    while (!queue_.empty()) {
-        // priority_queue::top() returns const&; the callback must be
-        // moved out before pop, so copy the event (cheap: one
-        // std::function).
-        Event ev = queue_.top();
-        queue_.pop();
-        now_ = ev.when;
-        executed_++;
-        ev.cb();
+    if (!calendar_) {
+        while (!heap_.empty())
+            execute(heap_.pop());
+        return;
     }
+    while (settle())
+        execute(near_.pop());
 }
 
 void
 Simulator::runUntil(Tick until)
 {
-    while (!queue_.empty() && queue_.top().when <= until) {
-        Event ev = queue_.top();
-        queue_.pop();
-        now_ = ev.when;
-        executed_++;
-        ev.cb();
+    if (!calendar_) {
+        while (!heap_.empty() && heap_.top().when <= until)
+            execute(heap_.pop());
+    } else {
+        while (settle() && near_.top().when <= until)
+            execute(near_.pop());
     }
     if (now_ < until)
         now_ = until;

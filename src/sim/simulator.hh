@@ -10,11 +10,12 @@
 #ifndef ANIC_SIM_SIMULATOR_HH
 #define ANIC_SIM_SIMULATOR_HH
 
+#include <algorithm>
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_function.hh"
 #include "util/panic.hh"
 
 namespace anic::sim {
@@ -47,14 +48,42 @@ ticksToSeconds(Tick t)
  *
  * Events scheduled for the same tick run in scheduling order (a
  * monotonic sequence number breaks ties), which keeps runs
- * deterministic.
+ * deterministic. The (when, seq) total order is identical in both
+ * queue implementations below, so every run is byte-identical no
+ * matter which one executes it.
+ *
+ * Two queue implementations are compiled in:
+ *
+ *  - calendar (default): a two-tier calendar queue. A wheel of
+ *    kBucketCount unsorted buckets, each kBucketWidth ticks wide,
+ *    covers the near future (~67 us at the default geometry: enough
+ *    for propagation delays, serialization times, NIC latencies and
+ *    core work); events beyond the wheel horizon (RTOs, delayed acks,
+ *    measurement windows) sit in a small min-heap and migrate into
+ *    buckets as the window advances. Events inside the current bucket
+ *    are kept in a min-heap ("near") so extraction stays exactly
+ *    ordered. Insert and extract are O(1) amortized instead of the
+ *    O(log n) of one big heap whose n is dominated by far-future
+ *    timers.
+ *
+ *  - heap: the seed implementation, one binary heap ordered by
+ *    (when, seq). Selected with ANIC_SIM_QUEUE=heap; kept as the
+ *    reference oracle for byte-identity tests.
+ *
+ * Callbacks are InlineFunction<kCallbackBytes>: captures never heap
+ * allocate, and capture sets that would are rejected at compile time.
  */
 class Simulator
 {
   public:
-    using Callback = std::function<void()>;
+    /** Inline capture budget for scheduled callbacks (and, by
+     *  convention, core work items): fits four pointers plus slack,
+     *  which covers every capture set in the tree. */
+    static constexpr size_t kCallbackBytes = 64;
 
-    Simulator() = default;
+    using Callback = InlineFunction<kCallbackBytes>;
+
+    Simulator();
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
@@ -80,7 +109,10 @@ class Simulator
     uint64_t eventsExecuted() const { return executed_; }
 
     /** True if no events remain. */
-    bool idle() const { return queue_.empty(); }
+    bool idle() const { return size_ == 0; }
+
+    /** True when the calendar queue is active (vs the legacy heap). */
+    bool usingCalendarQueue() const { return calendar_; }
 
   private:
     struct Event
@@ -90,21 +122,81 @@ class Simulator
         Callback cb;
     };
 
-    struct Later
+    /** a runs after b in the (when, seq) total order. */
+    static bool
+    later(const Event &a, const Event &b)
     {
-        bool
-        operator()(const Event &a, const Event &b) const
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+
+    /** Min-heap of events supporting move-only callbacks. */
+    class EventHeap
+    {
+      public:
+        bool empty() const { return v_.empty(); }
+
+        void
+        push(Event ev)
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            v_.push_back(std::move(ev));
+            std::push_heap(v_.begin(), v_.end(), later);
         }
+
+        Event
+        pop()
+        {
+            std::pop_heap(v_.begin(), v_.end(), later);
+            Event ev = std::move(v_.back());
+            v_.pop_back();
+            return ev;
+        }
+
+        const Event &top() const { return v_.front(); }
+
+      private:
+        std::vector<Event> v_;
     };
 
+    // Wheel geometry: 1024 buckets of 2^16 ps (~65.5 ns) give a
+    // ~67 us horizon that comfortably spans every data-path latency
+    // while RTO/ack timers stay in the far heap.
+    static constexpr int kBucketShift = 16;
+    static constexpr Tick kBucketWidth = Tick(1) << kBucketShift;
+    static constexpr size_t kBucketCount = 1024;
+
+    size_t bucketIndex(Tick when) const
+    {
+        return static_cast<size_t>(when >> kBucketShift) & (kBucketCount - 1);
+    }
+
+    Tick windowEnd() const { return wheelBase_ + kBucketCount * kBucketWidth; }
+
+    void insert(Event ev);
+
+    /** Moves events around until near_ holds the global minimum (or
+     *  returns false when the queue is empty). Pure reorganization:
+     *  never executes anything. */
+    bool settle();
+
+    void execute(Event ev);
+
+    bool calendar_;
     Tick now_ = 0;
     uint64_t nextSeq_ = 0;
     uint64_t executed_ = 0;
-    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    size_t size_ = 0;
+
+    // --- calendar queue state
+    Tick wheelBase_ = 0; ///< multiple of kBucketWidth
+    size_t bucketed_ = 0; ///< events currently in buckets_
+    EventHeap near_;      ///< events with when < wheelBase_ + kBucketWidth
+    EventHeap far_;       ///< events with when >= windowEnd()
+    std::array<std::vector<Event>, kBucketCount> buckets_;
+
+    // --- legacy single-heap state (ANIC_SIM_QUEUE=heap)
+    EventHeap heap_;
 };
 
 } // namespace anic::sim

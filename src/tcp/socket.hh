@@ -26,6 +26,96 @@ class Core;
 namespace anic::tcp {
 
 /**
+ * Byte storage for an RxSegment. On the in-order fast path it is a
+ * zero-copy view into the delivering packet's payload, pinning the
+ * pooled packet alive for as long as the segment exists; reassembled
+ * or transformed data (out-of-order drains, software TLS decrypt)
+ * owns its bytes instead. The read interface mimics a const byte
+ * vector so consumers are agnostic to which mode backs the data.
+ */
+class SegmentBuffer
+{
+  public:
+    SegmentBuffer() = default;
+
+    /** Zero-copy: view @p v inside @p pkt's payload, pinning it. */
+    void
+    bind(net::PacketPtr pkt, ByteView v)
+    {
+        pkt_ = std::move(pkt);
+        owned_.clear();
+        view_ = v;
+    }
+
+    /** Owning copy of @p v. */
+    void
+    assign(ByteView v)
+    {
+        owned_.assign(v.begin(), v.end());
+        pkt_.reset();
+        view_ = owned_;
+    }
+
+    template <typename It>
+    void
+    assign(It first, It last)
+    {
+        owned_.assign(first, last);
+        pkt_.reset();
+        view_ = owned_;
+    }
+
+    /** Takes ownership of @p b without copying. */
+    void
+    adopt(Bytes &&b)
+    {
+        owned_ = std::move(b);
+        pkt_.reset();
+        view_ = owned_;
+    }
+
+    // Copies deep-copy owned bytes so the view never dangles; moves
+    // are cheap (vector storage is stable across moves).
+    SegmentBuffer(const SegmentBuffer &o) { *this = o; }
+
+    SegmentBuffer &
+    operator=(const SegmentBuffer &o)
+    {
+        if (this == &o)
+            return *this;
+        if (o.pkt_ != nullptr) {
+            pkt_ = o.pkt_;
+            owned_.clear();
+            view_ = o.view_;
+        } else {
+            owned_.assign(o.view_.begin(), o.view_.end());
+            pkt_.reset();
+            view_ = owned_;
+        }
+        return *this;
+    }
+
+    SegmentBuffer(SegmentBuffer &&) = default;
+    SegmentBuffer &operator=(SegmentBuffer &&) = default;
+
+    const uint8_t *data() const { return view_.data(); }
+    size_t size() const { return view_.size(); }
+    bool empty() const { return view_.empty(); }
+    const uint8_t *begin() const { return view_.data(); }
+    const uint8_t *end() const { return view_.data() + view_.size(); }
+    uint8_t operator[](size_t i) const { return view_[i]; }
+    operator ByteView() const { return view_; }
+
+    /** The packet pinned by a zero-copy view (null when owning). */
+    const net::PacketPtr &backingPacket() const { return pkt_; }
+
+  private:
+    net::PacketPtr pkt_;
+    ByteView view_;
+    Bytes owned_;
+};
+
+/**
  * One in-order chunk of received stream data, carrying the NIC
  * offload results of the packet it arrived in. Segments with
  * different offload results are never coalesced.
@@ -33,7 +123,7 @@ namespace anic::tcp {
 struct RxSegment
 {
     uint64_t streamOff = 0; ///< offset in the connection byte stream
-    Bytes data;
+    SegmentBuffer data;
     net::RxOffloadMeta meta;
 };
 

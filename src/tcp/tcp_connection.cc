@@ -429,9 +429,6 @@ TcpConnection::trySend()
 bool
 TcpConnection::sendSegment(uint32_t seq, uint32_t len, bool retransmission)
 {
-    Bytes payload(len);
-    sndRing_.copyOut(seqDiff(seq, sndUna_), payload);
-
     net::Ipv4Header ip;
     ip.src = local_.srcIp;
     ip.dst = local_.dstIp;
@@ -450,8 +447,10 @@ TcpConnection::sendSegment(uint32_t seq, uint32_t len, bool retransmission)
                     ? 0
                     : static_cast<uint32_t>(cfg_.rcvBufSize - queued);
 
-    auto pkt = std::make_shared<net::Packet>(
-        net::Packet::make(ip, th, payload));
+    // Pooled packet, payload copied straight from the retransmission
+    // ring into the wire buffer (no intermediate allocation).
+    net::PacketPtr pkt = stack_.pool().makeTcp(ip, th, len);
+    sndRing_.copyOut(seqDiff(seq, sndUna_), pkt->payloadMut());
     pkt->txCtx = txOffloadCtx_;
 
     core_.charge(core_.model().tcpTxPerPacket);
@@ -496,8 +495,7 @@ TcpConnection::sendFlagsPacket(uint8_t flags, uint32_t seq, bool withAck)
                     ? 0
                     : static_cast<uint32_t>(cfg_.rcvBufSize - queued);
 
-    auto pkt = std::make_shared<net::Packet>(
-        net::Packet::make(ip, th, ByteView{}));
+    net::PacketPtr pkt = stack_.pool().makeTcp(ip, th, 0);
     pkt->txCtx = txOffloadCtx_;
 
     core_.charge(core_.model().tcpTxPerPacket);
@@ -650,12 +648,17 @@ TcpConnection::processData(const net::PacketPtr &pkt, const net::TcpHeader &h)
         return;
     }
 
-    // In order (possibly with a stale-front overlap to trim).
+    // In order (possibly with a stale-front overlap to trim). The
+    // fast path hands the application a view into the packet's own
+    // payload — the pooled packet stays pinned until the segment is
+    // consumed, and no bytes are copied.
     size_t trim = static_cast<size_t>(-delta);
     size_t keep = payload.size() - trim;
-    deliverSegment(h.seq + static_cast<uint32_t>(trim),
-                   payload.subspan(trim, keep),
-                   trimMeta(pkt->rx, trim, keep), fin);
+    net::RxOffloadMeta meta = trimMeta(pkt->rx, trim, keep);
+    SegmentBuffer buf;
+    buf.bind(pkt, payload.subspan(trim, keep));
+    deliverSegment(h.seq + static_cast<uint32_t>(trim), std::move(buf),
+                   std::move(meta), fin);
     drainOoo();
 
     if (peerFinSeen_)
@@ -673,20 +676,21 @@ TcpConnection::processData(const net::PacketPtr &pkt, const net::TcpHeader &h)
 }
 
 void
-TcpConnection::deliverSegment(uint32_t seq, ByteView data,
+TcpConnection::deliverSegment(uint32_t seq, SegmentBuffer data,
                               net::RxOffloadMeta meta, bool fin)
 {
     ANIC_ASSERT(seq == rcvNxt_, "deliver must be in order");
     if (!data.empty()) {
+        size_t len = data.size();
         RxSegment seg;
         seg.streamOff = rcvStreamOff_;
-        seg.data.assign(data.begin(), data.end());
+        seg.data = std::move(data);
         seg.meta = std::move(meta);
-        rxQueuedBytes_ += seg.data.size();
+        rxQueuedBytes_ += len;
         rxQueue_.push_back(std::move(seg));
-        rcvStreamOff_ += data.size();
-        rcvNxt_ += static_cast<uint32_t>(data.size());
-        count(&TcpStats::bytesDelivered, data.size());
+        rcvStreamOff_ += len;
+        rcvNxt_ += static_cast<uint32_t>(len);
+        count(&TcpStats::bytesDelivered, len);
     }
     if (fin) {
         rcvNxt_ += 1;
@@ -708,8 +712,17 @@ TcpConnection::drainOoo()
         if (end > rcvStreamOff_ || (seg.fin && end == rcvStreamOff_)) {
             size_t trim = static_cast<size_t>(rcvStreamOff_ - pos);
             size_t keep = seg.data.size() - trim;
-            deliverSegment(rcvNxt_, ByteView(seg.data).subspan(trim, keep),
-                           trimMeta(seg.meta, trim, keep), seg.fin);
+            net::RxOffloadMeta meta = trimMeta(seg.meta, trim, keep);
+            SegmentBuffer buf;
+            if (trim == 0) {
+                // Whole buffered segment: hand its bytes over without
+                // another copy.
+                buf.adopt(std::move(seg.data));
+            } else {
+                buf.assign(ByteView(seg.data).subspan(trim, keep));
+            }
+            deliverSegment(rcvNxt_, std::move(buf), std::move(meta),
+                           seg.fin);
         }
         ooo_.erase(it);
     }

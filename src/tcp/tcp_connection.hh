@@ -190,8 +190,8 @@ class TcpConnection : public StreamSocket
     // Receive machinery.
     void processAck(const net::TcpHeader &h);
     void processData(const net::PacketPtr &pkt, const net::TcpHeader &h);
-    void deliverSegment(uint32_t seq, ByteView data, net::RxOffloadMeta meta,
-                        bool fin);
+    void deliverSegment(uint32_t seq, SegmentBuffer data,
+                        net::RxOffloadMeta meta, bool fin);
     void drainOoo();
     void enterEstablished();
     void handleFin();

@@ -6,8 +6,9 @@ namespace anic::tcp {
 
 TcpStack::TcpStack(sim::Simulator &sim, std::vector<host::Core *> cores,
                    uint64_t seed, sim::StatsScope scope,
-                   sim::TraceRing *trace)
+                   sim::TraceRing *trace, net::PacketPool *pool)
     : sim_(sim), cores_(std::move(cores)), rng_(seed),
+      pool_(pool != nullptr ? *pool : net::PacketPool::threadDefault()),
       scope_(std::move(scope)),
       trace_(trace != nullptr ? trace : &sim::TraceRing::global())
 {

@@ -14,6 +14,7 @@
 
 #include "host/core.hh"
 #include "net/packet.hh"
+#include "net/packet_pool.hh"
 #include "sim/registry.hh"
 #include "sim/trace.hh"
 #include "tcp/net_device.hh"
@@ -33,10 +34,13 @@ class TcpStack
      *  unregistered (bare construction in unit tests).
      *  @param trace ring for retransmit events; null falls back to
      *  the thread-local TraceRing::global() (worlds owned by a
-     *  RunContext must inject its ring). */
+     *  RunContext must inject its ring).
+     *  @param pool packet arena for outgoing segments; null falls
+     *  back to PacketPool::threadDefault(). */
     TcpStack(sim::Simulator &sim, std::vector<host::Core *> cores,
              uint64_t seed = 0x7cb, sim::StatsScope scope = {},
-             sim::TraceRing *trace = nullptr);
+             sim::TraceRing *trace = nullptr,
+             net::PacketPool *pool = nullptr);
 
     /** Binds a device/IP pair (a host may have several ports). */
     void addDevice(NetDevice *dev);
@@ -68,6 +72,7 @@ class TcpStack
 
     sim::Simulator &sim() { return sim_; }
     Rng &rng() { return rng_; }
+    net::PacketPool &pool() { return pool_; }
 
     /** Closes and forgets a connection (tests / teardown). */
     void destroy(TcpConnection &conn);
@@ -96,6 +101,7 @@ class TcpStack
     sim::Simulator &sim_;
     std::vector<host::Core *> cores_;
     Rng rng_;
+    net::PacketPool &pool_;
 
     std::vector<NetDevice *> devices_;
     std::unordered_map<net::FlowKey, std::unique_ptr<TcpConnection>,

@@ -1,6 +1,7 @@
 #include "testing/differential.hh"
 
 #include <algorithm>
+#include <array>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
@@ -83,6 +84,10 @@ struct FuzzWorld
     net::Link link;
     core::Node a;
     core::Node b;
+    // Per-phase impairment pairs, indexed by scheduled events (an
+    // index capture fits the inline callback budget; the structs
+    // themselves would not).
+    std::vector<std::array<net::Impairments, 2>> phaseImp;
 
     // One probe per node: context ids are only unique per NIC.
     FuzzWorld(const Scenario &s, nic::FsmProbe *probeA,
@@ -104,9 +109,11 @@ struct FuzzWorld
                 d0 = s.phases[i + 1].dir[0];
                 d1 = s.phases[i + 1].dir[1];
             }
-            sim.schedule(at, [this, d0, d1] {
-                link.setImpairments(0, d0);
-                link.setImpairments(1, d1);
+            size_t slot = phaseImp.size();
+            phaseImp.push_back({d0, d1});
+            sim.schedule(at, [this, slot] {
+                link.setImpairments(0, phaseImp[slot][0]);
+                link.setImpairments(1, phaseImp[slot][1]);
             });
         }
     }

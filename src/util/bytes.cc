@@ -70,15 +70,44 @@ fromHex(const std::string &hex)
 void
 fillDeterministic(ByteSpan out, uint64_t seed, uint64_t offset)
 {
-    for (size_t i = 0; i < out.size(); i++)
-        out[i] = deterministicByte(seed, offset + i);
+    // Byte (offset + i) is byte ((offset + i) % 8) of the mixed word
+    // for block ((offset + i) / 8); hash once per block, not per byte.
+    size_t i = 0;
+    uint64_t off = offset;
+    while (i < out.size() && (off & 7) != 0)
+        out[i++] = deterministicByte(seed, off++);
+    while (i + 8 <= out.size()) {
+        uint64_t word = mix64(seed ^ mix64(off >> 3));
+        for (int k = 0; k < 8; k++)
+            out[i + k] = static_cast<uint8_t>(word >> (8 * k));
+        i += 8;
+        off += 8;
+    }
+    while (i < out.size())
+        out[i++] = deterministicByte(seed, off++);
 }
 
 bool
 checkDeterministic(ByteView data, uint64_t seed, uint64_t offset)
 {
-    for (size_t i = 0; i < data.size(); i++) {
-        if (data[i] != deterministicByte(seed, offset + i))
+    size_t i = 0;
+    uint64_t off = offset;
+    while (i < data.size() && (off & 7) != 0) {
+        if (data[i++] != deterministicByte(seed, off++))
+            return false;
+    }
+    while (i + 8 <= data.size()) {
+        uint64_t word = mix64(seed ^ mix64(off >> 3));
+        uint64_t got = 0;
+        for (int k = 0; k < 8; k++)
+            got |= static_cast<uint64_t>(data[i + k]) << (8 * k);
+        if (got != word)
+            return false;
+        i += 8;
+        off += 8;
+    }
+    while (i < data.size()) {
+        if (data[i++] != deterministicByte(seed, off++))
             return false;
     }
     return true;

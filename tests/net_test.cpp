@@ -8,6 +8,7 @@
 
 #include "net/link.hh"
 #include "net/packet.hh"
+#include "net/packet_pool.hh"
 #include "sim/simulator.hh"
 
 namespace anic::net {
@@ -110,7 +111,7 @@ mkPkt(int tag)
     TcpHeader tcp;
     tcp.seq = static_cast<uint32_t>(tag);
     Bytes payload(10, static_cast<uint8_t>(tag));
-    return std::make_shared<Packet>(Packet::make(ip, tcp, payload));
+    return PacketPool::threadDefault().make(ip, tcp, payload);
 }
 
 TEST(Link, DeliversWithPropagationDelay)
@@ -202,10 +203,10 @@ TEST(Link, CorruptionFlipsPayloadLeavesHeadersValid)
     tcp.dstPort = 2000;
     tcp.seq = 12345;
     Bytes payload(64, 0xab);
-    auto pkt = std::make_shared<Packet>(Packet::make(ip, tcp, payload));
+    auto pkt = PacketPool::threadDefault().make(ip, tcp, payload);
     link.transmit(0, pkt);
     // A pure-ACK packet must never be corrupted (nothing to flip).
-    link.transmit(0, std::make_shared<Packet>(Packet::make(ip, tcp, {})));
+    link.transmit(0, PacketPool::threadDefault().make(ip, tcp, {}));
     sim.run();
     ASSERT_EQ(got.size(), 2u);
     EXPECT_EQ(link.stats(0).corrupted, 1u);

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/packet_pool.hh"
 #include "nic/nic.hh"
 #include "tls/tls_engine.hh"
 
@@ -26,7 +27,7 @@ mkPkt(net::IpAddr src, net::IpAddr dst, uint32_t seq, size_t payloadLen,
     tcp.dstPort = 2;
     tcp.seq = seq;
     Bytes payload(payloadLen, 0xab);
-    auto p = std::make_shared<net::Packet>(net::Packet::make(ip, tcp, payload));
+    auto p = net::PacketPool::threadDefault().make(ip, tcp, payload);
     p->txCtx = txCtx;
     return p;
 }
@@ -206,13 +207,13 @@ TEST(NicDevice, TxOffloadEncryptsThroughRingInOrder)
     ip.dst = 2;
     net::TcpHeader t1;
     t1.seq = 1000;
-    auto p1 = std::make_shared<net::Packet>(
-        net::Packet::make(ip, t1, ByteView(rec).subspan(0, 60)));
+    auto p1 = net::PacketPool::threadDefault().make(
+        ip, t1, ByteView(rec).subspan(0, 60));
     p1->txCtx = ctx;
     net::TcpHeader t2;
     t2.seq = 1060;
-    auto p2 = std::make_shared<net::Packet>(
-        net::Packet::make(ip, t2, ByteView(rec).subspan(60)));
+    auto p2 = net::PacketPool::threadDefault().make(
+        ip, t2, ByteView(rec).subspan(60));
     p2->txCtx = ctx;
     w.nicA.transmit(p1);
     w.nicA.transmit(p2);
@@ -259,8 +260,7 @@ TEST(NicDevice, TxResyncDescriptorRebuildsState)
     // First pass: full record in-sequence.
     net::TcpHeader t1;
     t1.seq = 1000;
-    auto p1 = std::make_shared<net::Packet>(
-        net::Packet::make(ip, t1, rec));
+    auto p1 = net::PacketPool::threadDefault().make(ip, t1, rec);
     p1->txCtx = ctx;
     w.nicA.transmit(p1);
     w.sim.run();
@@ -274,8 +274,8 @@ TEST(NicDevice, TxResyncDescriptorRebuildsState)
                         ByteView(rec).subspan(0, kOff));
     net::TcpHeader t2;
     t2.seq = 1000 + kOff;
-    auto p2 = std::make_shared<net::Packet>(
-        net::Packet::make(ip, t2, ByteView(rec).subspan(kOff)));
+    auto p2 = net::PacketPool::threadDefault().make(
+        ip, t2, ByteView(rec).subspan(kOff));
     p2->txCtx = ctx;
     w.nicA.transmit(p2);
     w.sim.run();

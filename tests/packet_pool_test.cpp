@@ -1,0 +1,235 @@
+/**
+ * @file
+ * PacketPool tests: freelist recycling and capacity reuse, refcount
+ * semantics (including the double-release death assert), the
+ * zero-allocation steady state, and header-cache coherence across
+ * recycling and in-place header rewrites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <new>
+
+#include "net/packet_pool.hh"
+#include "util/rand.hh"
+
+// The replaced global operator new below allocates with malloc, so
+// pairing it with free() is correct; GCC cannot see that and warns.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+namespace anic::net {
+namespace {
+
+// Global operator new instrumentation: counts every heap allocation
+// made while g_countAllocs is set, so the steady-state loop below can
+// assert the pool performs none.
+bool g_countAllocs = false;
+uint64_t g_allocs = 0;
+
+} // namespace
+} // namespace anic::net
+
+void *
+operator new(std::size_t n)
+{
+    if (anic::net::g_countAllocs)
+        anic::net::g_allocs++;
+    void *p = std::malloc(n);
+    if (p == nullptr)
+        throw std::bad_alloc();
+    return p;
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+namespace anic::net {
+namespace {
+
+Ipv4Header
+ip4(uint32_t src, uint32_t dst)
+{
+    Ipv4Header ip;
+    ip.src = src;
+    ip.dst = dst;
+    return ip;
+}
+
+TcpHeader
+tcpHdr(uint16_t sp, uint16_t dp, uint32_t seq)
+{
+    TcpHeader t;
+    t.srcPort = sp;
+    t.dstPort = dp;
+    t.seq = seq;
+    return t;
+}
+
+TEST(PacketPool, RecyclesTheSameObjectLifo)
+{
+    PacketPool pool;
+    PacketPtr p = pool.alloc(1500);
+    Packet *raw = p.get();
+    EXPECT_EQ(pool.liveCount(), 1u);
+    EXPECT_EQ(pool.misses(), 1u);
+    p.reset();
+    EXPECT_EQ(pool.liveCount(), 0u);
+    EXPECT_EQ(pool.freeCount(), 1u);
+
+    PacketPtr q = pool.alloc(100);
+    EXPECT_EQ(q.get(), raw); // LIFO freelist hands the same object back
+    EXPECT_EQ(pool.hits(), 1u);
+    EXPECT_EQ(pool.misses(), 1u);
+    EXPECT_EQ(pool.grows(), 0u); // 100 fits the 1500-byte capacity
+    EXPECT_EQ(q->bytes.size(), 100u);
+}
+
+TEST(PacketPool, SteadyStateDoesZeroHeapAllocation)
+{
+    PacketPool pool;
+    // Warm up: create and release enough packets at the working size.
+    {
+        std::vector<PacketPtr> warm;
+        for (int i = 0; i < 32; i++)
+            warm.push_back(pool.makeTcp(ip4(1, 2), tcpHdr(1, 2, i), 1460));
+    }
+    uint64_t missesAfterWarmup = pool.misses();
+
+    g_allocs = 0;
+    g_countAllocs = true;
+    for (int round = 0; round < 1000; round++) {
+        PacketPtr a = pool.makeTcp(ip4(1, 2), tcpHdr(1, 2, round), 1460);
+        PacketPtr b = pool.alloc(512);
+        a.reset();
+        b.reset();
+    }
+    g_countAllocs = false;
+
+    EXPECT_EQ(g_allocs, 0u) << "steady-state churn must not touch the heap";
+    EXPECT_EQ(pool.misses(), missesAfterWarmup);
+    EXPECT_EQ(pool.liveCount(), 0u);
+}
+
+TEST(PacketPool, ChurnStressKeepsAccountingConsistent)
+{
+    PacketPool pool;
+    Rng rng(0xfeed);
+    std::vector<PacketPtr> live;
+    for (int i = 0; i < 20000; i++) {
+        if (live.size() < 64 && (rng.next() & 1)) {
+            size_t sz = 64 + rng.next() % 4096;
+            live.push_back(pool.alloc(sz));
+        } else if (!live.empty()) {
+            size_t idx = rng.next() % live.size();
+            live[idx] = std::move(live.back());
+            live.pop_back();
+        }
+        ASSERT_EQ(pool.liveCount(), live.size());
+    }
+    live.clear();
+    EXPECT_EQ(pool.liveCount(), 0u);
+    // Misses are bounded by the high-water mark of concurrently live
+    // packets, not by the 20k churn iterations.
+    EXPECT_LE(pool.misses(), 64u);
+    EXPECT_GT(pool.hits(), 1000u);
+}
+
+TEST(PacketPool, RefcountSharingAndUseCount)
+{
+    PacketPool pool;
+    PacketPtr a = pool.alloc(64);
+    EXPECT_EQ(a.useCount(), 1u);
+    PacketPtr b = a;
+    EXPECT_EQ(a.useCount(), 2u);
+    PacketPtr c = std::move(b);
+    EXPECT_EQ(a.useCount(), 2u);
+    EXPECT_EQ(b, nullptr);
+    c.reset();
+    EXPECT_EQ(a.useCount(), 1u);
+    EXPECT_EQ(pool.liveCount(), 1u);
+    PacketPtr &alias = a; // self-assignment must not drop the last ref
+    a = alias;
+    EXPECT_EQ(a.useCount(), 1u);
+    a.reset();
+    EXPECT_EQ(pool.liveCount(), 0u);
+}
+
+TEST(PacketPoolDeathTest, DoubleReleasePanics)
+{
+    EXPECT_DEATH(
+        {
+            PacketPool pool;
+            PacketPtr a = pool.alloc(64);
+            // Forged second owner: the refcount is 1, so the second
+            // reset releases an already-dead packet.
+            PacketPtr b = PacketPtr::adopt(a.get());
+            a.reset();
+            b.reset();
+        },
+        "double release");
+}
+
+TEST(PacketPool, RecycleClearsRxStateAndHeaderCache)
+{
+    PacketPool pool;
+    PacketPtr p = pool.makeTcp(ip4(7, 9), tcpHdr(10, 20, 1234), 32);
+    p->rx.decrypted = true;
+    p->rx.placed.push_back({0, 32});
+    p->txCtx = 42;
+    Packet *raw = p.get();
+    p.reset();
+
+    PacketPtr q = pool.make(ip4(1, 2), tcpHdr(3, 4, 99), {});
+    ASSERT_EQ(q.get(), raw);
+    EXPECT_FALSE(q->rx.decrypted);
+    EXPECT_TRUE(q->rx.placed.empty());
+    EXPECT_EQ(q->txCtx, 0u);
+    // The header cache must describe the new packet, not the old one.
+    EXPECT_EQ(q->tcp().seq, 99u);
+    EXPECT_EQ(q->flow().srcIp, 1u);
+}
+
+TEST(PacketPool, InvalidateHeadersRefreshesDecodedViews)
+{
+    PacketPool pool;
+    PacketPtr p = pool.makeTcp(ip4(1, 2), tcpHdr(5, 6, 1000), 0);
+    EXPECT_EQ(p->tcp().seq, 1000u);
+
+    TcpHeader t2 = tcpHdr(5, 6, 2000);
+    t2.encode(p->bytes.data() + Ipv4Header::kSize);
+    EXPECT_EQ(p->tcp().seq, 1000u); // stale by design until invalidated
+    p->invalidateHeaders();
+    EXPECT_EQ(p->tcp().seq, 2000u);
+}
+
+TEST(PacketPool, CopyIsIndependentOfSource)
+{
+    PacketPool pool;
+    Bytes payload(100, 0xaa);
+    PacketPtr a = pool.make(ip4(1, 2), tcpHdr(3, 4, 7), payload);
+    PacketPtr b = pool.copy(*a);
+    EXPECT_NE(a.get(), b.get());
+    b->payloadMut()[0] = 0x55;
+    EXPECT_EQ(a->payload()[0], 0xaa);
+    EXPECT_EQ(b->tcp().seq, 7u);
+}
+
+TEST(PacketPool, DISABLED_LeakedPacketTripsPoolDestructor)
+{
+    // Documented contract (exercised manually): destroying a pool with
+    // live packets panics. Kept disabled because the leaked PacketPtr
+    // would dangle past the EXPECT_DEATH fork.
+}
+
+} // namespace
+} // namespace anic::net
