@@ -25,6 +25,8 @@ usage()
     std::fprintf(stderr,
                  "shared bench options:\n"
                  "  --jobs N         worker threads (default 1)\n"
+                 "  --cores N        simulated server core count "
+                 "(ANIC_CORES)\n"
                  "  --filter STR     run only points whose label "
                  "contains STR\n"
                  "  --json PATH      append JSON records to PATH\n"
@@ -40,6 +42,7 @@ parseBenchCli(int argc, char **argv)
 {
     BenchOptions opt;
     opt.quick = util::Env::quick();
+    opt.cores = util::Env::cores();
     for (int i = 1; i < argc; i++) {
         std::string a = argv[i];
         auto need = [&](const char *flag) -> const char * {
@@ -53,6 +56,10 @@ parseBenchCli(int argc, char **argv)
             opt.jobs = std::atoi(need("--jobs"));
             if (opt.jobs < 1)
                 opt.jobs = 1;
+        } else if (a == "--cores") {
+            opt.cores = std::atoi(need("--cores"));
+            if (opt.cores < 0)
+                opt.cores = 0;
         } else if (a == "--filter") {
             opt.filter = need("--filter");
         } else if (a == "--json") {

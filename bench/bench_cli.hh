@@ -5,6 +5,8 @@
  *
  *   --jobs N          worker threads (default 1; output is
  *                     byte-identical for any N)
+ *   --cores N         simulated server core count (default: the
+ *                     bench's own choice; same as ANIC_CORES)
  *   --filter STR      run only sweep points whose label contains STR
  *   --json PATH       append machine-readable JSON lines to PATH
  *                     (overrides ANIC_BENCH_JSON)
@@ -33,6 +35,7 @@ namespace anic::bench {
 struct BenchOptions
 {
     int jobs = 1;
+    int cores = 0; ///< --cores / ANIC_CORES; 0 = bench default
     std::string filter;
     std::string jsonPath;   ///< --json override of ANIC_BENCH_JSON
     std::string timingJson; ///< --timing-json output path

@@ -22,6 +22,11 @@ int
 main(int argc, char **argv)
 {
     BenchOptions opt = parseBenchCli(argc, argv);
+    // --cores/ANIC_CORES sets the server core count (and, via the
+    // node's auto queue config, its NIC TX/RX queue pair count): the
+    // multi-core contention axis the executor TSan gate and the
+    // perf-smoke scaling point sweep.
+    const int serverCores = opt.cores > 0 ? opt.cores : 8;
     printHeader("Figure 19: connection scalability vs NIC context cache "
                 "(20K flows)");
     const HttpVariant variants[] = {HttpVariant::Https, HttpVariant::Offload,
@@ -46,10 +51,10 @@ main(int argc, char **argv)
                 int conns = counts[ci];
                 std::string label = strprintf("conns=%d/%s", conns,
                                               variantName(variants[i]));
-                sweep.add(label, [&rows, &variants, ci, i,
-                                  conns](sim::RunContext &ctx) {
+                sweep.add(label, [&rows, &variants, ci, i, conns,
+                                  serverCores](sim::RunContext &ctx) {
                     NginxParams p;
-                    p.serverCores = 8;
+                    p.serverCores = serverCores;
                     p.generatorCores = 16;
                     p.connections = conns;
                     p.fileSize = 256 << 10;
@@ -64,7 +69,8 @@ main(int argc, char **argv)
                     p.warmup = 15 * sim::kMillisecond;
                     p.window = 20 * sim::kMillisecond;
                     p.bench = "fig19";
-                    p.scenario = {{"connections", tagNum(conns)}};
+                    p.scenario = {{"connections", tagNum(conns)},
+                                  {"cores", tagNum(serverCores)}};
                     NginxResult r = runNginx(ctx, p);
                     rows[ci].gbps[i] = r.gbps;
                     if (variants[i] == HttpVariant::OffloadZc) {

@@ -42,6 +42,12 @@ struct Case
     uint32_t mss;
     int flows;
     bool impaired;
+    /** Simulated server/generator cores; 0 = the bench default (4),
+     *  overridable with --cores / ANIC_CORES. */
+    int cores = 0;
+    /** Interrupt coalescing (1/0 = per-packet interrupts). */
+    uint32_t coalescePkts = 1;
+    sim::Tick coalesceDelay = 0;
 };
 
 constexpr Case kCases[] = {
@@ -51,16 +57,25 @@ constexpr Case kCases[] = {
     {"mss1460/f64/clean", 1460, 64, false},
     {"mss1460/f8/lossy", 1460, 8, true},
     {"mss8960/f8/clean", 8960, 8, false},
+    // Multi-queue axes: core scaling (one NIC queue pair per core)
+    // and interrupt coalescing on the many-flow point.
+    {"mss1460/f8/c1", 1460, 8, false, 1},
+    {"mss1460/f8/c8", 1460, 8, false, 8},
+    {"mss1460/f64/coal8", 1460, 64, false, 0, 8,
+     10 * sim::kMicrosecond},
 };
 constexpr int kCaseCount = static_cast<int>(std::size(kCases));
 
 Point
-measure(sim::RunContext &ctx, const Case &c)
+measure(sim::RunContext &ctx, const Case &c, int defaultCores)
 {
     app::MacroWorld::Config wc;
-    wc.serverCores = 4;
-    wc.generatorCores = 4;
+    int cores = c.cores > 0 ? c.cores : defaultCores;
+    wc.serverCores = cores;
+    wc.generatorCores = cores;
     wc.remoteStorage = false;
+    wc.nicCfg.coalescePkts = c.coalescePkts;
+    wc.nicCfg.coalesceDelay = c.coalesceDelay;
     wc.serverTcp.mss = c.mss;
     wc.generatorTcp.mss = c.mss;
     if (c.impaired) {
@@ -149,10 +164,14 @@ main(int argc, char **argv)
     Point pts[kCaseCount];
     {
         Sweep sweep("simspeed", opt);
+        // --cores/ANIC_CORES moves the default core count; cases with
+        // an explicit cores value (the cN scaling points) keep it.
+        const int defaultCores = opt.cores > 0 ? opt.cores : 4;
         for (int i = 0; i < kCaseCount; i++) {
             const Case &c = kCases[i];
-            sweep.add(c.label, [&pts, i, &c](sim::RunContext &ctx) {
-                Point p = measure(ctx, c);
+            sweep.add(c.label,
+                      [&pts, i, &c, defaultCores](sim::RunContext &ctx) {
+                Point p = measure(ctx, c, defaultCores);
                 pts[i] = p;
                 jsonRecord(ctx, "simspeed", "pkts_per_sec", p.pktsPerSec,
                            {{"case", c.label}});

@@ -46,6 +46,21 @@ ExperimentBuilder::generatorCores(int n)
 }
 
 ExperimentBuilder &
+ExperimentBuilder::nicQueues(int n)
+{
+    cfg_.nicCfg.numQueues = n;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::nicCoalescing(uint32_t pkts, sim::Tick delay)
+{
+    cfg_.nicCfg.coalescePkts = pkts;
+    cfg_.nicCfg.coalesceDelay = delay;
+    return *this;
+}
+
+ExperimentBuilder &
 ExperimentBuilder::link(const net::Link::Config &lc)
 {
     cfg_.link = lc;

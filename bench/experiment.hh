@@ -63,6 +63,11 @@ class ExperimentBuilder
     // ------------------------------------------------- topology
     ExperimentBuilder &serverCores(int n);
     ExperimentBuilder &generatorCores(int n);
+    /** NIC TX/RX queue pairs per node (0 = one pair per core). */
+    ExperimentBuilder &nicQueues(int n);
+    /** Interrupt coalescing: fire after @p pkts completions or
+     *  @p delay after the first, whichever comes first. */
+    ExperimentBuilder &nicCoalescing(uint32_t pkts, sim::Tick delay);
     ExperimentBuilder &link(const net::Link::Config &lc);
     ExperimentBuilder &serverSndBuf(size_t bytes);
     ExperimentBuilder &serverRcvBuf(size_t bytes);

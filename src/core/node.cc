@@ -26,6 +26,11 @@ Node::attachPort(net::Link &link, int linkPort, net::IpAddr ip)
 {
     Port p;
     nic::Nic::Config nicCfg = cfg_.nicCfg;
+    // numQueues 0 = auto: one TX/RX queue pair per host core, so every
+    // core owns a pair (resolved per node; worlds share one nicCfg
+    // between hosts with different core counts).
+    if (nicCfg.numQueues == 0)
+        nicCfg.numQueues = cfg_.cores;
     nicCfg.name = name_ + ".nic" + std::to_string(ports_.size());
     nicCfg.registry = scope_.registry();
     if (nicCfg.trace == nullptr)

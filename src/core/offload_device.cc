@@ -62,8 +62,9 @@ OffloadDevice::OffloadDevice(sim::Simulator &sim, nic::Nic &nic,
                              net::IpAddr ip)
     : sim_(sim), nic_(nic), ip_(ip)
 {
-    nic_.setOnReceive(
-        [this](net::PacketPtr pkt) { onNicReceive(std::move(pkt)); });
+    nic_.setOnRxInterrupt([this](int queue, nic::Nic::RxBatch pkts) {
+        onNicRxInterrupt(queue, std::move(pkts));
+    });
     nic_.setOnResyncRequest(
         [this](uint64_t ctxId, uint64_t reqId, uint32_t seq) {
             onNicResyncRequest(ctxId, reqId, seq);
@@ -109,8 +110,11 @@ OffloadDevice::transmit(net::PacketPtr pkt)
                             th.seq);
                 if (host::Core *cur = host::Core::current())
                     cur->charge(cur->model().resyncUpcallCost);
+                // The special descriptor must ride the same ring the
+                // data packet will, or the resync could drain after
+                // the packet it is meant to precede.
                 nic_.postTxResync(pkt->txCtx, th.seq, st->msgIdx,
-                                  st->rebuild);
+                                  st->rebuild, nic_.txQueueFor(pkt->flow()));
             }
         }
         sit->second = th.seq + static_cast<uint32_t>(pkt->payloadSize());
@@ -125,14 +129,24 @@ OffloadDevice::setOnTxSpace(std::function<void()> cb)
 }
 
 void
-OffloadDevice::onNicReceive(net::PacketPtr pkt)
+OffloadDevice::onNicRxInterrupt(int queue, nic::Nic::RxBatch pkts)
 {
-    if (stack_ == nullptr)
+    if (stack_ == nullptr) {
+        nic_.recycleRxBatch(std::move(pkts));
         return;
-    host::Core &core = stack_->steer(pkt->flow().reversed());
-    core.post([this, pkt = std::move(pkt), &core] {
-        core.charge(core.model().driverRxPerPacket);
-        stack_->input(pkt);
+    }
+    // MSI-X affinity: queue N interrupts core N mod cores. RSS pinned
+    // every flow in this batch to this queue, so the stack work runs
+    // on the flow's steered core without a cross-core handoff.
+    host::Core &core = stack_->coreForQueue(queue);
+    core.post([this, pkts = std::move(pkts), &core]() mutable {
+        core.charge(core.model().interruptCost);
+        for (net::PacketPtr &p : pkts) {
+            core.charge(core.model().driverRxPerPacket);
+            stack_->input(p);
+            p.reset();
+        }
+        nic_.recycleRxBatch(std::move(pkts));
     });
 }
 

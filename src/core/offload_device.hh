@@ -56,6 +56,12 @@ class OffloadDevice : public tcp::NetDevice
     bool transmit(net::PacketPtr pkt) override;
     void setOnTxSpace(std::function<void()> cb) override;
     net::IpAddr ipAddr() const override { return ip_; }
+    int rxQueues() const override { return nic_.queueCount(); }
+    int
+    rxQueueFor(const net::FlowKey &wireFlow) const override
+    {
+        return nic_.rxQueueFor(wireFlow);
+    }
 
     // ------------------------------------------------------- l5o
     /** l5o_create: installs NIC contexts and returns the handle. */
@@ -70,7 +76,7 @@ class OffloadDevice : public tcp::NetDevice
     class OffloadImpl;
     friend class OffloadImpl;
 
-    void onNicReceive(net::PacketPtr pkt);
+    void onNicRxInterrupt(int queue, nic::Nic::RxBatch pkts);
     void onNicResyncRequest(uint64_t ctxId, uint64_t reqId, uint32_t tcpSeq);
     void destroyOffload(uint64_t id);
 

@@ -59,8 +59,15 @@ struct CycleModel
     double tcpAckRxPerPacket = 150.0;
     /** NIC driver descriptor handling, transmit. */
     double driverTxPerPacket = 100.0;
-    /** NIC driver descriptor handling, receive. */
-    double driverRxPerPacket = 250.0;
+    /** NIC driver descriptor handling, receive (per packet; charged
+     *  once per completion-queue entry). */
+    double driverRxPerPacket = 130.0;
+    /** MSI-X interrupt entry/exit + NAPI poll setup, charged once per
+     *  interrupt fired. With per-packet interrupts (the default, no
+     *  coalescing) interruptCost + driverRxPerPacket equals the 250
+     *  cycles/pkt the pre-multi-queue model charged, so calibration
+     *  is unchanged; coalescing amortizes this term. */
+    double interruptCost = 120.0;
 
     // ------------------------------------------------- per operation
     /** Syscall entry/exit + socket locking, per send/recv call. */

@@ -1,0 +1,117 @@
+#include "net/toeplitz.hh"
+
+#include "util/panic.hh"
+
+namespace anic::net {
+
+namespace {
+
+/** The Microsoft RSS verification-suite key. */
+constexpr uint8_t kStandardKey[Toeplitz::kKeyBytes] = {
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67,
+    0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0, 0xd0, 0xca, 0x2b, 0xcb,
+    0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+};
+
+/** 32-bit window of @p key starting at bit @p pos (msb-first). */
+uint32_t
+keyWindow(const uint8_t (&key)[Toeplitz::kKeyBytes], size_t pos)
+{
+    uint64_t acc = 0;
+    size_t byte = pos / 8;
+    for (size_t i = 0; i < 8; i++)
+        acc = (acc << 8) | (byte + i < Toeplitz::kKeyBytes ? key[byte + i] : 0);
+    return static_cast<uint32_t>(acc >> (32 - pos % 8));
+}
+
+} // namespace
+
+Toeplitz::Toeplitz(const uint8_t (&key)[kKeyBytes])
+{
+    // Input bit i (msb-first) selects the key window starting at bit
+    // i; a byte's contribution is the xor of its set bits' windows,
+    // which collapses to one table lookup per input byte.
+    for (size_t o = 0; o < kMaxInput; o++) {
+        uint32_t win[8];
+        for (int bit = 0; bit < 8; bit++)
+            win[bit] = keyWindow(key, o * 8 + static_cast<size_t>(bit));
+        for (unsigned v = 0; v < 256; v++) {
+            uint32_t h = 0;
+            for (int bit = 0; bit < 8; bit++) {
+                if (v & (0x80u >> bit))
+                    h ^= win[bit];
+            }
+            table_[o][v] = h;
+        }
+    }
+}
+
+const Toeplitz &
+Toeplitz::standard()
+{
+    static const Toeplitz t(kStandardKey);
+    return t;
+}
+
+uint32_t
+Toeplitz::hashBytes(const uint8_t *data, size_t len) const
+{
+    ANIC_ASSERT(len <= kMaxInput, "toeplitz input too long: %zu", len);
+    uint32_t h = 0;
+    for (size_t i = 0; i < len; i++)
+        h ^= table_[i][data[i]];
+    return h;
+}
+
+uint32_t
+Toeplitz::hashBytesRef(const uint8_t (&key)[kKeyBytes], const uint8_t *data,
+                       size_t len)
+{
+    uint32_t result = 0;
+    uint32_t window = (static_cast<uint32_t>(key[0]) << 24) |
+                      (static_cast<uint32_t>(key[1]) << 16) |
+                      (static_cast<uint32_t>(key[2]) << 8) | key[3];
+    size_t nextBit = 32;
+    for (size_t i = 0; i < len; i++) {
+        for (int b = 7; b >= 0; b--) {
+            if (data[i] & (1u << b))
+                result ^= window;
+            window <<= 1;
+            if (nextBit < kKeyBytes * 8 &&
+                (key[nextBit / 8] & (0x80u >> (nextBit % 8))))
+                window |= 1;
+            nextBit++;
+        }
+    }
+    return result;
+}
+
+uint32_t
+Toeplitz::hashIpv4(IpAddr src, IpAddr dst) const
+{
+    const uint8_t in[8] = {
+        static_cast<uint8_t>(src >> 24), static_cast<uint8_t>(src >> 16),
+        static_cast<uint8_t>(src >> 8),  static_cast<uint8_t>(src),
+        static_cast<uint8_t>(dst >> 24), static_cast<uint8_t>(dst >> 16),
+        static_cast<uint8_t>(dst >> 8),  static_cast<uint8_t>(dst),
+    };
+    return hashBytes(in, sizeof in);
+}
+
+uint32_t
+Toeplitz::hashIpv4Tcp(IpAddr src, IpAddr dst, uint16_t srcPort,
+                      uint16_t dstPort) const
+{
+    const uint8_t in[12] = {
+        static_cast<uint8_t>(src >> 24),     static_cast<uint8_t>(src >> 16),
+        static_cast<uint8_t>(src >> 8),      static_cast<uint8_t>(src),
+        static_cast<uint8_t>(dst >> 24),     static_cast<uint8_t>(dst >> 16),
+        static_cast<uint8_t>(dst >> 8),      static_cast<uint8_t>(dst),
+        static_cast<uint8_t>(srcPort >> 8),  static_cast<uint8_t>(srcPort),
+        static_cast<uint8_t>(dstPort >> 8),  static_cast<uint8_t>(dstPort),
+    };
+    return hashBytes(in, sizeof in);
+}
+
+} // namespace anic::net

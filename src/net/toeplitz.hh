@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Toeplitz hash for receive-side scaling (RSS).
+ *
+ * The NIC model steers arriving packets to per-core receive queues by
+ * hashing the IPv4/TCP 4-tuple with the Toeplitz function NICs
+ * implement in hardware (Microsoft RSS specification). The hash is
+ * deterministic and endpoint-symmetric in neither direction — both
+ * sides of the simulation therefore compute it over the *wire view*
+ * of a flow (src = remote peer for arriving packets).
+ *
+ * The bit-serial definition costs ~100 shift/xor steps per packet; on
+ * the simulator's hot path that would be noticeable, so construction
+ * precomputes a per-byte lookup table (12 offsets x 256 values) and
+ * hashing is 12 table lookups. hashBytesRef() keeps the bit-serial
+ * reference alive for the known-answer tests.
+ */
+
+#ifndef ANIC_NET_TOEPLITZ_HH
+#define ANIC_NET_TOEPLITZ_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "net/headers.hh"
+
+namespace anic::net {
+
+class Toeplitz
+{
+  public:
+    /** RSS secret key length (320 bits). */
+    static constexpr size_t kKeyBytes = 40;
+    /** Longest hash input: IPv4 4-tuple (4 + 4 + 2 + 2 bytes). */
+    static constexpr size_t kMaxInput = 12;
+
+    explicit Toeplitz(const uint8_t (&key)[kKeyBytes]);
+
+    /** Shared instance keyed with the Microsoft RSS verification-suite
+     *  key (the de-facto default key drivers ship with). */
+    static const Toeplitz &standard();
+
+    /** Table-driven hash of @p len bytes (len <= kMaxInput). */
+    uint32_t hashBytes(const uint8_t *data, size_t len) const;
+
+    /** Bit-serial reference implementation (tests compare the table
+     *  against this; keep both in sync with the RSS spec). */
+    static uint32_t hashBytesRef(const uint8_t (&key)[kKeyBytes],
+                                 const uint8_t *data, size_t len);
+
+    /** IPv4-only hash: src then dst address, network byte order. */
+    uint32_t hashIpv4(IpAddr src, IpAddr dst) const;
+
+    /** IPv4+TCP hash: addresses then ports, network byte order. */
+    uint32_t hashIpv4Tcp(IpAddr src, IpAddr dst, uint16_t srcPort,
+                         uint16_t dstPort) const;
+
+    /** 4-tuple hash of @p wire as seen on arriving packets. */
+    uint32_t
+    hashFlow(const FlowKey &wire) const
+    {
+        return hashIpv4Tcp(wire.srcIp, wire.dstIp, wire.srcPort,
+                           wire.dstPort);
+    }
+
+  private:
+    /** table_[o][v]: xor of the 32-bit key windows selected by the
+     *  set bits of input byte value v at byte offset o. */
+    uint32_t table_[kMaxInput][256];
+};
+
+} // namespace anic::net
+
+#endif // ANIC_NET_TOEPLITZ_HH

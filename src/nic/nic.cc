@@ -1,6 +1,9 @@
 #include "nic/nic.hh"
 
+#include <utility>
+
 #include "util/panic.hh"
+#include "util/rand.hh"
 
 namespace anic::nic {
 
@@ -57,6 +60,42 @@ Nic::Nic(sim::Simulator &sim, net::Link &link, int port, Config cfg)
     name_ = reg.uniqueName(cfg_.name.empty() ? "nic" : cfg_.name);
     scope_ = sim::StatsScope(reg, name_);
     trace_ = cfg_.trace != nullptr ? cfg_.trace : &sim::TraceRing::global();
+
+    // 0 = auto; the driver resolves it to the host core count before
+    // construction (Node::attachPort), bare construction gets 1.
+    if (cfg_.numQueues <= 0)
+        cfg_.numQueues = 1;
+    if (cfg_.coalescePkts == 0)
+        cfg_.coalescePkts = 1;
+    if (cfg_.rssTableSize == 0)
+        cfg_.rssTableSize = 1;
+    rss_ = &net::Toeplitz::standard();
+    queues_.reserve(static_cast<size_t>(cfg_.numQueues));
+    for (int i = 0; i < cfg_.numQueues; i++) {
+        auto q = std::make_unique<QueueState>();
+        q->scope = scope_.child("q" + std::to_string(i));
+        q->scope.link("txPkts", q->stats.txPkts);
+        q->scope.link("rxPkts", q->stats.rxPkts);
+        q->scope.link("compIrqs", q->stats.compIrqs);
+        q->scope.link("coalescedPkts", q->stats.coalescedPkts);
+        q->scope.link("ctxHits", q->stats.ctxHits);
+        q->scope.link("ctxMisses", q->stats.ctxMisses);
+        queues_.push_back(std::move(q));
+    }
+    // Balanced fill, then a fixed-seed shuffle. The shuffle matters:
+    // Toeplitz is XOR-linear, so flows on consecutive ephemeral ports
+    // hash to slots whose low bits span a tiny GF(2) subspace — with
+    // a plain round-robin fill (slot % queues) eight neighbouring
+    // ports can collapse onto two queues. Decorrelating slot index
+    // from queue keeps the per-slot balance exact while restoring the
+    // spread a driver-programmed indirection table would have.
+    rssTable_.resize(cfg_.rssTableSize);
+    for (size_t i = 0; i < rssTable_.size(); i++)
+        rssTable_[i] = static_cast<uint16_t>(i % queues_.size());
+    Rng shuffleRng(0x52535321); // "RSS!" — same table every run
+    for (size_t i = rssTable_.size(); i > 1; i--)
+        std::swap(rssTable_[i - 1], rssTable_[shuffleRng.next() % i]);
+
     linkInstruments();
     link_.attach(port, [this](net::PacketPtr pkt) { onWire(std::move(pkt)); });
 }
@@ -74,6 +113,8 @@ Nic::linkInstruments()
     scope_.link("rxOffloadedPkts", stats_.rxOffloadedPkts);
     scope_.link("txOffloadedPkts", stats_.txOffloadedPkts);
     scope_.link("txResyncs", stats_.txResyncs);
+    scope_.link("irqsFired", stats_.irqsFired);
+    scope_.link("coalescedPkts", stats_.coalescedPkts);
 
     scope_.link("pcie.rxDataBytes", pcie_.rxDataBytes);
     scope_.link("pcie.txDataBytes", pcie_.txDataBytes);
@@ -130,18 +171,28 @@ Nic::installFsmHooks(FlowContext &ctx)
 bool
 Nic::transmit(net::PacketPtr pkt)
 {
-    if (txq_.size() >= cfg_.txRingSize)
+    int queue =
+        queues_.size() == 1 ? 0 : rxQueueFor(pkt->flow().reversed());
+    return transmit(std::move(pkt), queue);
+}
+
+bool
+Nic::transmit(net::PacketPtr pkt, int queue)
+{
+    QueueState &q = *queues_[static_cast<size_t>(queue)];
+    if (q.txRing.size() >= cfg_.txRingSize)
         return false;
     pcie_.txDataBytes += pkt->bytes.size();
     pcie_.descriptorBytes += cfg_.descriptorBytes;
-    txq_.push_back(TxEntry{std::move(pkt), nullptr});
+    q.txRing.push_back(TxEntry{std::move(pkt), nullptr});
+    txPendingTotal_++;
     pumpTx();
     return true;
 }
 
 void
 Nic::postTxResync(uint64_t ctxId, uint32_t tcpsn, uint64_t msgIdx,
-                  ByteView rebuild)
+                  ByteView rebuild, int queue)
 {
     auto cmd = std::make_unique<TxResyncCmd>();
     cmd->ctxId = ctxId;
@@ -149,16 +200,18 @@ Nic::postTxResync(uint64_t ctxId, uint32_t tcpsn, uint64_t msgIdx,
     cmd->msgIdx = msgIdx;
     cmd->rebuild.assign(rebuild.begin(), rebuild.end());
     pcie_.descriptorBytes += cfg_.descriptorBytes;
-    // Special descriptors ride the same ring as data so ordering with
-    // surrounding packets is preserved.
-    txq_.push_back(TxEntry{nullptr, std::move(cmd)});
+    // Special descriptors ride the same ring as the flow's data so
+    // ordering with surrounding packets is preserved.
+    queues_[static_cast<size_t>(queue)]->txRing.push_back(
+        TxEntry{nullptr, std::move(cmd)});
+    txPendingTotal_++;
     pumpTx();
 }
 
 void
 Nic::pumpTx()
 {
-    if (txPumping_ || txq_.empty())
+    if (txPumping_ || txPendingTotal_ == 0)
         return;
     txPumping_ = true;
     sim::Tick start = std::max(sim_.now() + cfg_.txLatency, lineFreeAt_);
@@ -169,18 +222,35 @@ void
 Nic::drainOne()
 {
     txPumping_ = false;
-    // Apply any special descriptors that precede the next packet.
-    while (!txq_.empty() && txq_.front().resync != nullptr) {
-        applyTxResync(*txq_.front().resync);
-        txq_.pop_front();
+    // Round-robin arbitration over the tx rings: one packet per grant,
+    // starting after the ring served last. With one queue this is the
+    // single-ring FIFO drain of the pre-multi-queue NIC.
+    const int n = queueCount();
+    QueueState *qs = nullptr;
+    int qi = rrNext_;
+    for (int scanned = 0; scanned < n; scanned++, qi = (qi + 1) % n) {
+        QueueState &q = *queues_[static_cast<size_t>(qi)];
+        // Apply special descriptors preceding this ring's next packet.
+        while (!q.txRing.empty() && q.txRing.front().resync != nullptr) {
+            applyTxResync(*q.txRing.front().resync);
+            q.txRing.pop_front();
+            txPendingTotal_--;
+        }
+        if (!q.txRing.empty()) {
+            qs = &q;
+            break;
+        }
     }
-    if (txq_.empty())
+    if (qs == nullptr)
         return;
-    net::PacketPtr pkt = std::move(txq_.front().pkt);
-    txq_.pop_front();
+    rrNext_ = (qi + 1) % n;
+
+    net::PacketPtr pkt = std::move(qs->txRing.front().pkt);
+    qs->txRing.pop_front();
+    txPendingTotal_--;
 
     if (pkt->txCtx != 0)
-        processTxOffload(*pkt);
+        processTxOffload(*pkt, qs->stats);
 
     double ps_per_byte = 8000.0 / cfg_.gbps;
     sim::Tick ser = static_cast<sim::Tick>(
@@ -189,28 +259,29 @@ Nic::drainOne()
 
     stats_.pktsTx++;
     stats_.bytesTx += pkt->bytes.size();
+    qs->stats.txPkts++;
     // The last bit leaves when serialization completes.
     sim_.scheduleAt(lineFreeAt_, [this, pkt = std::move(pkt)]() mutable {
         link_.transmit(port_, std::move(pkt));
     });
 
-    bool had_backlog = txq_.size() + 1 >= cfg_.txRingSize;
+    bool had_backlog = qs->txRing.size() + 1 >= cfg_.txRingSize;
     if (had_backlog && onTxSpace_)
         onTxSpace_();
-    if (!txq_.empty()) {
+    if (txPendingTotal_ > 0) {
         txPumping_ = true;
         sim_.scheduleAt(lineFreeAt_, [this] { drainOne(); });
     }
 }
 
 void
-Nic::processTxOffload(net::Packet &pkt)
+Nic::processTxOffload(net::Packet &pkt, QueueStats &qstats)
 {
     auto it = txById_.find(pkt.txCtx);
     if (it == txById_.end())
         return; // context destroyed; send as-is
     TxCtx &tc = it->second;
-    touchContext(pkt.txCtx);
+    touchContext(pkt.txCtx, &qstats);
 
     const net::TcpHeader th = pkt.tcp();
     size_t payload = pkt.payloadSize();
@@ -234,6 +305,15 @@ Nic::processTxOffload(net::Packet &pkt)
 
 // -------------------------------------------------------------- receive
 
+int
+Nic::rxQueueFor(const net::FlowKey &wireFlow) const
+{
+    if (queues_.size() == 1)
+        return 0;
+    uint32_t h = rss_->hashFlow(wireFlow);
+    return rssTable_[h % rssTable_.size()];
+}
+
 void
 Nic::onWire(net::PacketPtr pkt)
 {
@@ -242,10 +322,26 @@ Nic::onWire(net::PacketPtr pkt)
     pcie_.rxDataBytes += pkt->bytes.size();
     pcie_.descriptorBytes += cfg_.descriptorBytes;
 
+    // RSS: the indirection table pins the flow to one rx queue, so a
+    // flow never migrates between queues (or cores) mid-stream.
+    int queue = 0;
+    if (queues_.size() > 1) {
+        uint32_t h = rss_->hashFlow(pkt->flow());
+        queue = rssTable_[h % rssTable_.size()];
+        // record() copies the component name before its own enabled
+        // check; guard here so the per-packet path stays allocation
+        // free when tracing is off.
+        if (trace_->enabled())
+            trace_->record(sim_.now(), sim::TraceKind::RxQueueSelect, name_,
+                           static_cast<uint64_t>(queue), h);
+    }
+    QueueState &qs = *queues_[static_cast<size_t>(queue)];
+    qs.stats.rxPkts++;
+
     sim::Tick extra = 0;
     auto it = rxByFlow_.find(pkt->flow());
     if (it != rxByFlow_.end() && pkt->payloadSize() > 0) {
-        extra = touchContext(it->second->id());
+        extra = touchContext(it->second->id(), &qs.stats);
         processRxOffload(*pkt);
     }
 
@@ -253,19 +349,22 @@ Nic::onWire(net::PacketPtr pkt)
     // the batch drains in arrival order, so delivery order (and every
     // delivery tick) matches the unbatched schedule exactly.
     sim::Tick due = sim_.now() + cfg_.rxLatency + extra;
-    for (RxBatch &b : rxPending_) {
+    for (RxPending &b : rxPending_) {
         if (b.due == due) {
             b.pkts.push_back(std::move(pkt));
+            b.queues.push_back(queue);
             return;
         }
     }
-    std::vector<net::PacketPtr> pkts;
-    if (!rxBatchFree_.empty()) {
-        pkts = std::move(rxBatchFree_.back());
-        rxBatchFree_.pop_back();
+    RxPending b;
+    if (!rxPendingFree_.empty()) {
+        b = std::move(rxPendingFree_.back());
+        rxPendingFree_.pop_back();
     }
-    pkts.push_back(std::move(pkt));
-    rxPending_.push_back(RxBatch{due, std::move(pkts)});
+    b.due = due;
+    b.pkts.push_back(std::move(pkt));
+    b.queues.push_back(queue);
+    rxPending_.push_back(std::move(b));
     sim_.scheduleAt(due, [this, due] { flushRx(due); });
 }
 
@@ -275,18 +374,79 @@ Nic::flushRx(sim::Tick due)
     for (size_t i = 0; i < rxPending_.size(); i++) {
         if (rxPending_[i].due != due)
             continue;
-        std::vector<net::PacketPtr> pkts = std::move(rxPending_[i].pkts);
+        RxPending b = std::move(rxPending_[i]);
         rxPending_.erase(rxPending_.begin() + static_cast<ptrdiff_t>(i));
-        for (net::PacketPtr &p : pkts) {
-            if (onReceive_)
-                onReceive_(std::move(p));
-        }
-        pkts.clear();
-        rxBatchFree_.push_back(std::move(pkts));
+        for (size_t k = 0; k < b.pkts.size(); k++)
+            deliverToQueue(b.queues[k], std::move(b.pkts[k]));
+        b.pkts.clear();
+        b.queues.clear();
+        rxPendingFree_.push_back(std::move(b));
         return;
     }
     panic("nic rx flush with no pending batch at tick %llu",
           static_cast<unsigned long long>(due));
+}
+
+void
+Nic::deliverToQueue(int queue, net::PacketPtr pkt)
+{
+    QueueState &q = *queues_[static_cast<size_t>(queue)];
+    q.comp.push_back(std::move(pkt));
+    if (q.comp.size() >= cfg_.coalescePkts) {
+        fireIrq(queue);
+        return;
+    }
+    if (trace_->enabled())
+        trace_->record(sim_.now(), sim::TraceKind::IrqCoalesce, name_,
+                       static_cast<uint64_t>(queue), q.comp.size());
+    if (!q.timerArmed) {
+        q.timerArmed = true;
+        uint64_t gen = q.irqGen;
+        sim_.scheduleAt(sim_.now() + cfg_.coalesceDelay,
+                        [this, queue, gen] { onIrqTimer(queue, gen); });
+    }
+}
+
+void
+Nic::fireIrq(int queue)
+{
+    QueueState &q = *queues_[static_cast<size_t>(queue)];
+    q.irqGen++; // invalidates any armed coalesce timer
+    q.timerArmed = false;
+    RxBatch pkts = std::move(q.comp);
+    q.comp = takeFreeVec();
+
+    uint64_t n = pkts.size();
+    q.stats.compIrqs++;
+    stats_.irqsFired++;
+    q.stats.coalescedPkts += n - 1;
+    stats_.coalescedPkts += n - 1;
+    if (trace_->enabled())
+        trace_->record(sim_.now(), sim::TraceKind::IrqFire, name_,
+                       static_cast<uint64_t>(queue), n);
+    if (onRxInterrupt_)
+        onRxInterrupt_(queue, std::move(pkts));
+    else
+        recycleRxBatch(std::move(pkts));
+}
+
+void
+Nic::onIrqTimer(int queue, uint64_t gen)
+{
+    QueueState &q = *queues_[static_cast<size_t>(queue)];
+    if (gen != q.irqGen || q.comp.empty())
+        return; // a threshold fire beat the timer
+    fireIrq(queue);
+}
+
+Nic::RxBatch
+Nic::takeFreeVec()
+{
+    if (rxVecFree_.empty())
+        return {};
+    RxBatch v = std::move(rxVecFree_.back());
+    rxVecFree_.pop_back();
+    return v;
 }
 
 void
@@ -316,15 +476,19 @@ Nic::processRxOffload(net::Packet &pkt)
 // -------------------------------------------------------- context cache
 
 sim::Tick
-Nic::touchContext(uint64_t ctxId)
+Nic::touchContext(uint64_t ctxId, QueueStats *qs)
 {
     auto it = cacheMap_.find(ctxId);
     if (it != cacheMap_.end()) {
         cacheLru_.splice(cacheLru_.begin(), cacheLru_, it->second);
         stats_.ctxCacheHits++;
+        if (qs != nullptr)
+            qs->ctxHits++;
         return 0;
     }
     stats_.ctxCacheMisses++;
+    if (qs != nullptr)
+        qs->ctxMisses++;
     pcie_.ctxFetchBytes += cfg_.ctxBytes;
     trace_->record(sim_.now(), sim::TraceKind::CtxFetch, name_, ctxId,
                    cfg_.ctxBytes);

@@ -26,8 +26,10 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "net/link.hh"
+#include "net/toeplitz.hh"
 #include "nic/stream_fsm.hh"
 #include "sim/registry.hh"
 #include "sim/simulator.hh"
@@ -53,7 +55,7 @@ struct PcieStats
     }
 };
 
-/** NIC-level counters. */
+/** NIC-level counters (aggregate roll-up over every queue). */
 struct NicStats
 {
     sim::Counter pktsTx;
@@ -66,6 +68,20 @@ struct NicStats
     sim::Counter rxOffloadedPkts;
     sim::Counter txOffloadedPkts;
     sim::Counter txResyncs;
+    sim::Counter irqsFired;     ///< completion interrupts delivered
+    sim::Counter coalescedPkts; ///< completions that rode an earlier irq
+};
+
+/** Per-queue counters, published as nic.qN.* with the NicStats
+ *  aggregate as the roll-up. */
+struct QueueStats
+{
+    sim::Counter txPkts;        ///< packets sent from this tx ring
+    sim::Counter rxPkts;        ///< packets steered to this rx queue
+    sim::Counter compIrqs;      ///< completion interrupts fired
+    sim::Counter coalescedPkts; ///< completions beyond the first per irq
+    sim::Counter ctxHits;       ///< context-cache hits on this queue
+    sim::Counter ctxMisses;     ///< context-cache misses on this queue
 };
 
 /**
@@ -114,9 +130,29 @@ class Nic
     struct Config
     {
         double gbps = 100.0;
-        size_t txRingSize = 4096;
+        size_t txRingSize = 4096; ///< per tx queue
         sim::Tick rxLatency = 1500 * sim::kNanosecond;
         sim::Tick txLatency = 1000 * sim::kNanosecond;
+
+        /**
+         * TX/RX queue pairs. 0 = auto: the driver (Node::attachPort)
+         * resolves it to the host's core count so every core owns a
+         * pair; bare Nic construction resolves 0 to 1. With one queue
+         * the data path is identical to the pre-multi-queue NIC.
+         */
+        int numQueues = 0;
+        /** RSS indirection table entries (filled round-robin). */
+        size_t rssTableSize = 128;
+        /**
+         * Interrupt coalescing: fire the completion interrupt once
+         * @p coalescePkts completions are pending, or @p coalesceDelay
+         * after the first pending completion, whichever comes first.
+         * The default (1 pkt, no delay) interrupts per packet, which
+         * keeps the cycle-model calibration of the pre-coalescing
+         * driver path (see CycleModel::interruptCost).
+         */
+        uint32_t coalescePkts = 1;
+        sim::Tick coalesceDelay = 0;
 
         /** Flow-context cache: 4 MiB at 208 B/flow ~ 20K flows. */
         size_t ctxCacheCapacity = 20000;
@@ -144,13 +180,53 @@ class Nic
     Nic(sim::Simulator &sim, net::Link &link, int port, Config cfg);
 
     // ------------------------------------------------ driver: data
-    /** Queues a packet; false if the tx ring is full. */
+    /** One interrupt's worth of rx completions. */
+    using RxBatch = std::vector<net::PacketPtr>;
+
+    /**
+     * Queues a packet on the tx ring its flow hashes to (XPS-style:
+     * the same Toeplitz hash as rx steering, so a flow's tx queue
+     * pairs with its rx queue and per-flow descriptor order is
+     * preserved across rings). Returns false if that ring is full.
+     */
     bool transmit(net::PacketPtr pkt);
+
+    /** Same, onto an explicit tx queue. */
+    bool transmit(net::PacketPtr pkt, int queue);
 
     void setOnTxSpace(std::function<void()> cb) { onTxSpace_ = std::move(cb); }
 
-    /** Driver receive entry (already includes NIC rx processing). */
-    void setOnReceive(std::function<void(net::PacketPtr)> cb) { onReceive_ = std::move(cb); }
+    /**
+     * Driver receive entry: one call per completion interrupt, with
+     * every packet the interrupt covers (already includes NIC rx
+     * processing). The driver should hand the emptied vector back via
+     * recycleRxBatch() to keep the steady state allocation-free.
+     */
+    void setOnRxInterrupt(std::function<void(int queue, RxBatch pkts)> cb)
+    {
+        onRxInterrupt_ = std::move(cb);
+    }
+
+    /** Returns an emptied completion vector to the NIC's free list. */
+    void
+    recycleRxBatch(RxBatch &&v)
+    {
+        v.clear();
+        rxVecFree_.push_back(std::move(v));
+    }
+
+    /** Number of TX/RX queue pairs (resolved, >= 1). */
+    int queueCount() const { return static_cast<int>(queues_.size()); }
+
+    /** RSS steering: the rx queue packets of @p wireFlow land on
+     *  (flow as seen on arriving packets: src = remote peer). */
+    int rxQueueFor(const net::FlowKey &wireFlow) const;
+
+    /** Per-queue counters (nic.qN.* in the registry). */
+    const QueueStats &queueStats(int queue) const
+    {
+        return queues_[static_cast<size_t>(queue)]->stats;
+    }
 
     // ------------------------------------------- driver: contexts
     /**
@@ -194,7 +270,16 @@ class Nic
      * the next data descriptor at @p tcpsn.
      */
     void postTxResync(uint64_t ctxId, uint32_t tcpsn, uint64_t msgIdx,
-                      ByteView rebuild);
+                      ByteView rebuild, int queue = 0);
+
+    /** The tx ring an outgoing packet of @p txFlow (src = us) rides:
+     *  its rx queue's pair, so resync descriptors and data stay
+     *  ordered per flow. */
+    int
+    txQueueFor(const net::FlowKey &txFlow) const
+    {
+        return queues_.size() == 1 ? 0 : rxQueueFor(txFlow.reversed());
+    }
 
     /** Engine access for protocol-specific driver commands
      *  (l5o_add_rr_state: NVMe CID -> buffer map updates). */
@@ -255,11 +340,26 @@ class Nic
         std::unique_ptr<TxResyncCmd> resync; // special descriptor
     };
 
-    /** Rx handoffs due at one tick, drained by one event. */
-    struct RxBatch
+    /** Rx handoffs due at one tick, drained by one event. The queue
+     *  index travels alongside each packet (parallel vectors) so the
+     *  flush can route to per-queue completion queues without
+     *  rehashing. */
+    struct RxPending
     {
         sim::Tick due = 0;
         std::vector<net::PacketPtr> pkts;
+        std::vector<int> queues;
+    };
+
+    /** One TX/RX queue pair with its MSI-X completion state. */
+    struct QueueState
+    {
+        std::deque<TxEntry> txRing;
+        RxBatch comp;            ///< completions pending interrupt
+        uint64_t irqGen = 0;     ///< invalidates stale coalesce timers
+        bool timerArmed = false;
+        QueueStats stats;
+        sim::StatsScope scope;
     };
 
     void applyTxResync(const TxResyncCmd &cmd);
@@ -267,8 +367,12 @@ class Nic
     void drainOne();
     void onWire(net::PacketPtr pkt);
     void flushRx(sim::Tick due);
-    sim::Tick touchContext(uint64_t ctxId);
-    void processTxOffload(net::Packet &pkt);
+    void deliverToQueue(int queue, net::PacketPtr pkt);
+    void fireIrq(int queue);
+    void onIrqTimer(int queue, uint64_t gen);
+    RxBatch takeFreeVec();
+    sim::Tick touchContext(uint64_t ctxId, QueueStats *qs = nullptr);
+    void processTxOffload(net::Packet &pkt, QueueStats &qs);
     void processRxOffload(net::Packet &pkt);
     void installFsmHooks(FlowContext &ctx);
     void linkInstruments();
@@ -278,15 +382,22 @@ class Nic
     int port_;
     Config cfg_;
 
-    std::deque<TxEntry> txq_;
+    // Queue pairs: unique_ptr for stable addresses (StatsScope links
+    // point into QueueStats).
+    std::vector<std::unique_ptr<QueueState>> queues_;
+    std::vector<uint16_t> rssTable_;
+    const net::Toeplitz *rss_ = nullptr;
+    int rrNext_ = 0;          ///< round-robin tx arbitration cursor
+    size_t txPendingTotal_ = 0;
     bool txPumping_ = false;
     sim::Tick lineFreeAt_ = 0;
 
-    std::vector<RxBatch> rxPending_;
-    std::vector<std::vector<net::PacketPtr>> rxBatchFree_;
+    std::vector<RxPending> rxPending_;
+    std::vector<RxPending> rxPendingFree_;
+    std::vector<RxBatch> rxVecFree_;
 
     std::function<void()> onTxSpace_;
-    std::function<void(net::PacketPtr)> onReceive_;
+    std::function<void(int, RxBatch)> onRxInterrupt_;
     std::function<void(uint64_t, uint64_t, uint32_t)> onResyncRequest_;
 
     uint64_t nextCtxId_ = 1;

@@ -25,6 +25,12 @@ traceKindName(TraceKind k)
         return "retransmit";
       case TraceKind::TxResync:
         return "tx_resync";
+      case TraceKind::RxQueueSelect:
+        return "rx_queue_select";
+      case TraceKind::IrqFire:
+        return "irq_fire";
+      case TraceKind::IrqCoalesce:
+        return "irq_coalesce";
       case TraceKind::Custom:
         return "custom";
     }

@@ -33,6 +33,9 @@ enum class TraceKind : uint8_t
     CtxFetch,        ///< a: flow id, b: fetch bytes
     Retransmit,      ///< a: seq, b: bytes
     TxResync,        ///< a: flow id
+    RxQueueSelect,   ///< id: rx queue, a: rss hash
+    IrqFire,         ///< id: queue, a: packets in the batch
+    IrqCoalesce,     ///< id: queue, a: completions now pending
     Custom,          ///< component-defined
 };
 

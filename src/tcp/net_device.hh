@@ -32,6 +32,23 @@ class NetDevice
 
     /** The IP address bound to this device. */
     virtual net::IpAddr ipAddr() const = 0;
+
+    /**
+     * Number of RSS rx queues this device steers flows across.
+     * 0 (the default) means the device has no RSS model and the stack
+     * falls back to software flow-hash steering.
+     */
+    virtual int rxQueues() const { return 0; }
+
+    /** The rx queue packets of @p wireFlow land on (flow as seen on
+     *  arriving packets: src = remote peer). Only meaningful when
+     *  rxQueues() > 0. */
+    virtual int
+    rxQueueFor(const net::FlowKey &wireFlow) const
+    {
+        (void)wireFlow;
+        return 0;
+    }
 };
 
 } // namespace anic::tcp

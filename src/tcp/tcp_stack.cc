@@ -49,7 +49,15 @@ TcpStack::deviceFor(net::IpAddr localIp) const
 host::Core &
 TcpStack::steer(const net::FlowKey &flow) const
 {
-    // ARFS-style steering: pin each flow to a core by hash.
+    // RSS steering: when the device models rx queues, a flow's core
+    // is the one its rx queue's interrupt lands on, so stack work for
+    // the flow stays on the interrupted core (no cross-core bounce).
+    // @p flow is the local view (src = us); the device hashes the
+    // wire view of arriving packets (src = remote), i.e. reversed().
+    NetDevice *dev = deviceFor(flow.srcIp);
+    if (dev != nullptr && dev->rxQueues() > 0)
+        return coreForQueue(dev->rxQueueFor(flow.reversed()));
+    // ARFS-style fallback: pin each flow to a core by hash.
     size_t idx = net::FlowKeyHash{}(flow) % cores_.size();
     return *cores_[idx];
 }

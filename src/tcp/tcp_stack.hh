@@ -67,6 +67,14 @@ class TcpStack
     /** The core that packets of @p flow are steered to. */
     host::Core &steer(const net::FlowKey &flow) const;
 
+    /** The core an rx queue's completion interrupts are delivered to
+     *  (MSI-X affinity: queue N -> core N mod cores). */
+    host::Core &
+    coreForQueue(int queue) const
+    {
+        return *cores_[static_cast<size_t>(queue) % cores_.size()];
+    }
+
     /** Routes an outgoing packet to the device owning its source IP. */
     bool output(TcpConnection &conn, net::PacketPtr pkt);
 

@@ -7,6 +7,7 @@ namespace anic::util {
 struct Env::Values
 {
     bool quick = false;
+    int cores = 0;
     bool traceEnabled = false;
     size_t traceCap = 0;
     std::string traceFile;
@@ -51,6 +52,7 @@ Env::values()
     static const Values v = [] {
         Values r;
         r.quick = envFlag("ANIC_QUICK");
+        r.cores = static_cast<int>(envSize("ANIC_CORES"));
         r.traceEnabled = envFlag("ANIC_TRACE");
         r.traceCap = envSize("ANIC_TRACE_CAP");
         r.traceFile = envString("ANIC_TRACE_FILE");
@@ -65,6 +67,7 @@ Env::values()
 }
 
 bool Env::quick() { return values().quick; }
+int Env::cores() { return values().cores; }
 bool Env::traceEnabled() { return values().traceEnabled; }
 size_t Env::traceCap() { return values().traceCap; }
 const std::string &Env::traceFile() { return values().traceFile; }

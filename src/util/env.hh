@@ -8,6 +8,8 @@
  * Knob table (documented in README "Environment knobs"):
  *
  *   ANIC_QUICK         bool    shrink bench measurement windows (CI)
+ *   ANIC_CORES         int     override simulated server core count
+ *                              in benches (0/unset = bench default)
  *   ANIC_TRACE         bool    enable the fallback global trace ring
  *   ANIC_TRACE_CAP     size    capacity of that ring (events)
  *   ANIC_TRACE_FILE    path    dump the trace ring as JSONL
@@ -34,6 +36,10 @@ class Env
   public:
     /** ANIC_QUICK: set (and not "0") -> shrink measurement windows. */
     static bool quick();
+
+    /** ANIC_CORES: simulated server core count override for benches;
+     *  0 means "use the bench's default". */
+    static int cores();
 
     /** ANIC_TRACE: enable the fallback global TraceRing. */
     static bool traceEnabled();

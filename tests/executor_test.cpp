@@ -172,6 +172,47 @@ TEST(JobRunnerDeterminism, Fig19MiniSweep)
     EXPECT_EQ(serial, parallel);
 }
 
+/** The multi-core contention shape of the reworked Figure 19: four
+ *  server cores, each owning a NIC TX/RX queue pair, RSS sharding
+ *  flows across them. Serial vs 8-worker output must stay
+ *  byte-identical, and under -DANIC_TSAN=ON this doubles as the
+ *  ThreadSanitizer gate for the multi-queue receive path. A repeated
+ *  serial run also pins seed-reproducibility of the sharded worlds. */
+TEST(JobRunnerDeterminism, Fig19MultiCoreSweep)
+{
+    auto submit = [](sim::JobRunner &r) {
+        for (int conns : {4, 8}) {
+            for (bench::HttpVariant v : {bench::HttpVariant::Https,
+                                         bench::HttpVariant::OffloadZc}) {
+                std::string label = "cores=4/conns=" +
+                                    std::to_string(conns) + "/" +
+                                    bench::variantName(v);
+                r.submit(label, [conns, v, label](sim::RunContext &ctx) {
+                    bench::NginxParams p;
+                    p.serverCores = 4;
+                    p.generatorCores = 4;
+                    p.connections = conns;
+                    p.fileCount = 4;
+                    p.fileSize = 32 << 10;
+                    p.variant = v;
+                    p.warmup = 5 * sim::kMillisecond;
+                    p.window = 4 * sim::kMillisecond;
+                    bench::NginxResult res = bench::runNginx(ctx, p);
+                    ctx.print("%s gbps=%.4f busy=%.3f err=%llu\n",
+                              label.c_str(), res.gbps, res.busyCores,
+                              (unsigned long long)res.errors);
+                });
+            }
+        }
+    };
+    std::string serial = capture(1, submit);
+    std::string parallel = capture(8, submit);
+    std::string repeat = capture(1, submit);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+    EXPECT_EQ(serial, repeat) << "multi-core run is not seed-reproducible";
+}
+
 /** A 64-seed differential fuzz batch: every world is run-isolated,
  *  so seed results and trace hashes cannot depend on --jobs. */
 TEST(JobRunnerDeterminism, FuzzSeedBatch)

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "net/packet_pool.hh"
 #include "nic/nic.hh"
 #include "tls/tls_engine.hh"
@@ -287,6 +289,228 @@ TEST(NicDevice, TxResyncDescriptorRebuildsState)
     EXPECT_TRUE(std::equal(retx.begin(), retx.end(), first.begin() + kOff));
     EXPECT_EQ(w.nicA.stats().txResyncs, 1u);
     EXPECT_EQ(w.nicA.pcie().ctxRecoveryBytes, kOff);
+}
+
+net::PacketPtr
+mkFlowPkt(const net::FlowKey &flow, uint32_t seq, size_t payloadLen)
+{
+    net::Ipv4Header ip;
+    ip.src = flow.srcIp;
+    ip.dst = flow.dstIp;
+    net::TcpHeader tcp;
+    tcp.srcPort = flow.srcPort;
+    tcp.dstPort = flow.dstPort;
+    tcp.seq = seq;
+    Bytes payload(payloadLen, 0xcd);
+    return net::PacketPool::threadDefault().make(ip, tcp, payload);
+}
+
+net::FlowKey
+flowKey(uint16_t srcPort)
+{
+    net::FlowKey f;
+    f.srcIp = net::makeIp(10, 0, 0, 1);
+    f.dstIp = net::makeIp(10, 0, 0, 2);
+    f.srcPort = srcPort;
+    f.dstPort = 443;
+    return f;
+}
+
+TEST(NicMultiQueue, RssSteersFlowsToStableQueues)
+{
+    NicWorld w;
+    Nic::Config cfgB;
+    cfgB.numQueues = 4;
+    Nic nicB(w.sim, w.link, 1, cfgB);
+    ASSERT_EQ(nicB.queueCount(), 4);
+
+    std::vector<std::pair<int, net::FlowKey>> delivered;
+    nicB.setOnRxInterrupt([&](int queue, Nic::RxBatch pkts) {
+        for (const auto &p : pkts)
+            delivered.emplace_back(queue, p->flow());
+        nicB.recycleRxBatch(std::move(pkts));
+    });
+
+    constexpr int kFlows = 16;
+    constexpr int kPktsPerFlow = 3;
+    for (int round = 0; round < kPktsPerFlow; round++) {
+        for (int f = 0; f < kFlows; f++) {
+            w.nicA.transmit(mkFlowPkt(flowKey(static_cast<uint16_t>(5000 + f)),
+                                      round * 100, 100));
+        }
+    }
+    w.sim.run();
+    ASSERT_EQ(delivered.size(),
+              static_cast<size_t>(kFlows * kPktsPerFlow));
+
+    // Every packet landed on the queue RSS pins its flow to, and no
+    // flow ever migrated.
+    int usedQueues = 0;
+    uint64_t rxByQueue[4] = {0, 0, 0, 0};
+    for (const auto &[queue, flow] : delivered) {
+        EXPECT_EQ(queue, nicB.rxQueueFor(flow));
+        rxByQueue[queue]++;
+    }
+    for (int q = 0; q < 4; q++) {
+        EXPECT_EQ(nicB.queueStats(q).rxPkts, rxByQueue[q]);
+        usedQueues += rxByQueue[q] > 0 ? 1 : 0;
+    }
+    EXPECT_GT(usedQueues, 1) << "16 flows all hashed to one queue";
+}
+
+TEST(NicMultiQueue, TxQueuePairsWithRxQueue)
+{
+    Nic::Config cfg;
+    cfg.numQueues = 8;
+    NicWorld w(cfg);
+    // XPS pairing: an outgoing packet rides the tx ring whose index
+    // matches the rx queue of the reverse (arriving) direction, so
+    // resync descriptors posted to txQueueFor() stay ordered with the
+    // flow's data.
+    for (int f = 0; f < 32; f++) {
+        net::FlowKey tx = flowKey(static_cast<uint16_t>(7000 + f));
+        EXPECT_EQ(w.nicA.txQueueFor(tx), w.nicA.rxQueueFor(tx.reversed()));
+    }
+}
+
+TEST(NicMultiQueue, RoundRobinDrainsEveryTxRing)
+{
+    Nic::Config cfg;
+    cfg.numQueues = 4;
+    cfg.gbps = 1.0; // slow line so the rings stay backlogged
+    NicWorld w(cfg);
+    for (int q = 0; q < 4; q++) {
+        for (int i = 0; i < 3; i++) {
+            ASSERT_TRUE(w.nicA.transmit(
+                mkFlowPkt(flowKey(static_cast<uint16_t>(100 + q)), i * 100,
+                          100),
+                q));
+        }
+    }
+    w.sim.run();
+    ASSERT_EQ(w.atB.size(), 12u);
+    for (int q = 0; q < 4; q++)
+        EXPECT_EQ(w.nicA.queueStats(q).txPkts, 3u);
+    // One grant per ring per cycle: the first four departures are one
+    // packet from each ring, not three from ring 0.
+    std::vector<uint16_t> firstFour;
+    for (int i = 0; i < 4; i++)
+        firstFour.push_back(w.atB[i]->flow().srcPort);
+    std::sort(firstFour.begin(), firstFour.end());
+    EXPECT_EQ(firstFour, (std::vector<uint16_t>{100, 101, 102, 103}));
+}
+
+TEST(NicMultiQueue, CoalescingThresholdBatchesInterrupts)
+{
+    NicWorld w;
+    Nic::Config cfgB;
+    cfgB.coalescePkts = 4;
+    cfgB.coalesceDelay = 1 * sim::kMillisecond; // timer never wins here
+    Nic nicB(w.sim, w.link, 1, cfgB);
+
+    std::vector<size_t> batchSizes;
+    nicB.setOnRxInterrupt([&](int, Nic::RxBatch pkts) {
+        batchSizes.push_back(pkts.size());
+        nicB.recycleRxBatch(std::move(pkts));
+    });
+
+    net::FlowKey f = flowKey(9000);
+    for (int i = 0; i < 8; i++)
+        w.nicA.transmit(mkFlowPkt(f, i * 100, 100));
+    w.sim.run();
+
+    // 8 completions at threshold 4 => exactly 2 interrupts.
+    ASSERT_EQ(batchSizes.size(), 2u);
+    EXPECT_EQ(batchSizes[0], 4u);
+    EXPECT_EQ(batchSizes[1], 4u);
+    EXPECT_EQ(nicB.stats().irqsFired, 2u);
+    EXPECT_EQ(nicB.stats().coalescedPkts, 6u);
+    EXPECT_EQ(nicB.queueStats(0).compIrqs, 2u);
+    EXPECT_EQ(nicB.queueStats(0).coalescedPkts, 6u);
+}
+
+TEST(NicMultiQueue, CoalescingTimerFlushesPartialBatch)
+{
+    NicWorld w;
+    Nic::Config cfgB;
+    cfgB.coalescePkts = 64; // threshold unreachable
+    cfgB.coalesceDelay = 20 * sim::kMicrosecond;
+    Nic nicB(w.sim, w.link, 1, cfgB);
+
+    std::vector<std::pair<sim::Tick, size_t>> irqs;
+    nicB.setOnRxInterrupt([&](int, Nic::RxBatch pkts) {
+        irqs.emplace_back(w.sim.now(), pkts.size());
+        nicB.recycleRxBatch(std::move(pkts));
+    });
+
+    net::FlowKey f = flowKey(9001);
+    for (int i = 0; i < 3; i++)
+        w.nicA.transmit(mkFlowPkt(f, i * 100, 100));
+    w.sim.run();
+
+    // The delay timer (armed by the first pending completion) flushes
+    // all three in one interrupt.
+    ASSERT_EQ(irqs.size(), 1u);
+    EXPECT_EQ(irqs[0].second, 3u);
+    EXPECT_EQ(nicB.stats().coalescedPkts, 2u);
+}
+
+TEST(NicMultiQueue, PerQueueStatsPublishedInRegistry)
+{
+    sim::StatsRegistry reg;
+    NicWorld w;
+    Nic::Config cfgB;
+    cfgB.numQueues = 2;
+    cfgB.name = "dut";
+    cfgB.registry = &reg;
+    Nic nicB(w.sim, w.link, 1, cfgB);
+    nicB.setOnRxInterrupt([&](int, Nic::RxBatch pkts) {
+        nicB.recycleRxBatch(std::move(pkts));
+    });
+
+    for (int f = 0; f < 8; f++)
+        w.nicA.transmit(mkFlowPkt(flowKey(static_cast<uint16_t>(6000 + f)),
+                                  0, 100));
+    w.sim.run();
+
+    auto counter = [&](const std::string &path) {
+        const sim::Counter *c = reg.findCounter(path);
+        EXPECT_NE(c, nullptr) << path;
+        return c ? c->value() : ~0ull;
+    };
+    uint64_t q0 = counter("dut.q0.rxPkts");
+    uint64_t q1 = counter("dut.q1.rxPkts");
+    EXPECT_EQ(q0 + q1, 8u); // per-queue counters roll up to the NIC total
+    EXPECT_EQ(counter("dut.pktsRx"), 8u);
+    EXPECT_EQ(q0, nicB.queueStats(0).rxPkts);
+    EXPECT_EQ(q1, nicB.queueStats(1).rxPkts);
+    EXPECT_EQ(counter("dut.q0.compIrqs") + counter("dut.q1.compIrqs"),
+              nicB.stats().irqsFired);
+}
+
+TEST(NicMultiQueue, SingleQueueMatchesLegacyPerPacketDelivery)
+{
+    // Defaults (1 queue, per-packet interrupts): every packet is its
+    // own interrupt, nothing is coalesced, and everything lands on
+    // queue 0 — the exact pre-multi-queue schedule.
+    NicWorld w;
+    Nic nicB(w.sim, w.link, 1, {});
+    ASSERT_EQ(nicB.queueCount(), 1);
+
+    std::vector<size_t> batchSizes;
+    nicB.setOnRxInterrupt([&](int queue, Nic::RxBatch pkts) {
+        EXPECT_EQ(queue, 0);
+        batchSizes.push_back(pkts.size());
+        nicB.recycleRxBatch(std::move(pkts));
+    });
+    for (int i = 0; i < 5; i++)
+        w.nicA.transmit(mkFlowPkt(flowKey(9002), i * 100, 100));
+    w.sim.run();
+
+    ASSERT_EQ(batchSizes.size(), 5u);
+    for (size_t n : batchSizes)
+        EXPECT_EQ(n, 1u);
+    EXPECT_EQ(nicB.stats().coalescedPkts, 0u);
 }
 
 TEST(NicDevice, DestroyedContextStopsOffloading)

@@ -85,7 +85,10 @@ class SimpleDevice : public tcp::NetDevice
             return;
         host::Core &core = stack_->steer(pkt->flow().reversed());
         core.post([this, pkt, &core] {
-            core.charge(core.model().driverRxPerPacket);
+            // Per-packet interrupts: entry/exit plus descriptor
+            // handling, matching the un-coalesced OffloadDevice path.
+            core.charge(core.model().interruptCost +
+                        core.model().driverRxPerPacket);
             stack_->input(pkt);
         });
     }
