@@ -36,6 +36,9 @@ struct BenchOptions
 {
     int jobs = 1;
     int cores = 0; ///< --cores / ANIC_CORES; 0 = bench default
+    int flows = 0; ///< --flows / ANIC_FLOWS; 0 = bench default
+    double churn = -1.0; ///< --churn: conn churn rate; <0 = default
+    double zipf = -1.0;  ///< --zipf: popularity skew s; <0 = default
     std::string filter;
     std::string jsonPath;   ///< --json override of ANIC_BENCH_JSON
     std::string timingJson; ///< --timing-json output path

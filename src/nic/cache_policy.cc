@@ -1,0 +1,505 @@
+#include "nic/cache_policy.hh"
+
+#include <utility>
+
+#include "util/env.hh"
+#include "util/panic.hh"
+
+namespace anic::nic {
+
+CtxPolicy
+parseCtxPolicy(const std::string &s)
+{
+    if (s == "lru")
+        return CtxPolicy::Lru;
+    if (s == "clock")
+        return CtxPolicy::Clock;
+    if (s == "pinhot" || s == "pin-hot")
+        return CtxPolicy::PinHot;
+    fatal("unknown context-cache policy '%s' (want lru|clock|pinhot)",
+          s.c_str());
+}
+
+const char *
+ctxPolicyName(CtxPolicy p)
+{
+    switch (p) {
+      case CtxPolicy::Auto: return "auto";
+      case CtxPolicy::Lru: return "lru";
+      case CtxPolicy::Clock: return "clock";
+      case CtxPolicy::PinHot: return "pinhot";
+    }
+    return "?";
+}
+
+CtxPolicy
+resolveCtxPolicy(CtxPolicy configured)
+{
+    if (configured != CtxPolicy::Auto)
+        return configured;
+    const std::string &env = util::Env::ctxPolicy();
+    return env.empty() ? CtxPolicy::Lru : parseCtxPolicy(env);
+}
+
+namespace {
+
+/**
+ * Exact LRU over an intrusive doubly-linked list whose nodes live in
+ * one vector (index-linked, freelist-recycled) with a FlatMap id ->
+ * node index. Replicates the original std::list + unordered_map
+ * model decision-for-decision: hit -> splice to front; miss-insert ->
+ * pop the back while size >= capacity, then push front.
+ */
+class LruCache final : public CachePolicy
+{
+  public:
+    LruCache(size_t capacity, EvictFn evict)
+        : cap_(capacity), evict_(std::move(evict))
+    {
+        ANIC_ASSERT(cap_ > 0, "context cache capacity must be >= 1");
+    }
+
+    bool
+    touch(uint64_t ctxId) override
+    {
+        uint32_t *n = map_.find(ctxId);
+        if (n == nullptr)
+            return false;
+        moveToFront(*n);
+        return true;
+    }
+
+    void
+    insert(uint64_t ctxId) override
+    {
+        ANIC_ASSERT(map_.find(ctxId) == nullptr, "double insert");
+        while (map_.size() >= cap_)
+            evictBack();
+        pushFront(ctxId);
+    }
+
+    void
+    remove(uint64_t ctxId) override
+    {
+        uint32_t *n = map_.find(ctxId);
+        if (n == nullptr)
+            return;
+        uint32_t idx = *n;
+        unlink(idx);
+        freeNode(idx);
+        map_.erase(ctxId);
+    }
+
+    bool resident(uint64_t ctxId) const override
+    {
+        return map_.contains(ctxId);
+    }
+    size_t size() const override { return map_.size(); }
+    const char *name() const override { return "lru"; }
+
+  private:
+    static constexpr uint32_t kNil = 0xffffffffu;
+
+    struct Node
+    {
+        uint64_t id;
+        uint32_t prev;
+        uint32_t next;
+    };
+
+    uint32_t
+    allocNode(uint64_t id)
+    {
+        uint32_t idx;
+        if (free_ != kNil) {
+            idx = free_;
+            free_ = nodes_[idx].next;
+        } else {
+            idx = static_cast<uint32_t>(nodes_.size());
+            nodes_.emplace_back();
+        }
+        nodes_[idx].id = id;
+        return idx;
+    }
+
+    void
+    freeNode(uint32_t idx)
+    {
+        nodes_[idx].next = free_;
+        free_ = idx;
+    }
+
+    void
+    unlink(uint32_t idx)
+    {
+        Node &n = nodes_[idx];
+        if (n.prev != kNil)
+            nodes_[n.prev].next = n.next;
+        else
+            head_ = n.next;
+        if (n.next != kNil)
+            nodes_[n.next].prev = n.prev;
+        else
+            tail_ = n.prev;
+    }
+
+    void
+    pushFront(uint64_t id)
+    {
+        uint32_t idx = allocNode(id);
+        Node &n = nodes_[idx];
+        n.prev = kNil;
+        n.next = head_;
+        if (head_ != kNil)
+            nodes_[head_].prev = idx;
+        head_ = idx;
+        if (tail_ == kNil)
+            tail_ = idx;
+        map_.put(id, idx);
+    }
+
+    void
+    moveToFront(uint32_t idx)
+    {
+        if (head_ == idx)
+            return;
+        unlink(idx);
+        Node &n = nodes_[idx];
+        n.prev = kNil;
+        n.next = head_;
+        nodes_[head_].prev = idx;
+        head_ = idx;
+    }
+
+    void
+    evictBack()
+    {
+        ANIC_ASSERT(tail_ != kNil, "evict from empty cache");
+        uint32_t idx = tail_;
+        uint64_t id = nodes_[idx].id;
+        unlink(idx);
+        freeNode(idx);
+        map_.erase(id);
+        evict_(id);
+    }
+
+    std::vector<Node> nodes_;
+    uint32_t head_ = kNil;
+    uint32_t tail_ = kNil;
+    uint32_t free_ = kNil;
+    util::FlatMap<uint64_t, uint32_t> map_;
+    size_t cap_;
+    EvictFn evict_;
+};
+
+/**
+ * CLOCK (second chance): a ring of at most `capacity` slots, one
+ * reference bit each. Hits just set the bit — no pointer surgery —
+ * which is why real hardware tables prefer this shape. On a full
+ * insert the hand sweeps, clearing set bits, and evicts the first
+ * slot it finds clear; the newcomer takes that slot with its bit set.
+ */
+class ClockCache final : public CachePolicy
+{
+  public:
+    ClockCache(size_t capacity, EvictFn evict)
+        : cap_(capacity), evict_(std::move(evict))
+    {
+        ANIC_ASSERT(cap_ > 0, "context cache capacity must be >= 1");
+    }
+
+    bool
+    touch(uint64_t ctxId) override
+    {
+        uint32_t *s = map_.find(ctxId);
+        if (s == nullptr)
+            return false;
+        slots_[*s].ref = true;
+        return true;
+    }
+
+    void
+    insert(uint64_t ctxId) override
+    {
+        ANIC_ASSERT(map_.find(ctxId) == nullptr, "double insert");
+        uint32_t slot;
+        if (!freeSlots_.empty()) {
+            slot = freeSlots_.back();
+            freeSlots_.pop_back();
+        } else if (slots_.size() < cap_) {
+            slot = static_cast<uint32_t>(slots_.size());
+            slots_.emplace_back();
+        } else {
+            slot = evictAtHand();
+        }
+        slots_[slot].id = ctxId;
+        slots_[slot].ref = true;
+        slots_[slot].occupied = true;
+        map_.put(ctxId, slot);
+    }
+
+    void
+    remove(uint64_t ctxId) override
+    {
+        uint32_t *s = map_.find(ctxId);
+        if (s == nullptr)
+            return;
+        slots_[*s].occupied = false;
+        freeSlots_.push_back(*s);
+        map_.erase(ctxId);
+    }
+
+    bool resident(uint64_t ctxId) const override
+    {
+        return map_.contains(ctxId);
+    }
+    size_t size() const override { return map_.size(); }
+    const char *name() const override { return "clock"; }
+
+  private:
+    struct Slot
+    {
+        uint64_t id = 0;
+        bool ref = false;
+        bool occupied = false;
+    };
+
+    uint32_t
+    evictAtHand()
+    {
+        // Terminates within two sweeps: the first pass clears every
+        // set bit, so the second pass must find a clear one. Holes
+        // never coexist with a full ring (insert drains freeSlots_
+        // first), so occupied slots are all the hand can meet here.
+        for (;;) {
+            Slot &s = slots_[hand_];
+            uint32_t here = hand_;
+            hand_ = (hand_ + 1) % static_cast<uint32_t>(slots_.size());
+            ANIC_ASSERT(s.occupied, "hole in full clock ring");
+            if (s.ref) {
+                s.ref = false;
+                continue;
+            }
+            map_.erase(s.id);
+            s.occupied = false;
+            evict_(s.id);
+            return here;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::vector<uint32_t> freeSlots_;
+    util::FlatMap<uint64_t, uint32_t> map_; ///< id -> ring slot
+    uint32_t hand_ = 0;
+    size_t cap_ = 0;
+    EvictFn evict_;
+};
+
+/**
+ * Pin-hot (segmented LRU): the cache is split into a probationary
+ * segment (1/4) and a protected segment (3/4). New contexts enter
+ * probation; a second touch promotes to protected, demoting the
+ * protected LRU back to probation's MRU end if the segment is over
+ * budget. Eviction always takes the probation LRU first, so a burst
+ * of one-shot flows (connection churn) cannot flush the established
+ * hot set. At capacity 1 the protected budget is 0 and this is plain
+ * LRU; with capacity >= flows nothing evicts — both pinned by tests.
+ */
+class PinHotCache final : public CachePolicy
+{
+  public:
+    PinHotCache(size_t capacity, EvictFn evict)
+        : cap_(capacity), protCap_(capacity * 3 / 4),
+          evict_(std::move(evict))
+    {
+        ANIC_ASSERT(cap_ > 0, "context cache capacity must be >= 1");
+    }
+
+    bool
+    touch(uint64_t ctxId) override
+    {
+        uint32_t *n = map_.find(ctxId);
+        if (n == nullptr)
+            return false;
+        uint32_t idx = *n;
+        if (nodes_[idx].seg == kProtected) {
+            moveToFront(protected_, idx);
+        } else {
+            // Second touch: promote out of probation.
+            unlink(probation_, idx);
+            nodes_[idx].seg = kProtected;
+            pushFront(protected_, idx);
+            while (protected_.count > protCap_)
+                demoteProtectedLru();
+        }
+        return true;
+    }
+
+    void
+    insert(uint64_t ctxId) override
+    {
+        ANIC_ASSERT(map_.find(ctxId) == nullptr, "double insert");
+        while (map_.size() >= cap_)
+            evictOne();
+        uint32_t idx = allocNode(ctxId);
+        nodes_[idx].seg = kProbation;
+        pushFront(probation_, idx);
+        map_.put(ctxId, idx);
+    }
+
+    void
+    remove(uint64_t ctxId) override
+    {
+        uint32_t *n = map_.find(ctxId);
+        if (n == nullptr)
+            return;
+        uint32_t idx = *n;
+        unlink(list(nodes_[idx].seg), idx);
+        freeNode(idx);
+        map_.erase(ctxId);
+    }
+
+    bool resident(uint64_t ctxId) const override
+    {
+        return map_.contains(ctxId);
+    }
+    size_t size() const override { return map_.size(); }
+    const char *name() const override { return "pinhot"; }
+
+  private:
+    static constexpr uint32_t kNil = 0xffffffffu;
+    static constexpr uint8_t kProbation = 0;
+    static constexpr uint8_t kProtected = 1;
+
+    struct Node
+    {
+        uint64_t id;
+        uint32_t prev;
+        uint32_t next;
+        uint8_t seg;
+    };
+
+    struct List
+    {
+        uint32_t head = kNil;
+        uint32_t tail = kNil;
+        size_t count = 0;
+    };
+
+    List &list(uint8_t seg)
+    {
+        return seg == kProtected ? protected_ : probation_;
+    }
+
+    uint32_t
+    allocNode(uint64_t id)
+    {
+        uint32_t idx;
+        if (free_ != kNil) {
+            idx = free_;
+            free_ = nodes_[idx].next;
+        } else {
+            idx = static_cast<uint32_t>(nodes_.size());
+            nodes_.emplace_back();
+        }
+        nodes_[idx].id = id;
+        return idx;
+    }
+
+    void
+    freeNode(uint32_t idx)
+    {
+        nodes_[idx].next = free_;
+        free_ = idx;
+    }
+
+    void
+    unlink(List &l, uint32_t idx)
+    {
+        Node &n = nodes_[idx];
+        if (n.prev != kNil)
+            nodes_[n.prev].next = n.next;
+        else
+            l.head = n.next;
+        if (n.next != kNil)
+            nodes_[n.next].prev = n.prev;
+        else
+            l.tail = n.prev;
+        l.count--;
+    }
+
+    void
+    pushFront(List &l, uint32_t idx)
+    {
+        Node &n = nodes_[idx];
+        n.prev = kNil;
+        n.next = l.head;
+        if (l.head != kNil)
+            nodes_[l.head].prev = idx;
+        l.head = idx;
+        if (l.tail == kNil)
+            l.tail = idx;
+        l.count++;
+    }
+
+    void
+    moveToFront(List &l, uint32_t idx)
+    {
+        if (l.head == idx)
+            return;
+        unlink(l, idx);
+        pushFront(l, idx);
+    }
+
+    void
+    demoteProtectedLru()
+    {
+        uint32_t idx = protected_.tail;
+        ANIC_ASSERT(idx != kNil);
+        unlink(protected_, idx);
+        nodes_[idx].seg = kProbation;
+        pushFront(probation_, idx);
+    }
+
+    void
+    evictOne()
+    {
+        uint32_t idx =
+            probation_.tail != kNil ? probation_.tail : protected_.tail;
+        ANIC_ASSERT(idx != kNil, "evict from empty cache");
+        uint64_t id = nodes_[idx].id;
+        unlink(list(nodes_[idx].seg), idx);
+        freeNode(idx);
+        map_.erase(id);
+        evict_(id);
+    }
+
+    std::vector<Node> nodes_;
+    uint32_t free_ = kNil;
+    List probation_;
+    List protected_;
+    util::FlatMap<uint64_t, uint32_t> map_;
+    size_t cap_;
+    size_t protCap_;
+    EvictFn evict_;
+};
+
+} // namespace
+
+std::unique_ptr<CachePolicy>
+CachePolicy::make(CtxPolicy p, size_t capacity, EvictFn evict)
+{
+    switch (resolveCtxPolicy(p)) {
+      case CtxPolicy::Lru:
+        return std::make_unique<LruCache>(capacity, std::move(evict));
+      case CtxPolicy::Clock:
+        return std::make_unique<ClockCache>(capacity, std::move(evict));
+      case CtxPolicy::PinHot:
+        return std::make_unique<PinHotCache>(capacity, std::move(evict));
+      case CtxPolicy::Auto:
+        break;
+    }
+    panic("unresolved context-cache policy");
+}
+
+} // namespace anic::nic

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Pluggable replacement policies for the NIC's on-die flow-context
+ * cache (~4 MiB at 208 B/flow => ~20K contexts, far fewer than the
+ * live flows a loaded server carries). Which contexts stay resident
+ * decides the offload hit rate — the paper's Figure 19 tension — so
+ * the policy is a first-class experimental knob:
+ *
+ *   lru     exact least-recently-used (the original model; default)
+ *   clock   second-chance ring: one reference bit per slot, a hand
+ *           that clears bits until it finds a zero — what a hardware
+ *           table would actually implement (no global ordering)
+ *   pinhot  segmented LRU: 3/4 of the cache is a protected segment
+ *           that only flows touched at least twice enter; one-shot
+ *           flows wash through the probationary 1/4 without evicting
+ *           the hot set (churn-resistant)
+ *
+ * Selected per NIC via Nic::Config::ctxPolicy, with ANIC_CTX_POLICY
+ * as the process-wide default. All policies degenerate to identical
+ * behavior at capacity 1 and at capacity >= flow count (tests pin
+ * this), and `lru` reproduces the pre-refactor std::list model
+ * decision-for-decision.
+ */
+
+#ifndef ANIC_NIC_CACHE_POLICY_HH
+#define ANIC_NIC_CACHE_POLICY_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/flat_map.hh"
+
+namespace anic::nic {
+
+/** Context-cache eviction policy selector (Nic::Config::ctxPolicy).
+ *  Auto resolves to ANIC_CTX_POLICY, or Lru when unset. */
+enum class CtxPolicy
+{
+    Auto,
+    Lru,
+    Clock,
+    PinHot,
+};
+
+/** Parses "lru" / "clock" / "pinhot" (also "pin-hot"); panics on
+ *  anything else so knob typos fail loudly. */
+CtxPolicy parseCtxPolicy(const std::string &s);
+
+const char *ctxPolicyName(CtxPolicy p);
+
+/** Resolves Auto against the ANIC_CTX_POLICY environment knob. */
+CtxPolicy resolveCtxPolicy(CtxPolicy configured);
+
+/**
+ * Replacement-policy interface. The policy tracks residency only
+ * (context ids); the context payload lives in the NIC's slab arena
+ * regardless of residency — eviction models the writeback of the
+ * 208 B hardware state over PCIe, not destruction.
+ */
+class CachePolicy
+{
+  public:
+    /** Invoked for every context evicted during insert(): the owner
+     *  accounts the PCIe writeback + stats. */
+    using EvictFn = std::function<void(uint64_t ctxId)>;
+
+    virtual ~CachePolicy() = default;
+
+    /** Access by the data path: returns true on a hit (and updates
+     *  recency state); false means the caller must fetch and then
+     *  insert(). */
+    virtual bool touch(uint64_t ctxId) = 0;
+
+    /** Makes @p ctxId resident after a miss, evicting (via the
+     *  callback) until it fits. Pre: !resident(ctxId). */
+    virtual void insert(uint64_t ctxId) = 0;
+
+    /** Drops @p ctxId without an eviction callback (context
+     *  destroyed); no-op when not resident. */
+    virtual void remove(uint64_t ctxId) = 0;
+
+    virtual bool resident(uint64_t ctxId) const = 0;
+    virtual size_t size() const = 0;
+    virtual const char *name() const = 0;
+
+    static std::unique_ptr<CachePolicy> make(CtxPolicy p, size_t capacity,
+                                             EvictFn evict);
+};
+
+} // namespace anic::nic
+
+#endif // ANIC_NIC_CACHE_POLICY_HH

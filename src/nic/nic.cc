@@ -69,6 +69,9 @@ Nic::Nic(sim::Simulator &sim, net::Link &link, int port, Config cfg)
         cfg_.coalescePkts = 1;
     if (cfg_.rssTableSize == 0)
         cfg_.rssTableSize = 1;
+    cfg_.ctxPolicy = resolveCtxPolicy(cfg_.ctxPolicy);
+    cache_ = CachePolicy::make(cfg_.ctxPolicy, cfg_.ctxCacheCapacity,
+                               [this](uint64_t id) { onCtxEvict(id); });
     rss_ = &net::Toeplitz::standard();
     queues_.reserve(static_cast<size_t>(cfg_.numQueues));
     for (int i = 0; i < cfg_.numQueues; i++) {
@@ -80,6 +83,9 @@ Nic::Nic(sim::Simulator &sim, net::Link &link, int port, Config cfg)
         q->scope.link("coalescedPkts", q->stats.coalescedPkts);
         q->scope.link("ctxHits", q->stats.ctxHits);
         q->scope.link("ctxMisses", q->stats.ctxMisses);
+        // q.evictions is exposed via queueStats() only: linking it
+        // would add a field to every registry snapshot and break
+        // byte-compatibility of existing bench output.
         queues_.push_back(std::move(q));
     }
     // Balanced fill, then a fixed-seed shuffle. The shuffle matters:
@@ -277,10 +283,10 @@ Nic::drainOne()
 void
 Nic::processTxOffload(net::Packet &pkt, QueueStats &qstats)
 {
-    auto it = txById_.find(pkt.txCtx);
-    if (it == txById_.end())
+    TxCtx *tc = txById_.find(pkt.txCtx);
+    if (tc == nullptr)
         return; // context destroyed; send as-is
-    TxCtx &tc = it->second;
+    FlowContext &ctx = ctxArena_.at(tc->ctx);
     touchContext(pkt.txCtx, &qstats);
 
     const net::TcpHeader th = pkt.tcp();
@@ -290,17 +296,17 @@ Nic::processTxOffload(net::Packet &pkt, QueueStats &qstats)
 
     // The driver guarantees in-sequence posting (it issues txResync
     // for out-of-sequence packets first).
-    ANIC_ASSERT(th.seq == tc.expectedSeq,
+    ANIC_ASSERT(th.seq == tc->expectedSeq,
                 "tx descriptor out of sequence: seq=%u expected=%u", th.seq,
-                tc.expectedSeq);
+                tc->expectedSeq);
 
     PacketResult res;
     bool processed =
-        tc.ctx->fsm().segment(tc.ctx->posOf(th.seq), pkt.payloadMut(), res);
+        ctx.fsm().segment(ctx.posOf(th.seq), pkt.payloadMut(), res);
     if (processed)
         stats_.txOffloadedPkts++;
-    tc.expectedSeq = th.seq + static_cast<uint32_t>(payload);
-    tc.ctx->advanceTo(tc.expectedSeq);
+    tc->expectedSeq = th.seq + static_cast<uint32_t>(payload);
+    ctx.advanceTo(tc->expectedSeq);
 }
 
 // -------------------------------------------------------------- receive
@@ -339,10 +345,11 @@ Nic::onWire(net::PacketPtr pkt)
     qs.stats.rxPkts++;
 
     sim::Tick extra = 0;
-    auto it = rxByFlow_.find(pkt->flow());
-    if (it != rxByFlow_.end() && pkt->payloadSize() > 0) {
-        extra = touchContext(it->second->id(), &qs.stats);
-        processRxOffload(*pkt);
+    util::SlabHandle *h = rxByFlow_.find(pkt->flow());
+    if (h != nullptr && pkt->payloadSize() > 0) {
+        FlowContext &ctx = ctxArena_.at(*h);
+        extra = touchContext(ctx.id(), &qs.stats);
+        processRxOffload(*pkt, ctx);
     }
 
     // Same-tick handoffs coalesce into one event per distinct tick:
@@ -450,9 +457,8 @@ Nic::takeFreeVec()
 }
 
 void
-Nic::processRxOffload(net::Packet &pkt)
+Nic::processRxOffload(net::Packet &pkt, FlowContext &ctx)
 {
-    FlowContext &ctx = *rxByFlow_.find(pkt.flow())->second;
     const net::TcpHeader th = pkt.tcp();
 
     PacketResult res;
@@ -478,9 +484,7 @@ Nic::processRxOffload(net::Packet &pkt)
 sim::Tick
 Nic::touchContext(uint64_t ctxId, QueueStats *qs)
 {
-    auto it = cacheMap_.find(ctxId);
-    if (it != cacheMap_.end()) {
-        cacheLru_.splice(cacheLru_.begin(), cacheLru_, it->second);
+    if (cache_->touch(ctxId)) {
         stats_.ctxCacheHits++;
         if (qs != nullptr)
             qs->ctxHits++;
@@ -492,18 +496,23 @@ Nic::touchContext(uint64_t ctxId, QueueStats *qs)
     pcie_.ctxFetchBytes += cfg_.ctxBytes;
     trace_->record(sim_.now(), sim::TraceKind::CtxFetch, name_, ctxId,
                    cfg_.ctxBytes);
-    while (cacheMap_.size() >= cfg_.ctxCacheCapacity) {
-        uint64_t victim = cacheLru_.back();
-        cacheLru_.pop_back();
-        cacheMap_.erase(victim);
-        stats_.ctxCacheEvictions++;
-        pcie_.ctxWritebackBytes += cfg_.ctxBytes;
-        trace_->record(sim_.now(), sim::TraceKind::CtxEvict, name_, victim,
-                       cfg_.ctxBytes);
-    }
-    cacheLru_.push_front(ctxId);
-    cacheMap_[ctxId] = cacheLru_.begin();
+    // insert() evicts through onCtxEvict(); charge those writebacks
+    // to the queue whose miss forced them.
+    evictQs_ = qs;
+    cache_->insert(ctxId);
+    evictQs_ = nullptr;
     return cfg_.ctxFetchLatency;
+}
+
+void
+Nic::onCtxEvict(uint64_t ctxId)
+{
+    stats_.ctxCacheEvictions++;
+    if (evictQs_ != nullptr)
+        evictQs_->evictions++;
+    pcie_.ctxWritebackBytes += cfg_.ctxBytes;
+    trace_->record(sim_.now(), sim::TraceKind::CtxEvict, name_, ctxId,
+                   cfg_.ctxBytes);
 }
 
 // ------------------------------------------------------ context mgmt
@@ -514,20 +523,20 @@ Nic::createRxContext(const net::FlowKey &flow,
                      uint64_t msgIdx)
 {
     uint64_t id = nextCtxId_++;
-    auto ctx = std::make_unique<FlowContext>(
+    ANIC_ASSERT(rxByFlow_.find(flow) == nullptr,
+                "rx context already exists for flow");
+    util::SlabHandle h = ctxArena_.alloc(
         id, std::move(engine), [this, id](uint64_t reqId, uint32_t seq) {
             if (onResyncRequest_) {
                 pcie_.descriptorBytes += cfg_.descriptorBytes;
                 onResyncRequest_(id, reqId, seq);
             }
         });
-    installFsmHooks(*ctx);
-    ctx->arm(tcpsn, msgIdx);
-    FlowContext *raw = ctx.get();
-    ANIC_ASSERT(rxByFlow_.find(flow) == rxByFlow_.end(),
-                "rx context already exists for flow");
-    rxByFlow_.emplace(flow, std::move(ctx));
-    rxById_.emplace(id, RxRef{raw, flow});
+    FlowContext &ctx = ctxArena_.at(h);
+    installFsmHooks(ctx);
+    ctx.arm(tcpsn, msgIdx);
+    rxByFlow_.emplace(flow, h);
+    rxById_.emplace(id, RxRef{h, flow});
     pcie_.descriptorBytes += cfg_.ctxBytes; // initial state download
     touchContext(id);
     return id;
@@ -539,11 +548,12 @@ Nic::createTxContext(std::unique_ptr<L5Engine> engine, uint32_t tcpsn,
 {
     uint64_t id = nextCtxId_++;
     TxCtx tc;
-    tc.ctx = std::make_unique<FlowContext>(id, std::move(engine), nullptr);
-    installFsmHooks(*tc.ctx);
-    tc.ctx->arm(tcpsn, msgIdx);
+    tc.ctx = ctxArena_.alloc(id, std::move(engine), nullptr);
+    FlowContext &ctx = ctxArena_.at(tc.ctx);
+    installFsmHooks(ctx);
+    ctx.arm(tcpsn, msgIdx);
     tc.expectedSeq = tcpsn;
-    txById_.emplace(id, std::move(tc));
+    txById_.emplace(id, tc);
     pcie_.descriptorBytes += cfg_.ctxBytes;
     touchContext(id);
     return id;
@@ -552,46 +562,44 @@ Nic::createTxContext(std::unique_ptr<L5Engine> engine, uint32_t tcpsn,
 void
 Nic::destroyRxContext(uint64_t id)
 {
-    auto it = rxById_.find(id);
-    if (it == rxById_.end())
+    RxRef *r = rxById_.find(id);
+    if (r == nullptr)
         return;
-    rxByFlow_.erase(it->second.flow);
-    rxById_.erase(it);
-    auto cit = cacheMap_.find(id);
-    if (cit != cacheMap_.end()) {
-        cacheLru_.erase(cit->second);
-        cacheMap_.erase(cit);
-    }
+    RxRef ref = *r; // copy out: erase invalidates the pointer
+    rxById_.erase(id);
+    rxByFlow_.erase(ref.flow);
+    ctxArena_.free(ref.ctx);
+    cache_->remove(id);
 }
 
 void
 Nic::destroyTxContext(uint64_t id)
 {
+    TxCtx *tc = txById_.find(id);
+    if (tc == nullptr)
+        return;
+    ctxArena_.free(tc->ctx);
     txById_.erase(id);
-    auto cit = cacheMap_.find(id);
-    if (cit != cacheMap_.end()) {
-        cacheLru_.erase(cit->second);
-        cacheMap_.erase(cit);
-    }
+    cache_->remove(id);
 }
 
 void
 Nic::rxResyncResponse(uint64_t ctxId, uint64_t reqId, bool ok, uint64_t msgIdx)
 {
-    auto it = rxById_.find(ctxId);
-    if (it == rxById_.end())
+    RxRef *r = rxById_.find(ctxId);
+    if (r == nullptr)
         return;
     pcie_.descriptorBytes += cfg_.descriptorBytes;
-    it->second.ctx->fsm().confirm(reqId, ok, msgIdx);
+    ctxArena_.at(r->ctx).fsm().confirm(reqId, ok, msgIdx);
 }
 
 void
 Nic::applyTxResync(const TxResyncCmd &cmd)
 {
-    auto it = txById_.find(cmd.ctxId);
-    if (it == txById_.end())
+    TxCtx *tc = txById_.find(cmd.ctxId);
+    if (tc == nullptr)
         return; // context destroyed while the command was in flight
-    TxCtx &tc = it->second;
+    FlowContext &ctx = ctxArena_.at(tc->ctx);
     stats_.txResyncs++;
     trace_->record(sim_.now(), sim::TraceKind::TxResync, name_, cmd.ctxId,
                    cmd.tcpsn, cmd.rebuild.size());
@@ -604,45 +612,45 @@ Nic::applyTxResync(const TxResyncCmd &cmd)
 
     uint32_t msg_start =
         cmd.tcpsn - static_cast<uint32_t>(cmd.rebuild.size());
-    tc.ctx->arm(msg_start, cmd.msgIdx);
+    ctx.arm(msg_start, cmd.msgIdx);
     if (!cmd.rebuild.empty()) {
         // Feed a scratch copy through the engine: same transforms as
         // the original pass, output discarded.
         Bytes scratch(cmd.rebuild);
         PacketResult res;
-        tc.ctx->fsm().segment(tc.ctx->posOf(msg_start), scratch, res);
+        ctx.fsm().segment(ctx.posOf(msg_start), scratch, res);
     }
-    tc.expectedSeq = cmd.tcpsn;
-    tc.ctx->advanceTo(cmd.tcpsn);
+    tc->expectedSeq = cmd.tcpsn;
+    ctx.advanceTo(cmd.tcpsn);
 }
 
 L5Engine *
 Nic::rxEngine(uint64_t ctxId)
 {
-    auto it = rxById_.find(ctxId);
-    return it == rxById_.end() ? nullptr : &it->second.ctx->engine();
+    RxRef *r = rxById_.find(ctxId);
+    return r == nullptr ? nullptr : &ctxArena_.at(r->ctx).engine();
 }
 
 L5Engine *
 Nic::txEngine(uint64_t ctxId)
 {
-    auto it = txById_.find(ctxId);
-    return it == txById_.end() ? nullptr : &it->second.ctx->engine();
+    TxCtx *tc = txById_.find(ctxId);
+    return tc == nullptr ? nullptr : &ctxArena_.at(tc->ctx).engine();
 }
 
 uint32_t
 Nic::txExpectedSeq(uint64_t ctxId) const
 {
-    auto it = txById_.find(ctxId);
-    ANIC_ASSERT(it != txById_.end());
-    return it->second.expectedSeq;
+    const TxCtx *tc = txById_.find(ctxId);
+    ANIC_ASSERT(tc != nullptr);
+    return tc->expectedSeq;
 }
 
 const FsmStats *
 Nic::rxFsmStats(uint64_t ctxId) const
 {
-    auto it = rxById_.find(ctxId);
-    return it == rxById_.end() ? nullptr : &it->second.ctx->fsm().stats();
+    const RxRef *r = rxById_.find(ctxId);
+    return r == nullptr ? nullptr : &ctxArena_.get(r->ctx)->fsm().stats();
 }
 
 } // namespace anic::nic

@@ -6,7 +6,8 @@
  *  - line-rate serialization (100 Gbps ConnectX6-Dx class),
  *  - a bounded transmit ring with BQL-style backpressure,
  *  - per-flow offload contexts living in a finite on-NIC cache
- *    (~4 MiB / 208 B per flow => ~20K flows) with LRU eviction and
+ *    (~4 MiB / 208 B per flow => ~20K flows) with a pluggable
+ *    eviction policy (LRU default; see nic/cache_policy.hh) and
  *    PCIe fetch/writeback costs on miss (Figure 19),
  *  - PCIe bandwidth accounting, including the context-recovery reads
  *    for transmit-side resynchronization (Figure 16b),
@@ -22,18 +23,19 @@
 #define ANIC_NIC_NIC_HH
 
 #include <deque>
-#include <list>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/link.hh"
 #include "net/toeplitz.hh"
+#include "nic/cache_policy.hh"
 #include "nic/stream_fsm.hh"
 #include "sim/registry.hh"
 #include "sim/simulator.hh"
 #include "sim/trace.hh"
+#include "util/flat_map.hh"
+#include "util/slab.hh"
 
 namespace anic::nic {
 
@@ -82,6 +84,7 @@ struct QueueStats
     sim::Counter coalescedPkts; ///< completions beyond the first per irq
     sim::Counter ctxHits;       ///< context-cache hits on this queue
     sim::Counter ctxMisses;     ///< context-cache misses on this queue
+    sim::Counter evictions;     ///< contexts this queue's misses pushed out
 };
 
 /**
@@ -98,6 +101,7 @@ class FlowContext
     uint64_t id() const { return id_; }
     L5Engine &engine() { return *engine_; }
     StreamFsm &fsm() { return fsm_; }
+    const StreamFsm &fsm() const { return fsm_; }
 
     /** Arms the context at TCP sequence @p tcpsn, message @p msgIdx. */
     void arm(uint32_t tcpsn, uint64_t msgIdx);
@@ -158,6 +162,10 @@ class Nic
         size_t ctxCacheCapacity = 20000;
         size_t ctxBytes = 208;
         sim::Tick ctxFetchLatency = 600 * sim::kNanosecond;
+        /** Context-cache eviction policy; Auto resolves against
+         *  ANIC_CTX_POLICY and defaults to exact LRU (the original
+         *  model — byte-identical to the pre-policy NIC). */
+        CtxPolicy ctxPolicy = CtxPolicy::Auto;
 
         /** PCIe gen3 x16 usable bandwidth (~126 Gbps). */
         double pcieGbps = 126.0;
@@ -293,6 +301,19 @@ class Nic
     const NicStats &stats() const { return stats_; }
     const PcieStats &pcie() const { return pcie_; }
     const Config &config() const { return cfg_; }
+
+    /** The live replacement policy (resolved from Config/env). */
+    const CachePolicy &ctxCache() const { return *cache_; }
+
+    /** Host heap behind the flow tables: context slab + the three
+     *  flat indexes (feeds bytes/flow in bench_flowscale). */
+    size_t
+    ctxTableHeapBytes() const
+    {
+        return ctxArena_.heapBytes() + rxByFlow_.heapBytes() +
+               rxById_.heapBytes() + txById_.heapBytes();
+    }
+
     const FsmStats *rxFsmStats(uint64_t ctxId) const;
 
     /** Roll-up of every per-flow FSM on this NIC (rx and tx). */
@@ -322,7 +343,7 @@ class Nic
   private:
     struct TxCtx
     {
-        std::unique_ptr<FlowContext> ctx;
+        util::SlabHandle ctx;
         uint32_t expectedSeq = 0;
     };
 
@@ -372,8 +393,9 @@ class Nic
     void onIrqTimer(int queue, uint64_t gen);
     RxBatch takeFreeVec();
     sim::Tick touchContext(uint64_t ctxId, QueueStats *qs = nullptr);
+    void onCtxEvict(uint64_t ctxId);
     void processTxOffload(net::Packet &pkt, QueueStats &qs);
-    void processRxOffload(net::Packet &pkt);
+    void processRxOffload(net::Packet &pkt, FlowContext &ctx);
     void installFsmHooks(FlowContext &ctx);
     void linkInstruments();
 
@@ -401,22 +423,26 @@ class Nic
     std::function<void(uint64_t, uint64_t, uint32_t)> onResyncRequest_;
 
     uint64_t nextCtxId_ = 1;
-    std::unordered_map<net::FlowKey, std::unique_ptr<FlowContext>,
-                       net::FlowKeyHash>
+    // Flow contexts live in one slab arena (stable addresses — the
+    // FSM closure captures its FlowContext) and every index stores
+    // the 8-byte handle by value, so the flat tables stay pointer-
+    // and allocation-free under churn.
+    util::SlabArena<FlowContext> ctxArena_;
+    util::FlatMap<net::FlowKey, util::SlabHandle, net::FlowKeyHash>
         rxByFlow_;
     // Reverse index carries the flow key so destroy is O(1) instead
     // of a scan over every installed flow.
     struct RxRef
     {
-        FlowContext *ctx;
+        util::SlabHandle ctx;
         net::FlowKey flow;
     };
-    std::unordered_map<uint64_t, RxRef> rxById_;
-    std::unordered_map<uint64_t, TxCtx> txById_;
+    util::FlatMap<uint64_t, RxRef> rxById_;
+    util::FlatMap<uint64_t, TxCtx> txById_;
 
-    // LRU context cache (ids of both rx and tx contexts).
-    std::list<uint64_t> cacheLru_;
-    std::unordered_map<uint64_t, std::list<uint64_t>::iterator> cacheMap_;
+    // Replacement policy over resident context ids (rx and tx both).
+    std::unique_ptr<CachePolicy> cache_;
+    QueueStats *evictQs_ = nullptr; ///< queue charged during insert()
 
     NicStats stats_;
     PcieStats pcie_;

@@ -183,6 +183,16 @@ class TcpConnection : public StreamSocket
     void scheduleDelayedAck();
     void armRto();
     void cancelRto();
+    /** Invalidates every outstanding timer closure (RTO, delayed
+     *  ack) so none can act on this connection after the stack frees
+     *  its slot — destroy() may run while timers are armed. */
+    void
+    cancelTimers()
+    {
+        cancelRto();
+        delAckGeneration_++;
+        delayedAckScheduled_ = false;
+    }
     void onRtoFire(uint64_t generation);
     uint32_t flightSize() const { return sndNxt_ - sndUna_; }
     uint32_t sndLimit() const;
@@ -226,6 +236,7 @@ class TcpConnection : public StreamSocket
     bool writableSignaled_ = true; ///< edge trigger for onWritable
     uint64_t txOffloadCtx_ = 0;
     bool devBlocked_ = false;
+    bool inBlockedQueue_ = false; ///< linked on TcpStack::blocked_[dev]
 
     // --- RTT/RTO
     sim::Tick srtt_ = 0;

@@ -75,14 +75,13 @@ TcpConnection &
 TcpStack::createConnection(const net::FlowKey &local,
                            const TcpConnection::Config &cfg, host::Core *core)
 {
-    ANIC_ASSERT(conns_.find(local) == conns_.end(), "flow already exists");
+    ANIC_ASSERT(conns_.find(local) == nullptr, "flow already exists");
     host::Core &c = core != nullptr ? *core : steer(local);
     uint32_t iss = static_cast<uint32_t>(rng_.next());
-    auto conn = std::make_unique<TcpConnection>(*this, c, cfg, local, iss);
-    TcpConnection &ref = *conn;
-    conns_.emplace(local, std::move(conn));
+    util::SlabHandle h = connArena_.alloc(*this, c, cfg, local, iss);
+    conns_.emplace(local, h);
     connections_.set(static_cast<double>(conns_.size()));
-    return ref;
+    return connArena_.at(h);
 }
 
 TcpConnection &
@@ -100,7 +99,7 @@ TcpStack::connect(net::IpAddr localIp, net::IpAddr dstIp, uint16_t dstPort,
         nextEphemeral_ = nextEphemeral_ == 0xffff
                              ? 32768
                              : static_cast<uint16_t>(nextEphemeral_ + 1);
-        if (conns_.find(local) == conns_.end())
+        if (conns_.find(local) == nullptr)
             break;
     }
     TcpConnection &conn = createConnection(local, cfg, core);
@@ -121,9 +120,8 @@ TcpStack::input(const net::PacketPtr &pkt)
     key.dstIp = ip.src;
     key.dstPort = th.srcPort;
 
-    auto it = conns_.find(key);
-    if (it != conns_.end()) {
-        it->second->onPacket(pkt);
+    if (util::SlabHandle *h = conns_.find(key)) {
+        connArena_.at(*h).onPacket(pkt);
         return;
     }
 
@@ -152,29 +150,75 @@ TcpStack::output(TcpConnection &conn, net::PacketPtr pkt)
     ANIC_ASSERT(dev != nullptr, "connection bound to unknown device");
     if (dev->transmit(std::move(pkt)))
         return true;
-    blocked_[dev].push_back(&conn);
+    // Register for the tx-space wakeup once, no matter how many
+    // transmits bounce while the ring stays full (sendFlagsPacket
+    // fires acks through here too — without the flag a busy receiver
+    // behind a full ring re-registers every ack).
+    if (!conn.inBlockedQueue_) {
+        conn.inBlockedQueue_ = true;
+        std::vector<TcpConnection *> *vec = blocked_.find(dev);
+        if (vec == nullptr)
+            vec = &blocked_.emplace(dev, {});
+        vec->push_back(&conn);
+    }
     return false;
 }
 
 void
 TcpStack::onDeviceTxSpace(NetDevice *dev)
 {
-    auto it = blocked_.find(dev);
-    if (it == blocked_.end() || it->second.empty())
+    std::vector<TcpConnection *> *vec = blocked_.find(dev);
+    if (vec == nullptr || vec->empty())
         return;
-    std::vector<TcpConnection *> conns = std::move(it->second);
-    it->second.clear();
+    std::vector<TcpConnection *> conns = std::move(*vec);
+    vec->clear();
     for (TcpConnection *c : conns) {
+        c->inBlockedQueue_ = false;
         // Softirq-style priority: transmit redrives must not starve
-        // behind queued application work on a saturated core.
-        c->core().postUrgent([c] { c->onDeviceWritable(); });
+        // behind queued application work on a saturated core. The
+        // work item re-resolves the flow key so a connection torn
+        // down (and possibly recycled) before it runs is skipped
+        // instead of dereferenced.
+        net::FlowKey key = c->localFlow();
+        c->core().postUrgent([this, key] {
+            if (util::SlabHandle *h = conns_.find(key))
+                connArena_.at(*h).onDeviceWritable();
+        });
+    }
+}
+
+void
+TcpStack::unlinkBlocked(TcpConnection &conn)
+{
+    if (!conn.inBlockedQueue_)
+        return;
+    conn.inBlockedQueue_ = false;
+    NetDevice *dev = deviceFor(conn.localFlow().srcIp);
+    std::vector<TcpConnection *> *vec = blocked_.find(dev);
+    if (vec == nullptr)
+        return;
+    for (size_t i = 0; i < vec->size(); i++) {
+        if ((*vec)[i] == &conn) {
+            vec->erase(vec->begin() + static_cast<ptrdiff_t>(i));
+            return;
+        }
     }
 }
 
 void
 TcpStack::destroy(TcpConnection &conn)
 {
+    util::SlabHandle *h = conns_.find(conn.localFlow());
+    if (h == nullptr || connArena_.get(*h) != &conn)
+        return; // already destroyed (double destroy is a no-op)
+    // Timers may still be armed (destroy mid-flight, or FIN
+    // retransmission state): invalidate their closures before the
+    // slot is freed and possibly recycled.
+    conn.cancelTimers();
+    unlinkBlocked(conn);
+    util::SlabHandle handle = *h;
     conns_.erase(conn.localFlow());
+    connArena_.free(handle);
     connections_.set(static_cast<double>(conns_.size()));
 }
 

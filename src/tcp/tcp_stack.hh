@@ -19,7 +19,9 @@
 #include "sim/trace.hh"
 #include "tcp/net_device.hh"
 #include "tcp/tcp_connection.hh"
+#include "util/flat_map.hh"
 #include "util/rand.hh"
+#include "util/slab.hh"
 
 namespace anic::tcp {
 
@@ -102,6 +104,7 @@ class TcpStack
 
     NetDevice *deviceFor(net::IpAddr localIp) const;
     void onDeviceTxSpace(NetDevice *dev);
+    void unlinkBlocked(TcpConnection &conn);
     TcpConnection &createConnection(const net::FlowKey &local,
                                     const TcpConnection::Config &cfg,
                                     host::Core *core);
@@ -112,15 +115,21 @@ class TcpStack
     net::PacketPool &pool_;
 
     std::vector<NetDevice *> devices_;
-    std::unordered_map<net::FlowKey, std::unique_ptr<TcpConnection>,
-                       net::FlowKeyHash>
-        conns_;
+    // Connections are slab-allocated (stable addresses — cores hold
+    // raw pointers in queued work) and demuxed through a flat table
+    // of 8-byte handles; churn recycles slots instead of hitting
+    // malloc per connection (DESIGN.md §15).
+    util::SlabArena<TcpConnection> connArena_;
+    util::FlatMap<net::FlowKey, util::SlabHandle, net::FlowKeyHash> conns_;
     std::unordered_map<uint16_t, Listener> listeners_;
     uint16_t nextEphemeral_ = 32768;
     sim::Counter droppedInputs_;
 
-    // Connections waiting for tx-ring space, per device.
-    std::unordered_map<NetDevice *, std::vector<TcpConnection *>> blocked_;
+    // Connections waiting for tx-ring space, per device. Each conn
+    // appears at most once (TcpConnection::inBlockedQueue_) and is
+    // unlinked on destroy, so the vectors cannot grow unboundedly —
+    // or dangle — under connection churn.
+    util::FlatMap<NetDevice *, std::vector<TcpConnection *>> blocked_;
 
     // Observability: per-connection stats roll up here so the
     // registry stays bounded at any connection count.

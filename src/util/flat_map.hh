@@ -1,0 +1,326 @@
+/**
+ * @file
+ * FlatMap<K, V>: open-addressing hash map with robin-hood probing and
+ * backward-shift deletion — no per-node allocation, no tombstones,
+ * entries stored inline in one flat array.
+ *
+ * Replaces std::unordered_map on flow-table hot paths (NIC context
+ * lookup per packet, TCP demux per segment): a lookup touches one
+ * cache line in the common case instead of chasing a bucket list, and
+ * erase under connection churn recycles slots in place instead of
+ * freeing nodes. See DESIGN.md §15.
+ *
+ * Semantics notes:
+ *  - pointers/references into the map are invalidated by insert (may
+ *    rehash) and by erase (backward shift moves entries); callers that
+ *    need stable addresses keep the object in a SlabArena and store
+ *    the handle here by value;
+ *  - iteration order is unspecified and must not drive simulation
+ *    behavior (same contract the unordered_map code had).
+ */
+
+#ifndef ANIC_UTIL_FLAT_MAP_HH
+#define ANIC_UTIL_FLAT_MAP_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <typeinfo>
+#include <utility>
+
+#include "util/panic.hh"
+
+namespace anic::util {
+
+/**
+ * Default hasher. libstdc++'s std::hash for integers is the identity,
+ * and most integer keys here are sequential ids (context ids, slab
+ * handles): under open addressing with power-of-two masking, a live
+ * window of sequential ids occupies one contiguous run of slots, and
+ * every insert whose home slot lands inside the run shifts the entire
+ * suffix right and increments its probe distances — distances grow
+ * with the number of such inserts, not log(n). Finalizing with
+ * splitmix64 scatters sequential keys so probe chains stay short.
+ * Non-arithmetic keys defer to std::hash (FlowKeyHash etc. are passed
+ * explicitly).
+ */
+template <typename K>
+struct FlatHash
+{
+    size_t
+    operator()(const K &k) const
+    {
+        if constexpr (std::is_integral_v<K> || std::is_enum_v<K> ||
+                      std::is_pointer_v<K>) {
+            uint64_t x;
+            if constexpr (std::is_pointer_v<K>)
+                x = reinterpret_cast<uintptr_t>(k);
+            else
+                x = static_cast<uint64_t>(k);
+            x += 0x9e3779b97f4a7c15ull;
+            x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+            x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+            return static_cast<size_t>(x ^ (x >> 31));
+        } else {
+            return std::hash<K>{}(k);
+        }
+    }
+};
+
+template <typename K, typename V, typename Hash = FlatHash<K>>
+class FlatMap
+{
+  public:
+    FlatMap() = default;
+    FlatMap(const FlatMap &) = delete;
+    FlatMap &operator=(const FlatMap &) = delete;
+
+    FlatMap(FlatMap &&o) noexcept { swap(o); }
+    FlatMap &
+    operator=(FlatMap &&o) noexcept
+    {
+        if (this != &o) {
+            clearAndRelease();
+            swap(o);
+        }
+        return *this;
+    }
+
+    ~FlatMap() { clearAndRelease(); }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Value for @p key, or null. Stable only until the next
+     *  insert/erase. */
+    V *
+    find(const K &key)
+    {
+        if (size_ == 0)
+            return nullptr;
+        size_t i = indexOf(hash(key));
+        for (uint8_t d = 1; dist_[i] != 0; i = nextIndex(i), d++) {
+            if (dist_[i] < d)
+                return nullptr; // robin-hood: key would have displaced
+            if (dist_[i] == d && slot(i)->first == key)
+                return &slot(i)->second;
+        }
+        return nullptr;
+    }
+
+    const V *
+    find(const K &key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    bool contains(const K &key) const { return find(key) != nullptr; }
+
+    /** Inserts a new key (must not be present); returns the stored
+     *  value (stable until the next insert/erase). */
+    V &
+    emplace(const K &key, V value)
+    {
+        ANIC_ASSERT(find(key) == nullptr, "flat map duplicate key");
+        if ((size_ + 1) * 4 > cap_ * 3) // max load factor 3/4
+            rehash(cap_ == 0 ? kMinCapacity : cap_ * 2);
+        return insertNoGrow(key, std::move(value));
+    }
+
+    /** Inserts or overwrites; returns the stored value. */
+    V &
+    put(const K &key, V value)
+    {
+        if (V *v = find(key)) {
+            *v = std::move(value);
+            return *v;
+        }
+        return emplace(key, std::move(value));
+    }
+
+    /** Removes @p key; returns false when absent. */
+    bool
+    erase(const K &key)
+    {
+        if (size_ == 0)
+            return false;
+        size_t i = indexOf(hash(key));
+        for (uint8_t d = 1; dist_[i] != 0; i = nextIndex(i), d++) {
+            if (dist_[i] < d)
+                return false;
+            if (dist_[i] == d && slot(i)->first == key) {
+                removeAt(i);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    clear()
+    {
+        for (size_t i = 0; i < cap_; i++) {
+            if (dist_[i] != 0) {
+                slot(i)->~Entry();
+                dist_[i] = 0;
+            }
+        }
+        size_ = 0;
+    }
+
+    /** Visits every entry as fn(const K&, V&); unspecified order. */
+    template <typename F>
+    void
+    forEach(F &&fn)
+    {
+        for (size_t i = 0; i < cap_; i++) {
+            if (dist_[i] != 0)
+                fn(static_cast<const K &>(slot(i)->first), slot(i)->second);
+        }
+    }
+
+    /** Pre-sizes the table for @p n entries without rehashing later. */
+    void
+    reserve(size_t n)
+    {
+        size_t want = kMinCapacity;
+        while (n * 4 > want * 3)
+            want *= 2;
+        if (want > cap_)
+            rehash(want);
+    }
+
+    /** Heap bytes backing the table (bytes/flow accounting). */
+    size_t
+    heapBytes() const
+    {
+        return cap_ * (sizeof(Entry) + 1);
+    }
+
+  private:
+    using Entry = std::pair<K, V>;
+    static constexpr size_t kMinCapacity = 16;
+
+    size_t hash(const K &key) const { return Hash{}(key); }
+    size_t indexOf(size_t h) const { return h & (cap_ - 1); }
+    size_t nextIndex(size_t i) const { return (i + 1) & (cap_ - 1); }
+
+    Entry *
+    slot(size_t i)
+    {
+        return std::launder(reinterpret_cast<Entry *>(
+            slots_.get() + i * sizeof(Entry)));
+    }
+
+    V &
+    insertNoGrow(K key, V value)
+    {
+        size_t i = indexOf(hash(key));
+        uint8_t d = 1;
+        V *placed = nullptr;
+        for (;;) {
+            if (dist_[i] == 0) {
+                new (slots_.get() + i * sizeof(Entry))
+                    Entry(std::move(key), std::move(value));
+                dist_[i] = d;
+                size_++;
+                return placed != nullptr ? *placed : slot(i)->second;
+            }
+            if (dist_[i] < d) {
+                // Robin hood: displace the richer entry and keep
+                // walking with it.
+                Entry *e = slot(i);
+                std::swap(key, e->first);
+                std::swap(value, e->second);
+                std::swap(d, dist_[i]);
+                if (placed == nullptr)
+                    placed = &e->second;
+            }
+            i = nextIndex(i);
+            d++;
+            if (d == 0)
+                panic("flat map probe chain overflow: key=%s cap=%zu "
+                      "size=%zu",
+                      typeid(K).name(), cap_, size_);
+        }
+    }
+
+    void
+    removeAt(size_t i)
+    {
+        slot(i)->~Entry();
+        dist_[i] = 0;
+        size_--;
+        // Backward shift: pull successors one slot closer until a
+        // slot that is empty or already home (dist 1).
+        size_t prev = i;
+        for (size_t j = nextIndex(i); dist_[j] > 1; j = nextIndex(j)) {
+            Entry *e = slot(j);
+            new (slots_.get() + prev * sizeof(Entry))
+                Entry(std::move(e->first), std::move(e->second));
+            dist_[prev] = static_cast<uint8_t>(dist_[j] - 1);
+            e->~Entry();
+            dist_[j] = 0;
+            prev = j;
+        }
+    }
+
+    void
+    rehash(size_t newCap)
+    {
+        std::unique_ptr<unsigned char[]> oldSlots = std::move(slots_);
+        std::unique_ptr<uint8_t[]> oldDist = std::move(dist_);
+        size_t oldCap = cap_;
+
+        cap_ = newCap;
+        slots_ = std::make_unique<unsigned char[]>(cap_ * sizeof(Entry));
+        dist_ = std::make_unique<uint8_t[]>(cap_);
+        for (size_t i = 0; i < cap_; i++)
+            dist_[i] = 0;
+        size_ = 0;
+
+        for (size_t i = 0; i < oldCap; i++) {
+            if (oldDist[i] == 0)
+                continue;
+            Entry *e = std::launder(reinterpret_cast<Entry *>(
+                oldSlots.get() + i * sizeof(Entry)));
+            insertNoGrow(std::move(e->first), std::move(e->second));
+            e->~Entry();
+        }
+    }
+
+    void
+    clearAndRelease()
+    {
+        clear();
+        slots_.reset();
+        dist_.reset();
+        cap_ = 0;
+    }
+
+    void
+    swap(FlatMap &o)
+    {
+        std::swap(slots_, o.slots_);
+        std::swap(dist_, o.dist_);
+        std::swap(cap_, o.cap_);
+        std::swap(size_, o.size_);
+    }
+
+    // Raw storage: entries constructed in place only where dist_ != 0.
+    // dist_[i] is the probe distance + 1 of the occupant (0 = empty);
+    // uint8_t caps chains at 255 — unreachable at 3/4 load with a
+    // mixing hash (insertNoGrow panics with table stats if a weak
+    // hash ever clusters that badly; see FlatHash).
+    std::unique_ptr<unsigned char[]> slots_;
+    std::unique_ptr<uint8_t[]> dist_;
+    size_t cap_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace anic::util
+
+#endif // ANIC_UTIL_FLAT_MAP_HH

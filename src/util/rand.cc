@@ -1,5 +1,7 @@
 #include "util/rand.hh"
 
+#include <cmath>
+
 #include "util/panic.hh"
 
 namespace anic {
@@ -70,6 +72,42 @@ double
 Rng::uniform()
 {
     return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+// ----------------------------------------------------------- ZipfGen
+
+ZipfGen::ZipfGen(uint32_t n, double s, uint64_t seed) : s_(s), rng_(seed)
+{
+    ANIC_ASSERT(n > 0, "zipf over empty range");
+    ANIC_ASSERT(s >= 0.0, "zipf skew must be non-negative");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (uint32_t r = 0; r < n; r++) {
+        sum += 1.0 / std::pow(static_cast<double>(r) + 1.0, s);
+        cdf_[r] = sum;
+    }
+    // Normalize so the last bucket is exactly 1.0 (binary search never
+    // falls off the end).
+    for (uint32_t r = 0; r < n; r++)
+        cdf_[r] /= sum;
+    cdf_[n - 1] = 1.0;
+}
+
+uint32_t
+ZipfGen::next()
+{
+    double u = rng_.uniform();
+    // First rank whose CDF covers u.
+    uint32_t lo = 0;
+    uint32_t hi = static_cast<uint32_t>(cdf_.size()) - 1;
+    while (lo < hi) {
+        uint32_t mid = lo + (hi - lo) / 2;
+        if (cdf_[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
 }
 
 } // namespace anic

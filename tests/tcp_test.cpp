@@ -411,6 +411,102 @@ TEST(TcpBackpressure, TinyTxRingStillDeliversEverything)
     EXPECT_FALSE(rx.corrupt);
 }
 
+TEST(TcpBackpressure, DestroyWhileTxBlockedIsSafe)
+{
+    // Regression for the blocked-writer queue: a connection waiting
+    // for tx-ring space is linked on TcpStack::blocked_; destroying it
+    // must unlink it, or the next tx-space wakeup walks a dangling
+    // pointer. Two bulk streams share a tiny, slow ring so both are
+    // persistently blocked; one is destroyed mid-flight and the other
+    // must still finish.
+    TwoHostWorld w({}, /*coresPerHost=*/1, /*gbps=*/0.1);
+    w.devA = std::make_unique<testing::SimpleDevice>(
+        w.sim, w.link, 0, TwoHostWorld::kIpA, 0.1, /*txRing=*/2);
+    auto cores = std::vector<host::Core *>{w.coresA[0].get()};
+    w.stackA = std::make_unique<tcp::TcpStack>(w.sim, cores, 1);
+    w.stackA->addDevice(w.devA.get());
+    w.devA->attachStack(w.stackA.get());
+
+    BulkReceiver rx1{31};
+    BulkReceiver rx2{32};
+    BulkSender tx1{31, 512 << 10};
+    BulkSender tx2{32, 64 << 10};
+    int accepts = 0;
+    w.stackB->listen(80, {}, [&](TcpConnection &c) {
+        (accepts++ == 0 ? rx1 : rx2).attach(c);
+    });
+    TcpConnection &c1 =
+        w.stackA->connect(TwoHostWorld::kIpA, TwoHostWorld::kIpB, 80, {});
+    tx1.attach(c1);
+    c1.setOnConnected([&] { tx1.start(c1); });
+    TcpConnection &c2 =
+        w.stackA->connect(TwoHostWorld::kIpA, TwoHostWorld::kIpB, 80, {});
+    tx2.attach(c2);
+    c2.setOnConnected([&] { tx2.start(c2); });
+
+    // Mid-transfer both writers are stalled behind the 2-slot ring.
+    w.sim.runUntil(20 * sim::kMillisecond);
+    EXPECT_GT(rx1.received, 0u);
+    EXPECT_LT(rx1.received, tx1.total);
+    w.stackA->destroy(c1); // unlinks from the blocked queue
+
+    w.sim.runUntil(20 * sim::kSecond);
+    EXPECT_EQ(rx2.received, tx2.total);
+    EXPECT_FALSE(rx2.corrupt);
+    EXPECT_EQ(w.stackA->connectionCount(), 1u);
+}
+
+TEST(TcpBackpressure, TinyRingsBothSidesEchoCompletes)
+{
+    // Tiny rings on BOTH hosts: data and the acks flowing back both
+    // bounce off full rings, so the receiver's ack path registers on
+    // the blocked queue over and over (the dedupe case — without the
+    // once-per-stall guard the queue grows by one entry per bounced
+    // ack and wakeups go quadratic).
+    TwoHostWorld w;
+    for (int side = 0; side < 2; side++) {
+        auto &dev = side == 0 ? w.devA : w.devB;
+        auto &stack = side == 0 ? w.stackA : w.stackB;
+        auto &coresV = side == 0 ? w.coresA : w.coresB;
+        dev = std::make_unique<testing::SimpleDevice>(
+            w.sim, w.link, side,
+            side == 0 ? TwoHostWorld::kIpA : TwoHostWorld::kIpB, 100.0,
+            /*txRing=*/4);
+        auto cores = std::vector<host::Core *>{coresV[0].get()};
+        stack = std::make_unique<tcp::TcpStack>(w.sim, cores, side + 1);
+        stack->addDevice(dev.get());
+        dev->attachStack(stack.get());
+    }
+
+    uint64_t echoed = 0;
+    bool corrupt = false;
+    w.stackB->listen(80, {}, [&](TcpConnection &c) {
+        c.setOnReadable([&c] {
+            while (c.readable()) {
+                tcp::RxSegment seg = c.pop();
+                c.send(seg.data); // echo through the tiny ring
+            }
+        });
+    });
+    TcpConnection &client =
+        w.stackA->connect(TwoHostWorld::kIpA, TwoHostWorld::kIpB, 80, {});
+    client.setOnReadable([&] {
+        while (client.readable()) {
+            tcp::RxSegment seg = client.pop();
+            if (!checkDeterministic(seg.data, 33, seg.streamOff))
+                corrupt = true;
+            echoed += seg.data.size();
+        }
+    });
+    BulkSender tx{33, 2 << 20};
+    tx.attach(client);
+    client.setOnConnected([&] { tx.start(client); });
+
+    w.sim.runUntil(10 * sim::kSecond);
+    EXPECT_EQ(echoed, 2u << 20);
+    EXPECT_FALSE(corrupt);
+}
+
 TEST(TcpBidirectional, EchoWorksBothWays)
 {
     TwoHostWorld w;
