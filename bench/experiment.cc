@@ -82,6 +82,22 @@ ExperimentBuilder::link(const net::Link::Config &lc)
 }
 
 ExperimentBuilder &
+ExperimentBuilder::tcpCc(tcp::CcAlgo algo)
+{
+    cfg_.serverTcp.cc = algo;
+    cfg_.generatorTcp.cc = algo;
+    return *this;
+}
+
+ExperimentBuilder &
+ExperimentBuilder::tcpEcn(bool on)
+{
+    cfg_.serverTcp.ecn = on;
+    cfg_.generatorTcp.ecn = on;
+    return *this;
+}
+
+ExperimentBuilder &
 ExperimentBuilder::serverSndBuf(size_t bytes)
 {
     cfg_.serverTcp.sndBufSize = bytes;

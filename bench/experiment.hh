@@ -73,6 +73,10 @@ class ExperimentBuilder
     /** NIC context-cache capacity in contexts (default 20000). */
     ExperimentBuilder &nicCtxCacheCapacity(size_t contexts);
     ExperimentBuilder &link(const net::Link::Config &lc);
+    /** Congestion control for both endpoints (dctcp implies ECN). */
+    ExperimentBuilder &tcpCc(tcp::CcAlgo algo);
+    /** Requests ECN on both endpoints' handshakes. */
+    ExperimentBuilder &tcpEcn(bool on);
     ExperimentBuilder &serverSndBuf(size_t bytes);
     ExperimentBuilder &serverRcvBuf(size_t bytes);
     ExperimentBuilder &generatorSndBuf(size_t bytes);

@@ -16,6 +16,7 @@ Ipv4Header::encode(uint8_t *out) const
 {
     std::memset(out, 0, kSize);
     out[0] = 0x45; // version 4, IHL 5
+    out[1] = tos;
     putBe16(out + 2, totalLen);
     out[8] = ttl;
     out[9] = protocol;
@@ -30,6 +31,7 @@ Ipv4Header
 Ipv4Header::decode(const uint8_t *in)
 {
     Ipv4Header h;
+    h.tos = in[1];
     h.totalLen = getBe16(in + 2);
     h.ttl = in[8];
     h.protocol = in[9];

@@ -33,6 +33,16 @@ makeIp(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
 
 std::string ipToString(IpAddr ip);
 
+/** ECN codepoints: the low two bits of the IPv4 TOS byte (RFC 3168). */
+enum EcnBits : uint8_t
+{
+    kEcnMask = 0x03,
+    kEcnNotEct = 0x00,
+    kEcnEct1 = 0x01,
+    kEcnEct0 = 0x02, ///< what ECN-capable senders mark data with
+    kEcnCe = 0x03,   ///< congestion experienced (set by the network)
+};
+
 /** 20-byte IPv4 header, no options. */
 struct Ipv4Header
 {
@@ -44,6 +54,7 @@ struct Ipv4Header
     uint16_t totalLen = 0; // header + payload
     uint8_t protocol = kProtoTcp;
     uint8_t ttl = 64;
+    uint8_t tos = 0; // DSCP + ECN bits (only ECN is used here)
 
     void encode(uint8_t *out) const;
     static Ipv4Header decode(const uint8_t *in);
@@ -57,6 +68,8 @@ enum TcpFlags : uint8_t
     kTcpRst = 0x04,
     kTcpPsh = 0x08,
     kTcpAck = 0x10,
+    kTcpEce = 0x40, ///< ECN echo (RFC 3168)
+    kTcpCwr = 0x80, ///< congestion window reduced (RFC 3168)
 };
 
 /** 20-byte TCP header, no options. */

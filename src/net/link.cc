@@ -23,6 +23,29 @@ Link::transmit(int fromPort, PacketPtr pkt)
         delay += imp.reorderExtraDelay;
     }
 
+    // ECN marking happens where an AQM would sit: at the egress queue,
+    // before corruption/duplication so copies carry the mark too. Only
+    // ECT traffic is eligible, so non-ECN runs draw no extra randoms
+    // (byte-identical RNG streams).
+    if ((pkt->ip().tos & kEcnMask) != kEcnNotEct) {
+        bool mark = imp.ecnMarkThresholdBytes > 0 &&
+                    pendingBytes_[to] >= imp.ecnMarkThresholdBytes;
+        if (!mark && imp.ecnMarkRate > 0 && rng_.chance(imp.ecnMarkRate))
+            mark = true;
+        if (mark && (pkt->ip().tos & kEcnMask) != kEcnCe) {
+            st.ecnMarked++;
+            // Mark a private copy for the same reason corruption does:
+            // the sender's retransmission buffer keeps pristine bytes.
+            PacketPtr ce = pool_.copy(*pkt);
+            ce->rx = RxOffloadMeta{};
+            Ipv4Header ip = ce->ip();
+            ip.tos = static_cast<uint8_t>((ip.tos & ~kEcnMask) | kEcnCe);
+            ip.encode(ce->bytes.data());
+            ce->invalidateHeaders();
+            pkt = std::move(ce);
+        }
+    }
+
     if (imp.corruptRate > 0 && pkt->payloadSize() > 0 &&
         rng_.chance(imp.corruptRate)) {
         st.corrupted++;
@@ -58,6 +81,7 @@ void
 Link::deliver(int toPort, PacketPtr pkt, sim::Tick delay)
 {
     stats_[1 - toPort].delivered++;
+    pendingBytes_[toPort] += pkt->wireSize();
     sim::Tick due = sim_.now() + delay;
     std::vector<Batch> &pend = pending_[toPort];
     for (Batch &b : pend) {
@@ -87,8 +111,10 @@ Link::flush(int toPort, sim::Tick due)
             continue;
         std::vector<PacketPtr> pkts = std::move(pend[i].pkts);
         pend.erase(pend.begin() + static_cast<ptrdiff_t>(i));
-        for (PacketPtr &p : pkts)
+        for (PacketPtr &p : pkts) {
+            pendingBytes_[toPort] -= p->wireSize();
             handler_[toPort](std::move(p));
+        }
         pkts.clear();
         batchFree_.push_back(std::move(pkts));
         return;

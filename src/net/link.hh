@@ -36,6 +36,13 @@ struct Impairments
      *  without payload are never corrupted. */
     double corruptRate = 0.0;
     sim::Tick reorderExtraDelay = 20 * sim::kMicrosecond;
+    /** Probability an ECT packet gets a CE mark (random RED-style
+     *  marking; non-ECT packets are never touched). */
+    double ecnMarkRate = 0.0;
+    /** DCTCP-style step marking: CE-mark every ECT packet while more
+     *  than this many bytes sit in the link's delivery queue for the
+     *  destination port. 0 disables the threshold. */
+    uint64_t ecnMarkThresholdBytes = 0;
 };
 
 /** Per-direction delivery counters. */
@@ -47,6 +54,7 @@ struct LinkStats
     uint64_t reordered = 0;
     uint64_t duplicated = 0;
     uint64_t corrupted = 0;
+    uint64_t ecnMarked = 0;
 };
 
 /**
@@ -110,6 +118,7 @@ class Link
     Handler handler_[2];
     LinkStats stats_[2];
     std::vector<Batch> pending_[2];
+    uint64_t pendingBytes_[2] = {0, 0}; ///< queued wire bytes per port
     std::vector<std::vector<PacketPtr>> batchFree_; ///< capacity recycling
 };
 

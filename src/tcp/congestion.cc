@@ -1,0 +1,308 @@
+#include "tcp/congestion.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tcp/seq.hh"
+#include "util/env.hh"
+
+namespace anic::tcp {
+
+CcAlgo
+parseCcAlgo(const std::string &name)
+{
+    if (name == "reno")
+        return CcAlgo::Reno;
+    if (name == "cubic")
+        return CcAlgo::Cubic;
+    if (name == "dctcp")
+        return CcAlgo::Dctcp;
+    return CcAlgo::Auto;
+}
+
+const char *
+ccAlgoName(CcAlgo a)
+{
+    switch (a) {
+      case CcAlgo::Reno:
+        return "reno";
+      case CcAlgo::Cubic:
+        return "cubic";
+      case CcAlgo::Dctcp:
+        return "dctcp";
+      case CcAlgo::Auto:
+        break;
+    }
+    return "auto";
+}
+
+CcAlgo
+resolveCcAlgo(CcAlgo configured)
+{
+    if (configured != CcAlgo::Auto)
+        return configured;
+    CcAlgo fromEnv = parseCcAlgo(util::Env::tcpCc());
+    return fromEnv == CcAlgo::Auto ? CcAlgo::Reno : fromEnv;
+}
+
+double
+cubicK(double wMaxSegs, double cwndSegs)
+{
+    if (cwndSegs >= wMaxSegs)
+        return 0.0;
+    return std::cbrt((wMaxSegs - cwndSegs) / 0.4);
+}
+
+double
+cubicWindow(double tSec, double kSec, double wMaxSegs)
+{
+    double d = tSec - kSec;
+    return 0.4 * d * d * d + wMaxSegs;
+}
+
+double
+dctcpAlphaStep(double alpha, double f)
+{
+    return (1.0 - 1.0 / 16.0) * alpha + (1.0 / 16.0) * f;
+}
+
+// ------------------------------------------------------------------- Reno
+
+namespace {
+
+/**
+ * NewReno. The default, and the reference: this arithmetic is the
+ * exact window behavior TcpConnection had before the CC layer, so
+ * reno runs stay byte-identical to pre-layer figure benches.
+ */
+class RenoCc : public CongestionControl
+{
+  public:
+    using CongestionControl::CongestionControl;
+
+    CcAlgo algo() const override { return CcAlgo::Reno; }
+
+    bool
+    onAcked(const AckEvent &e) override
+    {
+        if (cwnd_ < ssthresh_) {
+            cwnd_ += std::min(e.acked, cfg_.mss); // slow start
+        } else {
+            uint32_t inc = std::max<uint32_t>(
+                1, static_cast<uint32_t>(
+                       static_cast<uint64_t>(cfg_.mss) * cfg_.mss / cwnd_));
+            cwnd_ += inc; // congestion avoidance
+        }
+        cwnd_ = std::min(cwnd_, maxCwnd());
+        return false;
+    }
+
+    void
+    onEnterRecovery(uint32_t flight) override
+    {
+        ssthresh_ = std::max(flight / 2, 2 * cfg_.mss);
+        cwnd_ = ssthresh_ + 3 * cfg_.mss;
+    }
+
+    void
+    onRto(uint32_t flight, bool newEpisode) override
+    {
+        if (newEpisode)
+            ssthresh_ = std::max(flight / 2, 2 * cfg_.mss);
+        cwnd_ = cfg_.mss;
+    }
+};
+
+// ------------------------------------------------------------------ CUBIC
+
+/** RFC 8312 constants. */
+constexpr double kCubicC = 0.4;
+constexpr double kCubicBeta = 0.7;
+
+class CubicCc : public CongestionControl
+{
+  public:
+    using CongestionControl::CongestionControl;
+
+    CcAlgo algo() const override { return CcAlgo::Cubic; }
+
+    bool
+    onAcked(const AckEvent &e) override
+    {
+        if (cwnd_ < ssthresh_) {
+            cwnd_ += std::min(e.acked, cfg_.mss); // slow start
+            cwnd_ = std::min(cwnd_, maxCwnd());
+            epochValid_ = false;
+            return false;
+        }
+
+        double segs = static_cast<double>(cwnd_) / cfg_.mss;
+        if (!epochValid_) {
+            epochValid_ = true;
+            epochStart_ = e.now;
+            if (wMaxSegs_ < segs)
+                wMaxSegs_ = segs;
+            k_ = cubicK(wMaxSegs_, segs);
+            fracBytes_ = 0.0;
+        }
+
+        // Window target one RTT ahead (RFC 8312 uses t + RTT).
+        double t = static_cast<double>(e.now - epochStart_ + e.srtt) /
+                   static_cast<double>(sim::kSecond);
+        double target = cubicWindow(t, k_, wMaxSegs_);
+        // RFC 8312 5.1: growth is capped at 1.5x per RTT.
+        target = std::min(target, 1.5 * segs);
+
+        // TCP-friendly region: never slower than an equivalent Reno
+        // flow (only computable once an RTT sample exists).
+        if (e.srtt > 0) {
+            double rtts = t * static_cast<double>(sim::kSecond) /
+                          static_cast<double>(e.srtt);
+            double wEst = wMaxSegs_ * kCubicBeta +
+                          (3.0 * (1.0 - kCubicBeta) / (1.0 + kCubicBeta)) *
+                              rtts;
+            target = std::max(target, wEst);
+        }
+
+        if (target > segs) {
+            double ackedSegs = static_cast<double>(e.acked) / cfg_.mss;
+            fracBytes_ +=
+                (target - segs) / segs * ackedSegs * cfg_.mss;
+            if (fracBytes_ >= 1.0) {
+                double whole = std::floor(fracBytes_);
+                fracBytes_ -= whole;
+                cwnd_ += static_cast<uint32_t>(whole);
+            }
+        }
+        cwnd_ = std::min(cwnd_, maxCwnd());
+        return false;
+    }
+
+    void
+    onEnterRecovery(uint32_t /*flight*/) override
+    {
+        reduce();
+        cwnd_ = ssthresh_ + 3 * cfg_.mss;
+    }
+
+    void
+    onRto(uint32_t /*flight*/, bool newEpisode) override
+    {
+        if (newEpisode)
+            reduce();
+        epochValid_ = false;
+        cwnd_ = cfg_.mss;
+    }
+
+    void
+    onEcnEcho() override
+    {
+        reduce();
+        cwnd_ = ssthresh_;
+    }
+
+  private:
+    /** Multiplicative decrease with fast convergence (RFC 8312 4.6). */
+    void
+    reduce()
+    {
+        double segs = static_cast<double>(cwnd_) / cfg_.mss;
+        if (segs < wMaxSegs_)
+            wMaxSegs_ = segs * (2.0 - kCubicBeta) / 2.0;
+        else
+            wMaxSegs_ = segs;
+        ssthresh_ = std::max(
+            static_cast<uint32_t>(static_cast<double>(cwnd_) * kCubicBeta),
+            2 * cfg_.mss);
+        epochValid_ = false;
+    }
+
+    double wMaxSegs_ = 0.0;
+    double k_ = 0.0;
+    double fracBytes_ = 0.0;
+    sim::Tick epochStart_ = 0;
+    bool epochValid_ = false;
+};
+
+// ------------------------------------------------------------------ DCTCP
+
+/**
+ * DCTCP (RFC 8257). Growth and loss handling are Reno's; the ECN
+ * path differs: the receiver echoes CE state per ack, the sender
+ * keeps an EWMA of the marked-byte fraction per window (alpha) and
+ * scales cwnd by (1 - alpha/2) at most once per window of data.
+ */
+class DctcpCc : public RenoCc
+{
+  public:
+    using RenoCc::RenoCc;
+
+    CcAlgo algo() const override { return CcAlgo::Dctcp; }
+    bool perAckEcnEcho() const override { return true; }
+
+    bool
+    onAcked(const AckEvent &e) override
+    {
+        ackedBytes_ += e.acked;
+        if (e.ecnEcho)
+            markedBytes_ += e.acked;
+
+        if (!windowValid_) {
+            windowValid_ = true;
+            windowEnd_ = e.sndNxt;
+        } else if (seqGeq(e.ackSeq, windowEnd_)) {
+            // One observation window (a cwnd of data) fully acked:
+            // fold the mark fraction into alpha.
+            double f = ackedBytes_ > 0
+                           ? static_cast<double>(markedBytes_) /
+                                 static_cast<double>(ackedBytes_)
+                           : 0.0;
+            alpha_ = dctcpAlphaStep(alpha_, f);
+            ackedBytes_ = 0;
+            markedBytes_ = 0;
+            windowEnd_ = e.sndNxt;
+        }
+
+        bool reduced = false;
+        if (e.ecnEcho && (!reduceValid_ || seqGeq(e.ackSeq, reduceEnd_))) {
+            uint32_t scaled = static_cast<uint32_t>(
+                static_cast<double>(cwnd_) * (1.0 - alpha_ / 2.0));
+            cwnd_ = std::max(scaled, 2 * cfg_.mss);
+            ssthresh_ = cwnd_;
+            reduceValid_ = true;
+            reduceEnd_ = e.sndNxt;
+            reduced = true;
+        }
+        if (!reduced)
+            RenoCc::onAcked(e);
+        return reduced;
+    }
+
+    double alpha() const { return alpha_; }
+
+  private:
+    double alpha_ = 1.0; ///< RFC 8257 suggests initializing to 1
+    uint64_t ackedBytes_ = 0;
+    uint64_t markedBytes_ = 0;
+    uint32_t windowEnd_ = 0;
+    bool windowValid_ = false;
+    uint32_t reduceEnd_ = 0;
+    bool reduceValid_ = false;
+};
+
+} // namespace
+
+std::unique_ptr<CongestionControl>
+makeCongestionControl(CcAlgo algo, const CcConfig &cfg)
+{
+    switch (resolveCcAlgo(algo)) {
+      case CcAlgo::Cubic:
+        return std::make_unique<CubicCc>(cfg);
+      case CcAlgo::Dctcp:
+        return std::make_unique<DctcpCc>(cfg);
+      default:
+        return std::make_unique<RenoCc>(cfg);
+    }
+}
+
+} // namespace anic::tcp

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Pluggable congestion control for TcpConnection.
+ *
+ * The connection owns exactly one CongestionControl instance and
+ * reports transport events to it (acks, dup-acks, recovery entry/exit,
+ * RTO, ECN echoes); the algorithm owns cwnd and ssthresh. Three
+ * algorithms are provided:
+ *
+ *   reno   NewReno, byte-identical to the arithmetic TcpConnection
+ *          used before this layer existed (the default).
+ *   cubic  RFC 8312: cubic window growth around the last W_max with
+ *          fast convergence and the TCP-friendly region.
+ *   dctcp  RFC 8257: per-window ECN mark fraction smoothed into alpha
+ *          (g = 1/16), cwnd scaled by (1 - alpha/2) once per window.
+ *          Selecting dctcp implies ECN on the connection.
+ *
+ * Selection: TcpConnection::Config::cc, with CcAlgo::Auto resolving
+ * through the ANIC_TCP_CC environment knob (empty -> reno) so whole
+ * test/bench runs can be swept without touching configs.
+ */
+
+#ifndef ANIC_TCP_CONGESTION_HH
+#define ANIC_TCP_CONGESTION_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/simulator.hh"
+
+namespace anic::tcp {
+
+enum class CcAlgo : uint8_t
+{
+    Auto,  ///< resolve via ANIC_TCP_CC, falling back to Reno
+    Reno,
+    Cubic,
+    Dctcp,
+};
+
+/** Parses "reno" / "cubic" / "dctcp" (anything else -> Auto). */
+CcAlgo parseCcAlgo(const std::string &name);
+
+/** Canonical lowercase name ("auto" for CcAlgo::Auto). */
+const char *ccAlgoName(CcAlgo a);
+
+/** Resolves Auto through the ANIC_TCP_CC knob; empty/unset -> Reno. */
+CcAlgo resolveCcAlgo(CcAlgo configured);
+
+/** The subset of TcpConnection::Config an algorithm needs. */
+struct CcConfig
+{
+    uint32_t mss = 1460;
+    uint32_t initialCwndSegs = 10;
+    uint32_t maxCwndSegs = 2048;
+};
+
+/**
+ * One sender's congestion state. All window arithmetic is in bytes to
+ * match TcpConnection; hooks are invoked from the connection's pinned
+ * core, so no locking.
+ */
+class CongestionControl
+{
+  public:
+    /** Everything an algorithm may want to know about one new ack. */
+    struct AckEvent
+    {
+        uint32_t acked = 0;   ///< newly acknowledged bytes (incl. FIN)
+        uint32_t flight = 0;  ///< flight size after the ack
+        uint32_t ackSeq = 0;  ///< cumulative ack (== new sndUna)
+        uint32_t sndNxt = 0;
+        bool ecnEcho = false; ///< ECE was set on this ack
+        sim::Tick now = 0;
+        sim::Tick srtt = 0;   ///< 0 until the first RTT sample
+    };
+
+    explicit CongestionControl(const CcConfig &cfg) : cfg_(cfg) {}
+    virtual ~CongestionControl() = default;
+
+    virtual CcAlgo algo() const = 0;
+    const char *name() const { return ccAlgoName(algo()); }
+
+    uint32_t cwnd() const { return cwnd_; }
+    uint32_t ssthresh() const { return ssthresh_; }
+
+    /** Handshake finished: open the initial window. */
+    virtual void
+    onEstablished()
+    {
+        cwnd_ = cfg_.initialCwndSegs * cfg_.mss;
+    }
+
+    /**
+     * A forward ack arrived (called for every ack that advances
+     * sndUna, including partial acks during recovery). Returns true
+     * when the algorithm reduced cwnd in response to ECN feedback
+     * in-band (DCTCP); the connection then schedules a CWR echo.
+     */
+    virtual bool onAcked(const AckEvent &e) = 0;
+
+    /** Duplicate ack while in fast recovery: window inflation. */
+    virtual void onDupAck() { cwnd_ += cfg_.mss; }
+
+    /** Third dup-ack: entering fast recovery (loss inferred). */
+    virtual void onEnterRecovery(uint32_t flight) = 0;
+
+    /** Cumulative ack covered recover_: recovery over, deflate. */
+    virtual void onExitRecovery() { cwnd_ = ssthresh_; }
+
+    /**
+     * Retransmission timeout with data in flight. @p newEpisode is
+     * false for repeat fires within one loss episode (no forward
+     * progress past the sequence outstanding at the first fire) —
+     * ssthresh must only be recomputed when it is true, otherwise a
+     * flight collapsed by the episode itself rewrites ssthresh down
+     * to its floor.
+     */
+    virtual void onRto(uint32_t flight, bool newEpisode) = 0;
+
+    /**
+     * Classic (RFC 3168) reaction to an ECE echo, invoked by the
+     * connection at most once per RTT and never while in recovery.
+     * DCTCP never sees this; it reacts inside onAcked instead.
+     */
+    virtual void
+    onEcnEcho()
+    {
+        ssthresh_ = std::max(cwnd_ / 2, 2 * cfg_.mss);
+        cwnd_ = ssthresh_;
+    }
+
+    /** DCTCP-style receivers echo CE per ack instead of latching. */
+    virtual bool perAckEcnEcho() const { return false; }
+
+  protected:
+    uint32_t maxCwnd() const { return cfg_.maxCwndSegs * cfg_.mss; }
+
+    CcConfig cfg_;
+    uint32_t cwnd_ = 0;
+    uint32_t ssthresh_ = 0xffffffff;
+};
+
+std::unique_ptr<CongestionControl> makeCongestionControl(CcAlgo algo,
+                                                         const CcConfig &cfg);
+
+// Known-answer helpers for tests (RFC 8312 formulas, windows in
+// segments, time in seconds).
+double cubicK(double wMaxSegs, double cwndSegs);
+double cubicWindow(double tSec, double kSec, double wMaxSegs);
+
+/** One RFC 8257 alpha EWMA step (g = 1/16) over mark fraction @p f. */
+double dctcpAlphaStep(double alpha, double f);
+
+} // namespace anic::tcp
+
+#endif // ANIC_TCP_CONGESTION_HH

@@ -6,6 +6,8 @@
 namespace anic::tcp {
 
 using net::kTcpAck;
+using net::kTcpCwr;
+using net::kTcpEce;
 using net::kTcpFin;
 using net::kTcpPsh;
 using net::kTcpSyn;
@@ -95,15 +97,18 @@ TcpConnection::TcpConnection(TcpStack &stack, host::Core &core,
       iss_(iss),
       sndUna_(iss),
       sndNxt_(iss),
+      cc_(makeCongestionControl(
+          cfg.cc, CcConfig{cfg.mss, cfg.initialCwndSegs, cfg.maxCwndSegs})),
       rto_(cfg.initialRto)
 {
     lastAdvertisedWnd_ = static_cast<uint32_t>(cfg_.rcvBufSize);
+    ecnWanted_ = cfg_.ecn || cc_->algo() == CcAlgo::Dctcp;
 }
 
 uint32_t
 TcpConnection::sndLimit() const
 {
-    uint32_t wnd = std::min(cwnd_, peerWnd_);
+    uint32_t wnd = std::min(cc_->cwnd(), peerWnd_);
     // Zero-window deadlock avoidance: allow a 1-byte probe when
     // nothing is in flight.
     if (wnd == 0 && flightSize() == 0)
@@ -158,24 +163,42 @@ TcpConnection::close()
     trySend();
 }
 
+uint8_t
+TcpConnection::synFlags() const
+{
+    // RFC 3168 ECN-setup SYN: ECE and CWR both set.
+    return kTcpSyn | (ecnWanted_ ? (kTcpEce | kTcpCwr) : 0);
+}
+
+uint8_t
+TcpConnection::synAckFlags() const
+{
+    // RFC 3168 ECN-setup SYN-ACK: ECE only (once negotiated).
+    return kTcpSyn | kTcpAck | (ecnEnabled_ ? kTcpEce : 0);
+}
+
 void
 TcpConnection::startConnect()
 {
     ANIC_ASSERT(state_ == State::Closed);
     state_ = State::SynSent;
-    sendFlagsPacket(kTcpSyn, iss_, false);
+    sendFlagsPacket(synFlags(), iss_, false);
     sndNxt_ = iss_ + 1;
     armRto();
 }
 
 void
-TcpConnection::startAccept(uint32_t irs)
+TcpConnection::startAccept(uint32_t irs, uint8_t peerSynFlags)
 {
     ANIC_ASSERT(state_ == State::Closed);
     irs_ = irs;
     rcvNxt_ = irs + 1;
     state_ = State::SynRcvd;
-    sendFlagsPacket(kTcpSyn | kTcpAck, iss_, true);
+    // ECN-setup SYN has both ECE and CWR; anything else (including a
+    // plain SYN from a non-ECN peer) leaves the connection non-ECT.
+    ecnEnabled_ = ecnWanted_ && (peerSynFlags & kTcpEce) != 0 &&
+                  (peerSynFlags & kTcpCwr) != 0;
+    sendFlagsPacket(synAckFlags(), iss_, true);
     sndNxt_ = iss_ + 1;
     armRto();
 }
@@ -184,7 +207,7 @@ void
 TcpConnection::enterEstablished()
 {
     state_ = State::Established;
-    cwnd_ = cfg_.initialCwndSegs * cfg_.mss;
+    cc_->onEstablished();
     cancelRto();
     if (onConnected_)
         onConnected_();
@@ -207,6 +230,10 @@ TcpConnection::onPacket(const net::PacketPtr &pkt)
             rcvNxt_ = h.seq + 1;
             sndUna_ = h.ack;
             peerWnd_ = h.window;
+            // ECN-setup SYN-ACK carries ECE without CWR; a peer that
+            // echoes neither (or both) did not negotiate ECN.
+            ecnEnabled_ = ecnWanted_ && (h.flags & kTcpEce) != 0 &&
+                          (h.flags & kTcpCwr) == 0;
             enterEstablished();
             sendAck();
         }
@@ -214,7 +241,7 @@ TcpConnection::onPacket(const net::PacketPtr &pkt)
       case State::SynRcvd:
         if ((h.flags & kTcpSyn) && !(h.flags & kTcpAck)) {
             // Duplicate SYN: our SYN-ACK was lost; resend.
-            sendFlagsPacket(kTcpSyn | kTcpAck, iss_, true);
+            sendFlagsPacket(synAckFlags(), iss_, true);
             return;
         }
         if ((h.flags & kTcpAck) && h.ack == iss_ + 1) {
@@ -255,9 +282,13 @@ TcpConnection::processAck(const net::TcpHeader &h)
     if (seqGt(ack, sndNxt_))
         return; // acks data we never sent
 
+    bool ece = ecnEnabled_ && (h.flags & kTcpEce) != 0;
+
     if (seqGt(ack, sndUna_)) {
         uint32_t acked = seqDiff(ack, sndUna_);
         count(&TcpStats::acksRcvd);
+        if (ece)
+            count(&TcpStats::ecnEchoesRcvd);
 
         if (rttPending_ && seqGeq(ack, rttSeq_)) {
             rttSample(stack_.sim().now() - rttSentAt_);
@@ -275,13 +306,27 @@ TcpConnection::processAck(const net::TcpHeader &h)
         sndUna_ = ack;
         rtoBackoff_ = 0;
         dupAcks_ = 0;
+        if (rtoEpisode_ && seqGeq(ack, rtoRecover_))
+            rtoEpisode_ = false; // loss episode fully recovered
 
-        onNewlyAcked(acked);
+        CongestionControl::AckEvent ev;
+        ev.acked = acked;
+        ev.flight = flightSize();
+        ev.ackSeq = ack;
+        ev.sndNxt = sndNxt_;
+        ev.ecnEcho = ece;
+        ev.now = stack_.sim().now();
+        ev.srtt = srtt_;
+        if (cc_->onAcked(ev)) {
+            // DCTCP reduced in-band: announce with CWR on next data.
+            cwrPending_ = true;
+            noteCwndReduction();
+        }
 
         if (inRecovery_) {
             if (seqGeq(ack, recover_)) {
                 inRecovery_ = false;
-                cwnd_ = ssthresh_;
+                cc_->onExitRecovery();
             } else {
                 // NewReno partial ack: retransmit the next hole.
                 uint32_t len = std::min<uint32_t>(
@@ -291,6 +336,15 @@ TcpConnection::processAck(const net::TcpHeader &h)
                     sendSegment(sndUna_, len, true);
                 }
             }
+        } else if (ece && !cc_->perAckEcnEcho() &&
+                   (!ecnRespValid_ || seqGeq(ack, ecnRespSeq_))) {
+            // Classic RFC 3168 reaction: at most once per window of
+            // data, and recovery already covers the reduction.
+            cc_->onEcnEcho();
+            ecnRespValid_ = true;
+            ecnRespSeq_ = sndNxt_;
+            cwrPending_ = true;
+            noteCwndReduction();
         }
 
         if (flightSize() == 0)
@@ -317,14 +371,16 @@ TcpConnection::processAck(const net::TcpHeader &h)
             writableSignaled_ = true;
             onWritable_();
         }
-    } else if (ack == sndUna_ && flightSize() > 0 && h.flags == kTcpAck) {
-        // Potential duplicate ACK (no data, no SYN/FIN).
+    } else if (ack == sndUna_ && flightSize() > 0 &&
+               (h.flags & ~(kTcpEce | kTcpCwr)) == kTcpAck) {
+        // Potential duplicate ACK (no data, no SYN/FIN; ECN echo bits
+        // don't disqualify — DCTCP receivers set ECE on dup acks too).
         dupAcks_++;
         count(&TcpStats::dupAcksRcvd);
         if (dupAcks_ == 3 && !inRecovery_) {
             enterFastRecovery();
         } else if (inRecovery_) {
-            cwnd_ += cfg_.mss; // inflation during recovery
+            cc_->onDupAck(); // inflation during recovery
         }
     }
 
@@ -332,34 +388,26 @@ TcpConnection::processAck(const net::TcpHeader &h)
 }
 
 void
-TcpConnection::onNewlyAcked(uint32_t acked)
-{
-    uint32_t maxCwnd = cfg_.maxCwndSegs * cfg_.mss;
-    if (cwnd_ < ssthresh_) {
-        cwnd_ += std::min(acked, cfg_.mss); // slow start
-    } else {
-        uint32_t inc = std::max<uint32_t>(
-            1, static_cast<uint32_t>(
-                   static_cast<uint64_t>(cfg_.mss) * cfg_.mss / cwnd_));
-        cwnd_ += inc; // congestion avoidance
-    }
-    cwnd_ = std::min(cwnd_, maxCwnd);
-}
-
-void
 TcpConnection::enterFastRecovery()
 {
-    ssthresh_ = std::max(flightSize() / 2, 2 * cfg_.mss);
+    cc_->onEnterRecovery(flightSize());
     inRecovery_ = true;
     recover_ = sndNxt_;
     count(&TcpStats::fastRetransmits);
+    stack_.sampleCongestion(cc_->cwnd(), cc_->ssthresh(), cfg_.mss);
     uint32_t len = std::min<uint32_t>(
         cfg_.mss, std::min<uint32_t>(flightSize(), sndRing_.size()));
     if (len > 0)
         sendSegment(sndUna_, len, true);
     else if (finSent_)
         sendFlagsPacket(kTcpFin | kTcpAck, sndNxt_ - 1, true);
-    cwnd_ = ssthresh_ + 3 * cfg_.mss;
+}
+
+void
+TcpConnection::noteCwndReduction()
+{
+    count(&TcpStats::ecnCwndReductions);
+    stack_.sampleCongestion(cc_->cwnd(), cc_->ssthresh(), cfg_.mss);
 }
 
 void
@@ -426,19 +474,45 @@ TcpConnection::trySend()
         armRto();
 }
 
+uint8_t
+TcpConnection::ecnAckFlags(bool dataSegment) const
+{
+    if (!ecnEnabled_)
+        return 0;
+    uint8_t f = 0;
+    bool echo = cc_->perAckEcnEcho() ? ecnCeSinceAck_ : ecnEceLatched_;
+    if (echo)
+        f |= kTcpEce;
+    if (dataSegment && cwrPending_)
+        f |= kTcpCwr;
+    return f;
+}
+
+void
+TcpConnection::ecnEchoSent(bool dataSegment)
+{
+    if (!ecnEnabled_)
+        return;
+    ecnCeSinceAck_ = false; // this ack conveyed the CE state
+    if (dataSegment && cwrPending_)
+        cwrPending_ = false;
+}
+
 bool
 TcpConnection::sendSegment(uint32_t seq, uint32_t len, bool retransmission)
 {
     net::Ipv4Header ip;
     ip.src = local_.srcIp;
     ip.dst = local_.dstIp;
+    if (ecnEnabled_)
+        ip.tos = net::kEcnEct0; // data segments are ECN-capable
 
     net::TcpHeader th;
     th.srcPort = local_.srcPort;
     th.dstPort = local_.dstPort;
     th.seq = seq;
     th.ack = rcvNxt_;
-    th.flags = kTcpAck;
+    th.flags = kTcpAck | ecnAckFlags(true);
     uint32_t data_end = sndUna_ + static_cast<uint32_t>(sndRing_.size());
     if (seq + len == data_end)
         th.flags |= kTcpPsh;
@@ -474,6 +548,7 @@ TcpConnection::sendSegment(uint32_t seq, uint32_t len, bool retransmission)
     // This segment carried an up-to-date ack.
     unackedDataPkts_ = 0;
     lastAdvertisedWnd_ = th.window;
+    ecnEchoSent(true);
     return true;
 }
 
@@ -490,6 +565,10 @@ TcpConnection::sendFlagsPacket(uint8_t flags, uint32_t seq, bool withAck)
     th.seq = seq;
     th.ack = withAck ? rcvNxt_ : 0;
     th.flags = flags | (withAck ? kTcpAck : 0);
+    // Pure acks echo CE state (never CWR: that rides on data only),
+    // but the handshake packets carry exactly their negotiated bits.
+    if (withAck && !(flags & kTcpSyn))
+        th.flags |= ecnAckFlags(false);
     uint64_t queued = rxQueuedBytes_ + oooBytes_;
     th.window = queued >= cfg_.rcvBufSize
                     ? 0
@@ -504,6 +583,8 @@ TcpConnection::sendFlagsPacket(uint8_t flags, uint32_t seq, bool withAck)
         count(&TcpStats::acksSent);
         unackedDataPkts_ = 0;
         lastAdvertisedWnd_ = th.window;
+        if (!(flags & kTcpSyn))
+            ecnEchoSent(false);
     }
 }
 
@@ -576,14 +657,14 @@ TcpConnection::onRtoFire(uint64_t generation)
     if (state_ == State::SynSent) {
         count(&TcpStats::rtoFires);
         rtoBackoff_++;
-        sendFlagsPacket(kTcpSyn, iss_, false);
+        sendFlagsPacket(synFlags(), iss_, false);
         armRto();
         return;
     }
     if (state_ == State::SynRcvd) {
         count(&TcpStats::rtoFires);
         rtoBackoff_++;
-        sendFlagsPacket(kTcpSyn | kTcpAck, iss_, true);
+        sendFlagsPacket(synAckFlags(), iss_, true);
         armRto();
         return;
     }
@@ -591,8 +672,18 @@ TcpConnection::onRtoFire(uint64_t generation)
         return;
 
     count(&TcpStats::rtoFires);
-    ssthresh_ = std::max(flightSize() / 2, 2 * cfg_.mss);
-    cwnd_ = cfg_.mss;
+    // ssthresh is recomputed only on the first fire of a loss episode.
+    // Repeat backoffs (or fires after partial progress within the
+    // episode) used to recompute it from a flight the episode itself
+    // had collapsed, spiraling ssthresh to its floor.
+    bool newEpisode = !rtoEpisode_;
+    if (newEpisode) {
+        rtoEpisode_ = true;
+        rtoRecover_ = sndNxt_;
+    }
+    cc_->onRto(flightSize(), newEpisode);
+    if (newEpisode)
+        stack_.sampleCongestion(cc_->cwnd(), cc_->ssthresh(), cfg_.mss);
     inRecovery_ = false;
     dupAcks_ = 0;
     rttPending_ = false; // Karn: don't sample retransmitted segments
@@ -614,6 +705,21 @@ TcpConnection::processData(const net::PacketPtr &pkt, const net::TcpHeader &h)
     bool fin = (h.flags & kTcpFin) != 0;
     if (!payload.empty())
         count(&TcpStats::dataPktsRcvd);
+
+    // CE is only meaningful on segments that occupy sequence space;
+    // a broken peer reflecting ECT/CE onto pure acks never reaches
+    // here, so it cannot fake congestion signals.
+    if (ecnEnabled_) {
+        if (h.flags & kTcpCwr)
+            ecnEceLatched_ = false; // peer reduced; stop the echo
+        if ((pkt->ip().tos & net::kEcnMask) == net::kEcnCe) {
+            count(&TcpStats::ecnCeRcvd);
+            if (cc_->perAckEcnEcho())
+                ecnCeSinceAck_ = true;
+            else
+                ecnEceLatched_ = true;
+        }
+    }
 
     int64_t delta = static_cast<int32_t>(h.seq - rcvNxt_);
     int64_t end_delta = delta + static_cast<int64_t>(payload.size());

@@ -19,10 +19,12 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 
 #include "host/core.hh"
 #include "net/packet.hh"
 #include "sim/registry.hh"
+#include "tcp/congestion.hh"
 #include "tcp/seq.hh"
 #include "tcp/socket.hh"
 
@@ -69,6 +71,9 @@ struct TcpStats
     sim::Counter oooPktsRcvd;
     sim::Counter bytesSent;     ///< first transmissions only
     sim::Counter bytesDelivered;
+    sim::Counter ecnCeRcvd;          ///< CE-marked data segments seen
+    sim::Counter ecnEchoesRcvd;      ///< forward acks carrying ECE
+    sim::Counter ecnCwndReductions;  ///< cwnd cuts from ECN feedback
 };
 
 /**
@@ -89,6 +94,12 @@ class TcpConnection : public StreamSocket
         sim::Tick maxRto = 2 * sim::kSecond;
         sim::Tick initialRto = 20 * sim::kMillisecond;
         sim::Tick delayedAckTimeout = 1 * sim::kMillisecond;
+        /** Congestion control; Auto resolves through ANIC_TCP_CC and
+         *  falls back to reno (the historical behavior). */
+        CcAlgo cc = CcAlgo::Auto;
+        /** Request ECN on the handshake. Implied by dctcp; with other
+         *  algorithms ECE triggers the classic RFC 3168 halving. */
+        bool ecn = false;
     };
 
     enum class State
@@ -156,8 +167,9 @@ class TcpConnection : public StreamSocket
     /** Starts the active-open handshake. */
     void startConnect();
 
-    /** Responds to a received SYN (passive open). */
-    void startAccept(uint32_t irs);
+    /** Responds to a received SYN (passive open). @p synFlags is the
+     *  SYN's TCP flags byte: ECN is negotiated from its ECE|CWR. */
+    void startAccept(uint32_t irs, uint8_t synFlags);
 
     void setOnConnected(std::function<void()> cb) { onConnected_ = std::move(cb); }
 
@@ -168,7 +180,10 @@ class TcpConnection : public StreamSocket
     State state() const { return state_; }
     const TcpStats &stats() const { return stats_; }
     const net::FlowKey &localFlow() const { return local_; }
-    uint32_t cwndBytes() const { return cwnd_; }
+    uint32_t cwndBytes() const { return cc_->cwnd(); }
+    uint32_t ssthreshBytes() const { return cc_->ssthresh(); }
+    CcAlgo ccAlgo() const { return cc_->algo(); }
+    bool ecnEnabled() const { return ecnEnabled_; }
     uint32_t sndUna() const { return sndUna_; }
     uint32_t rcvNxt() const { return rcvNxt_; }
     size_t rxQueuedBytes() const { return rxQueuedBytes_; }
@@ -206,9 +221,18 @@ class TcpConnection : public StreamSocket
     void enterEstablished();
     void handleFin();
 
-    void onNewlyAcked(uint32_t acked);
     void enterFastRecovery();
     void rttSample(sim::Tick sample);
+    /** TCP flags for our (re)transmitted SYN / SYN-ACK, carrying the
+     *  RFC 3168 ECN-setup bits when appropriate. */
+    uint8_t synFlags() const;
+    uint8_t synAckFlags() const;
+    /** ECE/CWR bits to put on an ack-bearing packet right now. */
+    uint8_t ecnAckFlags(bool dataSegment) const;
+    /** Bookkeeping after an ack-bearing packet actually went out. */
+    void ecnEchoSent(bool dataSegment);
+    /** Records an ECN-driven cwnd reduction (stats + distributions). */
+    void noteCwndReduction();
 
     /** Bumps a stat on this connection and on the stack aggregate. */
     void count(sim::Counter TcpStats::*m, uint64_t n = 1);
@@ -226,11 +250,23 @@ class TcpConnection : public StreamSocket
     uint32_t sndNxt_ = 0;
     uint64_t bytesAccepted_ = 0;
     uint32_t peerWnd_ = 0;
-    uint32_t cwnd_ = 0;
-    uint32_t ssthresh_ = 0xffffffff;
+    std::unique_ptr<CongestionControl> cc_;
     uint32_t dupAcks_ = 0;
     bool inRecovery_ = false;
     uint32_t recover_ = 0;
+    // RTO loss-episode marker: ssthresh is recomputed only on the
+    // first fire of an episode; repeat backoffs keep it (the episode
+    // ends when the cumulative ack passes rtoRecover_).
+    bool rtoEpisode_ = false;
+    uint32_t rtoRecover_ = 0;
+    // --- ECN state
+    bool ecnWanted_ = false;   ///< config requested (or dctcp implies)
+    bool ecnEnabled_ = false;  ///< negotiated on the handshake
+    bool ecnEceLatched_ = false; ///< rx: echo ECE until peer's CWR
+    bool ecnCeSinceAck_ = false; ///< rx: CE seen since last ack (dctcp)
+    bool cwrPending_ = false;    ///< tx: announce reduction on next data
+    bool ecnRespValid_ = false;  ///< tx: once-per-RTT classic reaction
+    uint32_t ecnRespSeq_ = 0;
     bool finQueued_ = false;
     bool finSent_ = false;
     bool writableSignaled_ = true; ///< edge trigger for onWritable

@@ -26,6 +26,16 @@ TcpStack::TcpStack(sim::Simulator &sim, std::vector<host::Core *> cores,
     scope_.link("bytesDelivered", agg_.bytesDelivered);
     scope_.link("droppedInputs", droppedInputs_);
     scope_.link("connections", connections_);
+    // Congestion-control view: distributions sampled on congestion
+    // events plus the ECN/retransmit counters that explain them.
+    ccScope_ = scope_.child("cc");
+    ccScope_.link("cwndSegs", cwndSegsDist_);
+    ccScope_.link("ssthreshSegs", ssthreshSegsDist_);
+    ccScope_.link("ecnCeRcvd", agg_.ecnCeRcvd);
+    ccScope_.link("ecnEchoesRcvd", agg_.ecnEchoesRcvd);
+    ccScope_.link("ecnCwndReductions", agg_.ecnCwndReductions);
+    ccScope_.link("fastRetransmits", agg_.fastRetransmits);
+    ccScope_.link("rtoFires", agg_.rtoFires);
 }
 
 void
@@ -135,7 +145,7 @@ TcpStack::input(const net::PacketPtr &pkt)
             // Process the SYN first so sequence state (rcvNxt) is
             // valid when the application installs offloads in the
             // accept callback; no data can arrive in between.
-            conn.startAccept(th.seq);
+            conn.startAccept(th.seq, th.flags);
             lit->second.onAccept(conn);
             return;
         }

@@ -95,6 +95,18 @@ class TcpStack
     /** Roll-up of every connection's counters on this stack. */
     const TcpStats &stats() const { return agg_; }
 
+    /** Records a congestion event's cwnd/ssthresh into the tcp.cc
+     *  distributions (sampled on events, not per ack, so the registry
+     *  stays bounded; capped as a backstop for loss-storm fuzzing). */
+    void
+    sampleCongestion(uint32_t cwndBytes, uint32_t ssthreshBytes, uint32_t mss)
+    {
+        if (mss == 0 || cwndSegsDist_.count() >= kMaxCcSamples)
+            return;
+        cwndSegsDist_.add(static_cast<double>(cwndBytes) / mss);
+        ssthreshSegsDist_.add(static_cast<double>(ssthreshBytes) / mss);
+    }
+
   private:
     struct Listener
     {
@@ -137,6 +149,12 @@ class TcpStack
     TcpStats agg_;
     sim::Gauge connections_;
     sim::TraceRing *trace_ = nullptr;
+
+    // Congestion-control observability under "<node>.tcp.cc".
+    static constexpr size_t kMaxCcSamples = 1 << 16;
+    sim::StatsScope ccScope_;
+    sim::Distribution cwndSegsDist_;
+    sim::Distribution ssthreshSegsDist_;
 
     friend class TcpConnection;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cinttypes>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <memory>
@@ -24,6 +25,8 @@ constexpr net::IpAddr kIpA = net::makeIp(10, 0, 0, 1);
 constexpr net::IpAddr kIpB = net::makeIp(10, 0, 0, 2);
 constexpr uint16_t kTlsPortBase = 4000;
 constexpr uint16_t kNvmePort = 4420;
+constexpr uint16_t kIncastPort = 4600;
+constexpr uint16_t kShortFlowPort = 4700;
 constexpr sim::Tick kPollPeriod = 200 * sim::kMicrosecond;
 
 std::string
@@ -68,6 +71,8 @@ nodeCfg(const Scenario &s, const char *name, uint64_t stackSeed,
     c.nicCfg.ctxCacheCapacity = s.ctxCacheCapacity;
     c.nicCfg.trace = trace;
     c.nicCfg.fsmProbe = probe;
+    c.tcpCfg.cc = s.cc;
+    c.tcpCfg.ecn = s.ecn;
     return c;
 }
 
@@ -473,6 +478,190 @@ class NvmeDriver
     bool contentMismatch_ = false;
 };
 
+/**
+ * Incast fan-in: spec.senders plain-TCP connections from node a
+ * converge on one acceptor port on node b. Every round releases
+ * bytesPerSender more bytes to every sender at the same tick — the
+ * synchronized microburst that makes the shared egress queue (and,
+ * with ECN armed, the CE marker) earn its keep. All senders share one
+ * content seed, so the receiver verifies any connection's bytes from
+ * its own stream offset without knowing which sender it accepted.
+ */
+class IncastDriver
+{
+  public:
+    IncastDriver(FuzzWorld &w, const Scenario &s)
+        : w_(w), spec_(s.incast), seed_((s.seed ^ 0x1ca5717eull) | 1)
+    {
+        check_.seed = seed_;
+        w_.b.stack().listen(kIncastPort, w_.b.tcpConfig(),
+                            [this](tcp::TcpConnection &c) {
+                                c.setOnReadable([this, &c] { drain(c); });
+                            });
+        senders_.resize(spec_.senders);
+        for (uint32_t i = 0; i < spec_.senders; i++)
+            w_.sim.schedule(spec_.startAt, [this, i] {
+                tcp::TcpConnection &c = w_.a.stack().connect(
+                    kIpA, kIpB, kIncastPort, w_.a.tcpConfig());
+                senders_[i].conn = &c;
+                c.setOnConnected([this, i] { pump(i); });
+                c.setOnWritable([this, i] { pump(i); });
+            });
+        roundsOpen_ = 1;
+        for (uint32_t k = 1; k < spec_.rounds; k++)
+            w_.sim.schedule(spec_.startAt + k * spec_.gap, [this] {
+                roundsOpen_++;
+                for (uint32_t i = 0; i < senders_.size(); i++)
+                    pump(i);
+            });
+    }
+
+    uint64_t
+    expectedBytes() const
+    {
+        return static_cast<uint64_t>(spec_.senders) * spec_.rounds *
+               spec_.bytesPerSender;
+    }
+
+    bool done() const { return check_.received >= expectedBytes(); }
+    uint64_t delivered() const { return check_.received; }
+    bool corrupt() const { return check_.corrupt; }
+
+  private:
+    struct Sender
+    {
+        tcp::TcpConnection *conn = nullptr;
+        uint64_t sent = 0;
+        bool closed = false;
+    };
+
+    void
+    pump(uint32_t i)
+    {
+        Sender &sn = senders_[i];
+        if (sn.conn == nullptr || sn.closed)
+            return;
+        uint64_t target = std::min<uint64_t>(roundsOpen_, spec_.rounds) *
+                          spec_.bytesPerSender;
+        while (sn.sent < target) {
+            size_t n = static_cast<size_t>(
+                std::min<uint64_t>(4096, target - sn.sent));
+            Bytes buf(n);
+            fillDeterministic(buf, seed_, sn.sent);
+            size_t acc = sn.conn->send(buf);
+            sn.sent += acc;
+            if (acc < n)
+                return;
+        }
+        if (sn.sent >= static_cast<uint64_t>(spec_.rounds) *
+                           spec_.bytesPerSender) {
+            sn.closed = true;
+            sn.conn->close();
+        }
+    }
+
+    void
+    drain(tcp::TcpConnection &c)
+    {
+        while (c.readable())
+            check_.onSegment(c.pop());
+    }
+
+    FuzzWorld &w_;
+    IncastSpec spec_;
+    uint64_t seed_;
+    std::vector<Sender> senders_;
+    uint32_t roundsOpen_ = 0;
+    DeliveryChecker check_{};
+};
+
+/**
+ * Open-loop short flows: one-shot a->b connections whose sizes and
+ * exponential inter-arrival gaps are drawn from the scenario seed at
+ * construction (identical in the offload and software runs). Each
+ * flow connects, streams its bytes, and closes — connection churn and
+ * cross traffic next to the offloaded flows.
+ */
+class ShortFlowDriver
+{
+  public:
+    ShortFlowDriver(FuzzWorld &w, const Scenario &s)
+        : w_(w), spec_(s.shortFlows), seed_((s.seed ^ 0x5f10775eedull) | 1)
+    {
+        check_.seed = seed_;
+        w_.b.stack().listen(kShortFlowPort, w_.b.tcpConfig(),
+                            [this](tcp::TcpConnection &c) {
+                                c.setOnReadable([this, &c] { drain(c); });
+                            });
+        Rng r(seed_);
+        flows_.resize(spec_.count);
+        sim::Tick at = spec_.startAt;
+        for (uint32_t i = 0; i < spec_.count; i++) {
+            flows_[i].bytes = r.range(64, spec_.maxBytes);
+            expected_ += flows_[i].bytes;
+            w_.sim.schedule(at, [this, i] {
+                tcp::TcpConnection &c = w_.a.stack().connect(
+                    kIpA, kIpB, kShortFlowPort, w_.a.tcpConfig());
+                flows_[i].conn = &c;
+                c.setOnConnected([this, i] { pump(i); });
+                c.setOnWritable([this, i] { pump(i); });
+            });
+            double u = r.uniform();
+            at += static_cast<sim::Tick>(
+                -std::log(1.0 - u * 0.999) *
+                static_cast<double>(spec_.meanGap));
+        }
+    }
+
+    uint64_t expectedBytes() const { return expected_; }
+    bool done() const { return check_.received >= expected_; }
+    uint64_t delivered() const { return check_.received; }
+    bool corrupt() const { return check_.corrupt; }
+
+  private:
+    struct Flow
+    {
+        tcp::TcpConnection *conn = nullptr;
+        uint64_t bytes = 0;
+        uint64_t sent = 0;
+        bool closed = false;
+    };
+
+    void
+    pump(uint32_t i)
+    {
+        Flow &f = flows_[i];
+        if (f.conn == nullptr || f.closed)
+            return;
+        while (f.sent < f.bytes) {
+            size_t n = static_cast<size_t>(
+                std::min<uint64_t>(4096, f.bytes - f.sent));
+            Bytes buf(n);
+            fillDeterministic(buf, seed_, f.sent);
+            size_t acc = f.conn->send(buf);
+            f.sent += acc;
+            if (acc < n)
+                return;
+        }
+        f.closed = true;
+        f.conn->close();
+    }
+
+    void
+    drain(tcp::TcpConnection &c)
+    {
+        while (c.readable())
+            check_.onSegment(c.pop());
+    }
+
+    FuzzWorld &w_;
+    ShortFlowSpec spec_;
+    uint64_t seed_;
+    std::vector<Flow> flows_;
+    uint64_t expected_ = 0;
+    DeliveryChecker check_{};
+};
+
 } // namespace
 
 RunResult
@@ -490,12 +679,22 @@ DifferentialRunner::runOne(const Scenario &s, bool offload)
     std::unique_ptr<NvmeDriver> nvme;
     if (s.nvme.enabled)
         nvme = std::make_unique<NvmeDriver>(w, s, offload);
+    std::unique_ptr<IncastDriver> incast;
+    if (s.incast.senders > 0)
+        incast = std::make_unique<IncastDriver>(w, s);
+    std::unique_ptr<ShortFlowDriver> shortFlows;
+    if (s.shortFlows.count > 0)
+        shortFlows = std::make_unique<ShortFlowDriver>(w, s);
 
     auto allDone = [&] {
         for (auto &f : tls)
             if (!f->done())
                 return false;
-        return nvme == nullptr || nvme->done();
+        if (nvme != nullptr && !nvme->done())
+            return false;
+        if (incast != nullptr && !incast->done())
+            return false;
+        return shortFlows == nullptr || shortFlows->done();
     };
     while (w.sim.now() < s.timeLimit && !allDone())
         w.sim.runFor(kPollPeriod);
@@ -519,6 +718,20 @@ DifferentialRunner::runOne(const Scenario &s, bool offload)
             r.errors.push_back(
                 "nvme read completed ok with wrong content");
     }
+    if (incast != nullptr) {
+        r.incastDelivered = incast->delivered();
+        r.plainCorrupt = r.plainCorrupt || incast->corrupt();
+    }
+    if (shortFlows != nullptr) {
+        r.shortDelivered = shortFlows->delivered();
+        r.plainCorrupt = r.plainCorrupt || shortFlows->corrupt();
+    }
+    // Plain TCP has no authentication: corrupted payload is delivered
+    // as-is, so a mismatch is only an oracle error on a clean wire.
+    if (r.plainCorrupt && !s.hasCorruption())
+        r.errors.push_back(
+            "plain-TCP flow delivered bytes that differ from the "
+            "ground-truth stream");
     for (const std::string &v : probeA.violations())
         r.errors.push_back("fsm invariant (nic a): " + v);
     for (const std::string &v : probeB.violations())
@@ -575,6 +788,26 @@ DifferentialRunner::check(const Scenario &s)
                 " vs software %" PRIu64,
                 i, off.tlsTcpDelivered[i], sw.tlsTcpDelivered[i]));
     }
+    if (s.incast.senders > 0) {
+        uint64_t want = static_cast<uint64_t>(s.incast.senders) *
+                        s.incast.rounds * s.incast.bytesPerSender;
+        if (off.incastDelivered != want)
+            errs.push_back(fmtMsg(
+                "[offload] incast delivered %" PRIu64 " of %" PRIu64
+                " bytes",
+                off.incastDelivered, want));
+        if (sw.incastDelivered != want)
+            errs.push_back(fmtMsg(
+                "[software] incast delivered %" PRIu64 " of %" PRIu64
+                " bytes",
+                sw.incastDelivered, want));
+    }
+    if (s.shortFlows.count > 0 &&
+        off.shortDelivered != sw.shortDelivered)
+        errs.push_back(fmtMsg(
+            "short-flow goodput differs: offload %" PRIu64
+            " vs software %" PRIu64,
+            off.shortDelivered, sw.shortDelivered));
     if (s.nvme.enabled) {
         if (off.nvmeReadsOk != sw.nvmeReadsOk ||
             off.nvmeWritesOk != sw.nvmeWritesOk)
@@ -641,6 +874,36 @@ DifferentialRunner::minimize(Scenario s, int maxEvals)
                 continue;
             }
         }
+        if (s.incast.senders > 0) {
+            Scenario c = s;
+            c.incast.senders = 0;
+            if (stillFails(c)) {
+                s = std::move(c);
+                progress = true;
+                continue;
+            }
+        }
+        if (s.shortFlows.count > 0) {
+            Scenario c = s;
+            c.shortFlows.count = 0;
+            if (stillFails(c)) {
+                s = std::move(c);
+                progress = true;
+                continue;
+            }
+        }
+        // Is the failure CC-specific? Reno without ECN is the
+        // best-understood baseline.
+        if (s.cc != tcp::CcAlgo::Reno || s.ecn) {
+            Scenario c = s;
+            c.cc = tcp::CcAlgo::Reno;
+            c.ecn = false;
+            if (stillFails(c)) {
+                s = std::move(c);
+                progress = true;
+                continue;
+            }
+        }
         // Zero one impairment knob at a time.
         for (size_t p = 0; p < s.phases.size() && !progress; p++) {
             for (int d = 0; d < 2 && !progress; d++) {
@@ -649,6 +912,7 @@ DifferentialRunner::minimize(Scenario s, int maxEvals)
                     &net::Impairments::reorderRate,
                     &net::Impairments::duplicateRate,
                     &net::Impairments::corruptRate,
+                    &net::Impairments::ecnMarkRate,
                 };
                 for (auto knob : knobs) {
                     if (s.phases[p].dir[d].*knob == 0.0)
@@ -659,6 +923,15 @@ DifferentialRunner::minimize(Scenario s, int maxEvals)
                         s = std::move(c);
                         progress = true;
                         break;
+                    }
+                }
+                if (!progress &&
+                    s.phases[p].dir[d].ecnMarkThresholdBytes != 0) {
+                    Scenario c = s;
+                    c.phases[p].dir[d].ecnMarkThresholdBytes = 0;
+                    if (stillFails(c)) {
+                        s = std::move(c);
+                        progress = true;
                     }
                 }
             }

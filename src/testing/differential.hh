@@ -40,6 +40,11 @@ struct RunResult
     uint64_t nvmeFailures = 0;
     uint64_t nvmeTcpDelivered = 0;
     bool nvmeDesynced = false;
+    uint64_t incastDelivered = 0; ///< plain-TCP incast bytes at receiver
+    uint64_t shortDelivered = 0;  ///< short-flow bytes at receiver
+    /** Plain-TCP payload mismatch. Expected under corruption (no
+     *  authentication on the plain flows); an oracle error otherwise. */
+    bool plainCorrupt = false;
     uint64_t traceHash = 0;   ///< run fingerprint (determinism checks)
     uint64_t fsmEvents = 0;   ///< probe callbacks observed
     std::vector<std::string> errors; ///< oracle/invariant violations

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "util/env.hh"
+
 namespace anic::testing {
 
 bool
@@ -39,7 +41,9 @@ appendU64(std::string &out, uint64_t v)
 std::string
 Scenario::toText() const
 {
-    std::string out = "anic-scenario v1\n";
+    // v2 widens phase lines with the ECN marking knobs and adds the
+    // cc/ecn/incast/shortflows directives; v1 files still parse.
+    std::string out = "anic-scenario v2\n";
     out += "seed ";
     appendU64(out, seed);
     out += "\nwire_seed ";
@@ -48,6 +52,10 @@ Scenario::toText() const
     appendU64(out, ctxCacheCapacity);
     out += "\ntime_limit_ps ";
     appendU64(out, timeLimit);
+    out += "\ncc ";
+    out += tcp::ccAlgoName(cc);
+    out += "\necn ";
+    appendU64(out, ecn ? 1 : 0);
     out += "\n";
     for (const PhaseSpec &p : phases) {
         out += "phase ";
@@ -64,7 +72,35 @@ Scenario::toText() const
             appendDouble(out, im.corruptRate);
             out += " ";
             appendU64(out, im.reorderExtraDelay);
+            out += " ";
+            appendDouble(out, im.ecnMarkRate);
+            out += " ";
+            appendU64(out, im.ecnMarkThresholdBytes);
         }
+        out += "\n";
+    }
+    if (incast.senders > 0) {
+        out += "incast ";
+        appendU64(out, incast.senders);
+        out += " ";
+        appendU64(out, incast.bytesPerSender);
+        out += " ";
+        appendU64(out, incast.rounds);
+        out += " ";
+        appendU64(out, incast.gap);
+        out += " ";
+        appendU64(out, incast.startAt);
+        out += "\n";
+    }
+    if (shortFlows.count > 0) {
+        out += "shortflows ";
+        appendU64(out, shortFlows.count);
+        out += " ";
+        appendU64(out, shortFlows.maxBytes);
+        out += " ";
+        appendU64(out, shortFlows.meanGap);
+        out += " ";
+        appendU64(out, shortFlows.startAt);
         out += "\n";
     }
     for (const TlsFlowSpec &f : tls) {
@@ -106,7 +142,14 @@ Scenario::fromText(const std::string &text)
 {
     std::istringstream in(text);
     std::string line;
-    if (!std::getline(in, line) || line != "anic-scenario v1")
+    if (!std::getline(in, line))
+        return std::nullopt;
+    int version;
+    if (line == "anic-scenario v1")
+        version = 1;
+    else if (line == "anic-scenario v2")
+        version = 2;
+    else
         return std::nullopt;
 
     Scenario s;
@@ -129,6 +172,16 @@ Scenario::fromText(const std::string &text)
             ls >> s.ctxCacheCapacity;
         } else if (key == "time_limit_ps") {
             ls >> s.timeLimit;
+        } else if (key == "cc") {
+            std::string name;
+            ls >> name;
+            s.cc = tcp::parseCcAlgo(name);
+            if (s.cc == tcp::CcAlgo::Auto)
+                return std::nullopt; // replays must pin the algorithm
+        } else if (key == "ecn") {
+            uint64_t on = 0;
+            ls >> on;
+            s.ecn = on != 0;
         } else if (key == "phase") {
             PhaseSpec p;
             ls >> p.duration;
@@ -136,10 +189,22 @@ Scenario::fromText(const std::string &text)
                 net::Impairments &im = p.dir[d];
                 ls >> im.lossRate >> im.reorderRate >> im.duplicateRate >>
                     im.corruptRate >> im.reorderExtraDelay;
+                if (version >= 2)
+                    ls >> im.ecnMarkRate >> im.ecnMarkThresholdBytes;
             }
             if (ls.fail())
                 return std::nullopt;
             s.phases.push_back(p);
+        } else if (key == "incast") {
+            ls >> s.incast.senders >> s.incast.bytesPerSender >>
+                s.incast.rounds >> s.incast.gap >> s.incast.startAt;
+            if (ls.fail())
+                return std::nullopt;
+        } else if (key == "shortflows") {
+            ls >> s.shortFlows.count >> s.shortFlows.maxBytes >>
+                s.shortFlows.meanGap >> s.shortFlows.startAt;
+            if (ls.fail())
+                return std::nullopt;
         } else if (key == "tls") {
             TlsFlowSpec f;
             uint64_t rev = 0;
@@ -228,6 +293,55 @@ ScenarioGen::generate(uint64_t seed) const
         s.nvme.qdepth = static_cast<uint32_t>(r.range(1, 4));
         s.nvme.writeRatio = r.chance(0.5) ? 0.25 : 0.0;
         s.nvme.startAt = r.range(0, 4) * sim::kMillisecond;
+    }
+
+    // Congestion control: ANIC_TCP_CC pins every scenario (CI shards
+    // the nightly seed range across algorithms this way); otherwise
+    // mix so a plain sweep exercises all three. Resolved here — not at
+    // run time — so replay files reproduce the exact transport.
+    tcp::CcAlgo pinned = tcp::parseCcAlgo(util::Env::tcpCc());
+    if (pinned != tcp::CcAlgo::Auto) {
+        s.cc = pinned;
+        r.next(); // keep the seed->scenario map independent of the pin
+    } else {
+        uint64_t roll = r.range(0, 3);
+        s.cc = roll == 0 ? tcp::CcAlgo::Cubic
+               : roll == 1 ? tcp::CcAlgo::Dctcp
+                           : tcp::CcAlgo::Reno;
+    }
+    s.ecn = s.cc == tcp::CcAlgo::Dctcp || r.chance(0.35);
+
+    // ECN marking schedules only matter (and only draw randoms) when
+    // the endpoints negotiate ECN; dctcp gets the step threshold its
+    // control law expects, anything else mostly random RED-style.
+    if (s.ecn) {
+        for (PhaseSpec &p : s.phases) {
+            for (int d = 0; d < 2; d++) {
+                net::Impairments &im = p.dir[d];
+                if (r.chance(0.5))
+                    im.ecnMarkRate = r.uniform() * 0.05;
+                if (s.cc == tcp::CcAlgo::Dctcp && r.chance(0.7))
+                    im.ecnMarkThresholdBytes = r.range(8, 40) * 1024;
+            }
+        }
+    }
+
+    // Incast fan-in: the heaviest OoS generator — synchronized bursts
+    // into one receiver, retransmit storms on the shared path.
+    if (r.chance(0.35)) {
+        s.incast.senders = static_cast<uint32_t>(r.range(4, 16));
+        s.incast.bytesPerSender = r.range(2, 32) * 1024;
+        s.incast.rounds = static_cast<uint32_t>(r.range(1, 3));
+        s.incast.gap = r.range(1, 4) * sim::kMillisecond;
+        s.incast.startAt = r.range(0, 4) * sim::kMillisecond;
+    }
+
+    // Open-loop short flows: connection churn + cross traffic.
+    if (r.chance(0.3)) {
+        s.shortFlows.count = static_cast<uint32_t>(r.range(4, 24));
+        s.shortFlows.maxBytes = r.range(1, 8) * 1024;
+        s.shortFlows.meanGap = r.range(50, 400) * sim::kMicrosecond;
+        s.shortFlows.startAt = r.range(0, 4) * sim::kMillisecond;
     }
 
     return s;

@@ -22,6 +22,7 @@
 
 #include "net/link.hh"
 #include "sim/simulator.hh"
+#include "tcp/congestion.hh"
 #include "util/rand.hh"
 
 namespace anic::testing {
@@ -47,6 +48,35 @@ struct TlsFlowSpec
     sim::Tick startAt = 0;
 };
 
+/**
+ * Incast fan-in: N plain-TCP senders on node a converge on one
+ * acceptor port on node b, each pushing bytesPerSender per round in
+ * synchronized bursts — the classic partition/aggregate microburst
+ * that turns a shallow queue into retransmit storms.
+ */
+struct IncastSpec
+{
+    uint32_t senders = 0; ///< 0 disables the workload
+    uint64_t bytesPerSender = 16384;
+    uint32_t rounds = 1;
+    sim::Tick gap = 1 * sim::kMillisecond; ///< between burst rounds
+    sim::Tick startAt = 0;
+};
+
+/**
+ * Open-loop short-flow arrivals: @p count one-shot a->b flows whose
+ * sizes and inter-arrival gaps are drawn deterministically from the
+ * scenario seed — background connection churn and cross-traffic for
+ * the offloaded flows.
+ */
+struct ShortFlowSpec
+{
+    uint32_t count = 0; ///< 0 disables the workload
+    uint64_t maxBytes = 8192;
+    sim::Tick meanGap = 200 * sim::kMicrosecond;
+    sim::Tick startAt = 0;
+};
+
 /** The NVMe-TCP workload (target on node a, host queue on node b). */
 struct NvmeFlowSpec
 {
@@ -67,6 +97,13 @@ struct Scenario
     std::vector<PhaseSpec> phases; ///< after the last phase: clean link
     std::vector<TlsFlowSpec> tls;
     NvmeFlowSpec nvme;
+    IncastSpec incast;
+    ShortFlowSpec shortFlows;
+    /** Congestion control for every connection in the scenario. The
+     *  generator resolves Auto (via ANIC_TCP_CC or the random mix) at
+     *  generation time so replay files pin the algorithm. */
+    tcp::CcAlgo cc = tcp::CcAlgo::Reno;
+    bool ecn = false; ///< request ECN (implied on when cc == dctcp)
 
     /** True if any phase can flip payload bytes. Corrupting scenarios
      *  get the weaker oracle: delivered bytes must still be correct,

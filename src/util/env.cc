@@ -16,6 +16,7 @@ struct Env::Values
     std::string snapshotDir;
     std::string benchJson;
     std::string cryptoImpl;
+    std::string tcpCc;
     std::string fsmBug;
     bool fuzzDebug = false;
 };
@@ -63,6 +64,7 @@ Env::values()
         r.snapshotDir = envString("ANIC_SNAPSHOT_DIR");
         r.benchJson = envString("ANIC_BENCH_JSON");
         r.cryptoImpl = envString("ANIC_CRYPTO_IMPL");
+        r.tcpCc = envString("ANIC_TCP_CC");
         r.fsmBug = envString("ANIC_FSM_BUG");
         r.fuzzDebug = envFlag("ANIC_FUZZ_DEBUG");
         return r;
@@ -80,6 +82,7 @@ const std::string &Env::traceFile() { return values().traceFile; }
 const std::string &Env::snapshotDir() { return values().snapshotDir; }
 const std::string &Env::benchJson() { return values().benchJson; }
 const std::string &Env::cryptoImpl() { return values().cryptoImpl; }
+const std::string &Env::tcpCc() { return values().tcpCc; }
 const std::string &Env::fsmBug() { return values().fsmBug; }
 bool Env::fuzzDebug() { return values().fuzzDebug; }
 

@@ -20,6 +20,8 @@
  *   ANIC_SNAPSHOT_DIR  path    write one registry snapshot file/run
  *   ANIC_BENCH_JSON    path    append bench JSON lines to this file
  *   ANIC_CRYPTO_IMPL   enum    scalar | hw | auto kernel selection
+ *   ANIC_TCP_CC        enum    reno | cubic | dctcp — congestion
+ *                              control for configs left on Auto
  *   ANIC_FSM_BUG       enum    fault injection for the mutation smoke
  *   ANIC_FUZZ_DEBUG    bool    verbose differential-runner logging
  *
@@ -70,6 +72,10 @@ class Env
 
     /** ANIC_CRYPTO_IMPL: raw value ("" when unset; cpu.cc parses). */
     static const std::string &cryptoImpl();
+
+    /** ANIC_TCP_CC: raw value ("" when unset; tcp/congestion.cc
+     *  parses reno|cubic|dctcp). */
+    static const std::string &tcpCc();
 
     /** ANIC_FSM_BUG: raw value ("" when unset; stream_fsm.cc parses). */
     static const std::string &fsmBug();

@@ -1,0 +1,481 @@
+/**
+ * @file
+ * Table-driven congestion-control coverage: each algorithm is driven
+ * directly through the CongestionControl interface with hand-computed
+ * expected windows (slow start, congestion avoidance, fast recovery,
+ * RTO episodes), plus known-answer tests for the RFC 8312 cubic
+ * window formulas and the RFC 8257 alpha EWMA, and a connection-level
+ * regression for the RTO loss-episode ssthresh guard over a lossy
+ * link.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/test_net.hh"
+#include "tcp/congestion.hh"
+
+namespace anic {
+namespace {
+
+using tcp::CcAlgo;
+using tcp::CcConfig;
+using tcp::CongestionControl;
+using tcp::makeCongestionControl;
+using tcp::TcpConnection;
+using testing::TwoHostWorld;
+
+// Round numbers keep the hand-computed tables readable.
+constexpr uint32_t kMss = 1000;
+
+CcConfig
+ccCfg(uint32_t maxCwndSegs = 2048)
+{
+    CcConfig c;
+    c.mss = kMss;
+    c.initialCwndSegs = 10;
+    c.maxCwndSegs = maxCwndSegs;
+    return c;
+}
+
+CongestionControl::AckEvent
+ackEv(uint32_t acked, uint32_t ackSeq = 0, uint32_t sndNxt = 0,
+      bool ece = false, sim::Tick now = 0, sim::Tick srtt = 0)
+{
+    CongestionControl::AckEvent e;
+    e.acked = acked;
+    e.ackSeq = ackSeq;
+    e.sndNxt = sndNxt;
+    e.ecnEcho = ece;
+    e.now = now;
+    e.srtt = srtt;
+    return e;
+}
+
+// ------------------------------------------------------------- naming
+
+TEST(CcAlgoNames, ParseAndPrintRoundTrip)
+{
+    EXPECT_EQ(tcp::parseCcAlgo("reno"), CcAlgo::Reno);
+    EXPECT_EQ(tcp::parseCcAlgo("cubic"), CcAlgo::Cubic);
+    EXPECT_EQ(tcp::parseCcAlgo("dctcp"), CcAlgo::Dctcp);
+    EXPECT_EQ(tcp::parseCcAlgo("bbr"), CcAlgo::Auto);
+    EXPECT_EQ(tcp::parseCcAlgo(""), CcAlgo::Auto);
+    for (CcAlgo a : {CcAlgo::Reno, CcAlgo::Cubic, CcAlgo::Dctcp}) {
+        EXPECT_EQ(tcp::parseCcAlgo(tcp::ccAlgoName(a)), a);
+        // Explicit selections never fall through to the env knob.
+        EXPECT_EQ(tcp::resolveCcAlgo(a), a);
+    }
+}
+
+TEST(CcAlgoNames, FactoryHonorsExplicitSelection)
+{
+    CcConfig cfg = ccCfg();
+    EXPECT_EQ(makeCongestionControl(CcAlgo::Reno, cfg)->algo(), CcAlgo::Reno);
+    EXPECT_EQ(makeCongestionControl(CcAlgo::Cubic, cfg)->algo(),
+              CcAlgo::Cubic);
+    EXPECT_EQ(makeCongestionControl(CcAlgo::Dctcp, cfg)->algo(),
+              CcAlgo::Dctcp);
+}
+
+// --------------------------------------------------------------- reno
+
+TEST(RenoTable, SlowStartThenCongestionAvoidance)
+{
+    auto cc = makeCongestionControl(CcAlgo::Reno, ccCfg());
+    cc->onEstablished();
+    EXPECT_EQ(cc->cwnd(), 10 * kMss);
+    EXPECT_EQ(cc->ssthresh(), 0xffffffffu);
+
+    // Slow start: one MSS per MSS-or-more acked.
+    cc->onAcked(ackEv(1000));
+    cc->onAcked(ackEv(1000));
+    cc->onAcked(ackEv(1000));
+    EXPECT_EQ(cc->cwnd(), 13000u);
+    cc->onAcked(ackEv(2500)); // stretch ack still grows by one MSS
+    EXPECT_EQ(cc->cwnd(), 14000u);
+
+    // Loss: recovery halves to flight/2, dup-acks inflate, exit
+    // deflates to ssthresh.
+    cc->onEnterRecovery(/*flight=*/14000);
+    EXPECT_EQ(cc->ssthresh(), 7000u);
+    EXPECT_EQ(cc->cwnd(), 7000u + 3 * kMss);
+    cc->onDupAck();
+    EXPECT_EQ(cc->cwnd(), 7000u + 4 * kMss);
+    cc->onExitRecovery();
+    EXPECT_EQ(cc->cwnd(), 7000u);
+
+    // Congestion avoidance: mss^2/cwnd per ack.
+    cc->onAcked(ackEv(1000));
+    EXPECT_EQ(cc->cwnd(), 7000u + 1000u * 1000u / 7000u); // 7142
+    cc->onAcked(ackEv(1000));
+    EXPECT_EQ(cc->cwnd(), 7142u + 1000u * 1000u / 7142u); // 7282
+}
+
+TEST(RenoTable, RecoveryFloorsAtTwoMss)
+{
+    auto cc = makeCongestionControl(CcAlgo::Reno, ccCfg());
+    cc->onEstablished();
+    cc->onEnterRecovery(/*flight=*/1500);
+    EXPECT_EQ(cc->ssthresh(), 2 * kMss);
+    EXPECT_EQ(cc->cwnd(), 2 * kMss + 3 * kMss);
+}
+
+TEST(RenoTable, MaxCwndClampsSlowStart)
+{
+    auto cc = makeCongestionControl(CcAlgo::Reno, ccCfg(/*maxCwndSegs=*/12));
+    cc->onEstablished();
+    for (int i = 0; i < 10; i++)
+        cc->onAcked(ackEv(1000));
+    EXPECT_EQ(cc->cwnd(), 12 * kMss);
+}
+
+TEST(RenoTable, RtoRecomputesSsthreshOnlyOnNewEpisode)
+{
+    auto cc = makeCongestionControl(CcAlgo::Reno, ccCfg());
+    cc->onEstablished();
+    cc->onRto(/*flight=*/10000, /*newEpisode=*/true);
+    EXPECT_EQ(cc->ssthresh(), 5000u);
+    EXPECT_EQ(cc->cwnd(), kMss);
+
+    // Backoff fires within the episode see a flight the episode
+    // itself collapsed; ssthresh must not follow it down.
+    cc->onRto(/*flight=*/3000, /*newEpisode=*/false);
+    cc->onRto(/*flight=*/1000, /*newEpisode=*/false);
+    EXPECT_EQ(cc->ssthresh(), 5000u);
+    EXPECT_EQ(cc->cwnd(), kMss);
+
+    // A genuinely new episode recomputes (with the 2*MSS floor).
+    cc->onRto(/*flight=*/3000, /*newEpisode=*/true);
+    EXPECT_EQ(cc->ssthresh(), 2000u);
+}
+
+TEST(RenoTable, EcnEchoHalvesLikeLoss)
+{
+    auto cc = makeCongestionControl(CcAlgo::Reno, ccCfg());
+    cc->onEstablished();
+    cc->onEcnEcho();
+    EXPECT_EQ(cc->ssthresh(), 5000u);
+    EXPECT_EQ(cc->cwnd(), 5000u);
+    EXPECT_FALSE(cc->perAckEcnEcho());
+}
+
+// -------------------------------------------------------------- cubic
+
+TEST(CubicKat, WindowFormulaKnownAnswers)
+{
+    // RFC 8312: K = cbrt((W_max - cwnd) / C) with C = 0.4.
+    // W_max = 100, cwnd = 70 -> K = cbrt(75) = 4.21716...
+    double k = tcp::cubicK(100.0, 70.0);
+    EXPECT_NEAR(k, 4.2171633, 1e-6);
+    EXPECT_NEAR(k, std::cbrt(75.0), 1e-12);
+
+    // At t = 0 the cubic passes exactly through the reduced window,
+    // at t = K through W_max, and grows convexly past it.
+    EXPECT_NEAR(tcp::cubicWindow(0.0, k, 100.0), 70.0, 1e-9);
+    EXPECT_NEAR(tcp::cubicWindow(k, k, 100.0), 100.0, 1e-9);
+    EXPECT_NEAR(tcp::cubicWindow(k + 1.0, k, 100.0), 100.4, 1e-9);
+
+    // No deficit -> no waiting period.
+    EXPECT_EQ(tcp::cubicK(50.0, 50.0), 0.0);
+    EXPECT_EQ(tcp::cubicK(50.0, 60.0), 0.0);
+}
+
+TEST(CubicTable, ReductionUsesBeta)
+{
+    auto cc = makeCongestionControl(CcAlgo::Cubic, ccCfg());
+    cc->onEstablished();
+    EXPECT_EQ(cc->cwnd(), 10000u);
+    cc->onEnterRecovery(/*flight=*/10000);
+    EXPECT_EQ(cc->ssthresh(), 7000u); // beta = 0.7
+    cc->onExitRecovery();
+    EXPECT_EQ(cc->cwnd(), 7000u);
+}
+
+TEST(CubicTable, ConcaveGrowthMatchesFormula)
+{
+    auto cc = makeCongestionControl(CcAlgo::Cubic, ccCfg());
+    cc->onEstablished();
+    cc->onEnterRecovery(/*flight=*/10000); // W_max = 10 segs
+    cc->onExitRecovery();                  // cwnd = 7000 = ssthresh
+
+    // First CA ack opens the epoch; with srtt still unknown the
+    // target is W(0) = cwnd, so no growth yet.
+    cc->onAcked(ackEv(1000, 0, 0, false, /*now=*/1 * sim::kSecond));
+    EXPECT_EQ(cc->cwnd(), 7000u);
+
+    // Two seconds into the epoch the formula says nearly W_max.
+    cc->onAcked(ackEv(1000, 0, 0, false, /*now=*/3 * sim::kSecond));
+    double segs = 7.0;
+    double k = tcp::cubicK(10.0, 7.0);
+    double target = std::min(tcp::cubicWindow(2.0, k, 10.0), 1.5 * segs);
+    uint32_t grown = static_cast<uint32_t>(
+        std::floor((target - segs) / segs * 1.0 * 1000.0));
+    EXPECT_EQ(cc->cwnd(), 7000u + grown);
+    EXPECT_GT(grown, 300u); // ~428 bytes: distinctly cubic, not reno
+}
+
+TEST(CubicTable, FriendlyRegionFloorsGrowth)
+{
+    auto cc = makeCongestionControl(CcAlgo::Cubic, ccCfg());
+    cc->onEstablished();
+    cc->onEnterRecovery(/*flight=*/10000);
+    cc->onExitRecovery();
+
+    // With an RTT sample the TCP-friendly window applies from the
+    // first ack of the epoch: W_est = W_max*beta + 3(1-b)/(1+b)*rtts.
+    sim::Tick srtt = 100 * sim::kMillisecond; // 0.1 s
+    cc->onAcked(ackEv(1000, 0, 0, false, /*now=*/1 * sim::kSecond, srtt));
+    double segs = 7.0;
+    double k = tcp::cubicK(10.0, 7.0);
+    double t = 0.1; // (now - epochStart) + srtt, in seconds
+    double target = std::min(tcp::cubicWindow(t, k, 10.0), 1.5 * segs);
+    double wEst = 10.0 * 0.7 + (3.0 * 0.3 / 1.7) * 1.0; // rtts = 1
+    target = std::max(target, wEst);
+    uint32_t grown = static_cast<uint32_t>(
+        std::floor((target - segs) / segs * 1.0 * 1000.0));
+    EXPECT_EQ(cc->cwnd(), 7000u + grown);
+    EXPECT_GT(grown, 0u);
+}
+
+TEST(CubicTable, FastConvergenceShrinksWmax)
+{
+    auto cc = makeCongestionControl(CcAlgo::Cubic, ccCfg());
+    cc->onEstablished();
+    cc->onEnterRecovery(/*flight=*/10000); // W_max = 10
+    cc->onExitRecovery();                  // cwnd 7000
+
+    // Second reduction below W_max: fast convergence remembers
+    // 7 * (2 - beta) / 2 = 4.55 segs, not 7.
+    cc->onEnterRecovery(/*flight=*/7000);
+    EXPECT_EQ(cc->ssthresh(), 4900u);
+    cc->onExitRecovery(); // cwnd 4900
+
+    // cwnd >= remembered W_max, so the epoch re-anchors W_max at the
+    // current window and the cubic is convex from t = 0: almost no
+    // growth right after the epoch opens.
+    cc->onAcked(ackEv(1000, 0, 0, false, /*now=*/10 * sim::kSecond));
+    EXPECT_EQ(cc->cwnd(), 4900u);
+    cc->onAcked(
+        ackEv(1000, 0, 0, false, /*now=*/10 * sim::kSecond + sim::kSecond / 2));
+    double segs = 4.9;
+    double target = std::min(tcp::cubicWindow(0.5, 0.0, 4.9), 1.5 * segs);
+    uint32_t grown = static_cast<uint32_t>(
+        std::floor((target - segs) / segs * 1.0 * 1000.0));
+    EXPECT_EQ(cc->cwnd(), 4900u + grown);
+    // Without fast convergence (W_max = 7, K = cbrt(5.25)) the same
+    // ack would have grown the window by hundreds of bytes.
+    EXPECT_LT(grown, 50u);
+}
+
+TEST(CubicTable, RtoEpisodeGuardAndEcn)
+{
+    auto cc = makeCongestionControl(CcAlgo::Cubic, ccCfg());
+    cc->onEstablished();
+    cc->onRto(/*flight=*/10000, /*newEpisode=*/true);
+    EXPECT_EQ(cc->ssthresh(), 7000u);
+    EXPECT_EQ(cc->cwnd(), kMss);
+    cc->onRto(/*flight=*/2000, /*newEpisode=*/false);
+    EXPECT_EQ(cc->ssthresh(), 7000u);
+
+    auto cc2 = makeCongestionControl(CcAlgo::Cubic, ccCfg());
+    cc2->onEstablished();
+    cc2->onEcnEcho();
+    EXPECT_EQ(cc2->ssthresh(), 7000u);
+    EXPECT_EQ(cc2->cwnd(), 7000u);
+    EXPECT_FALSE(cc2->perAckEcnEcho());
+}
+
+// -------------------------------------------------------------- dctcp
+
+TEST(DctcpKat, AlphaEwmaKnownAnswers)
+{
+    // RFC 8257: alpha = (1 - g) * alpha + g * F with g = 1/16.
+    EXPECT_NEAR(tcp::dctcpAlphaStep(1.0, 0.0), 0.9375, 1e-12);
+    EXPECT_NEAR(tcp::dctcpAlphaStep(0.0, 1.0), 0.0625, 1e-12);
+    EXPECT_NEAR(tcp::dctcpAlphaStep(0.5, 0.5), 0.5, 1e-12); // fixed point
+
+    double alpha = 1.0;
+    for (int i = 0; i < 10; i++)
+        alpha = tcp::dctcpAlphaStep(alpha, 0.0);
+    EXPECT_NEAR(alpha, std::pow(0.9375, 10), 1e-12); // ~0.5246
+}
+
+TEST(DctcpTable, UnmarkedWindowsDecayAlphaBeforeReduction)
+{
+    auto cc = makeCongestionControl(CcAlgo::Dctcp, ccCfg());
+    EXPECT_TRUE(cc->perAckEcnEcho());
+    cc->onEstablished();
+    EXPECT_EQ(cc->cwnd(), 10000u);
+
+    // Open the observation window (acked = 0 keeps cwnd untouched).
+    cc->onAcked(ackEv(0, /*ackSeq=*/0, /*sndNxt=*/100));
+    // Ten clean windows: alpha decays from 1 by (1-g) each.
+    double alpha = 1.0;
+    for (uint32_t i = 1; i <= 10; i++) {
+        cc->onAcked(ackEv(0, /*ackSeq=*/100 + i, /*sndNxt=*/101 + i));
+        alpha = tcp::dctcpAlphaStep(alpha, 0.0);
+    }
+    EXPECT_EQ(cc->cwnd(), 10000u);
+
+    // First ECE: one more window fold, then cwnd * (1 - alpha/2).
+    bool reduced = cc->onAcked(
+        ackEv(0, /*ackSeq=*/1000, /*sndNxt=*/2000, /*ece=*/true));
+    alpha = tcp::dctcpAlphaStep(alpha, 0.0);
+    EXPECT_TRUE(reduced); // the connection schedules a CWR for this
+    uint32_t want = static_cast<uint32_t>(10000.0 * (1.0 - alpha / 2.0));
+    EXPECT_EQ(cc->cwnd(), want);
+    EXPECT_EQ(cc->ssthresh(), want);
+
+    // A second ECE inside the same window of data must not cut again
+    // (the ack falls through to plain congestion-avoidance growth).
+    uint32_t cwndAfter = cc->cwnd();
+    EXPECT_FALSE(cc->onAcked(
+        ackEv(0, /*ackSeq=*/1500, /*sndNxt=*/2000, /*ece=*/true)));
+    uint32_t caInc = std::max<uint32_t>(1, kMss * kMss / cwndAfter);
+    EXPECT_EQ(cc->cwnd(), cwndAfter + caInc);
+    EXPECT_EQ(cc->ssthresh(), want);
+
+    // Once the ack passes the reduction window it cuts once more.
+    EXPECT_TRUE(cc->onAcked(
+        ackEv(0, /*ackSeq=*/2000, /*sndNxt=*/3000, /*ece=*/true)));
+    EXPECT_LT(cc->cwnd(), cwndAfter);
+}
+
+TEST(DctcpTable, MarkFractionWeighsTheCut)
+{
+    auto cc = makeCongestionControl(CcAlgo::Dctcp, ccCfg());
+    cc->onEstablished();
+    cc->onAcked(ackEv(0, /*ackSeq=*/0, /*sndNxt=*/1000)); // open window
+
+    // 600 clean + 400 marked bytes in the window: F = 0.4.
+    cc->onAcked(ackEv(600, /*ackSeq=*/600, /*sndNxt=*/1000));
+    EXPECT_EQ(cc->cwnd(), 10600u); // slow-start growth on the clean ack
+    bool reduced = cc->onAcked(
+        ackEv(400, /*ackSeq=*/1000, /*sndNxt=*/2000, /*ece=*/true));
+    EXPECT_TRUE(reduced);
+    double alpha = tcp::dctcpAlphaStep(1.0, 0.4);
+    uint32_t want = static_cast<uint32_t>(10600.0 * (1.0 - alpha / 2.0));
+    EXPECT_EQ(cc->cwnd(), want);
+    EXPECT_EQ(cc->ssthresh(), want);
+}
+
+TEST(DctcpTable, LossHandlingIsRenoWithEpisodeGuard)
+{
+    auto cc = makeCongestionControl(CcAlgo::Dctcp, ccCfg());
+    cc->onEstablished();
+    cc->onEnterRecovery(/*flight=*/10000);
+    EXPECT_EQ(cc->ssthresh(), 5000u);
+    cc->onRto(/*flight=*/8000, /*newEpisode=*/true);
+    EXPECT_EQ(cc->ssthresh(), 4000u);
+    EXPECT_EQ(cc->cwnd(), kMss);
+    cc->onRto(/*flight=*/1000, /*newEpisode=*/false);
+    EXPECT_EQ(cc->ssthresh(), 4000u);
+}
+
+// ------------------------------- connection-level RTO episode guard
+
+/**
+ * Regression for the RTO backoff bug: a blackholed flight fires its
+ * first RTO (ssthresh = flight/2), then a brief heal lets one
+ * retransmission through — a partial ack inside the episode, which
+ * collapses the flight. The next fire, still inside the episode, must
+ * keep ssthresh; the buggy path recomputed it from the collapsed
+ * flight and spiraled toward the floor.
+ */
+class RtoEpisodeConn : public ::testing::TestWithParam<CcAlgo>
+{
+};
+
+TEST_P(RtoEpisodeConn, BackoffKeepsSsthreshAcrossPartialAck)
+{
+    net::Link::Config lcfg;
+    lcfg.propDelay = 500 * sim::kMicrosecond; // fat RTT: no ack races
+    TwoHostWorld w(lcfg);
+
+    TcpConnection::Config ccfg;
+    ccfg.cc = GetParam();
+    constexpr uint64_t kBytes = 100 << 10;
+    struct
+    {
+        uint64_t seed;
+        uint64_t received = 0;
+        bool corrupt = false;
+        void
+        attach(tcp::StreamSocket &s)
+        {
+            s.setOnReadable([this, &s] {
+                while (s.readable()) {
+                    tcp::RxSegment seg = s.pop();
+                    if (!checkDeterministic(seg.data, seed, seg.streamOff))
+                        corrupt = true;
+                    received += seg.data.size();
+                }
+            });
+        }
+    } rx{9};
+    w.stackB->listen(80, ccfg, [&](TcpConnection &c) { rx.attach(c); });
+    TcpConnection &c =
+        w.stackA->connect(TwoHostWorld::kIpA, TwoHostWorld::kIpB, 80, ccfg);
+
+    net::Impairments blackhole;
+    blackhole.lossRate = 1.0;
+    c.setOnConnected([&] {
+        // Blackhole the data direction before the first payload byte:
+        // the whole initial window ends up in the hole.
+        w.link.setImpairments(0, blackhole);
+        c.core().post([&] {
+            Bytes chunk(kBytes);
+            fillDeterministic(chunk, 9, 0);
+            c.send(chunk);
+        });
+    });
+
+    auto runUntil = [&](auto pred, sim::Tick cap) {
+        while (!pred() && w.sim.now() < cap)
+            w.sim.runUntil(w.sim.now() + 20 * sim::kMicrosecond);
+    };
+
+    runUntil([&] { return c.stats().rtoFires >= 1; }, 5 * sim::kSecond);
+    ASSERT_GE(c.stats().rtoFires, 1u);
+    uint32_t ssthresh1 = c.ssthreshBytes();
+    EXPECT_EQ(c.cwndBytes(), c.config().mss);
+    EXPECT_LT(ssthresh1, 0xffffffffu);
+    if (GetParam() == CcAlgo::Reno || GetParam() == CcAlgo::Dctcp) {
+        EXPECT_EQ(ssthresh1, 5 * c.config().mss); // flight/2 = 10 MSS / 2
+    }
+
+    // Heal: the next backoff retransmission gets through and is
+    // partially acked (the ack cannot cover the whole hole).
+    uint32_t una = c.sndUna();
+    w.link.setImpairments(0, net::Impairments{});
+    runUntil([&] { return c.sndUna() != una; }, 20 * sim::kSecond);
+    ASSERT_NE(c.sndUna(), una);
+
+    // Blackhole again before the episode can fully recover.
+    w.link.setImpairments(0, blackhole);
+    uint64_t fires = c.stats().rtoFires;
+    runUntil([&] { return c.stats().rtoFires > fires; }, 60 * sim::kSecond);
+    ASSERT_GT(c.stats().rtoFires, fires);
+    EXPECT_EQ(c.ssthreshBytes(), ssthresh1) << "ssthresh was recomputed on "
+                                               "a backoff fire inside one "
+                                               "loss episode";
+
+    // Heal for good: the transfer still completes, uncorrupted.
+    w.link.setImpairments(0, net::Impairments{});
+    runUntil([&] { return rx.received >= kBytes; }, 300 * sim::kSecond);
+    EXPECT_EQ(rx.received, kBytes);
+    EXPECT_FALSE(rx.corrupt);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, RtoEpisodeConn,
+                         ::testing::Values(CcAlgo::Reno, CcAlgo::Cubic,
+                                           CcAlgo::Dctcp),
+                         [](const ::testing::TestParamInfo<CcAlgo> &i) {
+                             return std::string(tcp::ccAlgoName(i.param));
+                         });
+
+} // namespace
+} // namespace anic
