@@ -1,0 +1,32 @@
+#include "core/l5o.hh"
+
+#include "util/panic.hh"
+
+namespace anic::core {
+
+namespace {
+
+L5ProtocolOps g_ops[net::kL5KindCount];
+bool g_registered[net::kL5KindCount];
+
+} // namespace
+
+void
+registerL5Protocol(net::L5Kind kind, const L5ProtocolOps &ops)
+{
+    size_t i = static_cast<size_t>(kind);
+    ANIC_ASSERT(i < net::kL5KindCount);
+    g_ops[i] = ops;
+    g_registered[i] = true;
+}
+
+const L5ProtocolOps &
+l5ProtocolOps(net::L5Kind kind)
+{
+    size_t i = static_cast<size_t>(kind);
+    ANIC_ASSERT(i < net::kL5KindCount && g_registered[i],
+                "no engine factories registered for this L5 kind");
+    return g_ops[i];
+}
+
+} // namespace anic::core

@@ -55,6 +55,44 @@ class L5pCallbacks
 };
 
 /**
+ * Static offload state handed to l5o_create (the paper's "static
+ * state": crypto keys, negotiated wire options). Each protocol module
+ * derives its own state type, reports its kind, and registers engine
+ * factories for it via registerL5Protocol() — the driver then turns
+ * (kind, state, directions) into NIC engines without naming any
+ * protocol, which is what lets a new L5P bind with zero driver edits.
+ */
+class L5StaticState
+{
+  public:
+    virtual ~L5StaticState() = default;
+    virtual net::L5Kind kind() const = 0;
+};
+
+/** Direction mask for the unified l5o_create binding. */
+enum : unsigned
+{
+    kL5Rx = 1u,
+    kL5Tx = 2u,
+};
+
+/** Engine factories one protocol registers for its kind. Either may
+ *  be null when the protocol offloads only one direction. */
+struct L5ProtocolOps
+{
+    std::unique_ptr<nic::L5Engine> (*makeRx)(const L5StaticState &) = nullptr;
+    std::unique_ptr<nic::L5Engine> (*makeTx)(const L5StaticState &) = nullptr;
+};
+
+/** Registers (or replaces) the factories for @p kind. Protocol
+ *  modules call this from their static-state constructor so linking
+ *  the module is all it takes to enable the binding. */
+void registerL5Protocol(net::L5Kind kind, const L5ProtocolOps &ops);
+
+/** Looks up the factories for @p kind; panics if unregistered. */
+const L5ProtocolOps &l5ProtocolOps(net::L5Kind kind);
+
+/**
  * Handle returned by l5o_create (Listing 1). Owned by the driver;
  * the L5P keeps a pointer until it calls destroy().
  */

@@ -195,6 +195,34 @@ OffloadDevice::l5oCreate(L5oParams params)
     return handle;
 }
 
+L5Offload *
+OffloadDevice::l5oCreate(tcp::TcpConnection &conn, const L5StaticState &st,
+                         unsigned dirs, L5pCallbacks *cb, uint64_t rxMsgIdx,
+                         uint64_t txMsgIdx)
+{
+    ANIC_ASSERT(dirs != 0);
+    const L5ProtocolOps &ops = l5ProtocolOps(st.kind());
+    L5oParams params;
+    params.callbacks = cb;
+    params.core = &conn.core();
+    if (dirs & kL5Rx) {
+        ANIC_ASSERT(ops.makeRx != nullptr,
+                    "protocol registered no rx engine factory");
+        params.rxEngine = ops.makeRx(st);
+        params.rxFlow = conn.localFlow().reversed();
+        params.rxTcpsn = conn.rcvNxt();
+        params.rxMsgIdx = rxMsgIdx;
+    }
+    if (dirs & kL5Tx) {
+        ANIC_ASSERT(ops.makeTx != nullptr,
+                    "protocol registered no tx engine factory");
+        params.txEngine = ops.makeTx(st);
+        params.txTcpsn = conn.sndNextByteSeq();
+        params.txMsgIdx = txMsgIdx;
+    }
+    return l5oCreate(std::move(params));
+}
+
 void
 OffloadDevice::destroyOffload(uint64_t id)
 {

@@ -67,6 +67,18 @@ class OffloadDevice : public tcp::NetDevice
     /** l5o_create: installs NIC contexts and returns the handle. */
     L5Offload *l5oCreate(L5oParams params);
 
+    /**
+     * Unified l5o_create binding: builds the engines for the static
+     * state's protocol kind (via the registered factories) and
+     * derives flow key and sequence anchors from the connection's
+     * current state. All protocols install through this entrypoint.
+     * @p dirs is a kL5Rx/kL5Tx mask; @p rxMsgIdx / @p txMsgIdx seed
+     * the per-direction message counters (0 for a fresh stream).
+     */
+    L5Offload *l5oCreate(tcp::TcpConnection &conn, const L5StaticState &st,
+                         unsigned dirs, L5pCallbacks *cb,
+                         uint64_t rxMsgIdx = 0, uint64_t txMsgIdx = 0);
+
     nic::Nic &nic() { return nic_; }
 
     /** Driver-level drop counter (tx resync impossible). */

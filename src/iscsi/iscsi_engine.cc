@@ -1,0 +1,299 @@
+#include "iscsi/iscsi_engine.hh"
+
+#include <cstring>
+
+#include "util/panic.hh"
+
+namespace anic::iscsi {
+
+namespace {
+
+uint32_t
+getBe24(const uint8_t *p)
+{
+    return (static_cast<uint32_t>(p[0]) << 16) |
+           (static_cast<uint32_t>(p[1]) << 8) | p[2];
+}
+
+/** One-time registration of the iSCSI engine factories: linking this
+ *  module and constructing an IscsiStaticState is all it takes — the
+ *  driver core and the stream FSM contain no iSCSI-specific code. */
+void
+ensureIscsiRegistered()
+{
+    static const bool once = [] {
+        core::L5ProtocolOps ops;
+        ops.makeRx = [](const core::L5StaticState &st)
+            -> std::unique_ptr<nic::L5Engine> {
+            const auto &is = static_cast<const IscsiStaticState &>(st);
+            return std::make_unique<IscsiRxEngine>(is.wire());
+        };
+        ops.makeTx = [](const core::L5StaticState &st)
+            -> std::unique_ptr<nic::L5Engine> {
+            const auto &is = static_cast<const IscsiStaticState &>(st);
+            return std::make_unique<IscsiTxEngine>(is.wire());
+        };
+        core::registerL5Protocol(net::L5Kind::Iscsi, ops);
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace
+
+IscsiStaticState::IscsiStaticState(const IscsiWireConfig &wc) : wc_(wc)
+{
+    ensureIscsiRegistered();
+}
+
+// ------------------------------------------------------------- receive
+
+void
+IscsiRxEngine::beginPdu(ByteView hdr)
+{
+    std::optional<uint64_t> wire_len = parseBhsPrefix(wc_, hdr, 2 << 20);
+    ANIC_ASSERT(wire_len.has_value(), "beginPdu on invalid BHS");
+    opcode_ = hdr[0];
+    dsl_ = getBe24(hdr.data() + 5);
+    isDataPdu_ = opcode_ == kOpDataIn || opcode_ == kOpDataOut;
+    dataEnd_ = kBhsSize + wc_.hdgstLen() + dsl_;
+    subHdr_.clear();
+    subHdrHave_ = 0;
+    subHdrValid_ = false;
+    subHdrDead_ = false;
+    placeTarget_ = nullptr;
+    hdrCrc_.reset();
+    hdrCrc_.update(ByteView(hdr.data(), 8));
+    hdgstHave_ = 0;
+    hdrCovered_ = true;
+    dataCrc_.reset();
+    ddgstHave_ = 0;
+}
+
+void
+IscsiRxEngine::parseSubHdr()
+{
+    // subHdr_ holds BHS bytes [8, 48).
+    itt_ = static_cast<uint32_t>(getLe32(subHdr_.data() + 8));
+    bufferOffset_ = static_cast<uint32_t>(getLe32(subHdr_.data() + 32));
+    if (isDataPdu_) {
+        auto it = rrState_.find(itt_);
+        placeTarget_ = it != rrState_.end() ? it->second : nullptr;
+    }
+    subHdrValid_ = true;
+}
+
+void
+IscsiRxEngine::onMsgStart(uint64_t msgIdx, ByteView hdr)
+{
+    beginPdu(hdr);
+    curMsgIdx_ = msgIdx;
+    haveMsgIdx_ = true;
+    crcValid_ = true;
+}
+
+void
+IscsiRxEngine::onMsgResume(uint64_t msgIdx, ByteView hdr, uint64_t off)
+{
+    // Same identity rule as the NVMe engine: the message index names
+    // the PDU, but the index is seeded by software on resync
+    // confirmation, so the FSM-provided header must also match the
+    // cached one before per-PDU state is trusted.
+    std::optional<uint64_t> wire_len = parseBhsPrefix(wc_, hdr, 2 << 20);
+    bool same_pdu = haveMsgIdx_ && msgIdx == curMsgIdx_ && subHdrValid_ &&
+                    wire_len.has_value() && hdr[0] == opcode_ &&
+                    getBe24(hdr.data() + 5) == dsl_;
+    if (!same_pdu) {
+        beginPdu(hdr);
+        if (off > 8) {
+            // BHS bytes before the resume point will never be seen:
+            // no ITT (placement impossible) and no header digest.
+            subHdrDead_ = true;
+            hdrCovered_ = false;
+        }
+        curMsgIdx_ = msgIdx;
+        haveMsgIdx_ = true;
+    }
+    crcValid_ = false;
+}
+
+void
+IscsiRxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
+                         nic::PacketResult &res)
+{
+    if (dryRun)
+        return;
+    const uint64_t pdo = kBhsSize + wc_.hdgstLen();
+
+    size_t i = 0;
+    while (i < data.size()) {
+        uint64_t pos = off + i;
+        if (pos < kBhsSize) {
+            // BHS bytes [8, 48).
+            size_t n = static_cast<size_t>(
+                std::min<uint64_t>(kBhsSize - pos, data.size() - i));
+            size_t idx = static_cast<size_t>(pos - 8);
+            if (subHdr_.size() < kBhsSize - 8)
+                subHdr_.resize(kBhsSize - 8);
+            std::memcpy(subHdr_.data() + idx, data.data() + i, n);
+            subHdrHave_ += n;
+            if (!subHdrDead_) {
+                hdrCrc_.update(ByteView(data.data() + i, n));
+                if (wc_.headerDigest)
+                    count(&nic::EngineStats::bytesChecked, n);
+            }
+            if (subHdrHave_ >= kBhsSize - 8 && !subHdrValid_ &&
+                !subHdrDead_) {
+                parseSubHdr();
+            }
+            i += n;
+        } else if (pos < pdo) {
+            // Header digest bytes.
+            size_t tail_off = static_cast<size_t>(pos - kBhsSize);
+            size_t n = std::min(kDigestSize - tail_off, data.size() - i);
+            std::memcpy(hdgstBuf_ + tail_off, data.data() + i, n);
+            hdgstHave_ = tail_off + n;
+            i += n;
+        } else if (pos < dataEnd_) {
+            size_t n = static_cast<size_t>(
+                std::min<uint64_t>(dataEnd_ - pos, data.size() - i));
+            ByteView chunk(data.data() + i, n);
+            if (wc_.dataDigest) {
+                dataCrc_.update(chunk);
+                count(&nic::EngineStats::bytesChecked, n);
+            }
+            if (placeTarget_ && subHdrValid_) {
+                // DMA-write straight into the task's buffer at its
+                // BufferOffset (the NVMe Figure 9 path, ITT-keyed).
+                uint64_t dst = bufferOffset_ + (pos - pdo);
+                if (dst + n <= placeTarget_->data.size()) {
+                    std::memcpy(placeTarget_->data.data() + dst,
+                                chunk.data(), n);
+                    res.placed.push_back(net::PlacedRange{
+                        res.spanPktOff + static_cast<uint32_t>(i),
+                        static_cast<uint32_t>(n)});
+                    bytesPlaced_ += n;
+                    count(&nic::EngineStats::bytesPlaced, n);
+                }
+            }
+            i += n;
+        } else {
+            // Data digest trailer; clamp against framing
+            // disagreement exactly like the NVMe engine.
+            size_t tail_off = static_cast<size_t>(pos - dataEnd_);
+            if (tail_off >= kDigestSize) {
+                crcValid_ = false;
+                break;
+            }
+            size_t n = std::min(kDigestSize - tail_off, data.size() - i);
+            std::memcpy(ddgstBuf_ + tail_off, data.data() + i, n);
+            ddgstHave_ = tail_off + n;
+            i += n;
+        }
+    }
+}
+
+void
+IscsiRxEngine::onMsgEnd(bool covered, nic::PacketResult &res)
+{
+    bool data_digest = isDataPdu_ && wc_.dataDigest && dsl_ > 0;
+    if (!wc_.headerDigest && !data_digest)
+        return; // nothing to verify on this PDU
+    bool incomplete = !covered || !crcValid_;
+    if (wc_.headerDigest && (!hdrCovered_ || hdgstHave_ < kDigestSize))
+        incomplete = true;
+    if (data_digest && ddgstHave_ < kDigestSize)
+        incomplete = true;
+    if (incomplete) {
+        res.setVerify(net::L5Kind::Iscsi, net::VerifyOutcome::Incomplete);
+        return;
+    }
+    bool ok = true;
+    if (wc_.headerDigest &&
+        hdrCrc_.value() != static_cast<uint32_t>(getLe32(hdgstBuf_)))
+        ok = false;
+    if (data_digest &&
+        dataCrc_.value() != static_cast<uint32_t>(getLe32(ddgstBuf_)))
+        ok = false;
+    if (ok) {
+        res.setVerify(net::L5Kind::Iscsi, net::VerifyOutcome::Ok);
+        count(&nic::EngineStats::verifiedOk);
+    } else {
+        res.setVerify(net::L5Kind::Iscsi, net::VerifyOutcome::Failed);
+        count(&nic::EngineStats::verifyFailures);
+    }
+}
+
+void
+IscsiRxEngine::onMsgAbort()
+{
+    crcValid_ = false;
+}
+
+// ------------------------------------------------------------ transmit
+
+void
+IscsiTxEngine::onMsgStart(uint64_t msgIdx, ByteView hdr)
+{
+    (void)msgIdx;
+    std::optional<uint64_t> wire_len = parseBhsPrefix(wc_, hdr, 2 << 20);
+    ANIC_ASSERT(wire_len.has_value());
+    isDataPdu_ = hdr[0] == kOpDataIn || hdr[0] == kOpDataOut;
+    dsl_ = getBe24(hdr.data() + 5);
+    dataEnd_ = kBhsSize + wc_.hdgstLen() + dsl_;
+    crc_.reset();
+    ddgstReady_ = false;
+}
+
+void
+IscsiTxEngine::onMsgResume(uint64_t, ByteView, uint64_t)
+{
+    panic("iSCSI tx contexts are recovered via driver resync");
+}
+
+void
+IscsiTxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
+                         nic::PacketResult &res)
+{
+    (void)res;
+    if (dryRun || !isDataPdu_ || !wc_.dataDigest || dsl_ == 0)
+        return;
+    const uint64_t pdo = kBhsSize + wc_.hdgstLen();
+
+    size_t i = 0;
+    while (i < data.size()) {
+        uint64_t pos = off + i;
+        if (pos < pdo) {
+            size_t n = static_cast<size_t>(
+                std::min<uint64_t>(pdo - pos, data.size() - i));
+            i += n;
+        } else if (pos < dataEnd_) {
+            size_t n = static_cast<size_t>(
+                std::min<uint64_t>(dataEnd_ - pos, data.size() - i));
+            crc_.update(ByteView(data.data() + i, n));
+            count(&nic::EngineStats::bytesChecked, n);
+            i += n;
+        } else {
+            // Replace the dummy digest with the computed CRC.
+            if (!ddgstReady_) {
+                putLe32(ddgst_, crc_.value());
+                ddgstReady_ = true;
+            }
+            size_t tail_off = static_cast<size_t>(pos - dataEnd_);
+            if (tail_off >= kDigestSize)
+                break; // framing disagreement; never write past plen
+            size_t n = std::min(kDigestSize - tail_off, data.size() - i);
+            std::memcpy(data.data() + i, ddgst_ + tail_off, n);
+            i += n;
+        }
+    }
+}
+
+void
+IscsiTxEngine::onMsgEnd(bool covered, nic::PacketResult &res)
+{
+    (void)covered;
+    (void)res;
+}
+
+} // namespace anic::iscsi

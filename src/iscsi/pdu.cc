@@ -1,0 +1,224 @@
+#include "iscsi/pdu.hh"
+
+#include <cstring>
+
+#include "util/panic.hh"
+
+namespace anic::iscsi {
+
+namespace {
+
+uint32_t
+getBe24(const uint8_t *p)
+{
+    return (static_cast<uint32_t>(p[0]) << 16) |
+           (static_cast<uint32_t>(p[1]) << 8) | p[2];
+}
+
+void
+putBe24(uint8_t *p, uint32_t v)
+{
+    p[0] = static_cast<uint8_t>(v >> 16);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v);
+}
+
+bool
+knownOpcode(uint8_t op)
+{
+    return op == kOpScsiCmd || op == kOpDataOut || op == kOpScsiResp ||
+           op == kOpDataIn;
+}
+
+/** Allocates a PDU and fills the BHS common fields + header digest
+ *  placeholder (the digest itself is filled after opcode-specific
+ *  fields are written). */
+Bytes
+makePdu(const IscsiWireConfig &wc, uint8_t opcode, uint8_t flags,
+        uint32_t dsl)
+{
+    Bytes out(wc.pduLen(dsl));
+    out[0] = opcode;
+    out[1] = flags;
+    // [2..4] stay zero: reserved + totalAhsLength (magic pattern).
+    putBe24(out.data() + 5, dsl);
+    return out;
+}
+
+void
+fillHdgst(const IscsiWireConfig &wc, Bytes &pdu)
+{
+    if (!wc.headerDigest)
+        return;
+    uint32_t crc = crypto::Crc32c::compute(ByteView(pdu.data(), kBhsSize));
+    putLe32(pdu.data() + kBhsSize, crc);
+}
+
+} // namespace
+
+std::optional<uint64_t>
+parseBhsPrefix(const IscsiWireConfig &wc, ByteView h, size_t maxDsl)
+{
+    if (h.size() < 8)
+        return std::nullopt;
+    if (!knownOpcode(h[0]))
+        return std::nullopt;
+    if (h[2] != 0 || h[3] != 0 || h[4] != 0)
+        return std::nullopt; // reserved bytes + TotalAHSLength
+    uint32_t dsl = getBe24(h.data() + 5);
+    if (dsl > maxDsl)
+        return std::nullopt;
+    // Data-less opcodes never carry a segment; a nonzero DSL on a
+    // response would break the digest layout.
+    if ((h[0] == kOpScsiCmd || h[0] == kOpScsiResp) && dsl != 0)
+        return std::nullopt;
+    return wc.pduLen(dsl);
+}
+
+IscsiBhs
+parseBhs(ByteView pdu)
+{
+    ANIC_ASSERT(pdu.size() >= kBhsSize);
+    IscsiBhs b;
+    b.opcode = pdu[0];
+    b.flags = pdu[1];
+    b.dsl = getBe24(pdu.data() + 5);
+    b.lun = getLe(pdu.data() + 8, 8);
+    b.itt = static_cast<uint32_t>(getLe32(pdu.data() + 16));
+    b.edtl = static_cast<uint32_t>(getLe32(pdu.data() + 20));
+    b.bufferOffset = static_cast<uint32_t>(getLe32(pdu.data() + 40));
+    b.scsiOp = pdu[32];
+    b.slba = getLe(pdu.data() + 33, 8);
+    b.length = static_cast<uint32_t>(getLe32(pdu.data() + 41));
+    b.status = pdu[32];
+    return b;
+}
+
+Bytes
+buildScsiCmd(const IscsiWireConfig &wc, const IscsiBhs &bhs)
+{
+    uint8_t flags = kFlagFinal |
+                    (bhs.scsiOp == kScsiRead ? kFlagRead : kFlagWrite);
+    Bytes pdu = makePdu(wc, kOpScsiCmd, flags, 0);
+    putLe(pdu.data() + 8, bhs.lun, 8);
+    putLe32(pdu.data() + 16, bhs.itt);
+    putLe32(pdu.data() + 20, bhs.edtl);
+    pdu[32] = bhs.scsiOp;
+    putLe(pdu.data() + 33, bhs.slba, 8);
+    putLe32(pdu.data() + 41, bhs.length);
+    fillHdgst(wc, pdu);
+    return pdu;
+}
+
+Bytes
+buildScsiResp(const IscsiWireConfig &wc, const IscsiBhs &bhs)
+{
+    Bytes pdu = makePdu(wc, kOpScsiResp, kFlagFinal, 0);
+    putLe(pdu.data() + 8, bhs.lun, 8);
+    putLe32(pdu.data() + 16, bhs.itt);
+    pdu[32] = bhs.status;
+    fillHdgst(wc, pdu);
+    return pdu;
+}
+
+Bytes
+buildDataPdu(const IscsiWireConfig &wc, uint8_t opcode, const IscsiBhs &bhs,
+             ByteView data, bool fillDdgst)
+{
+    ANIC_ASSERT(opcode == kOpDataIn || opcode == kOpDataOut);
+    Bytes pdu =
+        makePdu(wc, opcode, bhs.flags, static_cast<uint32_t>(data.size()));
+    putLe(pdu.data() + 8, bhs.lun, 8);
+    putLe32(pdu.data() + 16, bhs.itt);
+    putLe32(pdu.data() + 40, bhs.bufferOffset);
+    fillHdgst(wc, pdu);
+    size_t data_off = kBhsSize + wc.hdgstLen();
+    std::memcpy(pdu.data() + data_off, data.data(), data.size());
+    if (wc.dataDigest && !data.empty() && fillDdgst) {
+        uint32_t crc = crypto::Crc32c::compute(data);
+        putLe32(pdu.data() + data_off + data.size(), crc);
+    }
+    return pdu;
+}
+
+bool
+verifyHdgst(const IscsiWireConfig &wc, ByteView pdu)
+{
+    if (!wc.headerDigest)
+        return true;
+    uint32_t crc = crypto::Crc32c::compute(ByteView(pdu.data(), kBhsSize));
+    return crc == static_cast<uint32_t>(getLe32(pdu.data() + kBhsSize));
+}
+
+void
+IscsiAssembler::ingest(const tcp::RxSegment &seg,
+                       std::function<void(IscsiRxPdu &&)> sink)
+{
+    size_t off = 0;
+    const size_t n = seg.data.size();
+    while (off < n && !error_) {
+        if (!hdrComplete_) {
+            if (hdr8_.empty() && have_ == 0)
+                pduStartOff_ = seg.streamOff + off;
+            size_t need = 8 - hdr8_.size();
+            size_t take = std::min(need, n - off);
+            hdr8_.insert(hdr8_.end(), seg.data.begin() + off,
+                         seg.data.begin() + off + take);
+            off += take;
+            have_ += take;
+            consumed_ = seg.streamOff + off;
+            if (hdr8_.size() < 8)
+                break;
+            std::optional<uint64_t> wire_len =
+                parseBhsPrefix(wc_, hdr8_, maxDsl_);
+            if (!wire_len) {
+                error_ = true;
+                return;
+            }
+            cur_.wireLen = *wire_len;
+            cur_.bytes.resize(*wire_len);
+            std::memcpy(cur_.bytes.data(), hdr8_.data(), 8);
+            cur_.slices.clear();
+            hdrComplete_ = true;
+            continue;
+        }
+
+        size_t want = static_cast<size_t>(cur_.wireLen) - have_;
+        size_t take = std::min(want, n - off);
+        std::memcpy(cur_.bytes.data() + have_, seg.data.data() + off, take);
+
+        IscsiPduSlice slice;
+        slice.pduOff = have_;
+        slice.len = take;
+        net::VerifyOutcome v = seg.meta.verifyOf(net::L5Kind::Iscsi);
+        slice.digestChecked =
+            seg.meta.offloaded && v != net::VerifyOutcome::Incomplete;
+        slice.digestOk =
+            slice.digestChecked && v != net::VerifyOutcome::Failed;
+        for (const net::PlacedRange &r : seg.meta.placed) {
+            uint64_t s = std::max<uint64_t>(r.payloadOff, off);
+            uint64_t e = std::min<uint64_t>(r.payloadOff + r.len, off + take);
+            if (s < e) {
+                slice.placed.push_back(net::PlacedRange{
+                    static_cast<uint32_t>(have_ + (s - off)),
+                    static_cast<uint32_t>(e - s)});
+            }
+        }
+        cur_.slices.push_back(std::move(slice));
+
+        have_ += take;
+        off += take;
+        consumed_ = seg.streamOff + off;
+        if (have_ == cur_.wireLen) {
+            IscsiRxPdu done = std::move(cur_);
+            cur_ = IscsiRxPdu{};
+            hdr8_.clear();
+            hdrComplete_ = false;
+            have_ = 0;
+            pduIdx_++;
+            sink(std::move(done));
+        }
+    }
+}
+
+} // namespace anic::iscsi

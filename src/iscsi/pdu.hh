@@ -1,0 +1,194 @@
+/**
+ * @file
+ * iSCSI PDU wire format (RFC 7143, simplified but faithful where the
+ * paper's §7 "other L5Ps" argument depends on it: fixed-size BHS,
+ * CRC32C header and data digests, ITT-keyed solicited data).
+ *
+ * Every PDU starts with the 48-byte Basic Header Segment:
+ *   [0]      opcode     (SCSI Cmd 0x01, Data-Out 0x05, SCSI Resp
+ *                        0x21, Data-In 0x25)
+ *   [1]      flags      (bit7 F/final; Cmd: bit6 R read, bit5 W write)
+ *   [2..3]   reserved   (zero — part of the magic pattern)
+ *   [4]      totalAhsLength (always zero here — no AHS)
+ *   [5..7]   dataSegmentLength, 24-bit big-endian
+ *   [8..15]  LUN
+ *   [16..19] initiator task tag (ITT)
+ *   [20..23] Cmd: expected data transfer length; Data-In/-Out: TTT
+ *   [32..47] Cmd: CDB (simplified: scsiOp u8, slba u64 LE, len u32 LE)
+ *            Resp: [32] status
+ *   [40..43] Data-In/-Out: buffer offset
+ *
+ * After the BHS: optional 4-byte CRC32C HeaderDigest over [0, 48),
+ * then the data segment, then (iff dataSegmentLength > 0) a 4-byte
+ * CRC32C DataDigest over the segment. Simplifications, documented:
+ * no AHS, and no 4-byte pad of the data segment — padding would only
+ * obscure the offload mechanics the model exists to study.
+ */
+
+#ifndef ANIC_ISCSI_PDU_HH
+#define ANIC_ISCSI_PDU_HH
+
+#include <functional>
+#include <optional>
+
+#include "crypto/crc32c.hh"
+#include "net/packet.hh"
+#include "tcp/socket.hh"
+#include "util/bytes.hh"
+
+namespace anic::iscsi {
+
+enum IscsiOpcode : uint8_t
+{
+    kOpScsiCmd = 0x01,
+    kOpDataOut = 0x05,
+    kOpScsiResp = 0x21,
+    kOpDataIn = 0x25,
+};
+
+enum IscsiFlags : uint8_t
+{
+    kFlagFinal = 0x80,
+    kFlagRead = 0x40,
+    kFlagWrite = 0x20,
+};
+
+enum ScsiOp : uint8_t
+{
+    kScsiRead = 0x28,  // READ(10)
+    kScsiWrite = 0x2a, // WRITE(10)
+};
+
+constexpr size_t kBhsSize = 48;
+constexpr size_t kDigestSize = 4;
+
+/** Session-wide wire options (negotiated at login in real iSCSI). */
+struct IscsiWireConfig
+{
+    bool headerDigest = true;
+    bool dataDigest = true;
+    size_t maxDataSegment = 128 << 10; // MaxRecvDataSegmentLength
+
+    size_t hdgstLen() const { return headerDigest ? kDigestSize : 0; }
+    size_t ddgstLen() const { return dataDigest ? kDigestSize : 0; }
+
+    /** Total wire length of a PDU with @p dsl data-segment bytes. */
+    size_t
+    pduLen(size_t dsl) const
+    {
+        return kBhsSize + hdgstLen() + dsl + (dsl > 0 ? ddgstLen() : 0);
+    }
+};
+
+/** Decoded BHS (superset of all four opcodes' fields). */
+struct IscsiBhs
+{
+    uint8_t opcode = 0;
+    uint8_t flags = 0;
+    uint32_t dsl = 0; ///< data segment length
+    uint64_t lun = 0;
+    uint32_t itt = 0;
+    uint32_t edtl = 0;         ///< Cmd: expected data transfer length
+    uint32_t bufferOffset = 0; ///< Data-In/-Out
+    uint8_t scsiOp = 0;        ///< Cmd CDB
+    uint64_t slba = 0;         ///< Cmd CDB
+    uint32_t length = 0;       ///< Cmd CDB
+    uint8_t status = 0;        ///< Resp
+};
+
+/**
+ * Parses + validates the first 8 bytes of a BHS: known opcode, zero
+ * reserved bytes, bounded data segment. This is the iSCSI analogue
+ * of the NVMe common-header magic pattern — enough to frame the PDU.
+ * Returns the full wire length (BHS + digests + data) on success.
+ */
+std::optional<uint64_t> parseBhsPrefix(const IscsiWireConfig &wc,
+                                       ByteView h, size_t maxDsl);
+
+/** Decodes a complete 48-byte BHS (no validation beyond size). */
+IscsiBhs parseBhs(ByteView pdu);
+
+/** Builders. All fill the header digest; the data digest of data
+ *  PDUs is filled iff @p fillDdgst (dummy zeros otherwise, for the
+ *  NIC tx engine to fill in-stream). */
+Bytes buildScsiCmd(const IscsiWireConfig &wc, const IscsiBhs &bhs);
+Bytes buildScsiResp(const IscsiWireConfig &wc, const IscsiBhs &bhs);
+Bytes buildDataPdu(const IscsiWireConfig &wc, uint8_t opcode,
+                   const IscsiBhs &bhs, ByteView data, bool fillDdgst);
+
+/** Verifies the header digest (true when absent by config). */
+bool verifyHdgst(const IscsiWireConfig &wc, ByteView pdu);
+
+/** One contiguous chunk of a reassembled PDU with its rx-offload
+ *  verdicts (mirrors nvmetcp::PduSlice). */
+struct IscsiPduSlice
+{
+    uint64_t pduOff = 0;
+    size_t len = 0;
+    bool digestChecked = false;
+    bool digestOk = false;
+    std::vector<net::PlacedRange> placed; ///< PDU-relative
+};
+
+/** A reassembled PDU plus per-chunk offload metadata. */
+struct IscsiRxPdu
+{
+    Bytes bytes;
+    uint64_t wireLen = 0;
+    std::vector<IscsiPduSlice> slices;
+
+    /** True iff every chunk was digest-checked by the NIC and none
+     *  failed — software may skip both digests. */
+    bool
+    digestFullyOffloaded() const
+    {
+        if (slices.empty())
+            return false;
+        for (const IscsiPduSlice &s : slices)
+            if (!s.digestChecked || !s.digestOk)
+                return false;
+        return true;
+    }
+};
+
+/**
+ * Streams TCP segments into complete PDUs, preserving per-chunk
+ * offload metadata. Framing loss (invalid BHS prefix) sets error().
+ */
+class IscsiAssembler
+{
+  public:
+    explicit IscsiAssembler(const IscsiWireConfig &wc,
+                            size_t maxDsl = 2 << 20)
+        : wc_(wc), maxDsl_(maxDsl)
+    {
+    }
+
+    void ingest(const tcp::RxSegment &seg,
+                std::function<void(IscsiRxPdu &&)> sink);
+
+    bool error() const { return error_; }
+    uint64_t curPduStartOff() const { return pduStartOff_; }
+    uint64_t streamConsumed() const { return consumed_; }
+    bool midPdu() const { return have_ > 0; }
+
+    /** PDUs fully delivered; echoed on resync confirmation so the
+     *  NIC renumbers messages consistently with software. */
+    uint64_t pdusDelivered() const { return pduIdx_; }
+
+  private:
+    IscsiWireConfig wc_;
+    size_t maxDsl_;
+    IscsiRxPdu cur_;
+    Bytes hdr8_;
+    bool hdrComplete_ = false;
+    size_t have_ = 0;
+    uint64_t pduStartOff_ = 0;
+    uint64_t consumed_ = 0;
+    uint64_t pduIdx_ = 0;
+    bool error_ = false;
+};
+
+} // namespace anic::iscsi
+
+#endif // ANIC_ISCSI_PDU_HH

@@ -1,0 +1,720 @@
+#include "iscsi/session.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "host/core.hh"
+#include "util/panic.hh"
+
+namespace anic::iscsi {
+
+namespace {
+
+/** Placement-aware copy of a data PDU's segment into @p dst at
+ *  @p bufferOffset: NIC-placed ranges are skipped, the rest is
+ *  memcpy'd. Returns {copied, placed} byte counts. */
+std::pair<uint64_t, uint64_t>
+copySegment(const IscsiWireConfig &wc, const IscsiRxPdu &pdu, uint32_t dsl,
+            uint32_t bufferOffset, host::BlockBuffer &dst)
+{
+    const uint64_t pdo = kBhsSize + wc.hdgstLen();
+    const uint64_t data_end = pdo + dsl;
+
+    std::vector<net::PlacedRange> placed;
+    for (const IscsiPduSlice &s : pdu.slices) {
+        for (const net::PlacedRange &r : s.placed)
+            placed.push_back(r); // already PDU-relative
+    }
+    std::sort(placed.begin(), placed.end(),
+              [](const net::PlacedRange &a, const net::PlacedRange &b) {
+                  return a.payloadOff < b.payloadOff;
+              });
+
+    uint64_t cursor = pdo;
+    uint64_t copied = 0;
+    uint64_t placed_bytes = 0;
+    auto copyRange = [&](uint64_t from, uint64_t to) {
+        if (from >= to)
+            return;
+        uint64_t at = bufferOffset + (from - pdo);
+        if (at + (to - from) <= dst.data.size()) {
+            std::memcpy(dst.data.data() + at, pdu.bytes.data() + from,
+                        to - from);
+        }
+        copied += to - from;
+    };
+    for (const net::PlacedRange &r : placed) {
+        uint64_t ps = std::max<uint64_t>(r.payloadOff, pdo);
+        uint64_t pe = std::min<uint64_t>(r.payloadOff + r.len, data_end);
+        if (ps >= pe)
+            continue;
+        copyRange(cursor, ps);
+        placed_bytes += pe - ps;
+        cursor = std::max(cursor, pe);
+    }
+    copyRange(cursor, data_end);
+    return {copied, placed_bytes};
+}
+
+/** Software data-digest check of a data PDU (true = matches). */
+bool
+checkDataDigest(const IscsiWireConfig &wc, const IscsiRxPdu &pdu,
+                uint32_t dsl)
+{
+    const uint64_t pdo = kBhsSize + wc.hdgstLen();
+    ByteView data = ByteView(pdu.bytes).subspan(pdo, dsl);
+    uint32_t wire =
+        static_cast<uint32_t>(getLe32(pdu.bytes.data() + pdo + dsl));
+    return crypto::Crc32c::compute(data) == wire;
+}
+
+} // namespace
+
+// ----------------------------------------------------------- initiator
+
+IscsiInitiator::IscsiInitiator(tcp::StreamSocket &sock, IscsiWireConfig wc,
+                               IscsiOffloadConfig ocfg,
+                               IscsiInitiatorStats *aggregate)
+    : sock_(sock), wc_(wc), ocfg_(ocfg), assembler_(wc),
+      aggregate_(aggregate)
+{
+    sock_.setOnReadable([this] { onReadable(); });
+    sock_.setOnWritable([this] { flushSendQueue(); });
+}
+
+IscsiInitiator::~IscsiInitiator()
+{
+    if (l5o_ != nullptr)
+        l5o_->destroy();
+}
+
+void
+IscsiInitiator::enableOffload(core::OffloadDevice &dev,
+                              tcp::TcpConnection &conn)
+{
+    ANIC_ASSERT(l5o_ == nullptr);
+    conn_ = &conn;
+    if (!ocfg_.crcRx && !ocfg_.copyRx && !ocfg_.crcTx)
+        return;
+
+    IscsiStaticState st(wc_);
+    unsigned dirs = ((ocfg_.crcRx || ocfg_.copyRx) ? core::kL5Rx : 0u) |
+                    (ocfg_.crcTx ? core::kL5Tx : 0u);
+    if (ocfg_.crcTx)
+        conn.setOnAcked([this](uint32_t una) { txMap_.trimAcked(una); });
+    l5o_ = dev.l5oCreate(conn, st, dirs, this);
+    if (dirs & core::kL5Rx)
+        rxEngine_ = static_cast<IscsiRxEngine *>(l5o_->rxEngine());
+    if (ocfg_.crcTx)
+        conn.setTxOffloadCtx(l5o_->txCtxId());
+}
+
+const nic::FsmStats *
+IscsiInitiator::rxFsmStats() const
+{
+    return l5o_ != nullptr ? l5o_->rxFsmStats() : nullptr;
+}
+
+uint32_t
+IscsiInitiator::allocItt()
+{
+    for (;;) {
+        uint32_t itt = nextItt_++;
+        if (nextItt_ == 0)
+            nextItt_ = 1;
+        if (tasks_.find(itt) == tasks_.end())
+            return itt;
+    }
+}
+
+void
+IscsiInitiator::read(uint64_t slba, uint32_t len, ReadDone done)
+{
+    host::Core &core = sock_.core();
+    core.charge(core.model().nvmeRequestCost / 2);
+
+    uint32_t itt = allocItt();
+    Task task;
+    task.scsiOp = kScsiRead;
+    task.slba = slba;
+    task.len = len;
+    task.buffer = std::make_shared<host::BlockBuffer>(len);
+    task.readDone = std::move(done);
+
+    if (ocfg_.copyRx && rxEngine_ != nullptr) {
+        // l5o_add_rr_state: tell the NIC where Data-In belongs.
+        rxEngine_->addRrState(itt, task.buffer);
+    }
+    tasks_.emplace(itt, std::move(task));
+
+    IscsiBhs bhs;
+    bhs.itt = itt;
+    bhs.edtl = len;
+    bhs.scsiOp = kScsiRead;
+    bhs.slba = slba;
+    bhs.length = len;
+    enqueuePdu(buildScsiCmd(wc_, bhs));
+}
+
+void
+IscsiInitiator::write(uint64_t slba, uint32_t len, uint64_t contentSeed,
+                      WriteDone done)
+{
+    host::Core &core = sock_.core();
+    core.charge(core.model().nvmeRequestCost / 2);
+
+    uint32_t itt = allocItt();
+    Task task;
+    task.scsiOp = kScsiWrite;
+    task.slba = slba;
+    task.len = len;
+    task.writeDone = std::move(done);
+
+    IscsiBhs bhs;
+    bhs.itt = itt;
+    bhs.edtl = len;
+    bhs.scsiOp = kScsiWrite;
+    bhs.slba = slba;
+    bhs.length = len;
+    enqueuePdu(buildScsiCmd(wc_, bhs));
+    sendDataOut(itt, task, contentSeed);
+    tasks_.emplace(itt, std::move(task));
+}
+
+void
+IscsiInitiator::sendDataOut(uint32_t itt, const Task &task,
+                            uint64_t contentSeed)
+{
+    host::Core &core = sock_.core();
+    const host::CycleModel &m = core.model();
+    uint32_t off = 0;
+    while (off < task.len) {
+        uint32_t n = static_cast<uint32_t>(
+            std::min<size_t>(wc_.maxDataSegment, task.len - off));
+        Bytes data(n);
+        fillDeterministic(data, contentSeed, task.slba + off);
+        IscsiBhs dh;
+        dh.itt = itt;
+        dh.bufferOffset = off;
+        dh.flags = off + n >= task.len ? kFlagFinal : 0;
+        // User buffer -> PDU copy; compute the data digest in
+        // software unless the NIC tx engine fills it.
+        core.charge(m.copyLlcPerByte * n +
+                    (wc_.dataDigest && !ocfg_.crcTx ? m.crcPerByte * n : 0) +
+                    m.nvmePduCost);
+        enqueuePdu(buildDataPdu(wc_, kOpDataOut, dh, data,
+                                /*fillDdgst=*/!ocfg_.crcTx));
+        off += n;
+    }
+}
+
+void
+IscsiInitiator::enqueuePdu(Bytes pdu)
+{
+    SendEntry e;
+    e.bytes = std::move(pdu);
+    sendq_.push_back(std::move(e));
+    flushSendQueue();
+}
+
+void
+IscsiInitiator::flushSendQueue()
+{
+    while (!sendq_.empty()) {
+        SendEntry &e = sendq_.front();
+        if (!e.added && conn_ != nullptr && l5o_ != nullptr &&
+            l5o_->txCtxId() != 0) {
+            // All stream messages must be tracked when a tx context
+            // exists, so framing recovery can cross any message.
+            txMap_.add(conn_->sndNextByteSeq(),
+                       static_cast<uint32_t>(e.bytes.size()), txMsgIdx_++,
+                       e.bytes);
+            e.added = true;
+        }
+        ByteView rest = ByteView(e.bytes).subspan(sendqOff_);
+        size_t acc = sock_.send(rest);
+        sendqOff_ += acc;
+        if (sendqOff_ < e.bytes.size())
+            return; // transport full; resume on writable
+        sendq_.pop_front();
+        sendqOff_ = 0;
+    }
+}
+
+void
+IscsiInitiator::onReadable()
+{
+    while (sock_.readable()) {
+        tcp::RxSegment seg = sock_.pop();
+        if (dead_) {
+            (void)seg;
+            continue;
+        }
+        assembler_.ingest(std::move(seg),
+                          [this](IscsiRxPdu &&pdu) { onPdu(std::move(pdu)); });
+        if (assembler_.error()) {
+            // BHS framing lost: fatal transport error, fail every
+            // outstanding task and go quiescent (impairment fuzzing
+            // corrupts streams; never assert on wire content).
+            dead_ = true;
+            failAllOutstanding();
+        }
+    }
+    checkPendingResync();
+}
+
+void
+IscsiInitiator::failAllOutstanding()
+{
+    std::vector<uint32_t> itts;
+    itts.reserve(tasks_.size());
+    for (const auto &[itt, task] : tasks_)
+        itts.push_back(itt);
+    // Issue order, not hash order, for cross-process determinism.
+    std::sort(itts.begin(), itts.end());
+    for (uint32_t itt : itts) {
+        auto it = tasks_.find(itt);
+        if (it == tasks_.end())
+            continue;
+        it->second.failed = true;
+        completeTask(itt, false);
+    }
+}
+
+void
+IscsiInitiator::onPdu(IscsiRxPdu &&pdu)
+{
+    host::Core &core = sock_.core();
+    const host::CycleModel &m = core.model();
+    core.charge(m.nvmePduCost);
+    IscsiBhs bhs = parseBhs(pdu.bytes);
+
+    // Digest verification: one decision covers both digests — the
+    // NIC engine folds the header and data digest verdicts into the
+    // same per-PDU outcome.
+    bool skip = ocfg_.crcRx && pdu.digestFullyOffloaded();
+    bool hdgst_ok = true;
+    bool ddgst_ok = true;
+    if (skip) {
+        count(&IscsiInitiatorStats::digestSkipped);
+    } else {
+        count(&IscsiInitiatorStats::digestSoftware);
+        if (wc_.headerDigest) {
+            core.charge(m.crcPerByte * kBhsSize);
+            hdgst_ok = verifyHdgst(wc_, pdu.bytes);
+        }
+        if (wc_.dataDigest && bhs.dsl > 0) {
+            core.charge(m.crcPerByte * bhs.dsl);
+            ddgst_ok = checkDataDigest(wc_, pdu, bhs.dsl);
+        }
+    }
+    if (!hdgst_ok) {
+        // The BHS (ITT, buffer offset) cannot be trusted: fatal
+        // transport error, like a corrupted NVMe specific header.
+        count(&IscsiInitiatorStats::digestFailures);
+        dead_ = true;
+        failAllOutstanding();
+        return;
+    }
+
+    if (bhs.opcode == kOpDataIn) {
+        count(&IscsiInitiatorStats::dataInPdus);
+        auto it = tasks_.find(bhs.itt);
+        if (it == tasks_.end())
+            return; // stale / unknown task
+        Task &task = it->second;
+        auto [copied, placed] =
+            copySegment(wc_, pdu, bhs.dsl, bhs.bufferOffset, *task.buffer);
+        core.charge(m.copyPerByte(task.len) * static_cast<double>(copied));
+        count(&IscsiInitiatorStats::bytesCopied, copied);
+        count(&IscsiInitiatorStats::bytesPlaced, placed);
+        if (!ddgst_ok) {
+            task.failed = true;
+            count(&IscsiInitiatorStats::digestFailures);
+        }
+        task.received += bhs.dsl;
+        return;
+    }
+
+    if (bhs.opcode == kOpScsiResp) {
+        completeTask(bhs.itt, bhs.status == 0);
+        return;
+    }
+    // Initiators don't expect other opcodes.
+}
+
+void
+IscsiInitiator::completeTask(uint32_t itt, bool ok)
+{
+    auto it = tasks_.find(itt);
+    if (it == tasks_.end())
+        return;
+    Task task = std::move(it->second);
+    tasks_.erase(it);
+
+    host::Core &core = sock_.core();
+    core.charge(core.model().nvmeRequestCost / 2);
+
+    if (ocfg_.copyRx && rxEngine_ != nullptr)
+        rxEngine_->delRrState(itt); // l5o_del_rr_state
+
+    bool success = ok && !task.failed &&
+                   (task.scsiOp != kScsiRead || task.received == task.len);
+    if (!success)
+        count(&IscsiInitiatorStats::failures);
+    if (task.scsiOp == kScsiRead) {
+        count(&IscsiInitiatorStats::readsCompleted);
+        if (task.readDone)
+            task.readDone(success, std::move(task.buffer));
+    } else {
+        count(&IscsiInitiatorStats::writesCompleted);
+        if (task.writeDone)
+            task.writeDone(success);
+    }
+}
+
+// ------------------------------------------------------------- resync
+
+void
+IscsiInitiator::checkPendingResync()
+{
+    if (!resyncPending_)
+        return;
+    uint64_t cur = assembler_.midPdu() ? assembler_.curPduStartOff()
+                                       : assembler_.streamConsumed();
+    bool ok;
+    if (cur == resyncOff_) {
+        ok = true;
+    } else if (cur > resyncOff_) {
+        ok = false;
+    } else {
+        return; // not there yet
+    }
+    resyncPending_ = false;
+    if (ok)
+        count(&IscsiInitiatorStats::resyncConfirmed);
+    if (l5o_ != nullptr)
+        l5o_->resyncRxResp(resyncSeq_, ok, assembler_.pdusDelivered());
+}
+
+std::optional<core::L5pCallbacks::TxMsgState>
+IscsiInitiator::getTxMsgState(uint32_t tcpsn)
+{
+    const core::TxMsgTracker::Entry *e = txMap_.find(tcpsn);
+    if (e == nullptr)
+        return std::nullopt;
+    TxMsgState st;
+    st.msgStartSeq = e->startSeq;
+    st.msgIdx = e->msgIdx;
+    uint32_t n = tcpsn - e->startSeq;
+    st.rebuild.assign(e->bytes.begin(), e->bytes.begin() + n);
+    return st;
+}
+
+void
+IscsiInitiator::resyncRxReq(uint32_t tcpsn)
+{
+    ANIC_ASSERT(conn_ != nullptr);
+    count(&IscsiInitiatorStats::resyncRequests);
+    resyncPending_ = true;
+    resyncSeq_ = tcpsn;
+    // Translate the sequence number into our stream-offset space.
+    uint64_t consumed = assembler_.streamConsumed();
+    int64_t delta = static_cast<int32_t>(
+        tcpsn - conn_->seqOfRcvStreamOff(consumed));
+    resyncOff_ = consumed + delta;
+    checkPendingResync();
+}
+
+// -------------------------------------------------------------- target
+
+IscsiTarget::IscsiTarget(tcp::StreamSocket &sock, host::NvmeDrive &drive,
+                         IscsiWireConfig wc)
+    : sock_(sock), drive_(drive), wc_(wc), assembler_(wc)
+{
+    sock_.setOnReadable([this] { onReadable(); });
+    sock_.setOnWritable([this] { flush(); });
+}
+
+IscsiTarget::~IscsiTarget()
+{
+    if (l5o_ != nullptr)
+        l5o_->destroy();
+}
+
+void
+IscsiTarget::enableOffload(core::OffloadDevice &dev,
+                           tcp::TcpConnection &conn, IscsiOffloadConfig ocfg)
+{
+    ANIC_ASSERT(l5o_ == nullptr);
+    conn_ = &conn;
+    ocfg_ = ocfg;
+    if (!ocfg_.crcRx && !ocfg_.copyRx && !ocfg_.crcTx)
+        return;
+
+    IscsiStaticState st(wc_);
+    unsigned dirs = ((ocfg_.crcRx || ocfg_.copyRx) ? core::kL5Rx : 0u) |
+                    (ocfg_.crcTx ? core::kL5Tx : 0u);
+    if (ocfg_.crcTx)
+        conn.setOnAcked([this](uint32_t una) { txMap_.trimAcked(una); });
+    l5o_ = dev.l5oCreate(conn, st, dirs, this);
+    if (dirs & core::kL5Rx)
+        rxEngine_ = static_cast<IscsiRxEngine *>(l5o_->rxEngine());
+    if (ocfg_.crcTx)
+        conn.setTxOffloadCtx(l5o_->txCtxId());
+}
+
+const nic::FsmStats *
+IscsiTarget::rxFsmStats() const
+{
+    return l5o_ != nullptr ? l5o_->rxFsmStats() : nullptr;
+}
+
+void
+IscsiTarget::onReadable()
+{
+    while (sock_.readable()) {
+        tcp::RxSegment seg = sock_.pop();
+        if (dead_) {
+            (void)seg;
+            continue;
+        }
+        assembler_.ingest(std::move(seg),
+                          [this](IscsiRxPdu &&pdu) { onPdu(std::move(pdu)); });
+        if (assembler_.error())
+            dead_ = true; // fatal transport error; stop serving
+    }
+    checkPendingResync();
+}
+
+void
+IscsiTarget::onPdu(IscsiRxPdu &&pdu)
+{
+    host::Core &core = sock_.core();
+    const host::CycleModel &m = core.model();
+    core.charge(m.nvmePduCost);
+    IscsiBhs bhs = parseBhs(pdu.bytes);
+
+    bool skip = ocfg_.crcRx && pdu.digestFullyOffloaded();
+    bool hdgst_ok = true;
+    bool ddgst_ok = true;
+    if (skip) {
+        stats_.digestSkipped++;
+    } else {
+        stats_.digestSoftware++;
+        if (wc_.headerDigest) {
+            core.charge(m.crcPerByte * kBhsSize);
+            hdgst_ok = verifyHdgst(wc_, pdu.bytes);
+        }
+        if (wc_.dataDigest && bhs.dsl > 0) {
+            core.charge(m.crcPerByte * bhs.dsl);
+            ddgst_ok = checkDataDigest(wc_, pdu, bhs.dsl);
+        }
+    }
+    if (!hdgst_ok) {
+        stats_.digestFailures++;
+        dead_ = true; // a corrupted BHS must not reach the task table
+        return;
+    }
+
+    switch (bhs.opcode) {
+      case kOpScsiCmd: {
+        if (bhs.scsiOp == kScsiRead) {
+            serveRead(bhs);
+        } else {
+            PendingWrite w;
+            w.slba = bhs.slba;
+            w.len = bhs.length;
+            w.buffer = std::make_shared<host::BlockBuffer>(bhs.length);
+            if (ocfg_.copyRx && rxEngine_ != nullptr && bhs.length > 0) {
+                // Unsolicited Data-Out can arrive right behind the
+                // command: register placement state immediately.
+                rxEngine_->addRrState(bhs.itt, w.buffer);
+            }
+            writes_[bhs.itt] = std::move(w);
+            if (bhs.length == 0)
+                finishWrite(bhs.itt);
+        }
+        return;
+      }
+      case kOpDataOut:
+        if (!ddgst_ok) {
+            auto it = writes_.find(bhs.itt);
+            if (it != writes_.end())
+                it->second.digestOk = false;
+            stats_.digestFailures++;
+        }
+        onDataOut(pdu, bhs);
+        return;
+      default:
+        return; // targets ignore response-type opcodes
+    }
+}
+
+void
+IscsiTarget::onDataOut(IscsiRxPdu &pdu, const IscsiBhs &bhs)
+{
+    host::Core &core = sock_.core();
+    const host::CycleModel &m = core.model();
+    stats_.dataOutPdus++;
+
+    auto it = writes_.find(bhs.itt);
+    if (it == writes_.end())
+        return; // stale / unknown task
+    PendingWrite &w = it->second;
+
+    auto [copied, placed] =
+        copySegment(wc_, pdu, bhs.dsl, bhs.bufferOffset, *w.buffer);
+    core.charge(m.copyPerByte(w.len) * static_cast<double>(copied));
+    stats_.bytesCopied += copied;
+    stats_.bytesPlaced += placed;
+
+    w.received += bhs.dsl;
+    if (w.received >= w.len)
+        finishWrite(bhs.itt);
+}
+
+void
+IscsiTarget::serveRead(const IscsiBhs &bhs)
+{
+    host::Core &core = sock_.core();
+    core.charge(core.model().nvmeRequestCost / 2);
+
+    drive_.read(bhs.slba, bhs.length, [this, bhs, &core](Bytes data) {
+        core.post([this, itt = bhs.itt, data = std::move(data)] {
+            host::Core &c = sock_.core();
+            const host::CycleModel &m = c.model();
+            stats_.readsServed++;
+            stats_.bytesRead += data.size();
+
+            size_t off = 0;
+            while (off < data.size()) {
+                size_t n = std::min(wc_.maxDataSegment, data.size() - off);
+                IscsiBhs dh;
+                dh.itt = itt;
+                dh.bufferOffset = static_cast<uint32_t>(off);
+                dh.flags = off + n >= data.size() ? kFlagFinal : 0;
+                c.charge(m.copyPerByte(data.size()) * n +
+                         (wc_.dataDigest && !ocfg_.crcTx ? m.crcPerByte * n
+                                                         : 0) +
+                         m.nvmePduCost);
+                enqueue(buildDataPdu(wc_, kOpDataIn, dh,
+                                     ByteView(data).subspan(off, n),
+                                     /*fillDdgst=*/!ocfg_.crcTx));
+                off += n;
+            }
+            IscsiBhs resp;
+            resp.itt = itt;
+            resp.status = 0;
+            enqueue(buildScsiResp(wc_, resp));
+        });
+    });
+}
+
+void
+IscsiTarget::finishWrite(uint32_t itt)
+{
+    auto it = writes_.find(itt);
+    ANIC_ASSERT(it != writes_.end());
+    PendingWrite w = std::move(it->second);
+    writes_.erase(it);
+    if (rxEngine_ != nullptr)
+        rxEngine_->delRrState(itt); // l5o_del_rr_state
+
+    drive_.write(w.slba, w.len,
+                 [this, itt, len = w.len, digestOk = w.digestOk] {
+        sock_.core().post([this, itt, len, digestOk] {
+            stats_.writesServed++;
+            stats_.bytesWritten += len;
+            IscsiBhs resp;
+            resp.itt = itt;
+            resp.status = digestOk ? 0 : 1;
+            enqueue(buildScsiResp(wc_, resp));
+        });
+    });
+}
+
+void
+IscsiTarget::enqueue(Bytes pdu)
+{
+    SendEntry e;
+    e.bytes = std::move(pdu);
+    sendq_.push_back(std::move(e));
+    flush();
+}
+
+void
+IscsiTarget::flush()
+{
+    while (!sendq_.empty()) {
+        SendEntry &e = sendq_.front();
+        if (!e.added && conn_ != nullptr && l5o_ != nullptr &&
+            l5o_->txCtxId() != 0) {
+            txMap_.add(conn_->sndNextByteSeq(),
+                       static_cast<uint32_t>(e.bytes.size()), txMsgIdx_++,
+                       e.bytes);
+            e.added = true;
+        }
+        ByteView rest = ByteView(e.bytes).subspan(sendqOff_);
+        size_t acc = sock_.send(rest);
+        sendqOff_ += acc;
+        if (sendqOff_ < e.bytes.size())
+            return;
+        sendq_.pop_front();
+        sendqOff_ = 0;
+    }
+}
+
+// ------------------------------------------------------------- resync
+
+void
+IscsiTarget::checkPendingResync()
+{
+    if (!resyncPending_)
+        return;
+    uint64_t cur = assembler_.midPdu() ? assembler_.curPduStartOff()
+                                       : assembler_.streamConsumed();
+    bool ok;
+    if (cur == resyncOff_) {
+        ok = true;
+    } else if (cur > resyncOff_) {
+        ok = false;
+    } else {
+        return; // not there yet
+    }
+    resyncPending_ = false;
+    if (ok)
+        stats_.resyncConfirmed++;
+    if (l5o_ != nullptr)
+        l5o_->resyncRxResp(resyncSeq_, ok, assembler_.pdusDelivered());
+}
+
+std::optional<core::L5pCallbacks::TxMsgState>
+IscsiTarget::getTxMsgState(uint32_t tcpsn)
+{
+    const core::TxMsgTracker::Entry *e = txMap_.find(tcpsn);
+    if (e == nullptr)
+        return std::nullopt;
+    TxMsgState st;
+    st.msgStartSeq = e->startSeq;
+    st.msgIdx = e->msgIdx;
+    uint32_t n = tcpsn - e->startSeq;
+    st.rebuild.assign(e->bytes.begin(), e->bytes.begin() + n);
+    return st;
+}
+
+void
+IscsiTarget::resyncRxReq(uint32_t tcpsn)
+{
+    ANIC_ASSERT(conn_ != nullptr);
+    stats_.resyncRequests++;
+    resyncPending_ = true;
+    resyncSeq_ = tcpsn;
+    uint64_t consumed = assembler_.streamConsumed();
+    int64_t delta = static_cast<int32_t>(
+        tcpsn - conn_->seqOfRcvStreamOff(consumed));
+    resyncOff_ = consumed + delta;
+    checkPendingResync();
+}
+
+} // namespace anic::iscsi

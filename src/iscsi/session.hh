@@ -1,0 +1,233 @@
+/**
+ * @file
+ * iSCSI session endpoints over a StreamSocket, backed by the same
+ * host::NvmeDrive block model the NVMe-TCP endpoints use.
+ *
+ * IscsiInitiator maps read/write block requests to SCSI Command PDUs;
+ * writes carry unsolicited Data-Out (InitialR2T=No with a large
+ * FirstBurstLength, a common fast-path configuration — credit-gated
+ * data-out is exercised by the NVMe-TCP R2T path). IscsiTarget serves
+ * Data-In segments and collects Data-Out into per-task buffers.
+ *
+ * Both sides install NIC offloads through the protocol-agnostic
+ * l5o_create binding (IscsiStaticState + direction mask):
+ *  - rx digest offload: skip software header+data digest checks when
+ *    the NIC verified every chunk of a PDU;
+ *  - rx copy offload: skip copying ranges the NIC placed into the
+ *    task buffer (ITT-keyed, at the wire BufferOffset);
+ *  - tx digest offload: send data PDUs with dummy data digests for
+ *    the NIC to fill;
+ *  - resync: answers NIC BHS speculations with PDU-boundary anchors.
+ */
+
+#ifndef ANIC_ISCSI_SESSION_HH
+#define ANIC_ISCSI_SESSION_HH
+
+#include <deque>
+#include <unordered_map>
+
+#include "core/offload_device.hh"
+#include "core/tx_msg_tracker.hh"
+#include "host/storage.hh"
+#include "iscsi/iscsi_engine.hh"
+#include "iscsi/pdu.hh"
+
+namespace anic::iscsi {
+
+struct IscsiInitiatorStats
+{
+    sim::Counter readsCompleted;
+    sim::Counter writesCompleted;
+    sim::Counter failures;
+    sim::Counter dataInPdus;
+    sim::Counter digestSkipped;  ///< PDUs fully verified by the NIC
+    sim::Counter digestSoftware; ///< PDUs verified in software
+    sim::Counter digestFailures;
+    sim::Counter bytesPlaced;
+    sim::Counter bytesCopied;
+    sim::Counter resyncRequests;
+    sim::Counter resyncConfirmed;
+};
+
+class IscsiInitiator : private core::L5pCallbacks
+{
+  public:
+    IscsiInitiator(tcp::StreamSocket &sock, IscsiWireConfig wc,
+                   IscsiOffloadConfig ocfg,
+                   IscsiInitiatorStats *aggregate = nullptr);
+    ~IscsiInitiator() override;
+
+    /** Installs NIC offload contexts (unified l5o_create binding). */
+    void enableOffload(core::OffloadDevice &dev, tcp::TcpConnection &conn);
+
+    using ReadDone = std::function<void(bool ok, host::BlockBufferPtr)>;
+    using WriteDone = std::function<void(bool ok)>;
+
+    /** Reads @p len bytes at byte address @p slba. */
+    void read(uint64_t slba, uint32_t len, ReadDone done);
+
+    /** Writes @p len deterministic bytes (seed/slba-addressed),
+     *  shipped as unsolicited Data-Out right behind the command. */
+    void write(uint64_t slba, uint32_t len, uint64_t contentSeed,
+               WriteDone done);
+
+    const IscsiInitiatorStats &stats() const { return stats_; }
+    size_t outstanding() const { return tasks_.size(); }
+    bool desynced() const { return dead_; }
+    const nic::FsmStats *rxFsmStats() const;
+
+  private:
+    struct Task
+    {
+        uint8_t scsiOp = 0;
+        uint64_t slba = 0;
+        uint32_t len = 0;
+        host::BlockBufferPtr buffer;
+        ReadDone readDone;
+        WriteDone writeDone;
+        uint32_t received = 0;
+        bool failed = false;
+    };
+
+    uint32_t allocItt();
+    void sendDataOut(uint32_t itt, const Task &task, uint64_t contentSeed);
+    void enqueuePdu(Bytes pdu);
+    void flushSendQueue();
+    void onReadable();
+    void onPdu(IscsiRxPdu &&pdu);
+    void completeTask(uint32_t itt, bool ok);
+    void failAllOutstanding();
+    void checkPendingResync();
+
+    // L5pCallbacks.
+    std::optional<TxMsgState> getTxMsgState(uint32_t tcpsn) override;
+    void resyncRxReq(uint32_t tcpsn) override;
+
+    void
+    count(sim::Counter IscsiInitiatorStats::*m, uint64_t n = 1)
+    {
+        (stats_.*m) += n;
+        if (aggregate_ != nullptr)
+            (aggregate_->*m) += n;
+    }
+
+    tcp::StreamSocket &sock_;
+    IscsiWireConfig wc_;
+    IscsiOffloadConfig ocfg_;
+
+    core::L5Offload *l5o_ = nullptr;
+    tcp::TcpConnection *conn_ = nullptr;
+    IscsiRxEngine *rxEngine_ = nullptr;
+
+    std::unordered_map<uint32_t, Task> tasks_;
+    uint32_t nextItt_ = 1;
+
+    struct SendEntry
+    {
+        Bytes bytes;
+        bool added = false;
+    };
+    std::deque<SendEntry> sendq_;
+    size_t sendqOff_ = 0;
+
+    IscsiAssembler assembler_;
+    bool dead_ = false;
+    core::TxMsgTracker txMap_;
+    uint64_t txMsgIdx_ = 0;
+
+    bool resyncPending_ = false;
+    uint32_t resyncSeq_ = 0;
+    uint64_t resyncOff_ = 0;
+
+    IscsiInitiatorStats stats_;
+    IscsiInitiatorStats *aggregate_ = nullptr;
+};
+
+struct IscsiTargetStats
+{
+    sim::Counter readsServed;
+    sim::Counter writesServed;
+    sim::Counter bytesRead;
+    sim::Counter bytesWritten;
+    sim::Counter dataOutPdus;
+    sim::Counter digestSkipped;
+    sim::Counter digestSoftware;
+    sim::Counter digestFailures;
+    sim::Counter bytesPlaced;
+    sim::Counter bytesCopied;
+    sim::Counter resyncRequests;
+    sim::Counter resyncConfirmed;
+};
+
+class IscsiTarget : private core::L5pCallbacks
+{
+  public:
+    IscsiTarget(tcp::StreamSocket &sock, host::NvmeDrive &drive,
+                IscsiWireConfig wc);
+    ~IscsiTarget() override;
+
+    /** Installs NIC offload contexts (unified l5o_create binding). */
+    void enableOffload(core::OffloadDevice &dev, tcp::TcpConnection &conn,
+                       IscsiOffloadConfig ocfg);
+
+    const IscsiTargetStats &stats() const { return stats_; }
+    bool desynced() const { return dead_; }
+    const nic::FsmStats *rxFsmStats() const;
+
+  private:
+    struct PendingWrite
+    {
+        uint64_t slba = 0;
+        uint32_t len = 0;
+        uint32_t received = 0;
+        bool digestOk = true;
+        host::BlockBufferPtr buffer;
+    };
+
+    void onReadable();
+    void onPdu(IscsiRxPdu &&pdu);
+    void onDataOut(IscsiRxPdu &pdu, const IscsiBhs &bhs);
+    void serveRead(const IscsiBhs &bhs);
+    void finishWrite(uint32_t itt);
+    void enqueue(Bytes pdu);
+    void flush();
+    void checkPendingResync();
+
+    // L5pCallbacks.
+    std::optional<TxMsgState> getTxMsgState(uint32_t tcpsn) override;
+    void resyncRxReq(uint32_t tcpsn) override;
+
+    tcp::StreamSocket &sock_;
+    host::NvmeDrive &drive_;
+    IscsiWireConfig wc_;
+    IscsiOffloadConfig ocfg_;
+
+    core::L5Offload *l5o_ = nullptr;
+    tcp::TcpConnection *conn_ = nullptr;
+    IscsiRxEngine *rxEngine_ = nullptr;
+
+    std::unordered_map<uint32_t, PendingWrite> writes_;
+
+    struct SendEntry
+    {
+        Bytes bytes;
+        bool added = false;
+    };
+    std::deque<SendEntry> sendq_;
+    size_t sendqOff_ = 0;
+
+    IscsiAssembler assembler_;
+    bool dead_ = false;
+    core::TxMsgTracker txMap_;
+    uint64_t txMsgIdx_ = 0;
+
+    bool resyncPending_ = false;
+    uint32_t resyncSeq_ = 0;
+    uint64_t resyncOff_ = 0;
+
+    IscsiTargetStats stats_;
+};
+
+} // namespace anic::iscsi
+
+#endif // ANIC_ISCSI_SESSION_HH

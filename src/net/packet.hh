@@ -29,7 +29,7 @@ class PacketPtr;
 
 /**
  * Byte range of a packet's TCP payload that the NIC already DMA-wrote
- * to its final destination (NVMe-TCP copy offload). Offsets are
+ * to its final destination (L5P placement offload). Offsets are
  * relative to the start of the TCP payload.
  */
 struct PlacedRange
@@ -39,26 +39,100 @@ struct PlacedRange
 };
 
 /**
+ * The layer-5 protocols the NIC knows how to offload. An engine kind
+ * doubles as the index of that protocol's outcome slot in descriptor
+ * metadata and of its counter bank in the engine statistics, so a new
+ * protocol adds an enumerator here and nothing in the NIC core.
+ */
+enum class L5Kind : uint8_t
+{
+    None = 0, ///< no engine / protocol-agnostic test engines
+    Tls,
+    Nvme,
+    Iscsi,
+};
+
+constexpr size_t kL5KindCount = 4;
+
+constexpr const char *
+l5KindName(L5Kind k)
+{
+    switch (k) {
+      case L5Kind::Tls:
+        return "tls";
+      case L5Kind::Nvme:
+        return "nvme";
+      case L5Kind::Iscsi:
+        return "iscsi";
+      default:
+        return "none";
+    }
+}
+
+/**
+ * Per-message verification outcome an engine reports for bytes of one
+ * packet. Declared in severity order so combining the outcomes of
+ * multiple messages completing in the same packet is max():
+ * any Failed beats any Incomplete beats any Ok.
+ */
+enum class VerifyOutcome : uint8_t
+{
+    None = 0,   ///< no verification completed in this packet
+    Ok,         ///< every check that completed here passed
+    Incomplete, ///< a message ended without full coverage; software
+                ///  must verify
+    Failed,     ///< a completed check mismatched
+};
+
+/** Severity-max combination (see VerifyOutcome). */
+constexpr VerifyOutcome
+worseOutcome(VerifyOutcome a, VerifyOutcome b)
+{
+    return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+
+/**
  * Offload results the NIC driver surfaces to the stack with each
  * received packet. The stack must not merge packets whose flags
  * differ (mirrors the paper's "takes care not to coalesce packets
  * with different offload results").
+ *
+ * The fields are protocol-agnostic: one verification-outcome slot per
+ * engine kind (composed engines — TLS outer, NVMe inner — each report
+ * in their own slot), the placed ranges, and the kind tag of the
+ * outermost engine. Consumers query their own layer via verifyOf().
  */
 struct RxOffloadMeta
 {
-    /** TLS: every record byte in this packet was decrypted by the NIC
-     *  and every record tag that completed inside it verified. */
-    bool decrypted = false;
+    /** Kind of the outermost engine installed on the flow. */
+    L5Kind kind = L5Kind::None;
 
-    /** NVMe-TCP: every capsule CRC that completed in this packet
-     *  verified. Only meaningful when crcChecked. */
-    bool crcOk = false;
-    bool crcChecked = false;
+    /** The flow's FSM processed this packet in the Offloading state
+     *  (transforms applied; per-layer outcomes below are live). */
+    bool offloaded = false;
 
-    /** NVMe-TCP: payload ranges already placed into block buffers. */
+    /** Per-layer verification outcome, indexed by L5Kind. */
+    VerifyOutcome verify[kL5KindCount] = {};
+
+    /** Payload ranges already placed at their final destination. */
     std::vector<PlacedRange> placed;
 
-    bool any() const { return decrypted || crcChecked || !placed.empty(); }
+    VerifyOutcome
+    verifyOf(L5Kind k) const
+    {
+        return verify[static_cast<size_t>(k)];
+    }
+
+    bool
+    any() const
+    {
+        if (offloaded || !placed.empty())
+            return true;
+        for (VerifyOutcome v : verify)
+            if (v != VerifyOutcome::None)
+                return true;
+        return false;
+    }
 };
 
 /** A packet on the simulated wire: IPv4 + TCP + payload bytes. */

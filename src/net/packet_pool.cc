@@ -51,9 +51,10 @@ PacketPool::recycle(Packet *p)
     liveCount_--;
     live_.set(static_cast<double>(liveCount_));
     recycled_++;
-    p->rx.decrypted = false;
-    p->rx.crcOk = false;
-    p->rx.crcChecked = false;
+    p->rx.kind = L5Kind::None;
+    p->rx.offloaded = false;
+    for (VerifyOutcome &v : p->rx.verify)
+        v = VerifyOutcome::None;
     p->rx.placed.clear(); // keeps vector capacity
     p->txCtx = 0;
     p->hdrValid_ = false;

@@ -25,41 +25,70 @@
 namespace anic::nic {
 
 /**
- * Work counters shared by all engine kinds; the NIC owns one
- * aggregate per device (published as "<nic>.engine.*") and installs
- * it on every engine it hosts, including inner engines of the
- * NVMe-TLS composition.
+ * Work counters shared by all engine kinds. Every counter is
+ * protocol-agnostic; per-protocol attribution happens by publishing
+ * one instance per engine kind (see EngineStatsBank).
  */
 struct EngineStats
 {
     sim::Counter bytesTransformed; ///< encrypted/decrypted in place
-    sim::Counter bytesChecked;     ///< CRC-covered payload bytes
+    sim::Counter bytesChecked;     ///< digest-covered payload bytes
     sim::Counter bytesPlaced;      ///< zero-copy DMA placement
-    sim::Counter tagsVerified;     ///< TLS ICVs checked OK
-    sim::Counter tagFailures;      ///< TLS ICV mismatches
-    sim::Counter crcsVerified;     ///< NVMe data digests checked OK
-    sim::Counter crcFailures;      ///< NVMe data digest mismatches
+    sim::Counter verifiedOk;       ///< tags/digests checked OK
+    sim::Counter verifyFailures;   ///< tag/digest mismatches
+};
+
+/**
+ * The per-device engine counter file: one aggregate bank plus one
+ * bank per engine kind. The NIC owns one per device (published as
+ * "<nic>.engine.*" and "<nic>.engine.<kind>.*") and installs it on
+ * every engine it hosts, including inner engines of the NVMe-TLS
+ * composition; engines attribute their own work via their kind().
+ */
+struct EngineStatsBank
+{
+    EngineStats total;
+    EngineStats kind[net::kL5KindCount];
+
+    void
+    bump(net::L5Kind k, sim::Counter EngineStats::*m, uint64_t n = 1)
+    {
+        (total.*m) += n;
+        (kind[static_cast<size_t>(k)].*m) += n;
+    }
+
+    const EngineStats &
+    of(net::L5Kind k) const
+    {
+        return kind[static_cast<size_t>(k)];
+    }
 };
 
 /**
  * Accumulates the offload results for the packet currently moving
  * through the rx pipeline; the NIC copies them into the packet's
- * receive descriptor (net::RxOffloadMeta).
+ * receive descriptor (net::RxOffloadMeta). All fields are
+ * protocol-agnostic: engines report verification outcomes into their
+ * kind's slot, so composed layers (TLS outer, NVMe inner) never
+ * clobber each other.
  */
 struct PacketResult
 {
-    /** TLS: bytes decrypted in this packet. */
-    bool sawCryptoBytes = false;
-    /** TLS: a record tag completed in this packet and failed. */
+    /** Per-layer verification outcome, indexed by net::L5Kind.
+     *  Engines report through setVerify(); outcomes of multiple
+     *  messages completing in one packet combine by severity. */
+    net::VerifyOutcome verify[net::kL5KindCount] = {};
+
+    /** Payload bytes transformed in place (crypto) in this packet. */
+    uint64_t bytesTransformed = 0;
+
+    /** The FSM tagged this packet as failed: it hit an irrecoverable
+     *  framing/tracking fault and the stack must treat every offload
+     *  claim on the packet as void. Set by StreamFsm, not engines. */
     bool tagFailed = false;
-    /** NVMe: the CRC engine processed bytes in this packet. */
-    bool sawCrcBytes = false;
-    /** NVMe: a capsule CRC completed here without full coverage. */
-    bool crcIncomplete = false;
-    /** NVMe: a capsule CRC completed here and mismatched. */
-    bool crcFailed = false;
-    /** NVMe: payload ranges DMA-written to their destination
-     *  (offsets relative to the TCP payload of the packet). */
+
+    /** Payload ranges DMA-written to their destination (offsets
+     *  relative to the TCP payload of the packet). */
     std::vector<net::PlacedRange> placed;
 
     /** Offset within the packet's TCP payload corresponding to byte 0
@@ -71,6 +100,20 @@ struct PacketResult
      *  passed to onMsgData. Maintained by StreamFsm so engines can
      *  record placement ranges against the packet. */
     uint32_t spanPktOff = 0;
+
+    /** Folds @p o into @p k's outcome slot (severity-max). */
+    void
+    setVerify(net::L5Kind k, net::VerifyOutcome o)
+    {
+        net::VerifyOutcome &slot = verify[static_cast<size_t>(k)];
+        slot = net::worseOutcome(slot, o);
+    }
+
+    net::VerifyOutcome
+    verifyOf(net::L5Kind k) const
+    {
+        return verify[static_cast<size_t>(k)];
+    }
 };
 
 /** Framing information parsed from an L5P message header. */
@@ -90,6 +133,10 @@ class L5Engine
 {
   public:
     virtual ~L5Engine() = default;
+
+    /** Protocol kind; selects the outcome slot and counter bank this
+     *  engine reports into. */
+    virtual net::L5Kind kind() const = 0;
 
     /** Fixed header size used for magic-pattern speculation. */
     virtual size_t headerSize() const = 0;
@@ -148,20 +195,20 @@ class L5Engine
      *  l5o re-create); engines hosting inner layers reset them here. */
     virtual void onRearm() {}
 
-    /** Installs the owner's aggregate work counters (may be null).
-     *  Engines hosting inner layers propagate the pointer down. */
-    virtual void setStats(EngineStats *stats) { engineStats_ = stats; }
+    /** Installs the owner's counter bank (may be null). Engines
+     *  hosting inner layers propagate the pointer down. */
+    virtual void setStats(EngineStatsBank *stats) { engineStats_ = stats; }
 
   protected:
-    /** Bumps an aggregate counter if one is installed. */
+    /** Bumps a counter (aggregate + this engine's kind bank). */
     void
     count(sim::Counter EngineStats::*m, uint64_t n = 1)
     {
         if (engineStats_ != nullptr)
-            (engineStats_->*m) += n;
+            engineStats_->bump(kind(), m, n);
     }
 
-    EngineStats *engineStats_ = nullptr;
+    EngineStatsBank *engineStats_ = nullptr;
 };
 
 } // namespace anic::nic

@@ -147,13 +147,37 @@ Nic::linkInstruments()
     scope_.link("fsm.dwellTrackingNs",
                 fsmDwellNs_[static_cast<int>(FsmState::Tracking)]);
 
-    scope_.link("engine.bytesTransformed", engineAgg_.bytesTransformed);
-    scope_.link("engine.bytesChecked", engineAgg_.bytesChecked);
-    scope_.link("engine.bytesPlaced", engineAgg_.bytesPlaced);
-    scope_.link("engine.tagsVerified", engineAgg_.tagsVerified);
-    scope_.link("engine.tagFailures", engineAgg_.tagFailures);
-    scope_.link("engine.crcsVerified", engineAgg_.crcsVerified);
-    scope_.link("engine.crcFailures", engineAgg_.crcFailures);
+    // Aggregate engine work plus one scope per engine kind. The
+    // legacy aggregate names (tagsVerified/crcFailures/...) stay
+    // linked as roll-ups of the corresponding kind banks so existing
+    // snapshot consumers keep parsing.
+    scope_.link("engine.bytesTransformed", engineAgg_.total.bytesTransformed);
+    scope_.link("engine.bytesChecked", engineAgg_.total.bytesChecked);
+    scope_.link("engine.bytesPlaced", engineAgg_.total.bytesPlaced);
+    scope_.link("engine.verifiedOk", engineAgg_.total.verifiedOk);
+    scope_.link("engine.verifyFailures", engineAgg_.total.verifyFailures);
+    scope_.link("engine.tagsVerified",
+                engineAgg_.kind[static_cast<size_t>(net::L5Kind::Tls)]
+                    .verifiedOk);
+    scope_.link("engine.tagFailures",
+                engineAgg_.kind[static_cast<size_t>(net::L5Kind::Tls)]
+                    .verifyFailures);
+    scope_.link("engine.crcsVerified",
+                engineAgg_.kind[static_cast<size_t>(net::L5Kind::Nvme)]
+                    .verifiedOk);
+    scope_.link("engine.crcFailures",
+                engineAgg_.kind[static_cast<size_t>(net::L5Kind::Nvme)]
+                    .verifyFailures);
+    for (size_t k = 1; k < net::kL5KindCount; k++) {
+        std::string stem = "engine.";
+        stem += net::l5KindName(static_cast<net::L5Kind>(k));
+        EngineStats &es = engineAgg_.kind[k];
+        scope_.link(stem + ".bytesTransformed", es.bytesTransformed);
+        scope_.link(stem + ".bytesChecked", es.bytesChecked);
+        scope_.link(stem + ".bytesPlaced", es.bytesPlaced);
+        scope_.link(stem + ".verifiedOk", es.verifiedOk);
+        scope_.link(stem + ".verifyFailures", es.verifyFailures);
+    }
 }
 
 void
@@ -465,13 +489,13 @@ Nic::processRxOffload(net::Packet &pkt, FlowContext &ctx)
     bool processed = ctx.fsm().segment(ctx.posOf(th.seq), pkt.payloadMut(), res);
 
     net::RxOffloadMeta meta;
-    meta.decrypted = processed && !res.tagFailed;
-    if (res.sawCrcBytes || processed) {
-        meta.crcChecked = processed && !res.crcIncomplete;
-        meta.crcOk = meta.crcChecked && !res.crcFailed;
-    }
+    meta.kind = ctx.engine().kind();
+    meta.offloaded = processed;
+    for (size_t k = 0; k < net::kL5KindCount; k++)
+        meta.verify[k] = res.tagFailed ? net::VerifyOutcome::Failed
+                                       : res.verify[k];
     meta.placed = std::move(res.placed);
-    pkt.rx = meta;
+    pkt.rx = std::move(meta);
 
     if (processed) {
         stats_.rxOffloadedPkts++;

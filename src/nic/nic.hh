@@ -319,7 +319,7 @@ class Nic
     /** Roll-up of every per-flow FSM on this NIC (rx and tx). */
     const FsmStats &fsmStats() const { return fsmAgg_; }
     /** Roll-up of every engine's work counters on this NIC. */
-    const EngineStats &engineStats() const { return engineAgg_; }
+    const EngineStatsBank &engineStats() const { return engineAgg_; }
     /** Per-state dwell time (ns per visit) across all flows. */
     const sim::Distribution &fsmDwellNs(FsmState s) const
     {
@@ -453,7 +453,7 @@ class Nic
     sim::StatsScope scope_;
     sim::TraceRing *trace_ = nullptr;
     FsmStats fsmAgg_;
-    EngineStats engineAgg_;
+    EngineStatsBank engineAgg_;
     sim::Distribution fsmDwellNs_[kFsmStateCount];
 };
 

@@ -29,24 +29,14 @@ NvmeHostQueue::enableOffload(core::OffloadDevice &dev,
     if (!ocfg_.crcRx && !ocfg_.copyRx && !ocfg_.crcTx)
         return;
 
-    core::L5oParams params;
-    params.callbacks = this;
-    params.core = &conn.core();
-    if (ocfg_.crcRx || ocfg_.copyRx) {
-        auto eng = std::make_unique<NvmeRxEngine>(wc_);
-        rxEngine_ = eng.get();
-        params.rxFlow = conn.localFlow().reversed();
-        params.rxEngine = std::move(eng);
-        params.rxTcpsn = conn.rcvNxt();
-        params.rxMsgIdx = 0;
-    }
-    if (ocfg_.crcTx) {
-        params.txEngine = std::make_unique<NvmeTxEngine>(wc_);
-        params.txTcpsn = conn.sndNextByteSeq();
-        params.txMsgIdx = 0;
+    NvmeStaticState st(wc_);
+    unsigned dirs = ((ocfg_.crcRx || ocfg_.copyRx) ? core::kL5Rx : 0u) |
+                    (ocfg_.crcTx ? core::kL5Tx : 0u);
+    if (ocfg_.crcTx)
         conn.setOnAcked([this](uint32_t una) { txMap_.trimAcked(una); });
-    }
-    l5o_ = dev.l5oCreate(std::move(params));
+    l5o_ = dev.l5oCreate(conn, st, dirs, this);
+    if (dirs & core::kL5Rx)
+        rxEngine_ = static_cast<NvmeRxEngine *>(l5o_->rxEngine());
     if (ocfg_.crcTx)
         conn.setTxOffloadCtx(l5o_->txCtxId());
 }
@@ -209,34 +199,73 @@ void
 NvmeHostQueue::write(uint64_t slba, uint32_t len, uint64_t contentSeed,
                      WriteDone done)
 {
+    issueDataOutCmd(kOpWrite, slba, len, contentSeed, std::move(done));
+}
+
+void
+NvmeHostQueue::flush(WriteDone done)
+{
+    issueDataOutCmd(kOpFlush, 0, 0, 0, std::move(done));
+}
+
+void
+NvmeHostQueue::compare(uint64_t slba, uint32_t len, uint64_t contentSeed,
+                       WriteDone done)
+{
+    issueDataOutCmd(kOpCompare, slba, len, contentSeed, std::move(done));
+}
+
+void
+NvmeHostQueue::issueDataOutCmd(uint8_t opcode, uint64_t slba, uint32_t len,
+                               uint64_t contentSeed, WriteDone done)
+{
     host::Core &core = sock_.core();
-    const host::CycleModel &m = core.model();
-    core.charge(m.nvmeRequestCost / 2);
+    core.charge(core.model().nvmeRequestCost / 2);
 
     uint16_t cid = allocCid();
     Request req;
-    req.opcode = kOpWrite;
+    req.opcode = opcode;
     req.slba = slba;
     req.len = len;
+    req.contentSeed = contentSeed;
     req.writeDone = std::move(done);
     outstandingBytes_ += len;
     requests_.emplace(cid, std::move(req));
 
     CmdCapsule cmd;
     cmd.cid = cid;
-    cmd.opcode = kOpWrite;
+    cmd.opcode = opcode;
     cmd.slba = slba;
     cmd.length = len;
     enqueuePdu(buildCmdCapsule(wc_, cmd), ocfg_.crcTx);
+    // The payload stays queued until the target grants R2T credit
+    // (NVMe/TCP §3.3.2.2); data-less commands complete on the
+    // response capsule alone.
+}
 
-    uint32_t off = 0;
-    while (off < len) {
+void
+NvmeHostQueue::onR2t(const R2tHdr &r2t)
+{
+    count(&NvmeHostStats::r2tPdusRx);
+    auto it = requests_.find(r2t.cid);
+    if (it == requests_.end())
+        return; // stale credit for a completed/failed command
+    Request &req = it->second;
+
+    host::Core &core = sock_.core();
+    const host::CycleModel &m = core.model();
+    uint32_t off = r2t.r2tOffset;
+    uint32_t end = static_cast<uint32_t>(
+        std::min<uint64_t>(static_cast<uint64_t>(r2t.r2tOffset) +
+                               r2t.r2tLength,
+                           req.len));
+    while (off < end) {
         uint32_t n = static_cast<uint32_t>(
-            std::min<size_t>(wc_.maxDataPerPdu, len - off));
+            std::min<size_t>(wc_.maxDataPerPdu, end - off));
         Bytes data(n);
-        fillDeterministic(data, contentSeed, slba + off);
+        fillDeterministic(data, req.contentSeed, req.slba + off);
         DataPduHdr dh;
-        dh.cid = cid;
+        dh.cid = r2t.cid;
         dh.dataOffset = off;
         dh.dataLen = n;
         // Copy user data into the PDU; compute the digest in software
@@ -365,7 +394,7 @@ NvmeHostQueue::onPdu(RxPdu &&pdu)
 
         // ---- data digest
         if (wc_.dataDigest && dh.dataLen > 0) {
-            bool skip = ocfg_.crcRx && pdu.crcFullyOffloaded();
+            bool skip = ocfg_.crcRx && pdu.digestFullyOffloaded();
             if (skip) {
                 count(&NvmeHostStats::crcSkipped);
             } else {
@@ -380,6 +409,11 @@ NvmeHostQueue::onPdu(RxPdu &&pdu)
             }
         }
         req.received += dh.dataLen;
+        return;
+    }
+
+    if (pdu.ch.type == kPduR2T) {
+        onR2t(parseR2tHdr(pdu.bytes));
         return;
     }
 
@@ -416,7 +450,9 @@ NvmeHostQueue::completeRequest(uint16_t cid, bool ok)
         if (req.readDone)
             req.readDone(success, std::move(req.buffer));
     } else {
-        count(&NvmeHostStats::writesCompleted);
+        count(req.opcode == kOpFlush     ? &NvmeHostStats::flushesCompleted
+              : req.opcode == kOpCompare ? &NvmeHostStats::comparesCompleted
+                                         : &NvmeHostStats::writesCompleted);
         if (req.writeDone)
             req.writeDone(success);
     }
@@ -446,7 +482,11 @@ NvmeHostQueue::checkPendingResync()
     if (tlsRxEngine_ != nullptr) {
         tlsRxEngine_->innerResyncResponse(resyncReqId_, ok, 0);
     } else if (l5o_ != nullptr) {
-        l5o_->resyncRxResp(resyncSeq_, ok, 0);
+        // Confirm with software's PDU count: the NIC renumbers its
+        // messages from this index, and message identity across
+        // mid-message resumes rides on that numbering staying
+        // consistent with what the engine saw before the gap.
+        l5o_->resyncRxResp(resyncSeq_, ok, assembler_.pdusDelivered());
     }
 }
 
@@ -470,6 +510,7 @@ NvmeHostQueue::resyncRxReq(uint32_t tcpsn)
     ANIC_ASSERT(conn_ != nullptr);
     count(&NvmeHostStats::resyncRequests);
     resyncPending_ = true;
+    resyncSeq_ = tcpsn; // echoed in the response (stale-answer guard)
     // Translate the sequence number into our stream-offset space.
     uint64_t consumed = assembler_.streamConsumed();
     int64_t delta = static_cast<int32_t>(

@@ -1,7 +1,9 @@
 /**
  * @file
- * NVMe-TCP host (initiator) queue: maps read/write block requests to
- * capsules over a StreamSocket, with the paper's offloads:
+ * NVMe-TCP host (initiator) queue: maps read/write/flush/compare
+ * block requests to capsules over a StreamSocket. Data-out commands
+ * (write, compare) are R2T-gated: H2CData PDUs are emitted only for
+ * ranges the target has invited. Implements the paper's offloads:
  *
  *  - rx CRC offload: skip software data-digest verification when the
  *    NIC checked every chunk of a capsule;
@@ -31,20 +33,15 @@
 
 namespace anic::nvmetcp {
 
-/** Which offloads this queue requests from the NIC. */
-struct NvmeOffloadConfig
-{
-    bool crcRx = false;
-    bool copyRx = false;
-    bool crcTx = false;
-};
-
 struct NvmeHostStats
 {
     sim::Counter readsCompleted;
     sim::Counter writesCompleted;
+    sim::Counter flushesCompleted;
+    sim::Counter comparesCompleted;
     sim::Counter failures;
     sim::Counter dataPdusRx;
+    sim::Counter r2tPdusRx;   ///< write credits granted by the target
     sim::Counter crcSkipped;  ///< capsules fully verified by the NIC
     sim::Counter crcSoftware; ///< capsules verified in software
     sim::Counter crcFailures;
@@ -83,9 +80,18 @@ class NvmeHostQueue : private core::L5pCallbacks
     /** Reads @p len bytes at byte address @p slba. */
     void read(uint64_t slba, uint32_t len, ReadDone done);
 
-    /** Writes @p len deterministic bytes (seed/slba-addressed). */
+    /** Writes @p len deterministic bytes (seed/slba-addressed). Data
+     *  is held back until the target grants R2T credit. */
     void write(uint64_t slba, uint32_t len, uint64_t contentSeed,
                WriteDone done);
+
+    /** FLUSH: a data-less command fence. */
+    void flush(WriteDone done);
+
+    /** COMPARE: sends @p len deterministic bytes for the target to
+     *  match against the addressed range (R2T-gated like a write). */
+    void compare(uint64_t slba, uint32_t len, uint64_t contentSeed,
+                 WriteDone done);
 
     const NvmeHostStats &stats() const { return stats_; }
     size_t outstanding() const { return requests_.size(); }
@@ -105,6 +111,7 @@ class NvmeHostQueue : private core::L5pCallbacks
         uint8_t opcode = 0;
         uint64_t slba = 0;
         uint32_t len = 0;
+        uint64_t contentSeed = 0; ///< data-out payload (write/compare)
         host::BlockBufferPtr buffer;
         ReadDone readDone;
         WriteDone writeDone;
@@ -113,6 +120,9 @@ class NvmeHostQueue : private core::L5pCallbacks
     };
 
     uint16_t allocCid();
+    void issueDataOutCmd(uint8_t opcode, uint64_t slba, uint32_t len,
+                         uint64_t contentSeed, WriteDone done);
+    void onR2t(const R2tHdr &r2t);
     void enqueuePdu(Bytes pdu, bool trackForResync);
     void flushSendQueue();
     void failAllOutstanding();

@@ -4,6 +4,38 @@
 
 namespace anic::nvmetcp {
 
+// -------------------------------------------- unified-binding state
+
+namespace {
+
+void
+ensureNvmeRegistered()
+{
+    static const bool once = [] {
+        core::L5ProtocolOps ops;
+        ops.makeRx = [](const core::L5StaticState &st)
+            -> std::unique_ptr<nic::L5Engine> {
+            const auto &nvme = static_cast<const NvmeStaticState &>(st);
+            return std::make_unique<NvmeRxEngine>(nvme.wire());
+        };
+        ops.makeTx = [](const core::L5StaticState &st)
+            -> std::unique_ptr<nic::L5Engine> {
+            const auto &nvme = static_cast<const NvmeStaticState &>(st);
+            return std::make_unique<NvmeTxEngine>(nvme.wire());
+        };
+        core::registerL5Protocol(net::L5Kind::Nvme, ops);
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace
+
+NvmeStaticState::NvmeStaticState(const WireConfig &wc) : wc_(wc)
+{
+    ensureNvmeRegistered();
+}
+
 // ------------------------------------------------------------- receive
 
 void
@@ -53,9 +85,17 @@ NvmeRxEngine::onMsgResume(uint64_t msgIdx, ByteView hdr, uint64_t off)
     // Either resuming the same capsule after a gap (sub-header known,
     // placement continues) or adopting a different capsule mid-way.
     // Identity must come from the message index — every large data
-    // PDU has an identical header shape, so shape comparison would
-    // silently attach the previous capsule's buffer.
-    bool same_pdu = haveMsgIdx_ && msgIdx == curMsgIdx_ && subHdrValid_;
+    // PDU has an identical header shape, so shape comparison alone
+    // would silently attach the previous capsule's buffer. But the
+    // index is seeded by software on resync confirmation, so a buggy
+    // (or merely restarted) L5P can recycle an index for a different
+    // PDU: also require the common header the FSM hands us to match
+    // the cached one before trusting per-capsule state.
+    std::optional<CommonHdr> ch = parseCommonHdr(hdr, 2 << 20);
+    bool same_pdu = haveMsgIdx_ && msgIdx == curMsgIdx_ && subHdrValid_ &&
+                    ch.has_value() && ch->type == ch_.type &&
+                    ch->flags == ch_.flags && ch->pdo == ch_.pdo &&
+                    ch->plen == ch_.plen;
     if (!same_pdu) {
         beginPdu(hdr);
         // Sub-header bytes before the resume point will never be
@@ -106,7 +146,6 @@ NvmeRxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
             if (isDataPdu_ && wc_.dataDigest) {
                 crc_.update(chunk);
                 count(&nic::EngineStats::bytesChecked, n);
-                res.sawCrcBytes = true;
             }
             if (placeTarget_ && subHdrValid_) {
                 // DMA-write straight into the block buffer (Figure 9).
@@ -123,12 +162,18 @@ NvmeRxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
             }
             i += n;
         } else {
-            // Data digest trailer.
+            // Data digest trailer. Bytes past the constant-size
+            // trailer mean the cached header disagrees with the
+            // FSM's framing (stale state across a resume); ignore
+            // them and leave verification to software.
             size_t tail_off = static_cast<size_t>(pos - data_end);
+            if (tail_off >= kDigestSize) {
+                crcValid_ = false;
+                break;
+            }
             size_t n = std::min(kDigestSize - tail_off, data.size() - i);
             std::memcpy(ddgstBuf_ + tail_off, data.data() + i, n);
             ddgstHave_ = tail_off + n;
-            res.sawCrcBytes = true;
             i += n;
         }
     }
@@ -141,15 +186,16 @@ NvmeRxEngine::onMsgEnd(bool covered, nic::PacketResult &res)
         return;
     if (!covered || !crcValid_ || ddgstHave_ < kDigestSize) {
         // Incomplete coverage: report unchecked so software verifies.
-        res.crcIncomplete = true;
+        res.setVerify(net::L5Kind::Nvme, net::VerifyOutcome::Incomplete);
         return;
     }
     uint32_t wire = static_cast<uint32_t>(getLe32(ddgstBuf_));
     if (crc_.value() != wire) {
-        res.crcFailed = true;
-        count(&nic::EngineStats::crcFailures);
+        res.setVerify(net::L5Kind::Nvme, net::VerifyOutcome::Failed);
+        count(&nic::EngineStats::verifyFailures);
     } else {
-        count(&nic::EngineStats::crcsVerified);
+        res.setVerify(net::L5Kind::Nvme, net::VerifyOutcome::Ok);
+        count(&nic::EngineStats::verifiedOk);
     }
 }
 
@@ -209,6 +255,8 @@ NvmeTxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
                 ddgstReady_ = true;
             }
             size_t tail_off = static_cast<size_t>(pos - data_end);
+            if (tail_off >= kDigestSize)
+                break; // framing disagreement; never write past plen
             size_t n = std::min(kDigestSize - tail_off, data.size() - i);
             std::memcpy(data.data() + i, ddgst_ + tail_off, n);
             i += n;

@@ -23,11 +23,37 @@
 
 #include <unordered_map>
 
+#include "core/l5o.hh"
 #include "host/storage.hh"
 #include "nic/stream_fsm.hh"
 #include "nvmetcp/pdu.hh"
 
 namespace anic::nvmetcp {
+
+/** Which offloads a session requests from the NIC. */
+struct NvmeOffloadConfig
+{
+    bool crcRx = false;
+    bool copyRx = false;
+    bool crcTx = false;
+};
+
+/**
+ * NVMe-TCP static offload state for the unified l5o_create binding:
+ * the negotiated wire format. Constructing one registers the NVMe
+ * engine factories with the driver's protocol registry.
+ */
+class NvmeStaticState : public core::L5StaticState
+{
+  public:
+    explicit NvmeStaticState(const WireConfig &wc);
+
+    net::L5Kind kind() const override { return net::L5Kind::Nvme; }
+    const WireConfig &wire() const { return wc_; }
+
+  private:
+    WireConfig wc_;
+};
 
 /** Common framing for both directions. */
 class NvmeEngineBase : public nic::L5Engine
@@ -35,6 +61,7 @@ class NvmeEngineBase : public nic::L5Engine
   public:
     explicit NvmeEngineBase(const WireConfig &wc) : wc_(wc) {}
 
+    net::L5Kind kind() const override { return net::L5Kind::Nvme; }
     size_t headerSize() const override { return kCommonHdrSize; }
 
     std::optional<nic::MsgInfo>

@@ -15,6 +15,8 @@ hlenForType(uint8_t type)
       case kPduH2CData:
       case kPduC2HData:
         return kDataHdrSize;
+      case kPduR2T:
+        return kR2tHdrSize;
       default:
         return 0;
     }
@@ -41,8 +43,9 @@ parseCommonHdr(ByteView h, size_t maxPdu)
     if (ch.pdo != expect_pdo)
         return std::nullopt;
     uint32_t min_len = ch.pdo + (ch.hasDdgst() ? kDigestSize : 0);
-    // Capsules without data carry no DDGST even when negotiated.
-    if (ch.type == kPduCapsuleResp || ch.type == kPduCapsuleCmd)
+    // Data-less PDUs carry no DDGST even when negotiated.
+    if (ch.type == kPduCapsuleResp || ch.type == kPduCapsuleCmd ||
+        ch.type == kPduR2T)
         min_len = ch.pdo;
     if (ch.plen < min_len || ch.plen > maxPdu)
         return std::nullopt;
@@ -142,6 +145,18 @@ buildDataPdu(const WireConfig &wc, uint8_t type, const DataPduHdr &hdr,
     return pdu;
 }
 
+Bytes
+buildR2tPdu(const WireConfig &wc, const R2tHdr &hdr)
+{
+    Bytes pdu = makeHeader(wc, kPduR2T, kR2tHdrSize, false, 0);
+    putLe16(pdu.data() + 8, hdr.cid);
+    putLe16(pdu.data() + 10, hdr.ttag);
+    putLe32(pdu.data() + 12, hdr.r2tOffset);
+    putLe32(pdu.data() + 16, hdr.r2tLength);
+    fillHdgst(wc, pdu, kR2tHdrSize);
+    return pdu;
+}
+
 CmdCapsule
 parseCmdCapsule(ByteView pdu)
 {
@@ -170,6 +185,17 @@ parseDataPduHdr(ByteView pdu)
     d.dataOffset = static_cast<uint32_t>(getLe32(pdu.data() + 12));
     d.dataLen = static_cast<uint32_t>(getLe32(pdu.data() + 16));
     return d;
+}
+
+R2tHdr
+parseR2tHdr(ByteView pdu)
+{
+    R2tHdr r;
+    r.cid = getLe16(pdu.data() + 8);
+    r.ttag = getLe16(pdu.data() + 10);
+    r.r2tOffset = static_cast<uint32_t>(getLe32(pdu.data() + 12));
+    r.r2tLength = static_cast<uint32_t>(getLe32(pdu.data() + 16));
+    return r;
 }
 
 uint64_t
@@ -222,8 +248,16 @@ PduAssembler::ingest(const tcp::RxSegment &seg,
         PduSlice slice;
         slice.pduOff = have_;
         slice.len = take;
-        slice.crcChecked = seg.meta.crcChecked;
-        slice.crcOk = seg.meta.crcOk;
+        // A chunk's digest counts as NIC-checked when the packet went
+        // through the offload path and no digest that completed in it
+        // was left uncovered; it passed unless a completed check
+        // mismatched. Chunks with no completed digest are vacuously OK
+        // (the verdict rides on the chunk holding the trailer).
+        net::VerifyOutcome v = seg.meta.verifyOf(net::L5Kind::Nvme);
+        slice.digestChecked =
+            seg.meta.offloaded && v != net::VerifyOutcome::Incomplete;
+        slice.digestOk =
+            slice.digestChecked && v != net::VerifyOutcome::Failed;
         for (const net::PlacedRange &r : seg.meta.placed) {
             // Convert segment-relative placement to PDU-relative.
             uint64_t s = std::max<uint64_t>(r.payloadOff, off);
@@ -245,6 +279,7 @@ PduAssembler::ingest(const tcp::RxSegment &seg,
             hdr8_.clear();
             hdrComplete_ = false;
             have_ = 0;
+            pduIdx_++;
             sink(std::move(done));
         }
     }

@@ -5,7 +5,7 @@
  *
  * Every PDU starts with the 8-byte common header:
  *   [0]    type      (CapsuleCmd 0x04, CapsuleResp 0x05,
- *                     H2CData 0x06, C2HData 0x07)
+ *                     H2CData 0x06, C2HData 0x07, R2T 0x09)
  *   [1]    flags     (bit0 HDGST present, bit1 DDGST present)
  *   [2]    hlen      (PDU header length, type-specific constant)
  *   [3]    pdo       (data offset = hlen + optional 4-byte HDGST)
@@ -21,6 +21,8 @@
  *   CapsuleResp (hlen 24): cid u16, status u16, rsvd[12]
  *   C2H/H2CData (hlen 24): cid u16, rsvd u16, dataOffset u32,
  *                          dataLen u32, rsvd[4]
+ *   R2T         (hlen 24): cid u16, ttag u16, r2tOffset u32,
+ *                          r2tLength u32, rsvd[4]
  *
  * Digests are CRC32C: HDGST over [0, hlen), DDGST over the data.
  */
@@ -43,6 +45,7 @@ enum PduType : uint8_t
     kPduCapsuleResp = 0x05,
     kPduH2CData = 0x06,
     kPduC2HData = 0x07,
+    kPduR2T = 0x09,
 };
 
 enum PduFlags : uint8_t
@@ -53,14 +56,17 @@ enum PduFlags : uint8_t
 
 enum NvmeOpcode : uint8_t
 {
-    kOpRead = 0x02,
+    kOpFlush = 0x00,
     kOpWrite = 0x01,
+    kOpRead = 0x02,
+    kOpCompare = 0x05,
 };
 
 constexpr size_t kCommonHdrSize = 8;
 constexpr size_t kCmdHdrSize = 32;
 constexpr size_t kRespHdrSize = 24;
 constexpr size_t kDataHdrSize = 24;
+constexpr size_t kR2tHdrSize = 24;
 constexpr size_t kDigestSize = 4;
 
 /** Wire-format options negotiated at queue setup (ICReq/ICResp). */
@@ -69,6 +75,9 @@ struct WireConfig
     bool headerDigest = true;
     bool dataDigest = true;
     size_t maxDataPerPdu = 256 << 10;
+    /** Largest write range one R2T invites (MAXH2CDATA analogue);
+     *  the target keeps a single R2T outstanding per command. */
+    size_t maxR2tWindow = 128 << 10;
 
     size_t digestLen() const { return headerDigest ? kDigestSize : 0; }
     size_t ddgstLen() const { return dataDigest ? kDigestSize : 0; }
@@ -129,6 +138,19 @@ struct DataPduHdr
     uint32_t dataLen = 0;
 };
 
+/**
+ * Fields of an R2T PDU (hlen 24): target-to-host write credit. The
+ * host may only transmit the H2CData range the target has invited
+ * (NVMe/TCP §3.3.2.2). Carries no data and never a DDGST.
+ */
+struct R2tHdr
+{
+    uint16_t cid = 0;
+    uint16_t ttag = 0;       ///< transfer tag echoed in H2CData
+    uint32_t r2tOffset = 0;  ///< offset into the command's data buffer
+    uint32_t r2tLength = 0;  ///< bytes invited
+};
+
 // -------------------------------------------------------------- builders
 
 /** Builds a command capsule (no data). */
@@ -144,11 +166,15 @@ Bytes buildRespCapsule(const WireConfig &wc, const RespCapsule &resp);
 Bytes buildDataPdu(const WireConfig &wc, uint8_t type, const DataPduHdr &hdr,
                    ByteView data, bool fillDdgst);
 
+/** Builds an R2T PDU (no data). */
+Bytes buildR2tPdu(const WireConfig &wc, const R2tHdr &hdr);
+
 // --------------------------------------------------------------- parsing
 
 CmdCapsule parseCmdCapsule(ByteView pdu);
 RespCapsule parseRespCapsule(ByteView pdu);
 DataPduHdr parseDataPduHdr(ByteView pdu);
+R2tHdr parseR2tHdr(ByteView pdu);
 
 /**
  * Verifies the header digest of a full wire PDU (trivially true when
@@ -165,8 +191,8 @@ struct PduSlice
 {
     size_t pduOff = 0;
     size_t len = 0;
-    bool crcChecked = false;
-    bool crcOk = false;
+    bool digestChecked = false;
+    bool digestOk = false;
     /** Placed ranges, PDU-relative. */
     std::vector<net::PlacedRange> placed;
 };
@@ -181,12 +207,12 @@ struct RxPdu
     /** True iff the NIC checked (and passed) the data digest on every
      *  chunk — the "crc_ok bits of all SKBs" condition. */
     bool
-    crcFullyOffloaded() const
+    digestFullyOffloaded() const
     {
         if (slices.empty())
             return false;
         for (const PduSlice &s : slices) {
-            if (!s.crcChecked || !s.crcOk)
+            if (!s.digestChecked || !s.digestOk)
                 return false;
         }
         return true;
@@ -224,6 +250,11 @@ class PduAssembler
     /** True if mid-PDU (header or body partially collected). */
     bool midPdu() const { return have_ > 0; }
 
+    /** Index of the next (or current) PDU: PDUs fully delivered so
+     *  far. Echoed on resync confirmation so the NIC renumbers its
+     *  messages consistently with software's count. */
+    uint64_t pdusDelivered() const { return pduIdx_; }
+
   private:
     WireConfig wc_;
     size_t maxPdu_;
@@ -233,6 +264,7 @@ class PduAssembler
     size_t have_ = 0;
     uint64_t pduStartOff_ = 0;
     uint64_t consumed_ = 0;
+    uint64_t pduIdx_ = 0;
     bool error_ = false;
 };
 

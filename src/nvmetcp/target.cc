@@ -1,5 +1,8 @@
 #include "nvmetcp/target.hh"
 
+#include <algorithm>
+#include <cstring>
+
 #include "host/core.hh"
 #include "util/panic.hh"
 
@@ -11,6 +14,40 @@ NvmeTarget::NvmeTarget(tcp::StreamSocket &sock, host::NvmeDrive &drive,
 {
     sock_.setOnReadable([this] { onReadable(); });
     sock_.setOnWritable([this] { flush(); });
+}
+
+NvmeTarget::~NvmeTarget()
+{
+    if (l5o_ != nullptr)
+        l5o_->destroy();
+}
+
+void
+NvmeTarget::enableOffload(core::OffloadDevice &dev, tcp::TcpConnection &conn,
+                          NvmeOffloadConfig ocfg)
+{
+    ANIC_ASSERT(l5o_ == nullptr);
+    conn_ = &conn;
+    ocfg_ = ocfg;
+    if (!ocfg_.crcRx && !ocfg_.copyRx && !ocfg_.crcTx)
+        return;
+
+    NvmeStaticState st(wc_);
+    unsigned dirs = ((ocfg_.crcRx || ocfg_.copyRx) ? core::kL5Rx : 0u) |
+                    (ocfg_.crcTx ? core::kL5Tx : 0u);
+    if (ocfg_.crcTx)
+        conn.setOnAcked([this](uint32_t una) { txMap_.trimAcked(una); });
+    l5o_ = dev.l5oCreate(conn, st, dirs, this);
+    if (dirs & core::kL5Rx)
+        rxEngine_ = static_cast<NvmeRxEngine *>(l5o_->rxEngine());
+    if (ocfg_.crcTx)
+        conn.setTxOffloadCtx(l5o_->txCtxId());
+}
+
+const nic::FsmStats *
+NvmeTarget::rxFsmStats() const
+{
+    return l5o_ != nullptr ? l5o_->rxFsmStats() : nullptr;
 }
 
 void
@@ -32,6 +69,7 @@ NvmeTarget::onReadable()
             dead_ = true;
         }
     }
+    checkPendingResync();
 }
 
 void
@@ -58,43 +96,131 @@ NvmeTarget::onPdu(RxPdu &&pdu)
         if (cmd.opcode == kOpRead) {
             serveRead(cmd);
         } else {
+            // Data-out (WRITE, COMPARE) or data-less (FLUSH) command.
             PendingWrite w;
+            w.opcode = cmd.opcode;
             w.len = cmd.length;
             w.slba = cmd.slba;
+            w.buffer = std::make_shared<host::BlockBuffer>(cmd.length);
             writes_[cmd.cid] = w;
             if (cmd.length == 0)
                 finishWrite(cmd.cid);
+            else
+                issueR2t(cmd.cid);
         }
         return;
       }
-      case kPduH2CData: {
-        DataPduHdr dh = parseDataPduHdr(pdu.bytes);
-        auto it = writes_.find(dh.cid);
-        if (it == writes_.end())
-            return;
-        PendingWrite &w = it->second;
-        // Verify the data digest in software (the generator machine
-        // is not the device under test).
-        if (wc_.dataDigest && dh.dataLen > 0) {
-            ByteView data =
-                ByteView(pdu.bytes).subspan(pdu.ch.pdo, dh.dataLen);
-            core.charge(m.crcPerByte * dh.dataLen);
-            uint32_t wire = static_cast<uint32_t>(
-                getLe32(pdu.bytes.data() + pdu.ch.pdo + dh.dataLen));
-            if (crypto::Crc32c::compute(data) != wire) {
-                w.crcOk = false;
-                stats_.crcFailures++;
-            }
-        }
-        core.charge(m.copyPerByte(w.len) * dh.dataLen);
-        w.received += dh.dataLen;
-        if (w.received >= w.len)
-            finishWrite(dh.cid);
+      case kPduH2CData:
+        onH2cData(pdu);
         return;
-      }
       default:
         return; // targets ignore response-type PDUs
     }
+}
+
+void
+NvmeTarget::issueR2t(uint16_t cid)
+{
+    auto it = writes_.find(cid);
+    ANIC_ASSERT(it != writes_.end());
+    PendingWrite &w = it->second;
+    uint32_t n = static_cast<uint32_t>(
+        std::min<uint64_t>(wc_.maxR2tWindow, w.len - w.granted));
+    if (n == 0)
+        return;
+
+    if (w.granted == 0 && ocfg_.copyRx && rxEngine_ != nullptr) {
+        // l5o_add_rr_state before the credit leaves: H2CData can
+        // arrive any time after, and the NIC places it directly.
+        rxEngine_->addRrState(cid, w.buffer);
+    }
+
+    R2tHdr r2t;
+    r2t.cid = cid;
+    r2t.ttag = nextTtag_++;
+    r2t.r2tOffset = w.granted;
+    r2t.r2tLength = n;
+    w.granted += n;
+    stats_.r2tsSent++;
+    sock_.core().charge(sock_.core().model().nvmePduCost);
+    enqueue(buildR2tPdu(wc_, r2t));
+}
+
+void
+NvmeTarget::onH2cData(RxPdu &pdu)
+{
+    host::Core &core = sock_.core();
+    const host::CycleModel &m = core.model();
+
+    DataPduHdr dh = parseDataPduHdr(pdu.bytes);
+    auto it = writes_.find(dh.cid);
+    if (it == writes_.end())
+        return; // stale / unknown capsule
+    PendingWrite &w = it->second;
+
+    size_t pdo = pdu.ch.pdo;
+
+    // ---- copy (placement offload skips NIC-placed ranges)
+    std::vector<net::PlacedRange> placed;
+    for (const PduSlice &s : pdu.slices) {
+        for (const net::PlacedRange &r : s.placed)
+            placed.push_back(r); // already PDU-relative
+    }
+    std::sort(placed.begin(), placed.end(),
+              [](const net::PlacedRange &a, const net::PlacedRange &b) {
+                  return a.payloadOff < b.payloadOff;
+              });
+    uint64_t cursor = pdo;
+    uint64_t data_end = pdo + dh.dataLen;
+    uint64_t copied = 0;
+    uint64_t placed_bytes = 0;
+    auto copyRange = [&](uint64_t from, uint64_t to) {
+        if (from >= to)
+            return;
+        uint64_t dst = dh.dataOffset + (from - pdo);
+        if (dst + (to - from) <= w.buffer->data.size()) {
+            std::memcpy(w.buffer->data.data() + dst,
+                        pdu.bytes.data() + from, to - from);
+        }
+        copied += to - from;
+    };
+    for (const net::PlacedRange &r : placed) {
+        uint64_t ps = std::max<uint64_t>(r.payloadOff, pdo);
+        uint64_t pe = std::min<uint64_t>(r.payloadOff + r.len, data_end);
+        if (ps >= pe)
+            continue;
+        copyRange(cursor, ps);
+        placed_bytes += pe - ps;
+        cursor = std::max(cursor, pe);
+    }
+    copyRange(cursor, data_end);
+    core.charge(m.copyPerByte(w.len) * static_cast<double>(copied));
+    stats_.h2cBytesCopied += copied;
+    stats_.h2cBytesPlaced += placed_bytes;
+
+    // ---- data digest
+    if (wc_.dataDigest && dh.dataLen > 0) {
+        bool skip = ocfg_.crcRx && pdu.digestFullyOffloaded();
+        if (skip) {
+            stats_.h2cDigestSkipped++;
+        } else {
+            stats_.h2cDigestSoftware++;
+            core.charge(m.crcPerByte * dh.dataLen);
+            ByteView data = ByteView(pdu.bytes).subspan(pdo, dh.dataLen);
+            uint32_t wire = static_cast<uint32_t>(
+                getLe32(pdu.bytes.data() + data_end));
+            if (crypto::Crc32c::compute(data) != wire) {
+                w.digestOk = false;
+                stats_.digestFailures++;
+            }
+        }
+    }
+
+    w.received += dh.dataLen;
+    if (w.received >= w.len)
+        finishWrite(dh.cid);
+    else if (w.received >= w.granted)
+        issueR2t(dh.cid); // previous window exhausted; grant the next
 }
 
 void
@@ -117,13 +243,15 @@ NvmeTarget::serveRead(const CmdCapsule &cmd)
                 dh.cid = cmd.cid;
                 dh.dataOffset = static_cast<uint32_t>(off);
                 dh.dataLen = static_cast<uint32_t>(n);
-                // Drive buffer -> PDU copy plus software digest.
+                // Drive buffer -> PDU copy; compute the digest in
+                // software unless the NIC tx offload fills it.
                 c.charge(m.copyPerByte(data.size()) * n +
-                         (wc_.dataDigest ? m.crcPerByte * n : 0) +
+                         (wc_.dataDigest && !ocfg_.crcTx ? m.crcPerByte * n
+                                                         : 0) +
                          m.nvmePduCost);
                 enqueue(buildDataPdu(wc_, kPduC2HData, dh,
                                      ByteView(data).subspan(off, n),
-                                     /*fillDdgst=*/true));
+                                     /*fillDdgst=*/!ocfg_.crcTx));
                 off += n;
             }
             RespCapsule resp;
@@ -139,16 +267,52 @@ NvmeTarget::finishWrite(uint16_t cid)
 {
     auto it = writes_.find(cid);
     ANIC_ASSERT(it != writes_.end());
-    PendingWrite w = it->second;
+    PendingWrite w = std::move(it->second);
     writes_.erase(it);
+    if (rxEngine_ != nullptr)
+        rxEngine_->delRrState(cid); // l5o_del_rr_state
 
-    drive_.write(w.slba, w.len, [this, cid, w] {
-        sock_.core().post([this, cid, w] {
-            stats_.writesServed++;
-            stats_.bytesWritten += w.len;
+    if (w.opcode == kOpCompare) {
+        // COMPARE: read the addressed range back and match it against
+        // the received payload; miscompare is a non-zero status.
+        drive_.read(w.slba, w.len,
+                    [this, cid, buf = w.buffer,
+                     digestOk = w.digestOk](Bytes data) {
+            sock_.core().post(
+                [this, cid, buf, digestOk, data = std::move(data)] {
+                    host::Core &c = sock_.core();
+                    c.charge(c.model().copyLlcPerByte *
+                             static_cast<double>(data.size())); // memcmp
+                    bool match = data.size() == buf->data.size() &&
+                                 std::memcmp(data.data(), buf->data.data(),
+                                             data.size()) == 0;
+                    stats_.comparesServed++;
+                    if (!match)
+                        stats_.compareMismatches++;
+                    RespCapsule resp;
+                    resp.cid = cid;
+                    resp.status = (digestOk && match) ? 0 : 1;
+                    enqueue(buildRespCapsule(wc_, resp));
+                });
+        });
+        return;
+    }
+
+    // WRITE and FLUSH share the drive's write channel (a flush is a
+    // zero-length fence: access latency, no data).
+    drive_.write(w.slba, w.len,
+                 [this, cid, opcode = w.opcode, len = w.len,
+                  digestOk = w.digestOk] {
+        sock_.core().post([this, cid, opcode, len, digestOk] {
+            if (opcode == kOpFlush) {
+                stats_.flushesServed++;
+            } else {
+                stats_.writesServed++;
+                stats_.bytesWritten += len;
+            }
             RespCapsule resp;
             resp.cid = cid;
-            resp.status = w.crcOk ? 0 : 1;
+            resp.status = digestOk ? 0 : 1;
             enqueue(buildRespCapsule(wc_, resp));
         });
     });
@@ -157,7 +321,9 @@ NvmeTarget::finishWrite(uint16_t cid)
 void
 NvmeTarget::enqueue(Bytes pdu)
 {
-    sendq_.push_back(std::move(pdu));
+    SendEntry e;
+    e.bytes = std::move(pdu);
+    sendq_.push_back(std::move(e));
     flush();
 }
 
@@ -165,14 +331,77 @@ void
 NvmeTarget::flush()
 {
     while (!sendq_.empty()) {
-        ByteView rest = ByteView(sendq_.front()).subspan(sendqOff_);
+        SendEntry &e = sendq_.front();
+        if (!e.added && conn_ != nullptr && l5o_ != nullptr &&
+            l5o_->txCtxId() != 0) {
+            // All stream messages must be tracked when a tx context
+            // exists, so framing recovery can cross any message.
+            txMap_.add(conn_->sndNextByteSeq(),
+                       static_cast<uint32_t>(e.bytes.size()), txMsgIdx_++,
+                       e.bytes);
+            e.added = true;
+        }
+        ByteView rest = ByteView(e.bytes).subspan(sendqOff_);
         size_t acc = sock_.send(rest);
         sendqOff_ += acc;
-        if (sendqOff_ < sendq_.front().size())
+        if (sendqOff_ < e.bytes.size())
             return;
         sendq_.pop_front();
         sendqOff_ = 0;
     }
+}
+
+// ------------------------------------------------------------- resync
+
+void
+NvmeTarget::checkPendingResync()
+{
+    if (!resyncPending_)
+        return;
+    uint64_t cur = assembler_.midPdu() ? assembler_.curPduStartOff()
+                                       : assembler_.streamConsumed();
+    bool ok;
+    if (cur == resyncOff_) {
+        ok = true;
+    } else if (cur > resyncOff_) {
+        ok = false;
+    } else {
+        return; // not there yet
+    }
+    resyncPending_ = false;
+    if (ok)
+        stats_.resyncConfirmed++;
+    if (l5o_ != nullptr)
+        l5o_->resyncRxResp(resyncSeq_, ok, assembler_.pdusDelivered());
+}
+
+std::optional<core::L5pCallbacks::TxMsgState>
+NvmeTarget::getTxMsgState(uint32_t tcpsn)
+{
+    const core::TxMsgTracker::Entry *e = txMap_.find(tcpsn);
+    if (e == nullptr)
+        return std::nullopt;
+    TxMsgState st;
+    st.msgStartSeq = e->startSeq;
+    st.msgIdx = e->msgIdx;
+    uint32_t n = tcpsn - e->startSeq;
+    st.rebuild.assign(e->bytes.begin(), e->bytes.begin() + n);
+    return st;
+}
+
+void
+NvmeTarget::resyncRxReq(uint32_t tcpsn)
+{
+    ANIC_ASSERT(conn_ != nullptr);
+    stats_.resyncRequests++;
+    resyncPending_ = true;
+    resyncSeq_ = tcpsn;
+    // Translate the sequence number into our stream-offset space.
+    uint64_t consumed = assembler_.streamConsumed();
+    int64_t delta = static_cast<int32_t>(
+        tcpsn - conn_->seqOfRcvStreamOff(consumed));
+    resyncOff_ = consumed + delta;
+    checkPendingResync();
 }
 
 } // namespace anic::nvmetcp

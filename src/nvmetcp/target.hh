@@ -4,6 +4,13 @@
  * from an NvmeDrive. Lives on the workload-generator machine in the
  * paper's setup ("the server utilizes an Optane ... NVMe SSD that
  * resides remotely, on the generator").
+ *
+ * The write path is R2T-gated: a data-out command (WRITE, COMPARE)
+ * is granted one outstanding R2T window at a time, and H2CData is
+ * accepted only inside granted ranges. With enableOffload() the
+ * target also acts as a device under test: its NIC verifies H2CData
+ * digests and places payload directly into the pending write's block
+ * buffer (rx), and fills C2HData digests on the way out (tx).
  */
 
 #ifndef ANIC_NVMETCP_TARGET_HH
@@ -12,7 +19,10 @@
 #include <deque>
 #include <unordered_map>
 
+#include "core/offload_device.hh"
+#include "core/tx_msg_tracker.hh"
 #include "host/storage.hh"
+#include "nvmetcp/nvme_engine.hh"
 #include "nvmetcp/pdu.hh"
 
 namespace anic::nvmetcp {
@@ -21,17 +31,36 @@ struct NvmeTargetStats
 {
     uint64_t readsServed = 0;
     uint64_t writesServed = 0;
+    uint64_t flushesServed = 0;
+    uint64_t comparesServed = 0;
+    uint64_t compareMismatches = 0;
     uint64_t bytesRead = 0;
     uint64_t bytesWritten = 0;
-    uint64_t crcFailures = 0;
+    uint64_t r2tsSent = 0;
+    uint64_t digestFailures = 0;       ///< H2CData DDGST mismatches
+    uint64_t h2cDigestSkipped = 0;     ///< PDUs fully verified by the NIC
+    uint64_t h2cDigestSoftware = 0;    ///< PDUs verified in software
+    uint64_t h2cBytesPlaced = 0;       ///< payload the NIC DMA'd to buffers
+    uint64_t h2cBytesCopied = 0;       ///< payload copied by software
+    uint64_t resyncRequests = 0;
+    uint64_t resyncConfirmed = 0;
 };
 
 /** One connection's controller-side session. */
-class NvmeTarget
+class NvmeTarget : private core::L5pCallbacks
 {
   public:
     NvmeTarget(tcp::StreamSocket &sock, host::NvmeDrive &drive,
                WireConfig wc);
+    ~NvmeTarget() override;
+
+    /**
+     * Installs NIC offload contexts on the target side (l5o_create on
+     * the flow): rx digest verification + placement for inbound
+     * H2CData, tx digest fill for outbound C2HData.
+     */
+    void enableOffload(core::OffloadDevice &dev, tcp::TcpConnection &conn,
+                       NvmeOffloadConfig ocfg);
 
     const NvmeTargetStats &stats() const { return stats_; }
 
@@ -40,13 +69,23 @@ class NvmeTarget
      *  connection (NVMe/TCP §7.4.7 fatal transport error). */
     bool desynced() const { return dead_; }
 
+    /** FSM stats of the rx offload, if any. */
+    const nic::FsmStats *rxFsmStats() const;
+
   private:
     void onReadable();
     void onPdu(RxPdu &&pdu);
     void serveRead(const CmdCapsule &cmd);
+    void onH2cData(RxPdu &pdu);
+    void issueR2t(uint16_t cid);
     void finishWrite(uint16_t cid);
     void enqueue(Bytes pdu);
     void flush();
+    void checkPendingResync();
+
+    // L5pCallbacks.
+    std::optional<TxMsgState> getTxMsgState(uint32_t tcpsn) override;
+    void resyncRxReq(uint32_t tcpsn) override;
 
     tcp::StreamSocket &sock_;
     host::NvmeDrive &drive_;
@@ -55,17 +94,40 @@ class NvmeTarget
 
     struct PendingWrite
     {
+        uint8_t opcode = kOpWrite;
         uint32_t len = 0;
         uint32_t received = 0;
+        uint32_t granted = 0;
         uint64_t slba = 0;
-        bool crcOk = true;
+        bool digestOk = true;
+        host::BlockBufferPtr buffer; ///< H2C payload lands here
     };
     std::unordered_map<uint16_t, PendingWrite> writes_;
 
-    std::deque<Bytes> sendq_;
+    struct SendEntry
+    {
+        Bytes bytes;
+        bool added = false; ///< registered in txMap_
+    };
+    std::deque<SendEntry> sendq_;
     size_t sendqOff_ = 0;
 
     bool dead_ = false;
+
+    // Offload plumbing.
+    NvmeOffloadConfig ocfg_;
+    core::L5Offload *l5o_ = nullptr;
+    tcp::TcpConnection *conn_ = nullptr;
+    NvmeRxEngine *rxEngine_ = nullptr;
+    core::TxMsgTracker txMap_;
+    uint64_t txMsgIdx_ = 0;
+    uint16_t nextTtag_ = 1;
+
+    // Pending rx resync speculation (one outstanding).
+    bool resyncPending_ = false;
+    uint32_t resyncSeq_ = 0;
+    uint64_t resyncOff_ = 0;
+
     NvmeTargetStats stats_;
 };
 

@@ -10,6 +10,7 @@
 
 #include "core/node.hh"
 #include "host/storage.hh"
+#include "iscsi/session.hh"
 #include "nvmetcp/host_queue.hh"
 #include "nvmetcp/target.hh"
 #include "testing/invariants.hh"
@@ -25,6 +26,7 @@ constexpr net::IpAddr kIpA = net::makeIp(10, 0, 0, 1);
 constexpr net::IpAddr kIpB = net::makeIp(10, 0, 0, 2);
 constexpr uint16_t kTlsPortBase = 4000;
 constexpr uint16_t kNvmePort = 4420;
+constexpr uint16_t kIscsiPort = 3260;
 constexpr uint16_t kIncastPort = 4600;
 constexpr uint16_t kShortFlowPort = 4700;
 constexpr sim::Tick kPollPeriod = 200 * sim::kMicrosecond;
@@ -479,6 +481,138 @@ class NvmeDriver
 };
 
 /**
+ * Drives the iSCSI workload: target + drive on node a, initiator on
+ * node b, a pre-generated command list issued through a fixed-depth
+ * window, mirroring NvmeDriver. Unlike the NVMe workload (host-side
+ * offload only), the offload run offloads BOTH endpoints, so reads
+ * exercise the initiator's digest/placement engines and writes the
+ * target's Data-Out placement path under the same impairments.
+ */
+class IscsiDriver
+{
+  public:
+    IscsiDriver(FuzzWorld &w, const Scenario &s, bool offload)
+        : w_(w), spec_(s.iscsi), drive_(w.sim, {})
+    {
+        Rng r(s.seed ^ 0x15c51f10ull);
+        ops_.resize(spec_.ops);
+        for (Op &op : ops_) {
+            op.write = r.uniform() < spec_.writeRatio;
+            op.len = static_cast<uint32_t>(r.range(512, spec_.maxLen));
+            op.slba = r.range(0, 1u << 20);
+        }
+        w_.a.stack().listen(kIscsiPort, w_.a.tcpConfig(),
+                            [this, offload](tcp::TcpConnection &c) {
+                                target_ = std::make_unique<
+                                    iscsi::IscsiTarget>(c, drive_, wc_);
+                                iscsi::IscsiOffloadConfig tcfg;
+                                tcfg.crcRx = tcfg.copyRx = tcfg.crcTx =
+                                    offload;
+                                target_->enableOffload(w_.a.device(0), c,
+                                                       tcfg);
+                            });
+        w_.sim.schedule(spec_.startAt, [this, offload] {
+            tcp::TcpConnection &c = w_.b.stack().connect(
+                kIpB, kIpA, kIscsiPort, w_.b.tcpConfig());
+            c.setOnConnected([this, &c, offload] {
+                iscsi::IscsiOffloadConfig ocfg;
+                ocfg.crcRx = ocfg.copyRx = ocfg.crcTx = offload;
+                init_ = std::make_unique<iscsi::IscsiInitiator>(c, wc_,
+                                                                ocfg);
+                connB_ = &c;
+                if (offload)
+                    init_->enableOffload(w_.b.device(0), c);
+                issueMore();
+            });
+        });
+    }
+
+    bool
+    done() const
+    {
+        if (completed_ == ops_.size())
+            return true;
+        return init_ != nullptr && init_->desynced() && inFlight_ == 0;
+    }
+
+    bool desynced() const { return init_ != nullptr && init_->desynced(); }
+    uint64_t readsOk() const { return readsOk_; }
+    uint64_t writesOk() const { return writesOk_; }
+    uint64_t failures() const { return failures_; }
+    bool contentMismatch() const { return contentMismatch_; }
+
+    uint64_t
+    tcpDelivered() const
+    {
+        return connB_ != nullptr ? connB_->stats().bytesDelivered.value()
+                                 : 0;
+    }
+
+  private:
+    struct Op
+    {
+        bool write = false;
+        uint64_t slba = 0;
+        uint32_t len = 0;
+    };
+
+    void
+    issueMore()
+    {
+        while (next_ < ops_.size() && inFlight_ < spec_.qdepth &&
+               !init_->desynced()) {
+            const Op &op = ops_[next_++];
+            inFlight_++;
+            if (op.write) {
+                init_->write(op.slba, op.len, drive_.config().contentSeed,
+                             [this](bool ok) { onDone(ok, true); });
+            } else {
+                uint64_t slba = op.slba;
+                init_->read(
+                    op.slba, op.len,
+                    [this, slba](bool ok, host::BlockBufferPtr buf) {
+                        if (ok &&
+                            !checkDeterministic(
+                                buf->data, drive_.config().contentSeed,
+                                slba))
+                            contentMismatch_ = true;
+                        onDone(ok, false);
+                    });
+            }
+        }
+    }
+
+    void
+    onDone(bool ok, bool write)
+    {
+        inFlight_--;
+        completed_++;
+        if (ok)
+            (write ? writesOk_ : readsOk_)++;
+        else
+            failures_++;
+        issueMore();
+    }
+
+    FuzzWorld &w_;
+    IscsiFlowSpec spec_;
+    host::NvmeDrive drive_;
+    iscsi::IscsiWireConfig wc_;
+    std::unique_ptr<iscsi::IscsiTarget> target_;
+    std::unique_ptr<iscsi::IscsiInitiator> init_;
+    tcp::TcpConnection *connB_ = nullptr;
+
+    std::vector<Op> ops_;
+    size_t next_ = 0;
+    uint32_t inFlight_ = 0;
+    size_t completed_ = 0;
+    uint64_t readsOk_ = 0;
+    uint64_t writesOk_ = 0;
+    uint64_t failures_ = 0;
+    bool contentMismatch_ = false;
+};
+
+/**
  * Incast fan-in: spec.senders plain-TCP connections from node a
  * converge on one acceptor port on node b. Every round releases
  * bytesPerSender more bytes to every sender at the same tick — the
@@ -679,6 +813,9 @@ DifferentialRunner::runOne(const Scenario &s, bool offload)
     std::unique_ptr<NvmeDriver> nvme;
     if (s.nvme.enabled)
         nvme = std::make_unique<NvmeDriver>(w, s, offload);
+    std::unique_ptr<IscsiDriver> iscsi;
+    if (s.iscsi.enabled)
+        iscsi = std::make_unique<IscsiDriver>(w, s, offload);
     std::unique_ptr<IncastDriver> incast;
     if (s.incast.senders > 0)
         incast = std::make_unique<IncastDriver>(w, s);
@@ -691,6 +828,8 @@ DifferentialRunner::runOne(const Scenario &s, bool offload)
             if (!f->done())
                 return false;
         if (nvme != nullptr && !nvme->done())
+            return false;
+        if (iscsi != nullptr && !iscsi->done())
             return false;
         if (incast != nullptr && !incast->done())
             return false;
@@ -717,6 +856,16 @@ DifferentialRunner::runOne(const Scenario &s, bool offload)
         if (nvme->contentMismatch())
             r.errors.push_back(
                 "nvme read completed ok with wrong content");
+    }
+    if (iscsi != nullptr) {
+        r.iscsiReadsOk = iscsi->readsOk();
+        r.iscsiWritesOk = iscsi->writesOk();
+        r.iscsiFailures = iscsi->failures();
+        r.iscsiTcpDelivered = iscsi->tcpDelivered();
+        r.iscsiDesynced = iscsi->desynced();
+        if (iscsi->contentMismatch())
+            r.errors.push_back(
+                "iscsi read completed ok with wrong content");
     }
     if (incast != nullptr) {
         r.incastDelivered = incast->delivered();
@@ -827,6 +976,25 @@ DifferentialRunner::check(const Scenario &s)
                 " vs software %" PRIu64,
                 off.nvmeTcpDelivered, sw.nvmeTcpDelivered));
     }
+    if (s.iscsi.enabled) {
+        if (off.iscsiReadsOk != sw.iscsiReadsOk ||
+            off.iscsiWritesOk != sw.iscsiWritesOk)
+            errs.push_back(fmtMsg(
+                "iscsi completions differ: offload %" PRIu64 "r/%" PRIu64
+                "w vs software %" PRIu64 "r/%" PRIu64 "w",
+                off.iscsiReadsOk, off.iscsiWritesOk, sw.iscsiReadsOk,
+                sw.iscsiWritesOk));
+        if (off.iscsiFailures != 0 || sw.iscsiFailures != 0)
+            errs.push_back(fmtMsg(
+                "iscsi failures on a clean link: offload %" PRIu64
+                " software %" PRIu64,
+                off.iscsiFailures, sw.iscsiFailures));
+        if (off.iscsiTcpDelivered != sw.iscsiTcpDelivered)
+            errs.push_back(fmtMsg(
+                "iscsi TCP goodput differs: offload %" PRIu64
+                " vs software %" PRIu64,
+                off.iscsiTcpDelivered, sw.iscsiTcpDelivered));
+    }
     return errs;
 }
 
@@ -868,6 +1036,15 @@ DifferentialRunner::minimize(Scenario s, int maxEvals)
         if (s.nvme.enabled) {
             Scenario c = s;
             c.nvme.enabled = false;
+            if (stillFails(c)) {
+                s = std::move(c);
+                progress = true;
+                continue;
+            }
+        }
+        if (s.iscsi.enabled) {
+            Scenario c = s;
+            c.iscsi.enabled = false;
             if (stillFails(c)) {
                 s = std::move(c);
                 progress = true;

@@ -40,6 +40,11 @@ struct RunResult
     uint64_t nvmeFailures = 0;
     uint64_t nvmeTcpDelivered = 0;
     bool nvmeDesynced = false;
+    uint64_t iscsiReadsOk = 0;
+    uint64_t iscsiWritesOk = 0;
+    uint64_t iscsiFailures = 0;
+    uint64_t iscsiTcpDelivered = 0;
+    bool iscsiDesynced = false;
     uint64_t incastDelivered = 0; ///< plain-TCP incast bytes at receiver
     uint64_t shortDelivered = 0;  ///< short-flow bytes at receiver
     /** Plain-TCP payload mismatch. Expected under corruption (no

@@ -133,6 +133,19 @@ Scenario::toText() const
         appendU64(out, nvme.startAt);
         out += "\n";
     }
+    if (iscsi.enabled) {
+        out += "iscsi ";
+        appendU64(out, iscsi.ops);
+        out += " ";
+        appendU64(out, iscsi.maxLen);
+        out += " ";
+        appendU64(out, iscsi.qdepth);
+        out += " ";
+        appendDouble(out, iscsi.writeRatio);
+        out += " ";
+        appendU64(out, iscsi.startAt);
+        out += "\n";
+    }
     out += "end\n";
     return out;
 }
@@ -218,6 +231,12 @@ Scenario::fromText(const std::string &text)
             s.nvme.enabled = true;
             ls >> s.nvme.ops >> s.nvme.maxLen >> s.nvme.qdepth >>
                 s.nvme.writeRatio >> s.nvme.startAt;
+            if (ls.fail())
+                return std::nullopt;
+        } else if (key == "iscsi") {
+            s.iscsi.enabled = true;
+            ls >> s.iscsi.ops >> s.iscsi.maxLen >> s.iscsi.qdepth >>
+                s.iscsi.writeRatio >> s.iscsi.startAt;
             if (ls.fail())
                 return std::nullopt;
         } else {
@@ -342,6 +361,32 @@ ScenarioGen::generate(uint64_t seed) const
         s.shortFlows.maxBytes = r.range(1, 8) * 1024;
         s.shortFlows.meanGap = r.range(50, 400) * sim::kMicrosecond;
         s.shortFlows.startAt = r.range(0, 4) * sim::kMillisecond;
+    }
+
+    // Third-protocol storage axis (drawn last, so every earlier
+    // seed->scenario mapping is unchanged): an iSCSI workload next to
+    // the TLS and NVMe flows. ANIC_FUZZ_STORAGE pins the write-heavy
+    // storage mix — the CI arm dedicated to the NVMe H2C/R2T write
+    // path and the iSCSI digest/placement engines.
+    bool storagePinned = util::Env::fuzzStorage();
+    if (r.chance(0.35) || storagePinned) {
+        s.iscsi.enabled = true;
+        s.iscsi.ops = static_cast<uint32_t>(r.range(2, 8));
+        s.iscsi.maxLen = static_cast<uint32_t>(r.range(4096, 65536));
+        s.iscsi.qdepth = static_cast<uint32_t>(r.range(1, 4));
+        s.iscsi.writeRatio =
+            storagePinned ? 0.6 : (r.chance(0.5) ? 0.5 : 0.0);
+        s.iscsi.startAt = r.range(0, 4) * sim::kMillisecond;
+    }
+    if (storagePinned) {
+        if (!s.nvme.enabled) {
+            s.nvme.enabled = true;
+            s.nvme.ops = static_cast<uint32_t>(r.range(2, 8));
+            s.nvme.maxLen = static_cast<uint32_t>(r.range(4096, 65536));
+            s.nvme.qdepth = static_cast<uint32_t>(r.range(1, 4));
+            s.nvme.startAt = r.range(0, 4) * sim::kMillisecond;
+        }
+        s.nvme.writeRatio = 0.75;
     }
 
     return s;

@@ -88,6 +88,19 @@ struct NvmeFlowSpec
     sim::Tick startAt = 0;
 };
 
+/** The iSCSI workload (target on node a, initiator on node b). Both
+ *  endpoints are offloaded in the offload run — reads exercise the
+ *  initiator's digest/placement engines, writes the target's. */
+struct IscsiFlowSpec
+{
+    bool enabled = false;
+    uint32_t ops = 0;        ///< total SCSI commands to issue
+    uint32_t maxLen = 65536; ///< per-command byte length cap
+    uint32_t qdepth = 4;     ///< issue window
+    double writeRatio = 0.5; ///< fraction of commands that are writes
+    sim::Tick startAt = 0;
+};
+
 struct Scenario
 {
     uint64_t seed = 1;     ///< generator seed (labels the scenario)
@@ -97,6 +110,7 @@ struct Scenario
     std::vector<PhaseSpec> phases; ///< after the last phase: clean link
     std::vector<TlsFlowSpec> tls;
     NvmeFlowSpec nvme;
+    IscsiFlowSpec iscsi;
     IncastSpec incast;
     ShortFlowSpec shortFlows;
     /** Congestion control for every connection in the scenario. The

@@ -74,21 +74,11 @@ TlsSocket::enableOffload(core::OffloadDevice &dev)
     if (!cfg_.txOffload && !cfg_.rxOffload)
         return;
 
-    core::L5oParams params;
-    params.callbacks = this;
-    params.core = &conn_.core();
-    if (cfg_.rxOffload) {
-        params.rxFlow = conn_.localFlow().reversed();
-        params.rxEngine = std::make_unique<TlsRxEngine>(keys_.rx);
-        params.rxTcpsn = conn_.rcvNxt();
-        params.rxMsgIdx = rxRecSeq_;
-    }
-    if (cfg_.txOffload) {
-        params.txEngine = std::make_unique<TlsTxEngine>(keys_.tx);
-        params.txTcpsn = conn_.sndNextByteSeq();
-        params.txMsgIdx = txRecSeq_;
-    }
-    l5o_ = dev.l5oCreate(std::move(params));
+    // Unified binding: protocol kind + static state + directions.
+    TlsStaticState st(keys_);
+    unsigned dirs = (cfg_.rxOffload ? core::kL5Rx : 0u) |
+                    (cfg_.txOffload ? core::kL5Tx : 0u);
+    l5o_ = dev.l5oCreate(conn_, st, dirs, this, rxRecSeq_, txRecSeq_);
     if (cfg_.txOffload)
         conn_.setTxOffloadCtx(l5o_->txCtxId());
 }
@@ -312,7 +302,11 @@ TlsSocket::ingestSegment(tcp::RxSegment seg)
         s.recOff = rxHave_;
         s.data.assign(seg.data.begin() + off, seg.data.begin() + off + take);
         s.meta = metaSlice(seg.meta, off, take);
-        s.decrypted = seg.meta.decrypted;
+        // NIC-decrypted iff the packet went through the offload path
+        // and no record tag that completed in it failed.
+        s.decrypted = seg.meta.offloaded &&
+                      seg.meta.verifyOf(net::L5Kind::Tls) !=
+                          net::VerifyOutcome::Failed;
         rxSlices_.push_back(std::move(s));
         rxHave_ += take;
         off += take;
@@ -404,7 +398,6 @@ TlsSocket::finishRecord()
         out.streamOff = rxPlainOff_;
         out.data.assign(s.data.begin(), s.data.begin() + cp);
         out.meta = metaSlice(s.meta, 0, cp);
-        out.meta.decrypted = s.decrypted;
         rxPlainOff_ += cp;
         rxOut_.push_back(std::move(out));
     }

@@ -4,6 +4,38 @@
 
 namespace anic::tls {
 
+// -------------------------------------------- unified-binding state
+
+namespace {
+
+void
+ensureTlsRegistered()
+{
+    static const bool once = [] {
+        core::L5ProtocolOps ops;
+        ops.makeRx = [](const core::L5StaticState &st)
+            -> std::unique_ptr<nic::L5Engine> {
+            const auto &tls = static_cast<const TlsStaticState &>(st);
+            return std::make_unique<TlsRxEngine>(tls.keys().rx);
+        };
+        ops.makeTx = [](const core::L5StaticState &st)
+            -> std::unique_ptr<nic::L5Engine> {
+            const auto &tls = static_cast<const TlsStaticState &>(st);
+            return std::make_unique<TlsTxEngine>(tls.keys().tx);
+        };
+        core::registerL5Protocol(net::L5Kind::Tls, ops);
+        return true;
+    }();
+    (void)once;
+}
+
+} // namespace
+
+TlsStaticState::TlsStaticState(const SessionKeys &keys) : keys_(keys)
+{
+    ensureTlsRegistered();
+}
+
 // ----------------------------------------------------------- base
 
 TlsEngineBase::TlsEngineBase(const DirectionKeys &keys)
@@ -60,7 +92,7 @@ TlsTxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
             // Encrypt plaintext in place.
             gcm_.encryptUpdate(data.subspan(i, n), data.subspan(i, n));
             count(&nic::EngineStats::bytesTransformed, n);
-            res.sawCryptoBytes = true;
+            res.bytesTransformed += n;
             i += n;
         } else {
             // ICV region: replace the dummy bytes with the tag.
@@ -130,7 +162,7 @@ TlsRxEngine::installInner(
 }
 
 void
-TlsRxEngine::setStats(nic::EngineStats *stats)
+TlsRxEngine::setStats(nic::EngineStatsBank *stats)
 {
     TlsEngineBase::setStats(stats);
     if (inner_)
@@ -260,7 +292,7 @@ TlsRxEngine::onMsgData(uint64_t off, ByteSpan data, bool dryRun,
                 gcm_.decryptUpdate(chunk, chunk);
             }
             count(&nic::EngineStats::bytesTransformed, n);
-            res.sawCryptoBytes = true;
+            res.bytesTransformed += n;
             if (inner_) {
                 // Feed the decrypted plaintext to the inner layer.
                 uint32_t saved_base = res.payloadBase;
@@ -293,14 +325,16 @@ TlsRxEngine::onMsgEnd(bool covered, nic::PacketResult &res)
         // Incomplete coverage: no ICV verification here; software's
         // partial-record fallback authenticates the record.
         ctrOnly_ = false;
+        res.setVerify(net::L5Kind::Tls, net::VerifyOutcome::Incomplete);
         return;
     }
     ANIC_ASSERT(tagHave_ == kTagSize);
     if (!gcm_.checkTag(ByteView(tagBuf_, kTagSize))) {
-        res.tagFailed = true;
-        count(&nic::EngineStats::tagFailures);
+        res.setVerify(net::L5Kind::Tls, net::VerifyOutcome::Failed);
+        count(&nic::EngineStats::verifyFailures);
     } else {
-        count(&nic::EngineStats::tagsVerified);
+        res.setVerify(net::L5Kind::Tls, net::VerifyOutcome::Ok);
+        count(&nic::EngineStats::verifiedOk);
     }
 }
 

@@ -15,10 +15,28 @@
 
 #include <memory>
 
+#include "core/l5o.hh"
 #include "nic/stream_fsm.hh"
 #include "tls/record.hh"
 
 namespace anic::tls {
+
+/**
+ * TLS static offload state for the unified l5o_create binding: the
+ * session keys. Constructing one registers the TLS engine factories
+ * with the driver's protocol registry.
+ */
+class TlsStaticState : public core::L5StaticState
+{
+  public:
+    explicit TlsStaticState(const SessionKeys &keys);
+
+    net::L5Kind kind() const override { return net::L5Kind::Tls; }
+    const SessionKeys &keys() const { return keys_; }
+
+  private:
+    SessionKeys keys_;
+};
 
 /** Shared framing logic: both engines parse the same headers. */
 class TlsEngineBase : public nic::L5Engine
@@ -26,6 +44,7 @@ class TlsEngineBase : public nic::L5Engine
   public:
     explicit TlsEngineBase(const DirectionKeys &keys);
 
+    net::L5Kind kind() const override { return net::L5Kind::Tls; }
     size_t headerSize() const override { return kHeaderSize; }
     std::optional<nic::MsgInfo> parseHeader(ByteView hdr) const override;
     bool resumeMidMessage() const override { return false; }
@@ -95,8 +114,8 @@ class TlsRxEngine : public TlsEngineBase
     /** SW->HW resync response for the inner layer. */
     void innerResyncResponse(uint64_t reqId, bool ok, uint64_t msgIdx);
 
-    /** Propagates the aggregate to the hosted inner engine too. */
-    void setStats(nic::EngineStats *stats) override;
+    /** Propagates the counter bank to the hosted inner engine too. */
+    void setStats(nic::EngineStatsBank *stats) override;
 
     const nic::FsmStats *innerFsmStats() const;
 

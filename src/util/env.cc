@@ -19,6 +19,7 @@ struct Env::Values
     std::string tcpCc;
     std::string fsmBug;
     bool fuzzDebug = false;
+    bool fuzzStorage = false;
 };
 
 namespace {
@@ -67,6 +68,7 @@ Env::values()
         r.tcpCc = envString("ANIC_TCP_CC");
         r.fsmBug = envString("ANIC_FSM_BUG");
         r.fuzzDebug = envFlag("ANIC_FUZZ_DEBUG");
+        r.fuzzStorage = envFlag("ANIC_FUZZ_STORAGE");
         return r;
     }();
     return v;
@@ -85,5 +87,6 @@ const std::string &Env::cryptoImpl() { return values().cryptoImpl; }
 const std::string &Env::tcpCc() { return values().tcpCc; }
 const std::string &Env::fsmBug() { return values().fsmBug; }
 bool Env::fuzzDebug() { return values().fuzzDebug; }
+bool Env::fuzzStorage() { return values().fuzzStorage; }
 
 } // namespace anic::util

@@ -24,6 +24,8 @@
  *                              control for configs left on Auto
  *   ANIC_FSM_BUG       enum    fault injection for the mutation smoke
  *   ANIC_FUZZ_DEBUG    bool    verbose differential-runner logging
+ *   ANIC_FUZZ_STORAGE  bool    pin fuzz scenarios to a write-heavy
+ *                              storage mix (NVMe writes + iSCSI)
  *
  * Code must come here instead of calling std::getenv("ANIC_...")
  * directly; this is the single list of supported knobs.
@@ -82,6 +84,10 @@ class Env
 
     /** ANIC_FUZZ_DEBUG: verbose differential-runner logging. */
     static bool fuzzDebug();
+
+    /** ANIC_FUZZ_STORAGE: every fuzz scenario carries a write-heavy
+     *  NVMe workload plus an iSCSI workload (the storage CI arm). */
+    static bool fuzzStorage();
 
   private:
     struct Values;

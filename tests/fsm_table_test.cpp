@@ -41,6 +41,7 @@ class TableEngine : public L5Engine
     uint64_t aborts = 0;
     uint64_t curIdx = 0;
 
+    net::L5Kind kind() const override { return net::L5Kind::None; }
     size_t headerSize() const override { return kHdr; }
 
     std::optional<MsgInfo>
@@ -64,7 +65,7 @@ class TableEngine : public L5Engine
         if (!dryRun) {
             for (auto &b : d)
                 b ^= 0x55;
-            res.sawCryptoBytes = true;
+            res.bytesTransformed += d.size();
         }
     }
 

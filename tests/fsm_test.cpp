@@ -39,6 +39,7 @@ class MockEngine : public L5Engine
     uint64_t bytesTransformed = 0;
     uint64_t curIdx = 0;
 
+    net::L5Kind kind() const override { return net::L5Kind::None; }
     size_t headerSize() const override { return kHdr; }
 
     std::optional<MsgInfo>
@@ -70,7 +71,7 @@ class MockEngine : public L5Engine
             for (auto &b : d)
                 b ^= 0x55;
             bytesTransformed += d.size();
-            res.sawCryptoBytes = true;
+            res.bytesTransformed += d.size();
         }
     }
 

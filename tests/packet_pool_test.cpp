@@ -183,7 +183,10 @@ TEST(PacketPool, RecycleClearsRxStateAndHeaderCache)
 {
     PacketPool pool;
     PacketPtr p = pool.makeTcp(ip4(7, 9), tcpHdr(10, 20, 1234), 32);
-    p->rx.decrypted = true;
+    p->rx.kind = net::L5Kind::Tls;
+    p->rx.offloaded = true;
+    p->rx.verify[static_cast<size_t>(net::L5Kind::Tls)] =
+        net::VerifyOutcome::Ok;
     p->rx.placed.push_back({0, 32});
     p->txCtx = 42;
     Packet *raw = p.get();
@@ -191,7 +194,9 @@ TEST(PacketPool, RecycleClearsRxStateAndHeaderCache)
 
     PacketPtr q = pool.make(ip4(1, 2), tcpHdr(3, 4, 99), {});
     ASSERT_EQ(q.get(), raw);
-    EXPECT_FALSE(q->rx.decrypted);
+    EXPECT_EQ(q->rx.kind, net::L5Kind::None);
+    EXPECT_FALSE(q->rx.offloaded);
+    EXPECT_EQ(q->rx.verifyOf(net::L5Kind::Tls), net::VerifyOutcome::None);
     EXPECT_TRUE(q->rx.placed.empty());
     EXPECT_EQ(q->txCtx, 0u);
     // The header cache must describe the new packet, not the old one.
